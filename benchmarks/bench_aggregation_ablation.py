@@ -1,0 +1,57 @@
+"""Ablation A: aggregation semantics (Definition 2 designs + extensions).
+
+The paper motivates two aggregation designs — least misery ("strong user
+preferences act as a veto") and average ("satisfying the majority") — but
+does not evaluate them against each other.  This ablation runs the full
+pipeline under each design (plus the maximum/median extensions) for a
+random and a deliberately divergent caregiver group and reports fairness,
+value and member satisfaction, printing the comparison table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import FairnessAwareGreedy
+from repro.core.group import GroupRecommender
+from repro.eval.experiments import run_aggregation_ablation
+from repro.eval.reporting import format_aggregation_ablation
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+
+
+@pytest.mark.parametrize("aggregation", ["average", "minimum", "maximum", "median"])
+def test_pipeline_under_aggregation(benchmark, benchmark_dataset, benchmark_group, aggregation):
+    """Time candidate building + selection under one aggregation design."""
+    recommender = GroupRecommender(
+        benchmark_dataset.ratings,
+        PearsonRatingSimilarity(benchmark_dataset.ratings),
+        aggregation=aggregation,
+        peer_threshold=0.0,
+        top_k=10,
+    )
+    greedy = FairnessAwareGreedy()
+
+    def run():
+        candidates = recommender.build_candidates(benchmark_group, candidate_limit=30)
+        return greedy.select(candidates, min(10, candidates.num_candidates))
+
+    result = benchmark(run)
+    assert result.fairness == 1.0
+
+
+def test_aggregation_ablation_report(benchmark, benchmark_dataset, capsys):
+    """Regenerate the aggregation comparison table (Ablation A)."""
+    rows = benchmark.pedantic(
+        lambda: run_aggregation_ablation(dataset=benchmark_dataset, group_size=5, z=10),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n=== Ablation A: aggregation strategies ===")
+        print(format_aggregation_ablation(rows))
+    assert rows
+    strategies = {row.aggregation for row in rows}
+    assert {"average", "minimum"} <= strategies
+    for row in rows:
+        assert 0.0 <= row.fairness <= 1.0
+        assert row.min_satisfaction <= row.mean_satisfaction + 1e-9

@@ -1,0 +1,158 @@
+"""Extension benchmarks: clustering, offline validation, sequential rounds.
+
+These cover the library features that go beyond the paper's own
+evaluation (DESIGN.md lists them as extensions):
+
+* clustering-based peer pre-selection vs. exact peer search — the
+  speed/recall trade-off the related work ([17]) motivates;
+* offline prediction accuracy (MAE / RMSE / precision@k) of the three
+  similarity measures on a holdout split;
+* sequential multi-round recommendations (the authors' follow-up
+  setting) — cost per round and cumulative fairness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sequential import SequentialGroupRecommender
+from repro.eval.experiments import synthetic_candidates
+from repro.eval.reporting import format_table
+from repro.eval.validation import compare_similarities
+from repro.similarity.clustering import ClusteredPeerSelector
+from repro.similarity.peers import PeerSelector
+from repro.similarity.profile_sim import ProfileSimilarity
+from repro.similarity.ratings_sim import JaccardRatingSimilarity, PearsonRatingSimilarity
+
+
+# ---------------------------------------------------------------------------
+# Clustering-based peer search
+# ---------------------------------------------------------------------------
+
+
+def test_exact_peer_search(benchmark, benchmark_dataset):
+    """Exact Definition-1 peer search over the whole user base (baseline)."""
+    similarity = PearsonRatingSimilarity(benchmark_dataset.ratings)
+    selector = PeerSelector(similarity, threshold=0.2)
+    users = benchmark_dataset.users.ids()[:20]
+
+    def sweep():
+        return sum(
+            len(selector.peers_from_matrix(user_id, benchmark_dataset.ratings))
+            for user_id in users
+        )
+
+    total = benchmark(sweep)
+    assert total >= 0
+
+
+def test_clustered_peer_search(benchmark, benchmark_dataset):
+    """Cluster-probing peer search (1 of 8 clusters probed)."""
+    similarity = PearsonRatingSimilarity(benchmark_dataset.ratings)
+    selector = ClusteredPeerSelector(
+        similarity,
+        benchmark_dataset.ratings,
+        threshold=0.2,
+        num_clusters=8,
+        num_probe_clusters=1,
+        seed=3,
+    )
+    users = benchmark_dataset.users.ids()[:20]
+
+    def sweep():
+        return sum(len(selector.peers(user_id)) for user_id in users)
+
+    total = benchmark(sweep)
+    assert total >= 0
+
+
+def test_clustering_recall_report(benchmark, benchmark_dataset, capsys):
+    """Recall of clustered peer search vs. the exact peers, per probe count."""
+
+    def compute():
+        similarity = PearsonRatingSimilarity(benchmark_dataset.ratings)
+        exact = PeerSelector(similarity, threshold=0.2)
+        rows = []
+        for probes in (1, 2, 4):
+            clustered = ClusteredPeerSelector(
+                similarity,
+                benchmark_dataset.ratings,
+                threshold=0.2,
+                num_clusters=8,
+                num_probe_clusters=probes,
+                seed=3,
+            )
+            recalls = []
+            for user_id in benchmark_dataset.users.ids()[:15]:
+                exact_ids = {
+                    peer.user_id
+                    for peer in exact.peers_from_matrix(user_id, benchmark_dataset.ratings)
+                }
+                if not exact_ids:
+                    continue
+                clustered_ids = {peer.user_id for peer in clustered.peers(user_id)}
+                recalls.append(len(clustered_ids & exact_ids) / len(exact_ids))
+            rows.append([probes, sum(recalls) / len(recalls) if recalls else 0.0])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Clustered peer search: probes vs. recall ===")
+        print(format_table(["probed clusters", "mean recall"], rows))
+    recalls = [row[1] for row in rows]
+    assert recalls == sorted(recalls)  # more probes, at least as much recall
+
+
+# ---------------------------------------------------------------------------
+# Offline validation
+# ---------------------------------------------------------------------------
+
+
+def test_offline_validation_report(benchmark, benchmark_dataset, capsys):
+    """MAE / RMSE / precision@10 of the similarity measures on a holdout."""
+
+    def compute():
+        return compare_similarities(
+            benchmark_dataset.ratings,
+            {
+                "pearson": lambda train: PearsonRatingSimilarity(train),
+                "jaccard": lambda train: JaccardRatingSimilarity(train),
+                "profile": lambda train: ProfileSimilarity(benchmark_dataset.users),
+            },
+            test_fraction=0.2,
+            k=10,
+            seed=11,
+        )
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Offline validation (holdout 20%) ===")
+        rows = [
+            [name, m["mae"], m["rmse"], m["coverage"], m["precision_at_k"], m["hit_rate"]]
+            for name, m in results.items()
+        ]
+        print(
+            format_table(
+                ["similarity", "MAE", "RMSE", "coverage", "precision@10", "hit rate"],
+                rows,
+                float_format="{:.3f}",
+            )
+        )
+    for metrics in results.values():
+        assert 0.0 <= metrics["mae"] <= 4.0
+        assert metrics["rmse"] >= metrics["mae"] - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Sequential rounds
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_rounds", [1, 3, 5])
+def test_sequential_rounds_cost(benchmark, num_rounds):
+    """Cost of a multi-round caregiver session (m = 60, z = 8, |G| = 5)."""
+    candidates = synthetic_candidates(num_candidates=60, group_size=5, top_k=10, seed=3)
+    recommender = SequentialGroupRecommender()
+    report = benchmark(lambda: recommender.run(candidates, z=8, num_rounds=num_rounds))
+    assert report.num_rounds == num_rounds
+    assert report.mean_round_fairness() == 1.0

@@ -1,0 +1,122 @@
+"""Figure 2 reproduction: the three MapReduce jobs.
+
+Figure 2 gives the pseudo-code of the three jobs (partial similarities +
+candidates, simU assembly, relevance).  These benchmarks time each job
+and the full chain on the synthetic health dataset, and assert the
+structural properties the paper describes: Job 1 splits the data into
+candidates and partial scores, Job 2 respects the δ threshold, Job 3
+yields the per-member and group relevance, and the end-to-end result is
+identical to the in-memory recommender.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import AverageAggregation
+from repro.core.group import GroupRecommender
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import (
+    make_job1,
+    make_job2,
+    make_job3,
+    ratings_to_item_pairs,
+    similarity_table,
+    split_job1_output,
+)
+from repro.mapreduce.runner import MapReduceGroupRecommender
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+
+
+@pytest.fixture(scope="module")
+def job_inputs(benchmark_dataset, benchmark_group):
+    matrix = benchmark_dataset.ratings
+    user_means = {uid: matrix.mean_rating(uid) for uid in matrix.user_ids()}
+    input_pairs = ratings_to_item_pairs(matrix.triples())
+    engine = MapReduceEngine()
+    job1 = make_job1(benchmark_group.member_ids, user_means, num_partitions=4)
+    job1_output = engine.run(job1, input_pairs).output
+    candidates, partials = split_job1_output(job1_output)
+    job2 = make_job2(0.0, num_partitions=4)
+    similarities = similarity_table(engine.run(job2, partials).output)
+    return {
+        "matrix": matrix,
+        "group": benchmark_group,
+        "user_means": user_means,
+        "input_pairs": input_pairs,
+        "candidates": candidates,
+        "partials": partials,
+        "similarities": similarities,
+    }
+
+
+def test_job1_partial_similarity_and_candidates(benchmark, job_inputs):
+    engine = MapReduceEngine()
+    job1 = make_job1(
+        job_inputs["group"].member_ids, job_inputs["user_means"], num_partitions=4
+    )
+    result = benchmark(lambda: engine.run(job1, job_inputs["input_pairs"]))
+    candidates, partials = split_job1_output(result.output)
+    assert candidates and partials
+
+
+def test_job2_similarity_assembly(benchmark, job_inputs):
+    engine = MapReduceEngine()
+    job2 = make_job2(0.0, num_partitions=4)
+    result = benchmark(lambda: engine.run(job2, job_inputs["partials"]))
+    table = similarity_table(result.output)
+    assert all(
+        score >= 0.0 for peers in table.values() for score in peers.values()
+    )
+
+
+def test_job3_relevance(benchmark, job_inputs):
+    engine = MapReduceEngine()
+    job3 = make_job3(
+        job_inputs["group"].member_ids,
+        job_inputs["similarities"],
+        AverageAggregation(),
+        num_partitions=4,
+    )
+    result = benchmark(lambda: engine.run(job3, job_inputs["candidates"]))
+    assert result.output
+
+
+def test_full_mapreduce_pipeline(benchmark, benchmark_dataset, benchmark_group):
+    """End-to-end Jobs 1-3 plus the centralised Algorithm 1 (z = 10)."""
+    runner = MapReduceGroupRecommender(benchmark_dataset.ratings, top_k=10)
+    recommendation = benchmark(lambda: runner.recommend(benchmark_group, z=10))
+    assert recommendation.fairness == 1.0
+
+
+def test_in_memory_pipeline_baseline(benchmark, benchmark_dataset, benchmark_group):
+    """The in-memory equivalent, for comparing against the MapReduce cost."""
+    recommender = GroupRecommender(
+        benchmark_dataset.ratings,
+        PearsonRatingSimilarity(benchmark_dataset.ratings),
+        peer_threshold=0.0,
+        top_k=10,
+    )
+    candidates = benchmark(lambda: recommender.build_candidates(benchmark_group))
+    assert candidates.num_candidates > 0
+
+
+def test_equivalence_of_mapreduce_and_in_memory(benchmark, benchmark_dataset, benchmark_group):
+    """Both implementations compute identical group relevance scores."""
+
+    def both():
+        mapreduce = MapReduceGroupRecommender(
+            benchmark_dataset.ratings, peer_threshold=0.0, top_k=10
+        ).run(benchmark_group)
+        in_memory = GroupRecommender(
+            benchmark_dataset.ratings,
+            PearsonRatingSimilarity(benchmark_dataset.ratings),
+            peer_threshold=0.0,
+            top_k=10,
+        ).build_candidates(benchmark_group)
+        return mapreduce.candidates.group_relevance, in_memory.group_relevance
+
+    mr_scores, memory_scores = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert set(mr_scores) == set(memory_scores)
+    for item_id, score in memory_scores.items():
+        assert mr_scores[item_id] == pytest.approx(score)

@@ -1,0 +1,52 @@
+"""End-to-end pipeline scalability (supports the Figure 1 architecture).
+
+The paper's Figure 1 describes the overall system; these benchmarks give
+the operational numbers a deployment would care about: how the caregiver
+pipeline scales with the number of users in the PHR system, with the
+caregiver group size, and between the in-memory and MapReduce execution
+paths.  No table in the paper corresponds to these figures — they are the
+"supporting" measurements of the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RecommenderConfig
+from repro.core.pipeline import CaregiverPipeline
+from repro.data.datasets import generate_dataset
+from repro.data.groups import random_group
+
+
+@pytest.mark.parametrize("num_users", [50, 100, 200])
+def test_pipeline_scaling_with_users(benchmark, num_users):
+    """Full caregiver pipeline as the user base grows (fixed group of 4)."""
+    dataset = generate_dataset(
+        num_users=num_users, num_items=150, ratings_per_user=20, seed=num_users
+    )
+    group = random_group(dataset.users.ids(), 4, seed=1)
+    pipeline = CaregiverPipeline(
+        dataset, RecommenderConfig(top_z=10, peer_threshold=0.0, candidate_pool_size=30)
+    )
+    recommendation = benchmark(lambda: pipeline.recommend(group))
+    assert len(recommendation.items) == 10
+
+
+@pytest.mark.parametrize("group_size", [2, 5, 10])
+def test_pipeline_scaling_with_group_size(benchmark, benchmark_dataset, group_size):
+    """Full caregiver pipeline as the caregiver's group grows."""
+    group = random_group(benchmark_dataset.users.ids(), group_size, seed=3)
+    pipeline = CaregiverPipeline(
+        benchmark_dataset,
+        RecommenderConfig(top_z=max(10, group_size), peer_threshold=0.0),
+    )
+    recommendation = benchmark(lambda: pipeline.recommend(group))
+    assert recommendation.report.fairness == 1.0
+
+
+def test_dataset_generation_cost(benchmark):
+    """Synthetic data generator throughput (users + items + ratings)."""
+    dataset = benchmark(
+        lambda: generate_dataset(num_users=200, num_items=300, ratings_per_user=25, seed=9)
+    )
+    assert dataset.num_ratings == 200 * 25

@@ -1,0 +1,54 @@
+"""Proposition 1 verification and greedy-selection scaling.
+
+Section VI notes that the fairness of the heuristic's output equals the
+brute force's, "verifying Proposition 1" (fairness = 1 whenever
+``z ≥ |G|``).  This benchmark sweeps group sizes and z values, asserts
+the proposition on every configuration, and times Algorithm 1 as the
+group grows (its cost is O(z · |G|²) pair iterations, so the scaling is
+quadratic in the group size — a useful operational number the paper does
+not report).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import FairnessAwareGreedy
+from repro.eval.experiments import synthetic_candidates, verify_proposition1
+from repro.eval.reporting import format_proposition1
+
+
+def test_proposition1_sweep_report(benchmark, capsys):
+    """Run the Proposition 1 sweep and print the verification table."""
+    rows = benchmark.pedantic(
+        lambda: verify_proposition1(
+            group_sizes=(2, 3, 4, 5, 6, 8), z_values=(2, 4, 8, 12, 16, 20)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n=== Proposition 1 verification (z >= |G| ⇒ fairness = 1) ===")
+        print(format_proposition1(rows))
+    assert all(row.holds for row in rows)
+    assert any(row.z >= row.group_size for row in rows)
+
+
+@pytest.mark.parametrize("group_size", [2, 4, 8, 16])
+def test_greedy_scaling_with_group_size(benchmark, group_size):
+    """Algorithm 1 cost as the caregiver group grows (m = 50, z = |G|)."""
+    candidates = synthetic_candidates(
+        num_candidates=50, group_size=group_size, top_k=10, seed=group_size
+    )
+    greedy = FairnessAwareGreedy()
+    result = benchmark(lambda: greedy.select(candidates, group_size))
+    assert result.fairness == 1.0
+
+
+@pytest.mark.parametrize("z", [4, 16, 48])
+def test_greedy_scaling_with_z(benchmark, z):
+    """Algorithm 1 cost as z grows (m = 50, |G| = 4)."""
+    candidates = synthetic_candidates(num_candidates=50, group_size=4, top_k=10, seed=1)
+    greedy = FairnessAwareGreedy()
+    result = benchmark(lambda: greedy.select(candidates, z))
+    assert len(result.items) <= z

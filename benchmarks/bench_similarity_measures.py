@@ -1,0 +1,75 @@
+"""Ablation B: the three similarity measures (RS / CS / SS) and hybrids.
+
+Section V proposes three ways to compute user similarity — ratings
+(Pearson), profile text (TF-IDF cosine) and semantic (SNOMED path +
+harmonic mean) — without comparing their cost or their effect on the
+recommendations.  This ablation times each measure both in isolation
+(1000 pairwise evaluations) and end-to-end through the group pipeline,
+and prints the comparison table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import run_similarity_ablation
+from repro.eval.reporting import format_similarity_ablation
+from repro.similarity.hybrid import HybridSimilarity
+from repro.similarity.profile_sim import ProfileSimilarity
+from repro.similarity.ratings_sim import (
+    CosineRatingSimilarity,
+    JaccardRatingSimilarity,
+    PearsonRatingSimilarity,
+)
+from repro.similarity.semantic_sim import SemanticSimilarity
+
+
+def _measures(dataset):
+    return {
+        "pearson": PearsonRatingSimilarity(dataset.ratings),
+        "cosine": CosineRatingSimilarity(dataset.ratings),
+        "jaccard": JaccardRatingSimilarity(dataset.ratings),
+        "profile": ProfileSimilarity(dataset.users),
+        "semantic": SemanticSimilarity(dataset.users, dataset.ontology),
+        "hybrid": HybridSimilarity(
+            [
+                PearsonRatingSimilarity(dataset.ratings),
+                ProfileSimilarity(dataset.users),
+                SemanticSimilarity(dataset.users, dataset.ontology),
+            ]
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "name", ["pearson", "cosine", "jaccard", "profile", "semantic", "hybrid"]
+)
+def test_pairwise_similarity_cost(benchmark, benchmark_dataset, name):
+    """1000 pairwise simU evaluations for one measure."""
+    measure = _measures(benchmark_dataset)[name]
+    users = benchmark_dataset.users.ids()
+    pairs = [
+        (users[i % len(users)], users[(i * 7 + 3) % len(users)]) for i in range(1000)
+    ]
+    # Warm any lazy caches (TF-IDF fit, concept distances) outside the timing.
+    measure.similarity(users[0], users[1])
+
+    def sweep():
+        return sum(measure.similarity(a, b) for a, b in pairs if a != b)
+
+    total = benchmark(sweep)
+    assert total == total  # not NaN
+
+
+def test_similarity_ablation_report(benchmark, benchmark_dataset, capsys):
+    """Regenerate the similarity comparison table (Ablation B)."""
+    rows = benchmark.pedantic(
+        lambda: run_similarity_ablation(dataset=benchmark_dataset, group_size=5, z=10),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n=== Ablation B: similarity measures ===")
+        print(format_similarity_ablation(rows))
+    names = {row.similarity for row in rows}
+    assert {"ratings-pearson", "profile-tfidf", "semantic-snomed", "hybrid"} <= names

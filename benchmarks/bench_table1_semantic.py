@@ -1,0 +1,79 @@
+"""Table I reproduction: semantic similarity over the example patients.
+
+Table I lists three example patients; the surrounding discussion derives
+two SNOMED shortest-path distances (acute bronchitis ↔ chest pain = 5,
+tracheobronchitis ↔ acute bronchitis = 2) and concludes that patient 1 is
+semantically closer to patient 3 than to patient 2 at the problem level.
+These benchmarks time the ontology path queries and the Equation 4 user
+similarity on the stand-in hierarchy, asserting the distances on the way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import paper_example_users
+from repro.ontology.snomed import (
+    ACUTE_BRONCHITIS,
+    CHEST_PAIN,
+    TRACHEOBRONCHITIS,
+    build_snomed_like_ontology,
+    extend_with_random_subtrees,
+)
+from repro.similarity.semantic_sim import SemanticSimilarity
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_snomed_like_ontology()
+
+
+def test_shortest_path_bronchitis_to_chest_pain(benchmark, ontology):
+    """Path length 5 quoted for Patient 1 vs Patient 2."""
+    distance = benchmark(
+        lambda: ontology.shortest_path_length(ACUTE_BRONCHITIS, CHEST_PAIN)
+    )
+    assert distance == 5
+
+
+def test_shortest_path_bronchitis_to_tracheobronchitis(benchmark, ontology):
+    """Path length 2 quoted for Patient 1 vs Patient 3."""
+    distance = benchmark(
+        lambda: ontology.shortest_path_length(ACUTE_BRONCHITIS, TRACHEOBRONCHITIS)
+    )
+    assert distance == 2
+
+
+def test_semantic_similarity_of_table1_patients(benchmark, ontology):
+    """Equation 4 similarity across all pairs of the three example patients."""
+    patients = paper_example_users(ontology)
+    similarity = SemanticSimilarity(patients, ontology)
+
+    def all_pairs():
+        ids = patients.ids()
+        return {
+            (a, b): similarity(a, b)
+            for index, a in enumerate(ids)
+            for b in ids[index + 1 :]
+        }
+
+    scores = benchmark(all_pairs)
+    assert scores[("patient-1", "patient-2")] == pytest.approx(1.0 / 6.0)
+    assert all(0.0 < value <= 1.0 for value in scores.values())
+
+
+def test_path_queries_on_extended_ontology(benchmark):
+    """Path queries stay fast on a hierarchy 20x the hand-written core."""
+    ontology = build_snomed_like_ontology()
+    extend_with_random_subtrees(ontology, 1500, seed=3)
+    leaves = ontology.leaves()[:50]
+
+    def sweep():
+        total = 0
+        for index, source in enumerate(leaves):
+            target = leaves[(index * 7 + 3) % len(leaves)]
+            total += ontology.shortest_path_length(source, target)
+        return total
+
+    total = benchmark(sweep)
+    assert total > 0

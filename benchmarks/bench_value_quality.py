@@ -1,0 +1,50 @@
+"""Ablation C: selection quality — greedy vs. swap vs. brute force.
+
+Table II only compares running time; this ablation quantifies how much
+``value(G, D)`` the heuristic gives up relative to the brute-force
+optimum, and how much of that gap the swap local-search extension
+recovers.  The expected shape: the greedy ratio stays close to 1 and the
+swap ratio is at least as high, at a fraction of the brute-force cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force import BruteForceSelector
+from repro.core.greedy import FairnessAwareGreedy
+from repro.core.swap import SwapRefinementSelector
+from repro.eval.experiments import run_value_quality, synthetic_candidates
+from repro.eval.reporting import format_value_quality
+
+_SELECTORS = {
+    "greedy": FairnessAwareGreedy(),
+    "swap": SwapRefinementSelector(),
+    "brute-force": BruteForceSelector(),
+}
+
+
+@pytest.mark.parametrize("selector", ["greedy", "swap", "brute-force"])
+def test_selector_cost(benchmark, selector):
+    """Wall-clock of each selector on the same m=15, z=6 workload."""
+    candidates = synthetic_candidates(num_candidates=15, group_size=4, top_k=10, seed=7)
+    algorithm = _SELECTORS[selector]
+    result = benchmark(lambda: algorithm.select(candidates, 6))
+    assert len(result.items) == 6
+
+
+def test_value_quality_report(benchmark, capsys):
+    """Regenerate the quality-ratio table (Ablation C)."""
+    rows = benchmark.pedantic(
+        lambda: run_value_quality(m_values=(10, 15, 20), z_values=(4, 6, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n=== Ablation C: value achieved vs the optimum ===")
+        print(format_value_quality(rows))
+    for row in rows:
+        assert row.greedy_ratio <= 1.0 + 1e-9
+        assert row.swap_ratio + 1e-9 >= row.greedy_ratio
+        # The heuristic should stay within a reasonable factor of optimal.
+        assert row.greedy_ratio >= 0.5

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run with ``pytest benchmarks/ --benchmark-only``.  Each file
+regenerates one table, figure or ablation indexed in DESIGN.md §4; the
+console output of the ``*_report`` benchmarks prints the reproduced
+table so the numbers can be copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data.datasets import generate_dataset  # noqa: E402
+from repro.data.groups import random_group  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def benchmark_dataset():
+    """A mid-sized synthetic dataset shared by the pipeline benchmarks."""
+    return generate_dataset(num_users=120, num_items=200, ratings_per_user=25, seed=42)
+
+
+@pytest.fixture(scope="session")
+def benchmark_group(benchmark_dataset):
+    """A 5-member caregiver group from the benchmark dataset."""
+    return random_group(benchmark_dataset.users.ids(), 5, seed=42)

@@ -1,0 +1,88 @@
+"""Nutrition workload: recommending recipes to a caregiver's patients.
+
+The demonstrator behind the paper was evaluated with nutrition content:
+patients with dietary conditions (diabetes, hypertension, ...) rating
+recipes and dietary guidance.  This example runs the full pipeline on
+the synthetic nutrition workload:
+
+1. generate recipes with nutrient profiles and patients whose ratings
+   follow their dietary conditions,
+2. build a caregiver group of patients with *different* conditions,
+3. produce the fairness-aware recommendation and check that each
+   patient receives at least one recipe compatible with their needs.
+
+Run with::
+
+    python examples/nutrition_group.py
+"""
+
+from __future__ import annotations
+
+from repro import CaregiverPipeline, RecommenderConfig
+from repro.data.groups import Group
+from repro.data.nutrition import generate_nutrition_dataset
+from repro.eval.metrics import group_satisfaction
+
+
+def pick_group_with_distinct_conditions(dataset, size: int = 4) -> Group:
+    """Choose patients whose primary dietary conditions differ."""
+    chosen: list[str] = []
+    seen_conditions: set[str] = set()
+    for user in dataset.users:
+        problems = tuple(sorted(p.name for p in user.record.problems))
+        if problems and problems[0] not in seen_conditions:
+            seen_conditions.add(problems[0])
+            chosen.append(user.user_id)
+        if len(chosen) == size:
+            break
+    return Group(member_ids=chosen, caregiver_id="dietitian", name="mixed conditions")
+
+
+def main() -> None:
+    dataset = generate_nutrition_dataset(
+        num_users=80, num_recipes=150, ratings_per_user=20, seed=11
+    )
+    print(
+        f"nutrition dataset: {dataset.num_users} patients, "
+        f"{dataset.num_items} recipes, {dataset.num_ratings} ratings"
+    )
+
+    group = pick_group_with_distinct_conditions(dataset, size=4)
+    print("\ncaregiver group (dietitian's patients):")
+    for member_id in group:
+        user = dataset.users.get(member_id)
+        conditions = ", ".join(problem.name for problem in user.record.problems)
+        print(f"  {member_id}: {conditions}")
+
+    config = RecommenderConfig(
+        similarity="ratings",
+        aggregation="average",
+        peer_threshold=0.0,
+        top_k=10,
+        top_z=8,
+        candidate_pool_size=30,
+    )
+    pipeline = CaregiverPipeline(dataset, config)
+    recommendation = pipeline.recommend(group)
+
+    print("\nrecommended recipes (fairness-aware, Algorithm 1):")
+    for item_id in recommendation.items:
+        recipe = dataset.items.get(item_id)
+        score = recommendation.candidates.item_group_relevance(item_id)
+        print(f"  {item_id}  group-relevance={score:.2f}  {recipe.title}")
+
+    report = recommendation.report
+    print(f"\nfairness: {report.fairness:.2f}   value: {report.value:.2f}")
+    print("per-patient satisfaction:")
+    for member_id, score in group_satisfaction(
+        recommendation.candidates, list(recommendation.items)
+    ).items():
+        print(f"  {member_id}: {score:.2f}")
+
+    print("\nper-patient best-ranked recommendation (lower is better):")
+    for member_id, rank in report.per_user_best_rank.items():
+        print(f"  {member_id}: rank {rank} in their personal candidate ranking")
+
+
+if __name__ == "__main__":
+    main()

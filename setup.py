@@ -1,0 +1,5 @@
+"""Setup shim for environments installing in legacy (non-PEP-660) mode."""
+
+from setuptools import setup
+
+setup()

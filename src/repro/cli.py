@@ -1,0 +1,254 @@
+"""Command-line interface of the library.
+
+``repro-health`` (or ``python -m repro.cli``) exposes the main workflows
+without writing any Python:
+
+* ``generate`` — create a synthetic health or nutrition dataset and
+  save it as JSON;
+* ``recommend`` — run the caregiver pipeline on a dataset for a random
+  or explicit group and print the fairness-aware recommendation;
+* ``table2`` — reproduce the paper's Table II (brute force vs heuristic);
+* ``prop1`` — verify Proposition 1 over a sweep of group sizes;
+* ``ablation`` — run the aggregation / similarity / value-quality
+  ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import RecommenderConfig
+from .core.pipeline import CaregiverPipeline
+from .data.datasets import generate_dataset
+from .data.groups import Group, random_group
+from .data.nutrition import generate_nutrition_dataset
+from .data.serialization import load_dataset, save_dataset
+from .eval.experiments import (
+    run_aggregation_ablation,
+    run_similarity_ablation,
+    run_table2,
+    run_value_quality,
+    verify_proposition1,
+)
+from .eval.reporting import (
+    format_aggregation_ablation,
+    format_proposition1,
+    format_similarity_ablation,
+    format_table2,
+    format_value_quality,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-health",
+        description="Fairness-aware group recommendations in the health domain",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("output", help="path of the JSON dataset to write")
+    generate.add_argument("--kind", choices=["health", "nutrition"], default="health")
+    generate.add_argument("--users", type=int, default=100)
+    generate.add_argument("--items", type=int, default=200)
+    generate.add_argument("--ratings-per-user", type=int, default=25)
+    generate.add_argument("--seed", type=int, default=7)
+
+    recommend = subparsers.add_parser(
+        "recommend", help="run the caregiver pipeline on a dataset"
+    )
+    recommend.add_argument("dataset", help="path of a dataset JSON (or '-' to generate)")
+    recommend.add_argument("--group", nargs="*", default=None, help="member user ids")
+    recommend.add_argument("--group-size", type=int, default=5)
+    recommend.add_argument("--z", type=int, default=10)
+    recommend.add_argument("--top-k", type=int, default=10)
+    recommend.add_argument(
+        "--similarity",
+        choices=["ratings", "profile", "semantic", "hybrid"],
+        default="ratings",
+    )
+    recommend.add_argument(
+        "--aggregation", choices=["average", "minimum"], default="average"
+    )
+    recommend.add_argument("--seed", type=int, default=7)
+
+    table2 = subparsers.add_parser("table2", help="reproduce Table II")
+    table2.add_argument("--group-size", type=int, default=4)
+    table2.add_argument("--repeats", type=int, default=1)
+    table2.add_argument(
+        "--max-subsets",
+        type=int,
+        default=None,
+        help="skip cells that would enumerate more subsets than this",
+    )
+
+    prop1 = subparsers.add_parser("prop1", help="verify Proposition 1")
+    prop1.add_argument("--candidates", type=int, default=30)
+
+    ablation = subparsers.add_parser("ablation", help="run an extension ablation")
+    ablation.add_argument(
+        "kind", choices=["aggregation", "similarity", "value-quality"]
+    )
+    ablation.add_argument("--seed", type=int, default=7)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="offline accuracy of the similarity measures (holdout)"
+    )
+    evaluate.add_argument("dataset", help="path of a dataset JSON (or '-' to generate)")
+    evaluate.add_argument("--test-fraction", type=float, default=0.2)
+    evaluate.add_argument("--k", type=int, default=10)
+    evaluate.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "nutrition":
+        dataset = generate_nutrition_dataset(
+            num_users=args.users,
+            num_recipes=args.items,
+            ratings_per_user=args.ratings_per_user,
+            seed=args.seed,
+        )
+    else:
+        dataset = generate_dataset(
+            num_users=args.users,
+            num_items=args.items,
+            ratings_per_user=args.ratings_per_user,
+            seed=args.seed,
+        )
+    path = save_dataset(dataset, args.output)
+    print(
+        f"wrote {dataset.num_users} users, {dataset.num_items} items, "
+        f"{dataset.num_ratings} ratings to {path}"
+    )
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    if args.dataset == "-":
+        dataset = generate_dataset(seed=args.seed)
+    else:
+        dataset = load_dataset(args.dataset)
+    if args.group:
+        group = Group(member_ids=list(args.group), caregiver_id="cli")
+    else:
+        group = random_group(dataset.users.ids(), args.group_size, seed=args.seed)
+    config = RecommenderConfig(
+        top_k=args.top_k,
+        top_z=args.z,
+        similarity=args.similarity,
+        aggregation=args.aggregation,
+    )
+    pipeline = CaregiverPipeline(dataset, config)
+    recommendation = pipeline.recommend(group)
+    print(f"group: {', '.join(group.member_ids)}")
+    print(f"fairness: {recommendation.report.fairness:.3f}")
+    print(f"value:    {recommendation.report.value:.3f}")
+    print("recommended items:")
+    for item_id in recommendation.items:
+        item = dataset.items.get(item_id) if item_id in dataset.items else None
+        title = item.title if item else ""
+        score = recommendation.candidates.item_group_relevance(item_id)
+        print(f"  {item_id}  group-relevance={score:.3f}  {title}")
+    return 0
+
+
+def _command_table2(args: argparse.Namespace) -> int:
+    result = run_table2(
+        group_size=args.group_size,
+        repeats=args.repeats,
+        max_subsets=args.max_subsets,
+    )
+    print(format_table2(result))
+    return 0
+
+
+def _command_prop1(args: argparse.Namespace) -> int:
+    rows = verify_proposition1(num_candidates=args.candidates)
+    print(format_proposition1(rows))
+    failures = [row for row in rows if not row.holds]
+    return 1 if failures else 0
+
+
+def _command_ablation(args: argparse.Namespace) -> int:
+    if args.kind == "aggregation":
+        print(format_aggregation_ablation(run_aggregation_ablation(seed=args.seed)))
+    elif args.kind == "similarity":
+        print(format_similarity_ablation(run_similarity_ablation(seed=args.seed)))
+    else:
+        print(format_value_quality(run_value_quality(seed=args.seed)))
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    from .eval.reporting import format_table
+    from .eval.validation import compare_similarities
+    from .similarity.profile_sim import ProfileSimilarity
+    from .similarity.ratings_sim import (
+        CosineRatingSimilarity,
+        JaccardRatingSimilarity,
+        PearsonRatingSimilarity,
+    )
+
+    if args.dataset == "-":
+        dataset = generate_dataset(seed=args.seed)
+    else:
+        dataset = load_dataset(args.dataset)
+    results = compare_similarities(
+        dataset.ratings,
+        {
+            "pearson": lambda train: PearsonRatingSimilarity(train),
+            "cosine": lambda train: CosineRatingSimilarity(train),
+            "jaccard": lambda train: JaccardRatingSimilarity(train),
+            "profile": lambda train: ProfileSimilarity(dataset.users),
+        },
+        test_fraction=args.test_fraction,
+        k=args.k,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            name,
+            metrics["mae"],
+            metrics["rmse"],
+            metrics["coverage"],
+            metrics["precision_at_k"],
+            metrics["recall_at_k"],
+            metrics["hit_rate"],
+        ]
+        for name, metrics in results.items()
+    ]
+    print(
+        format_table(
+            ["similarity", "MAE", "RMSE", "coverage", f"P@{args.k}", f"R@{args.k}", "hit rate"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "recommend": _command_recommend,
+    "table2": _command_table2,
+    "prop1": _command_prop1,
+    "ablation": _command_ablation,
+    "evaluate": _command_evaluate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

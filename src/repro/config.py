@@ -1,0 +1,169 @@
+"""Configuration objects shared across the library.
+
+The paper leaves several knobs open (the similarity threshold ``δ``, the
+per-user top-``k`` used by the fairness definition, the group top-``z``,
+the rating scale, aggregation semantics).  :class:`RecommenderConfig`
+gathers them in one immutable dataclass so that the single-user
+recommender, the group recommender, the fairness-aware selection and the
+MapReduce runner all agree on the same values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .exceptions import ConfigurationError
+
+#: The rating scale used throughout the paper (Section III.A).
+DEFAULT_RATING_SCALE: tuple[float, float] = (1.0, 5.0)
+
+#: Aggregation strategy names accepted by :class:`RecommenderConfig`.
+KNOWN_AGGREGATIONS: tuple[str, ...] = (
+    "average",
+    "minimum",
+    "maximum",
+    "median",
+    "multiplicative",
+    "borda",
+)
+
+#: Similarity measure names accepted by :class:`RecommenderConfig`.
+KNOWN_SIMILARITIES: tuple[str, ...] = (
+    "ratings",
+    "profile",
+    "semantic",
+    "hybrid",
+)
+
+
+@dataclass(frozen=True)
+class RecommenderConfig:
+    """Tunable parameters of the fairness-aware group recommender.
+
+    Parameters
+    ----------
+    peer_threshold:
+        The similarity threshold ``δ`` from Definition 1.  A user ``u'``
+        is a peer of ``u`` when ``simU(u, u') >= peer_threshold``.
+    max_peers:
+        Optional cap on the number of peers retained per user (the paper
+        keeps every user above the threshold; a cap makes large synthetic
+        datasets tractable and is a common practical refinement).
+    top_k:
+        The per-user ``k`` used both for single-user recommendation lists
+        and by the fairness definition ("D is fair to u if D contains at
+        least one of u's top-k items", Definition 3).
+    top_z:
+        The number ``z`` of recommendations returned for the group.
+    rating_scale:
+        Inclusive ``(low, high)`` bounds of a valid rating.
+    aggregation:
+        Group aggregation semantics: ``"minimum"`` (least misery / veto)
+        or ``"average"`` (majority), plus extension strategies.
+    similarity:
+        Which similarity measure feeds peer selection: ``"ratings"``
+        (Pearson, Eq. 2), ``"profile"`` (TF-IDF cosine, Eq. 3),
+        ``"semantic"`` (SNOMED path + harmonic mean, Eq. 4) or
+        ``"hybrid"``.
+    hybrid_weights:
+        Weights of (ratings, profile, semantic) used by the hybrid
+        similarity.  They are normalised when used.
+    candidate_pool_size:
+        ``m`` — the number of candidate items handed to the fairness-aware
+        selection stage (Section VI calls this ``m``).
+    random_seed:
+        Seed used by any stochastic component (dataset generation, tie
+        shuffling) so every run is reproducible.
+    """
+
+    peer_threshold: float = 0.2
+    max_peers: int | None = None
+    top_k: int = 10
+    top_z: int = 10
+    rating_scale: tuple[float, float] = DEFAULT_RATING_SCALE
+    aggregation: str = "average"
+    similarity: str = "ratings"
+    hybrid_weights: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    candidate_pool_size: int = 30
+    random_seed: int = 7
+
+    def __post_init__(self) -> None:
+        low, high = self.rating_scale
+        if low >= high:
+            raise ConfigurationError(
+                f"rating_scale low bound {low} must be < high bound {high}"
+            )
+        if not -1.0 <= self.peer_threshold <= 1.0:
+            raise ConfigurationError(
+                f"peer_threshold must lie in [-1, 1], got {self.peer_threshold}"
+            )
+        if self.max_peers is not None and self.max_peers <= 0:
+            raise ConfigurationError("max_peers must be positive or None")
+        if self.top_k <= 0:
+            raise ConfigurationError("top_k must be positive")
+        if self.top_z <= 0:
+            raise ConfigurationError("top_z must be positive")
+        if self.candidate_pool_size <= 0:
+            raise ConfigurationError("candidate_pool_size must be positive")
+        if self.aggregation not in KNOWN_AGGREGATIONS:
+            raise ConfigurationError(
+                f"unknown aggregation {self.aggregation!r}; "
+                f"expected one of {KNOWN_AGGREGATIONS}"
+            )
+        if self.similarity not in KNOWN_SIMILARITIES:
+            raise ConfigurationError(
+                f"unknown similarity {self.similarity!r}; "
+                f"expected one of {KNOWN_SIMILARITIES}"
+            )
+        if len(self.hybrid_weights) != 3:
+            raise ConfigurationError("hybrid_weights must have three entries")
+        if any(w < 0 for w in self.hybrid_weights):
+            raise ConfigurationError("hybrid_weights must be non-negative")
+        if sum(self.hybrid_weights) == 0:
+            raise ConfigurationError("hybrid_weights must not all be zero")
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def rating_low(self) -> float:
+        """Lower bound of the rating scale."""
+        return self.rating_scale[0]
+
+    @property
+    def rating_high(self) -> float:
+        """Upper bound of the rating scale."""
+        return self.rating_scale[1]
+
+    def with_overrides(self, **changes: Any) -> "RecommenderConfig":
+        """Return a copy with ``changes`` applied (validation re-runs)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the configuration to plain JSON-friendly types."""
+        return {
+            "peer_threshold": self.peer_threshold,
+            "max_peers": self.max_peers,
+            "top_k": self.top_k,
+            "top_z": self.top_z,
+            "rating_scale": list(self.rating_scale),
+            "aggregation": self.aggregation,
+            "similarity": self.similarity,
+            "hybrid_weights": list(self.hybrid_weights),
+            "candidate_pool_size": self.candidate_pool_size,
+            "random_seed": self.random_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RecommenderConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        data = dict(payload)
+        if "rating_scale" in data:
+            data["rating_scale"] = tuple(data["rating_scale"])
+        if "hybrid_weights" in data:
+            data["hybrid_weights"] = tuple(data["hybrid_weights"])
+        return cls(**data)
+
+
+#: Library-wide default configuration.
+DEFAULT_CONFIG = RecommenderConfig()

@@ -1,0 +1,100 @@
+"""Core contribution: fairness-aware group recommendation."""
+
+from .aggregation import (
+    AGGREGATIONS,
+    AggregationStrategy,
+    AverageAggregation,
+    BordaAggregation,
+    MaximumAggregation,
+    MedianAggregation,
+    MinimumAggregation,
+    MultiplicativeAggregation,
+    get_aggregation,
+)
+from .brute_force import BruteForceSelector, brute_force_selection, subset_count
+from .candidates import GroupCandidates
+from .explain import (
+    ItemExplanation,
+    RecommendationExplanation,
+    explain_recommendation,
+    render_explanation,
+)
+from .fairness import (
+    FairnessReport,
+    fairness,
+    fairness_report,
+    is_fair_to_user,
+    satisfied_users,
+    total_group_relevance,
+    value,
+)
+from .greedy import (
+    FairnessAwareGreedy,
+    GroupRecommendation,
+    SelectionStep,
+    greedy_selection,
+)
+from .group import GroupRecommender
+from .pipeline import (
+    CaregiverPipeline,
+    CaregiverRecommendation,
+    build_selector,
+    build_similarity,
+)
+from .relevance import (
+    ScoredItem,
+    SingleUserRecommender,
+    predict_relevance,
+    rank_items,
+)
+from .sequential import (
+    SequentialGroupRecommender,
+    SequentialRound,
+    SequentialRunReport,
+)
+from .swap import SwapRefinementSelector, swap_selection
+
+__all__ = [
+    "AGGREGATIONS",
+    "AggregationStrategy",
+    "AverageAggregation",
+    "BordaAggregation",
+    "BruteForceSelector",
+    "CaregiverPipeline",
+    "CaregiverRecommendation",
+    "FairnessAwareGreedy",
+    "FairnessReport",
+    "GroupCandidates",
+    "GroupRecommendation",
+    "GroupRecommender",
+    "ItemExplanation",
+    "MaximumAggregation",
+    "MedianAggregation",
+    "MinimumAggregation",
+    "MultiplicativeAggregation",
+    "RecommendationExplanation",
+    "ScoredItem",
+    "SelectionStep",
+    "SequentialGroupRecommender",
+    "SequentialRound",
+    "SequentialRunReport",
+    "SingleUserRecommender",
+    "SwapRefinementSelector",
+    "brute_force_selection",
+    "explain_recommendation",
+    "build_selector",
+    "build_similarity",
+    "fairness",
+    "fairness_report",
+    "get_aggregation",
+    "greedy_selection",
+    "is_fair_to_user",
+    "predict_relevance",
+    "rank_items",
+    "render_explanation",
+    "satisfied_users",
+    "subset_count",
+    "swap_selection",
+    "total_group_relevance",
+    "value",
+]

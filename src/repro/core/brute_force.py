@@ -1,0 +1,91 @@
+"""Brute-force optimal fairness-aware selection (Section III.D).
+
+The reference method enumerates every ``(m choose z)`` subset ``D`` of
+the candidate pool and keeps the one maximising ``value(G, D)``.  Its
+complexity is exponential, which is exactly what Table II demonstrates;
+it exists here as the ground-truth baseline for the heuristic and for
+the quality-ratio ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+from ..exceptions import InsufficientCandidatesError
+from .candidates import GroupCandidates
+from .fairness import fairness_report, total_group_relevance, satisfied_users
+from .greedy import GroupRecommendation
+
+
+def subset_count(m: int, z: int) -> int:
+    """``(m choose z)`` — the number of subsets the brute force evaluates."""
+    if z > m or z < 0:
+        return 0
+    return math.comb(m, z)
+
+
+class BruteForceSelector:
+    """Exhaustive search over all ``(m choose z)`` candidate subsets.
+
+    Parameters
+    ----------
+    max_subsets:
+        Safety valve: refuse to enumerate more than this many subsets
+        (``None`` disables the check).  The paper itself could not push
+        the brute force beyond ``m = 30`` for the same reason.
+    """
+
+    name = "brute-force"
+
+    def __init__(self, max_subsets: int | None = 50_000_000) -> None:
+        self.max_subsets = max_subsets
+
+    def select(self, candidates: GroupCandidates, z: int) -> GroupRecommendation:
+        """Return the subset of size ``z`` with the maximum ``value(G, D)``.
+
+        Ties are broken towards the subset with the larger total group
+        relevance and then lexicographically, so the result is
+        deterministic.
+        """
+        if z <= 0:
+            raise ValueError("z must be positive")
+        item_ids = sorted(candidates.group_relevance)
+        m = len(item_ids)
+        if z > m:
+            raise InsufficientCandidatesError(z, m)
+        total = subset_count(m, z)
+        if self.max_subsets is not None and total > self.max_subsets:
+            raise MemoryError(
+                f"brute force would enumerate {total} subsets "
+                f"(limit {self.max_subsets}); reduce m or z"
+            )
+
+        group_size = len(candidates.group)
+        best_subset: tuple[str, ...] | None = None
+        best_key: tuple[float, float] | None = None
+        for subset in combinations(item_ids, z):
+            # Inline the fairness/value computation: this loop dominates
+            # the Table II runtime, so avoid building reports per subset.
+            satisfied = len(satisfied_users(candidates, subset))
+            fairness_score = satisfied / group_size if group_size else 0.0
+            relevance_sum = total_group_relevance(candidates, subset)
+            value_score = fairness_score * relevance_sum
+            key = (value_score, relevance_sum)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_subset = subset
+        assert best_subset is not None  # z >= 1 and m >= z guarantee a subset
+        report = fairness_report(candidates, list(best_subset))
+        return GroupRecommendation(
+            items=tuple(best_subset),
+            report=report,
+            algorithm=self.name,
+        )
+
+
+def brute_force_selection(
+    candidates: GroupCandidates, z: int, max_subsets: int | None = 50_000_000
+) -> GroupRecommendation:
+    """Convenience wrapper: run the exhaustive search once."""
+    return BruteForceSelector(max_subsets=max_subsets).select(candidates, z)

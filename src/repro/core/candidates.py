@@ -1,0 +1,183 @@
+"""Candidate model shared by the fairness-aware selection algorithms.
+
+The fairness definition (Definition 3) and the selection algorithms
+(Algorithm 1, the brute force optimum and the local-search extension)
+all operate on the same information:
+
+* the group ``G``;
+* the candidate items (items no group member has rated);
+* the per-member relevance table ``relevance(u, i)``;
+* the aggregated group relevance ``relevanceG(G, i)``;
+* the per-member top-``k`` sets ``A_u`` used by the fairness test.
+
+:class:`GroupCandidates` bundles those pieces.  It can be built from a
+relevance table plus an aggregation strategy (the normal pipeline path)
+or constructed directly from synthetic scores (how the Table II
+benchmark controls the candidate pool size ``m``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..data.groups import Group
+from ..exceptions import EmptyGroupError
+from .aggregation import AggregationStrategy, AverageAggregation
+from .relevance import ScoredItem, rank_items
+
+
+@dataclass
+class GroupCandidates:
+    """Everything the fairness-aware selection needs about one group.
+
+    Parameters
+    ----------
+    group:
+        The caregiver group.
+    relevance:
+        ``{user_id: {item_id: relevance}}`` — per-member predictions for
+        each candidate item.  Every member must score every candidate
+        (the builder guarantees this by intersecting the per-user
+        predictions).
+    group_relevance:
+        ``{item_id: relevanceG}`` — aggregated group scores.
+    top_k:
+        The ``k`` used to build the per-user fairness sets ``A_u``.
+    """
+
+    group: Group
+    relevance: dict[str, dict[str, float]]
+    group_relevance: dict[str, float]
+    top_k: int
+    _user_rankings: dict[str, list[ScoredItem]] = field(
+        default_factory=dict, repr=False
+    )
+    _user_top_sets: dict[str, set[str]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.top_k <= 0:
+            raise ValueError("top_k must be positive")
+        missing = [u for u in self.group if u not in self.relevance]
+        if missing:
+            raise ValueError(
+                f"relevance table misses group members: {missing}"
+            )
+        self._user_rankings = {
+            user_id: rank_items(self.relevance[user_id])
+            for user_id in self.group
+        }
+        self._user_top_sets = {
+            user_id: {item.item_id for item in ranking[: self.top_k]}
+            for user_id, ranking in self._user_rankings.items()
+        }
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_relevance_table(
+        cls,
+        group: Group,
+        relevance: Mapping[str, Mapping[str, float]],
+        aggregation: AggregationStrategy | None = None,
+        top_k: int = 10,
+        candidate_limit: int | None = None,
+    ) -> "GroupCandidates":
+        """Build candidates from per-member predictions.
+
+        Only items predicted for *every* member are kept (Definition 2
+        needs a score from each member).  ``candidate_limit`` optionally
+        truncates the pool to the ``m`` items with the best group
+        relevance — this is the paper's ``m`` knob in Section VI.
+        """
+        if len(group) == 0:
+            raise EmptyGroupError("group must not be empty")
+        missing = [user_id for user_id in group if user_id not in relevance]
+        if missing:
+            raise ValueError(f"relevance table misses group members: {missing}")
+        aggregation = aggregation or AverageAggregation()
+        table: dict[str, dict[str, float]] = {
+            user_id: dict(relevance[user_id]) for user_id in group
+        }
+        common_items = set(table[group.member_ids[0]])
+        for user_id in group.member_ids[1:]:
+            common_items &= set(table[user_id])
+        table = {
+            user_id: {
+                item_id: scores[item_id]
+                for item_id in common_items
+            }
+            for user_id, scores in table.items()
+        }
+        group_relevance = aggregation.aggregate_table(table)
+        if candidate_limit is not None and candidate_limit < len(group_relevance):
+            kept = {
+                item.item_id
+                for item in rank_items(group_relevance, candidate_limit)
+            }
+            group_relevance = {
+                item_id: score
+                for item_id, score in group_relevance.items()
+                if item_id in kept
+            }
+            table = {
+                user_id: {
+                    item_id: score
+                    for item_id, score in scores.items()
+                    if item_id in kept
+                }
+                for user_id, scores in table.items()
+            }
+        return cls(
+            group=group,
+            relevance=table,
+            group_relevance=group_relevance,
+            top_k=top_k,
+        )
+
+    # -- access ---------------------------------------------------------------------
+
+    @property
+    def item_ids(self) -> list[str]:
+        """Candidate item ids sorted by descending group relevance."""
+        return [item.item_id for item in rank_items(self.group_relevance)]
+
+    @property
+    def num_candidates(self) -> int:
+        """The candidate pool size ``m``."""
+        return len(self.group_relevance)
+
+    def user_ranking(self, user_id: str) -> list[ScoredItem]:
+        """``A_u`` as a full ranking (most relevant candidate first)."""
+        return list(self._user_rankings[user_id])
+
+    def user_top_items(self, user_id: str) -> set[str]:
+        """The top-``k`` candidate set of ``user_id`` (fairness test set)."""
+        return set(self._user_top_sets[user_id])
+
+    def user_relevance(self, user_id: str, item_id: str) -> float:
+        """``relevance(u, i)`` for a candidate item."""
+        return self.relevance[user_id][item_id]
+
+    def item_group_relevance(self, item_id: str) -> float:
+        """``relevanceG(G, i)`` for a candidate item."""
+        return self.group_relevance[item_id]
+
+    def top_group_items(self, n: int) -> list[ScoredItem]:
+        """The ``n`` candidates with the highest group relevance."""
+        return rank_items(self.group_relevance, n)
+
+    def restrict_to(self, item_ids: Sequence[str]) -> "GroupCandidates":
+        """A copy restricted to ``item_ids`` (used by ablations and tests)."""
+        keep = [item_id for item_id in item_ids if item_id in self.group_relevance]
+        return GroupCandidates(
+            group=self.group,
+            relevance={
+                user_id: {item_id: scores[item_id] for item_id in keep}
+                for user_id, scores in self.relevance.items()
+            },
+            group_relevance={
+                item_id: self.group_relevance[item_id] for item_id in keep
+            },
+            top_k=self.top_k,
+        )

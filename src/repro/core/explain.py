@@ -1,0 +1,142 @@
+"""Human-readable explanations of a fairness-aware recommendation.
+
+The paper's platform goal is to let caregivers *control* what reaches
+their patients; an explanation of why each item was selected supports
+that control (and the related work it cites — explanation-driven
+recommendation — motivates the same).  This module turns the artefacts
+the selection algorithms already produce (selection steps, per-member
+relevance, fairness report) into structured explanation objects plus a
+plain-text rendering suitable for a caregiver-facing UI or a log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .candidates import GroupCandidates
+from .greedy import GroupRecommendation
+
+
+@dataclass(frozen=True)
+class ItemExplanation:
+    """Why a single item made it into the recommendation set."""
+
+    item_id: str
+    group_relevance: float
+    #: Member whose relevance drove the greedy pick (empty for selectors
+    #: that do not record steps, e.g. brute force).
+    selected_for: str
+    #: Member whose candidate list supplied the item (greedy only).
+    drawn_from: str
+    #: Members for whom the item belongs to their personal top-k.
+    top_k_for: tuple[str, ...]
+    #: ``relevance(u, item)`` for every member.
+    member_relevance: dict[str, float]
+
+    def best_member(self) -> str:
+        """The member with the highest relevance for this item."""
+        return max(
+            self.member_relevance,
+            key=lambda member: (self.member_relevance[member], member),
+        )
+
+
+@dataclass(frozen=True)
+class RecommendationExplanation:
+    """Explanation of a whole recommendation set."""
+
+    items: tuple[ItemExplanation, ...]
+    fairness: float
+    satisfied_users: tuple[str, ...]
+    unsatisfied_users: tuple[str, ...]
+
+    def for_item(self, item_id: str) -> ItemExplanation:
+        """The explanation of one selected item."""
+        for item in self.items:
+            if item.item_id == item_id:
+                return item
+        raise KeyError(f"item {item_id!r} is not part of the recommendation")
+
+    def items_serving(self, user_id: str) -> list[ItemExplanation]:
+        """All selected items that are in ``user_id``'s personal top-k."""
+        return [item for item in self.items if user_id in item.top_k_for]
+
+
+def explain_recommendation(
+    candidates: GroupCandidates, recommendation: GroupRecommendation
+) -> RecommendationExplanation:
+    """Build the explanation for a selection over ``candidates``."""
+    step_by_item = {step.item_id: step for step in recommendation.steps}
+    explanations: list[ItemExplanation] = []
+    for item_id in recommendation.items:
+        step = step_by_item.get(item_id)
+        member_relevance = {
+            member: candidates.user_relevance(member, item_id)
+            for member in candidates.group
+        }
+        top_k_for = tuple(
+            member
+            for member in candidates.group
+            if item_id in candidates.user_top_items(member)
+        )
+        explanations.append(
+            ItemExplanation(
+                item_id=item_id,
+                group_relevance=candidates.item_group_relevance(item_id),
+                selected_for=step.target_user if step else "",
+                drawn_from=step.source_user if step else "",
+                top_k_for=top_k_for,
+                member_relevance=member_relevance,
+            )
+        )
+    report = recommendation.report
+    return RecommendationExplanation(
+        items=tuple(explanations),
+        fairness=report.fairness,
+        satisfied_users=report.satisfied_users,
+        unsatisfied_users=report.unsatisfied_users,
+    )
+
+
+def render_explanation(
+    explanation: RecommendationExplanation,
+    item_titles: dict[str, str] | None = None,
+    max_items: int | None = None,
+) -> str:
+    """Render an explanation as caregiver-readable text."""
+    item_titles = item_titles or {}
+    lines: list[str] = []
+    lines.append(
+        f"The set is fair to {len(explanation.satisfied_users)} of "
+        f"{len(explanation.satisfied_users) + len(explanation.unsatisfied_users)} "
+        f"patients (fairness {explanation.fairness:.2f})."
+    )
+    if explanation.unsatisfied_users:
+        lines.append(
+            "Patients without a personally relevant item: "
+            + ", ".join(explanation.unsatisfied_users)
+        )
+    items = explanation.items if max_items is None else explanation.items[:max_items]
+    for item in items:
+        title = item_titles.get(item.item_id, "")
+        title_part = f" ({title})" if title else ""
+        reason: list[str] = [
+            f"group relevance {item.group_relevance:.2f}",
+        ]
+        if item.selected_for:
+            reason.append(
+                f"picked because it is the best remaining match for {item.selected_for}"
+            )
+        if item.top_k_for:
+            reason.append("personally relevant to " + ", ".join(item.top_k_for))
+        lines.append(f"- {item.item_id}{title_part}: " + "; ".join(reason))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ItemExplanation",
+    "RecommendationExplanation",
+    "explain_recommendation",
+    "render_explanation",
+]

@@ -1,0 +1,131 @@
+"""Fairness of a recommendation set (Section III.C, Definition 3).
+
+Given a group ``G`` and a set of recommendations ``D``:
+
+* ``D`` is *fair to a user u* if it contains at least one item from the
+  user's top-``k`` candidate set;
+* ``fairness(G, D) = |G_D| / |G|`` where ``G_D`` is the set of users to
+  whom ``D`` is fair;
+* ``value(G, D) = fairness(G, D) · Σ_{i ∈ D} relevanceG(G, i)``.
+
+The functions in this module evaluate those quantities on top of a
+:class:`~repro.core.candidates.GroupCandidates` bundle; they are used by
+every selection algorithm, by the evaluation metrics and by the tests of
+Proposition 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+from .candidates import GroupCandidates
+
+
+def is_fair_to_user(
+    candidates: GroupCandidates, selection: Iterable[str], user_id: str
+) -> bool:
+    """Whether ``selection`` contains at least one of the user's top-k items."""
+    top_items = candidates.user_top_items(user_id)
+    return any(item_id in top_items for item_id in selection)
+
+
+def satisfied_users(
+    candidates: GroupCandidates, selection: Iterable[str]
+) -> list[str]:
+    """``G_D`` — the group members to whom the selection is fair."""
+    selection = list(selection)
+    return [
+        user_id
+        for user_id in candidates.group
+        if is_fair_to_user(candidates, selection, user_id)
+    ]
+
+
+def fairness(candidates: GroupCandidates, selection: Iterable[str]) -> float:
+    """``fairness(G, D) = |G_D| / |G|`` (Definition 3)."""
+    group_size = len(candidates.group)
+    if group_size == 0:
+        return 0.0
+    return len(satisfied_users(candidates, selection)) / group_size
+
+
+def total_group_relevance(
+    candidates: GroupCandidates, selection: Iterable[str]
+) -> float:
+    """``Σ_{i ∈ D} relevanceG(G, i)`` over the selected items."""
+    return sum(candidates.item_group_relevance(item_id) for item_id in selection)
+
+
+def value(candidates: GroupCandidates, selection: Iterable[str]) -> float:
+    """``value(G, D) = fairness(G, D) · Σ relevanceG(G, i)``."""
+    selection = list(selection)
+    return fairness(candidates, selection) * total_group_relevance(
+        candidates, selection
+    )
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """A full breakdown of Definition 3 for one selection.
+
+    Attributes
+    ----------
+    selection:
+        The evaluated item ids, in selection order.
+    fairness:
+        ``|G_D| / |G|``.
+    value:
+        ``fairness · Σ relevanceG``.
+    total_relevance:
+        ``Σ relevanceG`` over the selection.
+    satisfied_users:
+        The members to whom the selection is fair.
+    unsatisfied_users:
+        The remaining members.
+    per_user_best_rank:
+        For every member, the best (lowest) rank that any selected item
+        achieves in that member's personal ranking — a finer-grained
+        satisfaction signal than the binary fairness test.
+    """
+
+    selection: tuple[str, ...]
+    fairness: float
+    value: float
+    total_relevance: float
+    satisfied_users: tuple[str, ...]
+    unsatisfied_users: tuple[str, ...]
+    per_user_best_rank: dict[str, int | None]
+
+
+def fairness_report(
+    candidates: GroupCandidates, selection: Sequence[str]
+) -> FairnessReport:
+    """Evaluate a selection and return the full :class:`FairnessReport`."""
+    selection = list(selection)
+    selection_set = set(selection)
+    satisfied = satisfied_users(candidates, selection)
+    unsatisfied = [
+        user_id for user_id in candidates.group if user_id not in set(satisfied)
+    ]
+    best_ranks: dict[str, int | None] = {}
+    for user_id in candidates.group:
+        ranking = candidates.user_ranking(user_id)
+        best: int | None = None
+        for rank, scored in enumerate(ranking):
+            if scored.item_id in selection_set:
+                best = rank
+                break
+        best_ranks[user_id] = best
+    total = total_group_relevance(candidates, selection)
+    fair = fairness(candidates, selection)
+    return FairnessReport(
+        selection=tuple(selection),
+        fairness=fair,
+        value=fair * total,
+        total_relevance=total,
+        satisfied_users=tuple(satisfied),
+        unsatisfied_users=tuple(unsatisfied),
+        per_user_best_rank=best_ranks,
+    )

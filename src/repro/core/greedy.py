@@ -1,0 +1,224 @@
+"""Fairness-aware greedy selection (Algorithm 1 of the paper).
+
+The algorithm incrementally builds the recommendation set ``D``: for
+each ordered pair of distinct group members ``(u_x, u_y)`` it adds the
+item of ``u_y``'s candidate list ``A_{u_y}`` with the maximum relevance
+for ``u_x``, looping over the pairs until ``|D| = z``.
+
+Two details are left implicit by the paper's pseudo-code and are made
+explicit (and documented) here:
+
+* ``D`` is a *set*: re-selecting an item already in ``D`` would not grow
+  it, so each pair step picks the best item of ``A_{u_y}`` **not yet in
+  D** — otherwise the ``while |D| < z`` loop could never terminate.
+* If every candidate has been selected before ``z`` is reached (i.e.
+  ``z ≥ m``), the loop stops early; the caller receives all ``m``
+  candidates.
+
+Because each round of the double loop considers every ordered pair, a
+full round adds (up to) ``|G|·(|G|−1)`` items — one per pair — and every
+member ``u_x`` receives an item that is maximally relevant *to them*
+from some other member's list.  This is what makes Proposition 1 hold:
+as soon as ``z ≥ |G|``, at least one full pass over the pairs with
+``u_x`` in the first position has completed for every member, so every
+member has one of their top candidates in ``D`` and the fairness is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import InsufficientCandidatesError
+from .candidates import GroupCandidates
+from .fairness import FairnessReport, fairness_report
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """One item added by the greedy algorithm (for introspection)."""
+
+    item_id: str
+    #: The member whose relevance was maximised (``u_x`` in Algorithm 1).
+    target_user: str
+    #: The member whose candidate list supplied the item (``u_y``).
+    source_user: str
+    #: ``relevance(u_x, item)`` at selection time.
+    relevance: float
+
+
+@dataclass(frozen=True)
+class GroupRecommendation:
+    """The result of a fairness-aware selection algorithm."""
+
+    items: tuple[str, ...]
+    report: FairnessReport
+    algorithm: str
+    steps: tuple[SelectionStep, ...] = ()
+
+    @property
+    def fairness(self) -> float:
+        """``fairness(G, D)`` of the selected set."""
+        return self.report.fairness
+
+    @property
+    def value(self) -> float:
+        """``value(G, D)`` of the selected set."""
+        return self.report.value
+
+
+class FairnessAwareGreedy:
+    """Algorithm 1 — the paper's fairness-aware heuristic.
+
+    Parameters
+    ----------
+    restrict_to_top_k:
+        When true, each member's candidate list ``A_{u_y}`` is their
+        top-``k`` list (as in the paper, where ``A_u`` denotes the top-k
+        recommendations of ``u``); when false the full candidate ranking
+        is used.  The default follows the paper.
+    """
+
+    name = "greedy"
+
+    def __init__(self, restrict_to_top_k: bool = True) -> None:
+        self.restrict_to_top_k = restrict_to_top_k
+
+    def _candidate_list(
+        self, candidates: GroupCandidates, user_id: str
+    ) -> list[str]:
+        ranking = [item.item_id for item in candidates.user_ranking(user_id)]
+        if self.restrict_to_top_k:
+            return ranking[: candidates.top_k]
+        return ranking
+
+    def select(
+        self, candidates: GroupCandidates, z: int, strict: bool = False
+    ) -> GroupRecommendation:
+        """Select ``z`` items for the group.
+
+        Parameters
+        ----------
+        candidates:
+            The candidate bundle (relevance tables + group relevance).
+        z:
+            Number of recommendations to return.
+        strict:
+            When true, raise :class:`InsufficientCandidatesError` if the
+            pool cannot fill ``z`` items; when false return what exists.
+        """
+        if z <= 0:
+            raise ValueError("z must be positive")
+        members: Sequence[str] = candidates.group.member_ids
+        pool_size = candidates.num_candidates
+        if strict and z > pool_size:
+            raise InsufficientCandidatesError(z, pool_size)
+
+        candidate_lists = {
+            user_id: self._candidate_list(candidates, user_id) for user_id in members
+        }
+        selected: list[str] = []
+        selected_set: set[str] = set()
+        steps: list[SelectionStep] = []
+
+        if len(members) == 1:
+            # Degenerate case: Algorithm 1 iterates over ordered pairs of
+            # *distinct* members, so a single-member group would select
+            # nothing.  The sensible (and fairness-1) behaviour is to return
+            # the member's own best candidates.
+            only = members[0]
+            for item_id in candidate_lists[only]:
+                if len(selected) >= min(z, pool_size):
+                    break
+                selected.append(item_id)
+                selected_set.add(item_id)
+                steps.append(
+                    SelectionStep(
+                        item_id=item_id,
+                        target_user=only,
+                        source_user=only,
+                        relevance=candidates.user_relevance(only, item_id),
+                    )
+                )
+            report = fairness_report(candidates, selected)
+            return GroupRecommendation(
+                items=tuple(selected),
+                report=report,
+                algorithm=self.name,
+                steps=tuple(steps),
+            )
+        # Upper bound on the number of usable items: the union of the
+        # members' candidate lists (the paper's D can only contain items
+        # from some A_u).
+        usable = set()
+        for items in candidate_lists.values():
+            usable.update(items)
+        target = min(z, len(usable))
+
+        while len(selected) < target:
+            progressed = False
+            for user_x in members:
+                for user_y in members:
+                    if user_x == user_y:
+                        continue
+                    best_item = self._best_unselected(
+                        candidates, candidate_lists[user_y], user_x, selected_set
+                    )
+                    if best_item is None:
+                        continue
+                    selected.append(best_item)
+                    selected_set.add(best_item)
+                    steps.append(
+                        SelectionStep(
+                            item_id=best_item,
+                            target_user=user_x,
+                            source_user=user_y,
+                            relevance=candidates.user_relevance(user_x, best_item),
+                        )
+                    )
+                    progressed = True
+                    if len(selected) >= target:
+                        break
+                if len(selected) >= target:
+                    break
+            if not progressed:
+                # No pair could contribute a new item (all lists exhausted).
+                break
+
+        report = fairness_report(candidates, selected)
+        return GroupRecommendation(
+            items=tuple(selected),
+            report=report,
+            algorithm=self.name,
+            steps=tuple(steps),
+        )
+
+    @staticmethod
+    def _best_unselected(
+        candidates: GroupCandidates,
+        item_ids: Sequence[str],
+        target_user: str,
+        selected: set[str],
+    ) -> str | None:
+        """Item of ``item_ids`` not yet selected with max relevance for the user."""
+        best_item: str | None = None
+        best_score = float("-inf")
+        for item_id in item_ids:
+            if item_id in selected:
+                continue
+            score = candidates.user_relevance(target_user, item_id)
+            if score > best_score or (
+                score == best_score and (best_item is None or item_id < best_item)
+            ):
+                best_item = item_id
+                best_score = score
+        return best_item
+
+
+def greedy_selection(
+    candidates: GroupCandidates, z: int, restrict_to_top_k: bool = True
+) -> GroupRecommendation:
+    """Convenience wrapper: run Algorithm 1 once and return the result."""
+    return FairnessAwareGreedy(restrict_to_top_k=restrict_to_top_k).select(
+        candidates, z
+    )

@@ -1,0 +1,203 @@
+"""Sequential (multi-round) fairness-aware group recommendations.
+
+The paper's discussion section anticipates a system that keeps serving a
+caregiver over time; the authors' follow-up work studies exactly this
+*sequential* setting, where fairness should hold not only within one
+recommendation list but across a sequence of them (a patient who was
+ignored this week should be prioritised next week).
+
+:class:`SequentialGroupRecommender` implements that extension on top of
+the existing candidate model:
+
+* each round selects ``z`` items among the candidates not yet shown in
+  earlier rounds;
+* member *weights* track how well each member has been served so far
+  (satisfaction-aware priority): members with low cumulative
+  satisfaction get a boost in the next round's pair ordering;
+* the run records per-round fairness, value, and the cumulative
+  fairness ("is there at least one round that was fair to u") so the
+  caregiver can audit the whole sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .candidates import GroupCandidates
+from .fairness import FairnessReport, fairness_report
+from .greedy import FairnessAwareGreedy, GroupRecommendation
+
+
+@dataclass(frozen=True)
+class SequentialRound:
+    """The outcome of one round of the sequence."""
+
+    round_index: int
+    recommendation: GroupRecommendation
+    member_weights: dict[str, float]
+
+    @property
+    def items(self) -> tuple[str, ...]:
+        """Items recommended in this round."""
+        return self.recommendation.items
+
+    @property
+    def fairness(self) -> float:
+        """Within-round fairness of this round's selection."""
+        return self.recommendation.fairness
+
+
+@dataclass
+class SequentialRunReport:
+    """Aggregate view over a whole sequence of rounds."""
+
+    rounds: list[SequentialRound] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of executed rounds."""
+        return len(self.rounds)
+
+    def all_items(self) -> list[str]:
+        """Every item recommended over the sequence, in order."""
+        items: list[str] = []
+        for round_result in self.rounds:
+            items.extend(round_result.items)
+        return items
+
+    def mean_round_fairness(self) -> float:
+        """Average within-round fairness."""
+        if not self.rounds:
+            return 0.0
+        return sum(r.fairness for r in self.rounds) / len(self.rounds)
+
+    def cumulative_report(self, candidates: GroupCandidates) -> FairnessReport:
+        """Fairness of the *union* of all rounds (sequence-level fairness)."""
+        return fairness_report(candidates, self.all_items())
+
+
+class SequentialGroupRecommender:
+    """Run the fairness-aware selection over several rounds.
+
+    Parameters
+    ----------
+    base_selector:
+        The per-round selection algorithm (Algorithm 1 by default).
+    satisfaction_boost:
+        How strongly under-served members are prioritised in later
+        rounds.  0 disables the re-weighting (every round is independent
+        apart from the exclusion of already-shown items).
+    """
+
+    def __init__(
+        self,
+        base_selector: FairnessAwareGreedy | None = None,
+        satisfaction_boost: float = 1.0,
+    ) -> None:
+        if satisfaction_boost < 0:
+            raise ValueError("satisfaction_boost must be non-negative")
+        self.base_selector = base_selector or FairnessAwareGreedy()
+        self.satisfaction_boost = satisfaction_boost
+
+    # -- public API --------------------------------------------------------------
+
+    def run(
+        self,
+        candidates: GroupCandidates,
+        z: int,
+        num_rounds: int,
+    ) -> SequentialRunReport:
+        """Execute ``num_rounds`` rounds of ``z`` recommendations each.
+
+        Items already recommended in earlier rounds are removed from the
+        candidate pool of later rounds; the run stops early when the
+        pool is exhausted.
+        """
+        if z <= 0:
+            raise ValueError("z must be positive")
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        report = SequentialRunReport()
+        shown: set[str] = set()
+        weights = {member: 1.0 for member in candidates.group}
+
+        for round_index in range(num_rounds):
+            remaining = [
+                item_id
+                for item_id in candidates.group_relevance
+                if item_id not in shown
+            ]
+            if not remaining:
+                break
+            round_candidates = candidates.restrict_to(remaining)
+            ordered_members = self._member_order(weights)
+            recommendation = self._select_with_member_order(
+                round_candidates, z, ordered_members
+            )
+            shown.update(recommendation.items)
+            weights = self._updated_weights(
+                round_candidates, recommendation.items, weights
+            )
+            report.rounds.append(
+                SequentialRound(
+                    round_index=round_index,
+                    recommendation=recommendation,
+                    member_weights=dict(weights),
+                )
+            )
+        return report
+
+    # -- internals ------------------------------------------------------------------
+
+    def _member_order(self, weights: dict[str, float]) -> list[str]:
+        """Members sorted by descending priority (least served first)."""
+        return [
+            member
+            for member, _ in sorted(
+                weights.items(), key=lambda pair: (-pair[1], pair[0])
+            )
+        ]
+
+    def _select_with_member_order(
+        self,
+        candidates: GroupCandidates,
+        z: int,
+        ordered_members: Sequence[str],
+    ) -> GroupRecommendation:
+        """Run the base selector with the group re-ordered by priority.
+
+        Algorithm 1 serves members in the order they appear in the group,
+        so placing under-served members first means they receive their
+        best remaining items earliest in the round.
+        """
+        reordered = GroupCandidates(
+            group=type(candidates.group)(
+                member_ids=list(ordered_members),
+                caregiver_id=candidates.group.caregiver_id,
+                name=candidates.group.name,
+            ),
+            relevance=candidates.relevance,
+            group_relevance=candidates.group_relevance,
+            top_k=candidates.top_k,
+        )
+        return self.base_selector.select(reordered, z)
+
+    def _updated_weights(
+        self,
+        candidates: GroupCandidates,
+        selected: Sequence[str],
+        weights: dict[str, float],
+    ) -> dict[str, float]:
+        """Raise the priority of members the round served poorly."""
+        from ..eval.metrics import user_satisfaction
+
+        updated: dict[str, float] = {}
+        for member, weight in weights.items():
+            satisfaction = user_satisfaction(candidates, list(selected), member)
+            # Members with low satisfaction accumulate priority; a fully
+            # satisfied member decays back towards the neutral weight 1.
+            updated[member] = max(
+                0.0, weight + self.satisfaction_boost * (1.0 - satisfaction)
+            ) if satisfaction < 1.0 else 1.0
+        return updated

@@ -1,0 +1,89 @@
+"""Local-search refinement of the greedy selection (extension).
+
+The paper notes that "a number of lower-complexity heuristics have been
+proposed to locate subsets of elements" and picks the pair-based greedy
+construction of Algorithm 1.  A natural follow-up — and the basis of the
+quality ablation in ``benchmarks/bench_value_quality.py`` — is to refine
+the greedy result with hill-climbing swaps: repeatedly try to exchange a
+selected item for an unselected candidate whenever the exchange
+increases ``value(G, D)``, until no improving swap exists or an
+iteration budget is exhausted.
+
+The swap refinement can only improve the value of the greedy solution
+and stays polynomial (each pass is ``O(z · (m - z))`` evaluations), so
+it sits strictly between Algorithm 1 and the brute force in the
+cost/quality trade-off.
+"""
+
+from __future__ import annotations
+
+from .candidates import GroupCandidates
+from .fairness import fairness_report, value
+from .greedy import FairnessAwareGreedy, GroupRecommendation
+
+
+class SwapRefinementSelector:
+    """Greedy construction followed by best-improvement swaps.
+
+    Parameters
+    ----------
+    max_passes:
+        Maximum number of full improvement passes (each pass scans every
+        selected/unselected pair once).
+    restrict_to_top_k:
+        Forwarded to the underlying greedy constructor.
+    """
+
+    name = "greedy+swap"
+
+    def __init__(
+        self, max_passes: int = 10, restrict_to_top_k: bool = True
+    ) -> None:
+        if max_passes <= 0:
+            raise ValueError("max_passes must be positive")
+        self.max_passes = max_passes
+        self.greedy = FairnessAwareGreedy(restrict_to_top_k=restrict_to_top_k)
+
+    def select(self, candidates: GroupCandidates, z: int) -> GroupRecommendation:
+        """Run greedy construction, then improve it with swaps."""
+        initial = self.greedy.select(candidates, z)
+        selection = list(initial.items)
+        current_value = value(candidates, selection)
+        all_items = set(candidates.group_relevance)
+
+        for _ in range(self.max_passes):
+            improved = False
+            outside = sorted(all_items - set(selection))
+            for position, selected_item in enumerate(list(selection)):
+                best_replacement: str | None = None
+                best_value = current_value
+                for candidate_item in outside:
+                    trial = list(selection)
+                    trial[position] = candidate_item
+                    trial_value = value(candidates, trial)
+                    if trial_value > best_value:
+                        best_value = trial_value
+                        best_replacement = candidate_item
+                if best_replacement is not None:
+                    outside.remove(best_replacement)
+                    outside.append(selected_item)
+                    outside.sort()
+                    selection[position] = best_replacement
+                    current_value = best_value
+                    improved = True
+            if not improved:
+                break
+
+        report = fairness_report(candidates, selection)
+        return GroupRecommendation(
+            items=tuple(selection),
+            report=report,
+            algorithm=self.name,
+        )
+
+
+def swap_selection(
+    candidates: GroupCandidates, z: int, max_passes: int = 10
+) -> GroupRecommendation:
+    """Convenience wrapper: greedy + swap refinement."""
+    return SwapRefinementSelector(max_passes=max_passes).select(candidates, z)

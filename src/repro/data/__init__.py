@@ -1,0 +1,69 @@
+"""Data substrate: users, items, ratings, PHRs, groups and generators."""
+
+from .groups import Group, diverse_group, random_group, similar_group
+from .items import HealthDocument, ItemCatalog
+from .phr import (
+    Allergy,
+    HealthProblem,
+    Measurement,
+    Medication,
+    PersonalHealthRecord,
+    Procedure,
+)
+from .ratings import Rating, RatingMatrix
+from .users import User, UserRegistry
+from .datasets import (
+    DatasetConfig,
+    HealthDataset,
+    SyntheticHealthDataSource,
+    generate_dataset,
+    paper_example_users,
+)
+from .nutrition import (
+    NutritionConfig,
+    NutritionDataSource,
+    Recipe,
+    generate_nutrition_dataset,
+)
+from .serialization import (
+    load_dataset,
+    load_json,
+    load_ratings_csv,
+    save_dataset,
+    save_json,
+    save_ratings_csv,
+)
+
+__all__ = [
+    "Allergy",
+    "DatasetConfig",
+    "Group",
+    "HealthDataset",
+    "HealthDocument",
+    "HealthProblem",
+    "ItemCatalog",
+    "Measurement",
+    "Medication",
+    "NutritionConfig",
+    "NutritionDataSource",
+    "PersonalHealthRecord",
+    "Procedure",
+    "Rating",
+    "RatingMatrix",
+    "Recipe",
+    "SyntheticHealthDataSource",
+    "User",
+    "UserRegistry",
+    "diverse_group",
+    "generate_dataset",
+    "generate_nutrition_dataset",
+    "load_dataset",
+    "load_json",
+    "load_ratings_csv",
+    "paper_example_users",
+    "random_group",
+    "save_dataset",
+    "save_json",
+    "save_ratings_csv",
+    "similar_group",
+]

@@ -1,0 +1,395 @@
+"""Synthetic health dataset generation.
+
+The paper evaluates on private data from the iManageCancer project: an
+expert-curated corpus of health documents and the ratings that patients
+of the iPHR system gave them.  Neither is publicly available, so this
+module generates a *synthetic equivalent* that exercises exactly the
+same code paths:
+
+* an :class:`~repro.data.items.ItemCatalog` of health documents, each
+  labelled with topics drawn from a realistic health vocabulary and
+  linked to ontology concepts;
+* a :class:`~repro.data.users.UserRegistry` of patients with personal
+  health records whose problems are drawn from the SNOMED-like ontology;
+* a :class:`~repro.data.ratings.RatingMatrix` produced by a latent
+  topic-preference model: every user has a preference vector over
+  topics, the expected rating of a document is an affine function of
+  the preference for its topics, and Gaussian noise plus rounding to
+  the 1..5 scale is applied.
+
+Everything is deterministic for a fixed seed, so tests and benchmarks
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..ontology.ontology import HealthOntology
+from ..ontology.snomed import build_snomed_like_ontology
+from .groups import Group
+from .items import HealthDocument, ItemCatalog
+from .phr import HealthProblem, Medication, PersonalHealthRecord
+from .ratings import RatingMatrix
+from .users import User, UserRegistry
+
+#: Health content topics used to label synthetic documents.
+DEFAULT_TOPICS: tuple[str, ...] = (
+    "nutrition",
+    "exercise",
+    "chemotherapy",
+    "radiotherapy",
+    "pain management",
+    "mental health",
+    "sleep",
+    "medication safety",
+    "side effects",
+    "cardiology",
+    "diabetes",
+    "respiratory care",
+    "physiotherapy",
+    "palliative care",
+    "clinical trials",
+)
+
+#: Words used to build synthetic document bodies, grouped per topic.
+_TOPIC_VOCABULARY: dict[str, tuple[str, ...]] = {
+    "nutrition": ("diet", "protein", "vitamin", "meal", "fiber", "appetite"),
+    "exercise": ("walking", "strength", "aerobic", "stretching", "activity"),
+    "chemotherapy": ("cycle", "infusion", "dose", "cytotoxic", "regimen"),
+    "radiotherapy": ("radiation", "fraction", "beam", "skin", "fatigue"),
+    "pain management": ("analgesic", "opioid", "relief", "chronic", "dosage"),
+    "mental health": ("anxiety", "depression", "coping", "support", "therapy"),
+    "sleep": ("insomnia", "rest", "melatonin", "routine", "apnea"),
+    "medication safety": ("interaction", "adverse", "pharmacist", "label"),
+    "side effects": ("nausea", "fatigue", "hairloss", "neuropathy", "rash"),
+    "cardiology": ("blood", "pressure", "cholesterol", "heart", "statin"),
+    "diabetes": ("glucose", "insulin", "sugar", "carbohydrate", "monitor"),
+    "respiratory care": ("breathing", "inhaler", "oxygen", "cough", "airway"),
+    "physiotherapy": ("mobility", "rehabilitation", "posture", "balance"),
+    "palliative care": ("comfort", "hospice", "quality", "symptom", "family"),
+    "clinical trials": ("enrollment", "placebo", "protocol", "consent"),
+}
+
+#: Medication names used to populate synthetic PHRs.
+_MEDICATIONS: tuple[str, ...] = (
+    "Ramipril 10 MG Oral Capsule",
+    "Niacin 500 MG Extended Release Tablet",
+    "Metformin 850 MG Tablet",
+    "Atorvastatin 20 MG Tablet",
+    "Salbutamol 100 MCG Inhaler",
+    "Omeprazole 20 MG Capsule",
+    "Levothyroxine 50 MCG Tablet",
+    "Paracetamol 500 MG Tablet",
+    "Ibuprofen 400 MG Tablet",
+    "Amoxicillin 500 MG Capsule",
+)
+
+
+@dataclass
+class DatasetConfig:
+    """Parameters of the synthetic dataset generator.
+
+    Parameters
+    ----------
+    num_users:
+        Number of patients to generate.
+    num_items:
+        Number of health documents to generate.
+    ratings_per_user:
+        Average number of ratings each patient contributes.
+    num_topics_per_user:
+        Number of topics each patient is interested in.
+    num_problems_per_user:
+        Number of health problems recorded per patient PHR.
+    rating_noise:
+        Standard deviation of the Gaussian noise added to the expected
+        rating before clamping/rounding.
+    integer_ratings:
+        When true ratings are rounded to whole stars (the paper's 1..5
+        scale); otherwise they stay fractional inside the scale.
+    topics:
+        Topic vocabulary; defaults to :data:`DEFAULT_TOPICS`.
+    seed:
+        Seed of the deterministic random generator.
+    """
+
+    num_users: int = 100
+    num_items: int = 200
+    ratings_per_user: int = 25
+    num_topics_per_user: int = 3
+    num_problems_per_user: int = 2
+    rating_noise: float = 0.5
+    integer_ratings: bool = True
+    topics: Sequence[str] = DEFAULT_TOPICS
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if self.num_items <= 0:
+            raise ValueError("num_items must be positive")
+        if self.ratings_per_user <= 0:
+            raise ValueError("ratings_per_user must be positive")
+        if self.num_topics_per_user <= 0:
+            raise ValueError("num_topics_per_user must be positive")
+        if self.rating_noise < 0:
+            raise ValueError("rating_noise must be non-negative")
+        if not self.topics:
+            raise ValueError("topics must not be empty")
+
+
+@dataclass
+class HealthDataset:
+    """A bundle of everything the recommender pipeline consumes."""
+
+    users: UserRegistry
+    items: ItemCatalog
+    ratings: RatingMatrix
+    ontology: HealthOntology
+    config: DatasetConfig = field(default_factory=DatasetConfig)
+
+    @property
+    def num_users(self) -> int:
+        """Number of generated patients."""
+        return len(self.users)
+
+    @property
+    def num_items(self) -> int:
+        """Number of generated documents."""
+        return len(self.items)
+
+    @property
+    def num_ratings(self) -> int:
+        """Number of generated ratings."""
+        return self.ratings.num_ratings
+
+    def random_group(self, size: int, seed: int = 0) -> Group:
+        """Sample a caregiver group of ``size`` patients."""
+        from .groups import random_group as _random_group
+
+        return _random_group(self.users.ids(), size, seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the dataset (users, items, ratings, ontology)."""
+        return {
+            "users": self.users.to_dict(),
+            "items": self.items.to_dict(),
+            "ratings": self.ratings.to_dict(),
+            "ontology": self.ontology.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HealthDataset":
+        """Rebuild a dataset from :meth:`to_dict` output."""
+        return cls(
+            users=UserRegistry.from_dict(payload["users"]),
+            items=ItemCatalog.from_dict(payload["items"]),
+            ratings=RatingMatrix.from_dict(payload["ratings"]),
+            ontology=HealthOntology.from_dict(payload["ontology"]),
+        )
+
+
+class SyntheticHealthDataSource:
+    """Deterministic generator of :class:`HealthDataset` instances."""
+
+    def __init__(self, config: DatasetConfig | None = None) -> None:
+        self.config = config or DatasetConfig()
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self) -> HealthDataset:
+        """Generate users, items, ratings and the ontology."""
+        rng = random.Random(self.config.seed)
+        ontology = build_snomed_like_ontology()
+        items = self._generate_items(rng)
+        users, preferences = self._generate_users(rng, ontology)
+        ratings = self._generate_ratings(rng, users, items, preferences)
+        return HealthDataset(
+            users=users,
+            items=items,
+            ratings=ratings,
+            ontology=ontology,
+            config=self.config,
+        )
+
+    # -- items ---------------------------------------------------------------------
+
+    def _generate_items(self, rng: random.Random) -> ItemCatalog:
+        catalog = ItemCatalog()
+        topics = list(self.config.topics)
+        for index in range(self.config.num_items):
+            primary = topics[index % len(topics)]
+            secondary = rng.choice(topics)
+            item_topics = [primary] if primary == secondary else [primary, secondary]
+            vocabulary = list(_TOPIC_VOCABULARY.get(primary, (primary,)))
+            vocabulary += list(_TOPIC_VOCABULARY.get(secondary, ()))
+            words = [rng.choice(vocabulary) for _ in range(30)]
+            title = f"{primary.title()} guidance {index}"
+            catalog.add(
+                HealthDocument(
+                    item_id=f"d{index:04d}",
+                    title=title,
+                    text=" ".join(words),
+                    topics=item_topics,
+                    source=f"expert-{index % 7}",
+                    quality=round(rng.uniform(0.6, 1.0), 3),
+                )
+            )
+        return catalog
+
+    # -- users -------------------------------------------------------------------------
+
+    def _generate_users(
+        self, rng: random.Random, ontology: HealthOntology
+    ) -> tuple[UserRegistry, dict[str, dict[str, float]]]:
+        registry = UserRegistry()
+        preferences: dict[str, dict[str, float]] = {}
+        topics = list(self.config.topics)
+        leaves = ontology.leaves()
+        for index in range(self.config.num_users):
+            user_id = f"u{index:04d}"
+            liked = rng.sample(topics, min(self.config.num_topics_per_user, len(topics)))
+            preference = {topic: 0.15 for topic in topics}
+            for topic in liked:
+                preference[topic] = rng.uniform(0.7, 1.0)
+            preferences[user_id] = preference
+
+            record = PersonalHealthRecord()
+            problem_count = min(self.config.num_problems_per_user, len(leaves))
+            for concept_id in rng.sample(leaves, problem_count):
+                concept = ontology.get(concept_id)
+                record.add_problem(
+                    HealthProblem(name=concept.name, concept_id=concept_id)
+                )
+            record.add_medication(Medication(name=rng.choice(_MEDICATIONS)))
+
+            registry.add(
+                User(
+                    user_id=user_id,
+                    name=f"Patient {index}",
+                    age=rng.randint(18, 90),
+                    gender=rng.choice(["Female", "Male"]),
+                    record=record,
+                )
+            )
+        return registry, preferences
+
+    # -- ratings -------------------------------------------------------------------------
+
+    def _generate_ratings(
+        self,
+        rng: random.Random,
+        users: UserRegistry,
+        items: ItemCatalog,
+        preferences: Mapping[str, Mapping[str, float]],
+    ) -> RatingMatrix:
+        matrix = RatingMatrix(scale=(1.0, 5.0))
+        item_ids = items.ids()
+        for user in users:
+            count = min(self.config.ratings_per_user, len(item_ids))
+            rated_items = rng.sample(item_ids, count)
+            for item_id in rated_items:
+                value = self._expected_rating(
+                    rng, preferences[user.user_id], items.get(item_id)
+                )
+                matrix.add(user.user_id, item_id, value)
+        return matrix
+
+    def _expected_rating(
+        self,
+        rng: random.Random,
+        preference: Mapping[str, float],
+        item: HealthDocument,
+    ) -> float:
+        if item.topics:
+            affinity = sum(preference.get(topic, 0.15) for topic in item.topics)
+            affinity /= len(item.topics)
+        else:
+            affinity = 0.5
+        expected = 1.0 + 4.0 * affinity
+        noisy = expected + rng.gauss(0.0, self.config.rating_noise)
+        clamped = min(5.0, max(1.0, noisy))
+        if self.config.integer_ratings:
+            return float(round(clamped))
+        return round(clamped, 3)
+
+
+def generate_dataset(
+    num_users: int = 100,
+    num_items: int = 200,
+    ratings_per_user: int = 25,
+    seed: int = 7,
+    **overrides: Any,
+) -> HealthDataset:
+    """Convenience wrapper around :class:`SyntheticHealthDataSource`."""
+    config = DatasetConfig(
+        num_users=num_users,
+        num_items=num_items,
+        ratings_per_user=ratings_per_user,
+        seed=seed,
+        **overrides,
+    )
+    return SyntheticHealthDataSource(config).generate()
+
+
+def paper_example_users(ontology: HealthOntology | None = None) -> UserRegistry:
+    """The three example patients of Table I.
+
+    Patient 1: acute bronchitis, Ramipril, female, 40.
+    Patient 2: chest pains, Niacin, male, 53.
+    Patient 3: tracheobronchitis + broken arm, Ramipril, male, 34.
+    """
+    from ..ontology.snomed import (
+        ACUTE_BRONCHITIS,
+        BROKEN_ARM,
+        CHEST_PAIN,
+        TRACHEOBRONCHITIS,
+    )
+
+    registry = UserRegistry()
+    patient1 = User(
+        user_id="patient-1",
+        name="Patient 1",
+        age=40,
+        gender="Female",
+        record=PersonalHealthRecord(
+            problems=[
+                HealthProblem(name="Acute bronchitis", concept_id=ACUTE_BRONCHITIS)
+            ],
+            medications=[Medication(name="Ramipril 10 MG Oral Capsule")],
+        ),
+    )
+    patient2 = User(
+        user_id="patient-2",
+        name="Patient 2",
+        age=53,
+        gender="Male",
+        record=PersonalHealthRecord(
+            problems=[HealthProblem(name="Chest pains", concept_id=CHEST_PAIN)],
+            medications=[
+                Medication(name="Niacin 500 MG Extended Release Tablet")
+            ],
+        ),
+    )
+    patient3 = User(
+        user_id="patient-3",
+        name="Patient 3",
+        age=34,
+        gender="Male",
+        record=PersonalHealthRecord(
+            problems=[
+                HealthProblem(
+                    name="Tracheobronchitis", concept_id=TRACHEOBRONCHITIS
+                ),
+                HealthProblem(name="Broken arm", concept_id=BROKEN_ARM),
+            ],
+            medications=[Medication(name="Ramipril 10 MG Oral Capsule")],
+        ),
+    )
+    registry.add(patient1)
+    registry.add(patient2)
+    registry.add(patient3)
+    return registry

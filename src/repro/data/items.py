@@ -1,0 +1,159 @@
+"""Health document items and catalog.
+
+The items recommended by the paper's system are expert-curated health
+documents that patients rate through the iPHR search interface.  An item
+here carries an identifier, a title, body text, a topic label, and
+optional quality / provenance metadata (mirroring the paper's concern for
+expert-controlled quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..exceptions import UnknownItemError
+
+
+@dataclass
+class HealthDocument:
+    """A recommendable item (an online health document).
+
+    Parameters
+    ----------
+    item_id:
+        Stable unique identifier (e.g. ``"d0031"``).
+    title:
+        Document title.
+    text:
+        Body text; used by content-oriented extensions and examples.
+    topics:
+        Topic labels (e.g. ``["nutrition", "chemotherapy"]``) used by the
+        synthetic rating generator to give users coherent tastes.
+    source:
+        Provenance of the document (site or expert who curated it).
+    quality:
+        Expert quality score in ``[0, 1]``; purely descriptive metadata.
+    concept_ids:
+        Health ontology concepts the document is about, enabling
+        semantic-aware workloads.
+    """
+
+    item_id: str
+    title: str = ""
+    text: str = ""
+    topics: list[str] = field(default_factory=list)
+    source: str = ""
+    quality: float = 1.0
+    concept_ids: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise ValueError("item_id must be a non-empty string")
+        if not 0.0 <= self.quality <= 1.0:
+            raise ValueError(f"quality must be in [0, 1], got {self.quality}")
+
+    def full_text(self) -> str:
+        """Title plus body, used by TF-IDF based content extensions."""
+        return f"{self.title} {self.text}".strip()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the document to plain JSON-friendly types."""
+        return {
+            "item_id": self.item_id,
+            "title": self.title,
+            "text": self.text,
+            "topics": list(self.topics),
+            "source": self.source,
+            "quality": self.quality,
+            "concept_ids": list(self.concept_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HealthDocument":
+        """Rebuild a document from :meth:`to_dict` output."""
+        return cls(
+            item_id=payload["item_id"],
+            title=payload.get("title", ""),
+            text=payload.get("text", ""),
+            topics=list(payload.get("topics", [])),
+            source=payload.get("source", ""),
+            quality=payload.get("quality", 1.0),
+            concept_ids=list(payload.get("concept_ids", [])),
+        )
+
+
+class ItemCatalog:
+    """Ordered collection of :class:`HealthDocument` objects."""
+
+    def __init__(self, items: Iterable[HealthDocument] = ()) -> None:
+        self._items: dict[str, HealthDocument] = {}
+        for item in items:
+            self.add(item)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, item: HealthDocument) -> None:
+        """Register ``item``; replaces any existing item with the same id."""
+        self._items[item.item_id] = item
+
+    def remove(self, item_id: str) -> None:
+        """Remove an item; raise :class:`UnknownItemError` when absent."""
+        try:
+            del self._items[item_id]
+        except KeyError:
+            raise UnknownItemError(item_id) from None
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, item_id: str) -> HealthDocument:
+        """Return the item with ``item_id`` or raise UnknownItemError."""
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise UnknownItemError(item_id) from None
+
+    def __getitem__(self, item_id: str) -> HealthDocument:
+        return self.get(item_id)
+
+    def __contains__(self, item_id: object) -> bool:
+        return item_id in self._items
+
+    def __iter__(self) -> Iterator[HealthDocument]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def ids(self) -> list[str]:
+        """All item ids in insertion order."""
+        return list(self._items.keys())
+
+    def items(self) -> list[HealthDocument]:
+        """All documents in insertion order."""
+        return list(self._items.values())
+
+    def by_topic(self, topic: str) -> list[HealthDocument]:
+        """All documents labelled with ``topic``."""
+        return [item for item in self if topic in item.topics]
+
+    def topics(self) -> list[str]:
+        """Sorted list of all distinct topic labels in the catalog."""
+        labels = {topic for item in self for topic in item.topics}
+        return sorted(labels)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the catalog to plain types."""
+        return {"items": [item.to_dict() for item in self]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ItemCatalog":
+        """Rebuild a catalog from :meth:`to_dict` output."""
+        return cls(
+            HealthDocument.from_dict(entry) for entry in payload.get("items", [])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ItemCatalog({len(self)} items)"

@@ -1,0 +1,269 @@
+"""Nutrition workload generator.
+
+The published demonstrator behind the paper was evaluated with
+food/nutrition content (patients rating recipes and dietary guidance).
+That data is not public, so this module synthesises a nutrition-flavoured
+workload with the same structure: *recipes* with nutrient profiles and
+dietary tags, and patients whose ratings follow their dietary needs
+(e.g. a diabetic patient prefers low-sugar recipes, a hypertensive
+patient prefers low-sodium ones).
+
+The output plugs into the exact same :class:`~repro.data.ratings.RatingMatrix`
+/ :class:`~repro.data.items.ItemCatalog` interfaces as the generic health
+dataset, so the recommender code path is identical; only the workload
+semantics change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..ontology.snomed import build_snomed_like_ontology
+from .datasets import DatasetConfig, HealthDataset
+from .items import HealthDocument, ItemCatalog
+from .phr import HealthProblem, PersonalHealthRecord
+from .ratings import RatingMatrix
+from .users import User, UserRegistry
+
+#: Dietary conditions with the nutrient each one is sensitive to.
+#: ``(condition name, ontology concept id, nutrient, preferred_low)``
+DIETARY_CONDITIONS: tuple[tuple[str, str, str, bool], ...] = (
+    ("Diabetes mellitus type 2", "SCT-ENDO-0004", "sugar", True),
+    ("Hypertensive disorder", "SCT-CARD-0003", "sodium", True),
+    ("Obesity", "SCT-ENDO-0008", "calories", True),
+    ("Malignant neoplastic disease", "SCT-NEOP-0002", "protein", False),
+    ("Osteoporosis", "SCT-MUSC-0030", "calcium", False),
+    ("Heart failure", "SCT-CARD-0009", "saturated_fat", True),
+)
+
+#: Recipe categories used to label the generated items.
+RECIPE_CATEGORIES: tuple[str, ...] = (
+    "breakfast",
+    "soup",
+    "salad",
+    "main course",
+    "dessert",
+    "smoothie",
+    "snack",
+)
+
+#: Base ingredient words per category used to synthesise recipe text.
+_CATEGORY_INGREDIENTS: dict[str, tuple[str, ...]] = {
+    "breakfast": ("oats", "yogurt", "banana", "eggs", "wholegrain", "berries"),
+    "soup": ("lentil", "tomato", "carrot", "broth", "celery", "onion"),
+    "salad": ("spinach", "quinoa", "avocado", "cucumber", "feta", "olive"),
+    "main course": ("salmon", "chicken", "brown rice", "broccoli", "tofu"),
+    "dessert": ("dark chocolate", "honey", "almond", "apple", "cinnamon"),
+    "smoothie": ("kale", "mango", "protein powder", "chia", "soy milk"),
+    "snack": ("walnut", "hummus", "carrot sticks", "rice cakes", "cheese"),
+}
+
+#: Nutrients tracked per recipe.
+NUTRIENTS: tuple[str, ...] = (
+    "calories",
+    "sugar",
+    "sodium",
+    "protein",
+    "calcium",
+    "saturated_fat",
+    "fiber",
+)
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A nutrition item before conversion to :class:`HealthDocument`.
+
+    Nutrient amounts are normalised to ``[0, 1]`` where 1 means "high in
+    this nutrient relative to the catalog".
+    """
+
+    item_id: str
+    name: str
+    category: str
+    nutrients: Mapping[str, float]
+
+    def to_document(self) -> HealthDocument:
+        """Convert the recipe into a recommendable health document."""
+        nutrient_tags = [
+            f"{'high' if amount >= 0.5 else 'low'} {nutrient}"
+            for nutrient, amount in sorted(self.nutrients.items())
+        ]
+        ingredients = _CATEGORY_INGREDIENTS.get(self.category, ())
+        text = " ".join(list(ingredients) + nutrient_tags)
+        return HealthDocument(
+            item_id=self.item_id,
+            title=self.name,
+            text=text,
+            topics=["nutrition", self.category],
+            source="nutrition-db",
+            quality=1.0,
+        )
+
+
+@dataclass
+class NutritionConfig:
+    """Parameters of the nutrition workload generator."""
+
+    num_users: int = 80
+    num_recipes: int = 150
+    ratings_per_user: int = 20
+    rating_noise: float = 0.4
+    integer_ratings: bool = True
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if self.num_recipes <= 0:
+            raise ValueError("num_recipes must be positive")
+        if self.ratings_per_user <= 0:
+            raise ValueError("ratings_per_user must be positive")
+        if self.rating_noise < 0:
+            raise ValueError("rating_noise must be non-negative")
+
+
+class NutritionDataSource:
+    """Deterministic generator of nutrition-flavoured datasets."""
+
+    def __init__(self, config: NutritionConfig | None = None) -> None:
+        self.config = config or NutritionConfig()
+
+    def generate(self) -> HealthDataset:
+        """Generate recipes, patients with dietary conditions, and ratings."""
+        rng = random.Random(self.config.seed)
+        ontology = build_snomed_like_ontology()
+        recipes = self.generate_recipes(rng)
+        catalog = ItemCatalog(recipe.to_document() for recipe in recipes)
+        users, conditions = self._generate_users(rng)
+        ratings = self._generate_ratings(rng, users, recipes, conditions)
+        dataset_config = DatasetConfig(
+            num_users=self.config.num_users,
+            num_items=self.config.num_recipes,
+            ratings_per_user=self.config.ratings_per_user,
+            rating_noise=self.config.rating_noise,
+            integer_ratings=self.config.integer_ratings,
+            seed=self.config.seed,
+        )
+        return HealthDataset(
+            users=users,
+            items=catalog,
+            ratings=ratings,
+            ontology=ontology,
+            config=dataset_config,
+        )
+
+    # -- recipes ---------------------------------------------------------------
+
+    def generate_recipes(self, rng: random.Random | None = None) -> list[Recipe]:
+        """Generate the synthetic recipe catalog."""
+        rng = rng or random.Random(self.config.seed)
+        recipes: list[Recipe] = []
+        for index in range(self.config.num_recipes):
+            category = RECIPE_CATEGORIES[index % len(RECIPE_CATEGORIES)]
+            nutrients = {
+                nutrient: round(rng.random(), 3) for nutrient in NUTRIENTS
+            }
+            recipes.append(
+                Recipe(
+                    item_id=f"r{index:04d}",
+                    name=f"{category.title()} recipe {index}",
+                    category=category,
+                    nutrients=nutrients,
+                )
+            )
+        return recipes
+
+    # -- users ---------------------------------------------------------------------
+
+    def _generate_users(
+        self, rng: random.Random
+    ) -> tuple[UserRegistry, dict[str, list[tuple[str, bool]]]]:
+        registry = UserRegistry()
+        conditions: dict[str, list[tuple[str, bool]]] = {}
+        for index in range(self.config.num_users):
+            user_id = f"n{index:04d}"
+            count = rng.choice([1, 1, 2])
+            assigned = rng.sample(list(DIETARY_CONDITIONS), count)
+            record = PersonalHealthRecord()
+            sensitivities: list[tuple[str, bool]] = []
+            for name, concept_id, nutrient, preferred_low in assigned:
+                record.add_problem(HealthProblem(name=name, concept_id=concept_id))
+                sensitivities.append((nutrient, preferred_low))
+            conditions[user_id] = sensitivities
+            registry.add(
+                User(
+                    user_id=user_id,
+                    name=f"Nutrition patient {index}",
+                    age=rng.randint(25, 85),
+                    gender=rng.choice(["Female", "Male"]),
+                    record=record,
+                )
+            )
+        return registry, conditions
+
+    # -- ratings -------------------------------------------------------------------------
+
+    def _generate_ratings(
+        self,
+        rng: random.Random,
+        users: UserRegistry,
+        recipes: Sequence[Recipe],
+        conditions: Mapping[str, Sequence[tuple[str, bool]]],
+    ) -> RatingMatrix:
+        matrix = RatingMatrix(scale=(1.0, 5.0))
+        recipe_list = list(recipes)
+        for user in users:
+            count = min(self.config.ratings_per_user, len(recipe_list))
+            sampled = rng.sample(recipe_list, count)
+            for recipe in sampled:
+                value = self._recipe_rating(
+                    rng, recipe, conditions.get(user.user_id, ())
+                )
+                matrix.add(user.user_id, recipe.item_id, value)
+        return matrix
+
+    def _recipe_rating(
+        self,
+        rng: random.Random,
+        recipe: Recipe,
+        sensitivities: Sequence[tuple[str, bool]],
+    ) -> float:
+        """Expected rating given the patient's dietary sensitivities.
+
+        A recipe scores high when its sensitive nutrients go in the
+        preferred direction (low for restricted nutrients, high for
+        recommended ones); without conditions the patient is neutral.
+        """
+        if sensitivities:
+            satisfaction = 0.0
+            for nutrient, preferred_low in sensitivities:
+                amount = recipe.nutrients.get(nutrient, 0.5)
+                satisfaction += (1.0 - amount) if preferred_low else amount
+            satisfaction /= len(sensitivities)
+        else:
+            satisfaction = 0.5
+        expected = 1.0 + 4.0 * satisfaction
+        noisy = expected + rng.gauss(0.0, self.config.rating_noise)
+        clamped = min(5.0, max(1.0, noisy))
+        if self.config.integer_ratings:
+            return float(round(clamped))
+        return round(clamped, 3)
+
+
+def generate_nutrition_dataset(
+    num_users: int = 80,
+    num_recipes: int = 150,
+    ratings_per_user: int = 20,
+    seed: int = 11,
+) -> HealthDataset:
+    """Convenience wrapper around :class:`NutritionDataSource`."""
+    config = NutritionConfig(
+        num_users=num_users,
+        num_recipes=num_recipes,
+        ratings_per_user=ratings_per_user,
+        seed=seed,
+    )
+    return NutritionDataSource(config).generate()

@@ -1,0 +1,274 @@
+"""Personal Health Record (PHR) substrate.
+
+The paper's recommender reads patient profiles from the iPHR system,
+which stores "problems, medication, allergies, procedures, laboratory
+results etc." (Section II).  That system is proprietary, so this module
+provides an equivalent in-memory record with the fields the similarity
+functions actually consume:
+
+* **problems** carry a SNOMED-like concept id → used by the semantic
+  similarity (Section V.C);
+* every field contributes text to the flattened profile document → used
+  by the TF-IDF profile similarity (Section V.B);
+* demographics (age, gender) mirror Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class HealthProblem:
+    """A diagnosed condition, optionally linked to an ontology concept.
+
+    Parameters
+    ----------
+    name:
+        Human readable problem name, e.g. ``"Acute bronchitis"``.
+    concept_id:
+        Identifier of the matching concept in the health ontology
+        (:mod:`repro.ontology`).  Empty when the problem is free-text.
+    onset_year:
+        Optional year of onset; purely descriptive.
+    active:
+        Whether the patient still suffers from the problem.
+    """
+
+    name: str
+    concept_id: str = ""
+    onset_year: int | None = None
+    active: bool = True
+
+    def as_text(self) -> str:
+        """Textual form used when flattening the profile into a document."""
+        return self.name
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "concept_id": self.concept_id,
+            "onset_year": self.onset_year,
+            "active": self.active,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HealthProblem":
+        return cls(
+            name=payload["name"],
+            concept_id=payload.get("concept_id", ""),
+            onset_year=payload.get("onset_year"),
+            active=payload.get("active", True),
+        )
+
+
+@dataclass(frozen=True)
+class Medication:
+    """A prescribed medication (e.g. ``"Ramipril 10 MG Oral Capsule"``)."""
+
+    name: str
+    dosage: str = ""
+    frequency: str = ""
+
+    def as_text(self) -> str:
+        parts = [self.name]
+        if self.dosage:
+            parts.append(self.dosage)
+        if self.frequency:
+            parts.append(self.frequency)
+        return " ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "dosage": self.dosage, "frequency": self.frequency}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Medication":
+        return cls(
+            name=payload["name"],
+            dosage=payload.get("dosage", ""),
+            frequency=payload.get("frequency", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A medical procedure the patient underwent."""
+
+    name: str
+    year: int | None = None
+
+    def as_text(self) -> str:
+        return self.name
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "year": self.year}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Procedure":
+        return cls(name=payload["name"], year=payload.get("year"))
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A laboratory result or other quantitative measurement."""
+
+    name: str
+    value: float
+    unit: str = ""
+
+    def as_text(self) -> str:
+        return f"{self.name} {self.value} {self.unit}".strip()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "value": self.value, "unit": self.unit}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Measurement":
+        return cls(
+            name=payload["name"],
+            value=payload["value"],
+            unit=payload.get("unit", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Allergy:
+    """A recorded allergy (substance plus optional reaction)."""
+
+    substance: str
+    reaction: str = ""
+
+    def as_text(self) -> str:
+        return f"{self.substance} {self.reaction}".strip()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"substance": self.substance, "reaction": self.reaction}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Allergy":
+        return cls(
+            substance=payload["substance"],
+            reaction=payload.get("reaction", ""),
+        )
+
+
+@dataclass
+class PersonalHealthRecord:
+    """The structured health profile of a patient.
+
+    Mirrors the iPHR fields that the paper's similarity functions read.
+    All collections are plain lists; the record is a value object owned
+    by a :class:`repro.data.users.User`.
+    """
+
+    problems: list[HealthProblem] = field(default_factory=list)
+    medications: list[Medication] = field(default_factory=list)
+    procedures: list[Procedure] = field(default_factory=list)
+    measurements: list[Measurement] = field(default_factory=list)
+    allergies: list[Allergy] = field(default_factory=list)
+    notes: str = ""
+
+    # -- mutation helpers --------------------------------------------------
+
+    def add_problem(self, problem: HealthProblem) -> None:
+        """Append a health problem to the record."""
+        self.problems.append(problem)
+
+    def add_medication(self, medication: Medication) -> None:
+        """Append a medication to the record."""
+        self.medications.append(medication)
+
+    def add_procedure(self, procedure: Procedure) -> None:
+        """Append a procedure to the record."""
+        self.procedures.append(procedure)
+
+    def add_measurement(self, measurement: Measurement) -> None:
+        """Append a measurement to the record."""
+        self.measurements.append(measurement)
+
+    def add_allergy(self, allergy: Allergy) -> None:
+        """Append an allergy to the record."""
+        self.allergies.append(allergy)
+
+    # -- views ---------------------------------------------------------------
+
+    def active_problems(self) -> list[HealthProblem]:
+        """Problems the patient still suffers from."""
+        return [p for p in self.problems if p.active]
+
+    def problem_concept_ids(self) -> list[str]:
+        """Ontology concept ids of all problems that carry one."""
+        return [p.concept_id for p in self.problems if p.concept_id]
+
+    def as_text(self) -> str:
+        """Flatten the record into one document (Section V.B).
+
+        The order is deterministic: problems, medications, procedures,
+        measurements, allergies, then free-text notes.
+        """
+        parts: list[str] = []
+        parts.extend(p.as_text() for p in self.problems)
+        parts.extend(m.as_text() for m in self.medications)
+        parts.extend(p.as_text() for p in self.procedures)
+        parts.extend(m.as_text() for m in self.measurements)
+        parts.extend(a.as_text() for a in self.allergies)
+        if self.notes:
+            parts.append(self.notes)
+        return " ".join(parts)
+
+    def is_empty(self) -> bool:
+        """Whether the record carries no information at all."""
+        return not (
+            self.problems
+            or self.medications
+            or self.procedures
+            or self.measurements
+            or self.allergies
+            or self.notes
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the record to plain JSON-friendly types."""
+        return {
+            "problems": [p.to_dict() for p in self.problems],
+            "medications": [m.to_dict() for m in self.medications],
+            "procedures": [p.to_dict() for p in self.procedures],
+            "measurements": [m.to_dict() for m in self.measurements],
+            "allergies": [a.to_dict() for a in self.allergies],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PersonalHealthRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            problems=[
+                HealthProblem.from_dict(p) for p in payload.get("problems", [])
+            ],
+            medications=[
+                Medication.from_dict(m) for m in payload.get("medications", [])
+            ],
+            procedures=[
+                Procedure.from_dict(p) for p in payload.get("procedures", [])
+            ],
+            measurements=[
+                Measurement.from_dict(m) for m in payload.get("measurements", [])
+            ],
+            allergies=[Allergy.from_dict(a) for a in payload.get("allergies", [])],
+            notes=payload.get("notes", ""),
+        )
+
+    @classmethod
+    def from_problems(
+        cls, problems: Iterable[tuple[str, str]]
+    ) -> "PersonalHealthRecord":
+        """Build a record from ``(problem_name, concept_id)`` pairs."""
+        return cls(
+            problems=[
+                HealthProblem(name=name, concept_id=concept_id)
+                for name, concept_id in problems
+            ]
+        )

@@ -1,0 +1,231 @@
+"""Sparse user-item rating matrix.
+
+This is the central data structure of the collaborative-filtering model
+in Section III.A of the paper:
+
+* ``rating(u, i)`` — the score (1..5) a user gave to an item;
+* ``U(i)`` — the set of users that rated item ``i``;
+* ``I(u)`` — the set of items rated by user ``u``;
+* ``μ_u`` — the mean of the ratings of ``u`` (used by Pearson, Eq. 2).
+
+The matrix is stored as a dict-of-dicts keyed by user id and item id,
+with an inverted index by item for fast ``U(i)`` queries.  Everything is
+kept in insertion order so that iteration (and hence the MapReduce input
+triples) is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..exceptions import InvalidRatingError, UnknownItemError, UnknownUserError
+
+
+@dataclass(frozen=True)
+class Rating:
+    """A single rating triple ``(user_id, item_id, value)``."""
+
+    user_id: str
+    item_id: str
+    value: float
+
+    def as_triple(self) -> tuple[str, str, float]:
+        """Return the ``(user, item, value)`` tuple used by MapReduce."""
+        return (self.user_id, self.item_id, self.value)
+
+
+class RatingMatrix:
+    """Sparse rating matrix with the access paths the paper needs.
+
+    Parameters
+    ----------
+    scale:
+        Inclusive ``(low, high)`` bounds of a valid rating.  Ratings
+        outside the scale raise :class:`InvalidRatingError`.
+    """
+
+    def __init__(
+        self,
+        ratings: Iterable[Rating | tuple[str, str, float]] = (),
+        scale: tuple[float, float] = (1.0, 5.0),
+    ) -> None:
+        low, high = scale
+        if low >= high:
+            raise ValueError(f"invalid rating scale ({low}, {high})")
+        self._scale = (float(low), float(high))
+        self._by_user: dict[str, dict[str, float]] = {}
+        self._by_item: dict[str, dict[str, float]] = {}
+        for rating in ratings:
+            if isinstance(rating, Rating):
+                self.add(rating.user_id, rating.item_id, rating.value)
+            else:
+                user_id, item_id, value = rating
+                self.add(user_id, item_id, value)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def scale(self) -> tuple[float, float]:
+        """Inclusive rating bounds ``(low, high)``."""
+        return self._scale
+
+    @property
+    def num_users(self) -> int:
+        """Number of distinct users with at least one rating."""
+        return len(self._by_user)
+
+    @property
+    def num_items(self) -> int:
+        """Number of distinct items with at least one rating."""
+        return len(self._by_item)
+
+    @property
+    def num_ratings(self) -> int:
+        """Total number of stored ratings."""
+        return sum(len(items) for items in self._by_user.values())
+
+    def density(self) -> float:
+        """Fraction of the user × item grid that is filled (0 when empty)."""
+        cells = self.num_users * self.num_items
+        if cells == 0:
+            return 0.0
+        return self.num_ratings / cells
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, user_id: str, item_id: str, value: float) -> None:
+        """Store ``rating(user, item) = value``; overwrites earlier ratings."""
+        low, high = self._scale
+        if not low <= value <= high:
+            raise InvalidRatingError(value, low, high)
+        self._by_user.setdefault(user_id, {})[item_id] = float(value)
+        self._by_item.setdefault(item_id, {})[user_id] = float(value)
+
+    def remove(self, user_id: str, item_id: str) -> None:
+        """Delete a rating; raise when the user, item or rating is missing."""
+        if user_id not in self._by_user:
+            raise UnknownUserError(user_id)
+        if item_id not in self._by_user[user_id]:
+            raise UnknownItemError(item_id)
+        del self._by_user[user_id][item_id]
+        del self._by_item[item_id][user_id]
+        if not self._by_user[user_id]:
+            del self._by_user[user_id]
+        if not self._by_item[item_id]:
+            del self._by_item[item_id]
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, user_id: str, item_id: str) -> float | None:
+        """Return ``rating(user, item)`` or ``None`` when unrated."""
+        return self._by_user.get(user_id, {}).get(item_id)
+
+    def has_rating(self, user_id: str, item_id: str) -> bool:
+        """Whether the user has rated the item."""
+        return item_id in self._by_user.get(user_id, {})
+
+    def items_of(self, user_id: str) -> dict[str, float]:
+        """``I(u)`` with the scores: mapping item id → rating for ``user_id``."""
+        return dict(self._by_user.get(user_id, {}))
+
+    def users_of(self, item_id: str) -> dict[str, float]:
+        """``U(i)`` with the scores: mapping user id → rating for ``item_id``."""
+        return dict(self._by_item.get(item_id, {}))
+
+    def item_ids_of(self, user_id: str) -> set[str]:
+        """``I(u)`` — the set of item ids rated by ``user_id``."""
+        return set(self._by_user.get(user_id, {}))
+
+    def user_ids_of(self, item_id: str) -> set[str]:
+        """``U(i)`` — the set of user ids that rated ``item_id``."""
+        return set(self._by_item.get(item_id, {}))
+
+    def user_ids(self) -> list[str]:
+        """All user ids with at least one rating, in insertion order."""
+        return list(self._by_user.keys())
+
+    def item_ids(self) -> list[str]:
+        """All item ids with at least one rating, in insertion order."""
+        return list(self._by_item.keys())
+
+    def mean_rating(self, user_id: str) -> float:
+        """``μ_u`` — the mean of the ratings of ``user_id``.
+
+        Raises :class:`UnknownUserError` when the user has no ratings,
+        because the Pearson correlation (Eq. 2) is undefined then.
+        """
+        ratings = self._by_user.get(user_id)
+        if not ratings:
+            raise UnknownUserError(user_id)
+        return sum(ratings.values()) / len(ratings)
+
+    def co_rated_items(self, user_a: str, user_b: str) -> set[str]:
+        """``I(u) ∩ I(u')`` — the items rated by both users."""
+        return self.item_ids_of(user_a) & self.item_ids_of(user_b)
+
+    def unrated_items(self, user_id: str, candidate_items: Iterable[str]) -> list[str]:
+        """Subset of ``candidate_items`` the user has not rated (order kept)."""
+        rated = self._by_user.get(user_id, {})
+        return [item_id for item_id in candidate_items if item_id not in rated]
+
+    def items_unrated_by_all(self, user_ids: Iterable[str]) -> list[str]:
+        """Items in the matrix that *no* user in ``user_ids`` has rated.
+
+        This is the candidate set of Definition 2 (``∀u ∈ G,
+        ∄rating(u, i)``) and of MapReduce Job 1.
+        """
+        group = list(user_ids)
+        result = []
+        for item_id in self._by_item:
+            if not any(self.has_rating(user_id, item_id) for user_id in group):
+                result.append(item_id)
+        return result
+
+    # -- iteration -----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Rating]:
+        for user_id, items in self._by_user.items():
+            for item_id, value in items.items():
+                yield Rating(user_id, item_id, value)
+
+    def triples(self) -> list[tuple[str, str, float]]:
+        """All ratings as ``(user, item, value)`` triples (MapReduce input)."""
+        return [rating.as_triple() for rating in self]
+
+    def __len__(self) -> int:
+        return self.num_ratings
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, tuple) or len(key) != 2:
+            return False
+        user_id, item_id = key
+        return self.has_rating(user_id, item_id)
+
+    # -- serialization ----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the matrix to plain JSON-friendly types."""
+        return {
+            "scale": list(self._scale),
+            "ratings": [list(triple) for triple in self.triples()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RatingMatrix":
+        """Rebuild a matrix from :meth:`to_dict` output."""
+        scale = tuple(payload.get("scale", (1.0, 5.0)))
+        matrix = cls(scale=scale)  # type: ignore[arg-type]
+        for user_id, item_id, value in payload.get("ratings", []):
+            matrix.add(user_id, item_id, value)
+        return matrix
+
+    def copy(self) -> "RatingMatrix":
+        """Deep copy of the matrix."""
+        return RatingMatrix(self.triples(), scale=self._scale)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RatingMatrix(users={self.num_users}, items={self.num_items}, "
+            f"ratings={self.num_ratings})"
+        )

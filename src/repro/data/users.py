@@ -1,0 +1,180 @@
+"""User model and registry.
+
+A *user* in the paper is a patient of the iPHR system.  Each user has a
+stable identifier, light demographic data and (optionally) an attached
+personal health record (:mod:`repro.data.phr`).  The registry offers
+dictionary-like access plus the bulk operations that the dataset
+generators and the recommenders need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..exceptions import UnknownUserError
+from .phr import PersonalHealthRecord
+
+
+@dataclass
+class User:
+    """A patient known to the recommender.
+
+    Parameters
+    ----------
+    user_id:
+        Stable unique identifier (e.g. ``"u0042"``).
+    name:
+        Optional display name.
+    age:
+        Optional age in years.
+    gender:
+        Optional free-form gender string (the paper's Table I uses
+        ``"Male"`` / ``"Female"``).
+    record:
+        The personal health record attached to the user, if any.
+    attributes:
+        Free-form extra attributes (e.g. language, literacy preference).
+    """
+
+    user_id: str
+    name: str = ""
+    age: int | None = None
+    gender: str | None = None
+    record: PersonalHealthRecord | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be a non-empty string")
+        if self.age is not None and self.age < 0:
+            raise ValueError(f"age must be non-negative, got {self.age}")
+
+    @property
+    def has_record(self) -> bool:
+        """Whether a personal health record is attached."""
+        return self.record is not None
+
+    def profile_text(self) -> str:
+        """Flatten the user into a single text document.
+
+        Section V.B treats "all the information contained in a profile as
+        a single document" before computing TF-IDF.  This method performs
+        that flattening: demographics plus every PHR field.
+        """
+        parts: list[str] = []
+        if self.name:
+            parts.append(self.name)
+        if self.gender:
+            parts.append(self.gender)
+        if self.age is not None:
+            parts.append(f"age {self.age}")
+        for key, value in sorted(self.attributes.items()):
+            parts.append(f"{key} {value}")
+        if self.record is not None:
+            parts.append(self.record.as_text())
+        return " ".join(parts)
+
+    def problem_concepts(self) -> list[str]:
+        """Return the SNOMED-like concept ids of the user's problems."""
+        if self.record is None:
+            return []
+        return [p.concept_id for p in self.record.problems if p.concept_id]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the user (and record, if present) to plain types."""
+        return {
+            "user_id": self.user_id,
+            "name": self.name,
+            "age": self.age,
+            "gender": self.gender,
+            "record": self.record.to_dict() if self.record else None,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "User":
+        """Rebuild a user from :meth:`to_dict` output."""
+        record_payload = payload.get("record")
+        record = (
+            PersonalHealthRecord.from_dict(record_payload)
+            if record_payload
+            else None
+        )
+        return cls(
+            user_id=payload["user_id"],
+            name=payload.get("name", ""),
+            age=payload.get("age"),
+            gender=payload.get("gender"),
+            record=record,
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+class UserRegistry:
+    """A mapping of user ids to :class:`User` objects.
+
+    The registry preserves insertion order, which keeps synthetic dataset
+    generation and the MapReduce runner deterministic.
+    """
+
+    def __init__(self, users: Iterable[User] = ()) -> None:
+        self._users: dict[str, User] = {}
+        for user in users:
+            self.add(user)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, user: User) -> None:
+        """Register ``user``; replaces any existing user with the same id."""
+        self._users[user.user_id] = user
+
+    def remove(self, user_id: str) -> None:
+        """Remove a user; raise :class:`UnknownUserError` when absent."""
+        try:
+            del self._users[user_id]
+        except KeyError:
+            raise UnknownUserError(user_id) from None
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, user_id: str) -> User:
+        """Return the user with ``user_id`` or raise UnknownUserError."""
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise UnknownUserError(user_id) from None
+
+    def __getitem__(self, user_id: str) -> User:
+        return self.get(user_id)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._users
+
+    def __iter__(self) -> Iterator[User]:
+        return iter(self._users.values())
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def ids(self) -> list[str]:
+        """All user ids in insertion order."""
+        return list(self._users.keys())
+
+    def users(self) -> list[User]:
+        """All users in insertion order."""
+        return list(self._users.values())
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the registry to plain types."""
+        return {"users": [user.to_dict() for user in self]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "UserRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        return cls(User.from_dict(entry) for entry in payload.get("users", []))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UserRegistry({len(self)} users)"

@@ -1,0 +1,165 @@
+"""Evaluation metrics for group recommendations.
+
+Beyond the paper's own fairness and value measures (Definition 3), this
+module provides the standard quantities used to analyse group
+recommendation quality in the follow-up literature, which the ablation
+benchmarks report:
+
+* per-user satisfaction (mean relevance of the selection for a member,
+  normalised by the member's ideal top-z);
+* the minimum / mean satisfaction over the group;
+* ranking metrics (precision@z against the per-user top sets, nDCG);
+* catalog coverage and redundancy of the selection.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from ..core.candidates import GroupCandidates
+from ..core.fairness import fairness as fairness_score
+from ..core.fairness import value as value_score
+
+
+def user_satisfaction(
+    candidates: GroupCandidates, selection: Sequence[str], user_id: str
+) -> float:
+    """Relevance the selection delivers to a member, relative to their ideal.
+
+    Defined as the sum of ``relevance(u, i)`` over the selected items
+    divided by the sum over the user's *ideal* ``|selection|`` items.  A
+    value of 1 means the selection is as good for the user as their own
+    personal top list; 0 means it contains nothing of any relevance.
+    """
+    selection = list(selection)
+    if not selection:
+        return 0.0
+    achieved = sum(
+        candidates.user_relevance(user_id, item_id) for item_id in selection
+    )
+    ranking = candidates.user_ranking(user_id)
+    ideal = sum(item.score for item in ranking[: len(selection)])
+    if ideal == 0.0:
+        return 0.0
+    return achieved / ideal
+
+
+def group_satisfaction(
+    candidates: GroupCandidates, selection: Sequence[str]
+) -> dict[str, float]:
+    """Satisfaction of every group member."""
+    return {
+        user_id: user_satisfaction(candidates, selection, user_id)
+        for user_id in candidates.group
+    }
+
+
+def min_satisfaction(candidates: GroupCandidates, selection: Sequence[str]) -> float:
+    """The least satisfied member's satisfaction (0 for an empty group)."""
+    scores = group_satisfaction(candidates, selection)
+    return min(scores.values()) if scores else 0.0
+
+
+def mean_satisfaction(candidates: GroupCandidates, selection: Sequence[str]) -> float:
+    """Average member satisfaction (0 for an empty group)."""
+    scores = group_satisfaction(candidates, selection)
+    return sum(scores.values()) / len(scores) if scores else 0.0
+
+
+def satisfaction_spread(
+    candidates: GroupCandidates, selection: Sequence[str]
+) -> float:
+    """Max minus min member satisfaction — a simple group-disparity measure."""
+    scores = group_satisfaction(candidates, selection)
+    if not scores:
+        return 0.0
+    return max(scores.values()) - min(scores.values())
+
+
+def precision_at_z(
+    candidates: GroupCandidates, selection: Sequence[str], user_id: str
+) -> float:
+    """Fraction of the selection inside the user's top-k candidate set."""
+    selection = list(selection)
+    if not selection:
+        return 0.0
+    top_items = candidates.user_top_items(user_id)
+    hits = sum(1 for item_id in selection if item_id in top_items)
+    return hits / len(selection)
+
+
+def ndcg(
+    relevances: Sequence[float],
+    ideal_relevances: Sequence[float] | None = None,
+) -> float:
+    """Normalised discounted cumulative gain of a ranked relevance list.
+
+    ``ideal_relevances`` defaults to the sorted (descending) input, i.e.
+    the best possible ordering of the same items.
+    """
+    def dcg(values: Sequence[float]) -> float:
+        return sum(
+            value / math.log2(position + 2) for position, value in enumerate(values)
+        )
+
+    if not relevances:
+        return 0.0
+    if ideal_relevances is None:
+        ideal_relevances = sorted(relevances, reverse=True)
+    ideal = dcg(ideal_relevances)
+    if ideal == 0.0:
+        return 0.0
+    return dcg(relevances) / ideal
+
+
+def user_ndcg(
+    candidates: GroupCandidates, selection: Sequence[str], user_id: str
+) -> float:
+    """nDCG of the selection order against the user's ideal ordering.
+
+    The gains are the user's relevance scores for the selected items;
+    the ideal ordering is the user's own top-``|selection|`` candidates.
+    """
+    selection = list(selection)
+    if not selection:
+        return 0.0
+    gains = [candidates.user_relevance(user_id, item_id) for item_id in selection]
+    ideal = [
+        item.score for item in candidates.user_ranking(user_id)[: len(selection)]
+    ]
+    return ndcg(gains, ideal)
+
+
+def coverage(selections: Iterable[Sequence[str]], catalog_size: int) -> float:
+    """Fraction of the catalog that appears in at least one selection."""
+    if catalog_size <= 0:
+        return 0.0
+    seen: set[str] = set()
+    for selection in selections:
+        seen.update(selection)
+    return len(seen) / catalog_size
+
+
+def summarize_selection(
+    candidates: GroupCandidates, selection: Sequence[str]
+) -> dict[str, float]:
+    """One-line metric summary used by benchmarks and the CLI."""
+    return {
+        "fairness": fairness_score(candidates, selection),
+        "value": value_score(candidates, selection),
+        "min_satisfaction": min_satisfaction(candidates, selection),
+        "mean_satisfaction": mean_satisfaction(candidates, selection),
+        "satisfaction_spread": satisfaction_spread(candidates, selection),
+    }
+
+
+def compare_selections(
+    candidates: GroupCandidates,
+    selections: Mapping[str, Sequence[str]],
+) -> dict[str, dict[str, float]]:
+    """Metric summaries for several named selections (ablation helper)."""
+    return {
+        name: summarize_selection(candidates, selection)
+        for name, selection in selections.items()
+    }

@@ -1,0 +1,162 @@
+"""Plain-text reporting of experiment results.
+
+The benchmarks and the CLI print the reproduced tables in the same shape
+the paper uses (Table II has columns m, z, brute-force time, heuristic
+time).  Everything here renders to simple aligned ASCII so the output
+reads well in a terminal and in the EXPERIMENTS.md log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .experiments import (
+    AggregationAblationRow,
+    Proposition1Row,
+    SimilarityAblationRow,
+    Table2Result,
+    ValueQualityRow,
+)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` as an aligned ASCII table with ``headers``."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the Table II reproduction like the paper's Table II."""
+    headers = [
+        "m",
+        "z",
+        "Brute-force (ms)",
+        "Heuristic (ms)",
+        "Speedup",
+        "BF fairness",
+        "Heur fairness",
+    ]
+    rows = [
+        [
+            row.m,
+            row.z,
+            row.brute_force_ms,
+            row.heuristic_ms,
+            row.speedup,
+            row.brute_force_fairness,
+            row.heuristic_fairness,
+        ]
+        for row in result.rows
+    ]
+    return format_table(headers, rows, float_format="{:.3f}")
+
+
+def format_proposition1(rows: Sequence[Proposition1Row]) -> str:
+    """Render the Proposition 1 verification sweep."""
+    headers = ["|G|", "z", "m", "fairness", "z >= |G|", "holds"]
+    table_rows = [
+        [row.group_size, row.z, row.m, row.fairness, row.z >= row.group_size, row.holds]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, float_format="{:.3f}")
+
+
+def format_aggregation_ablation(rows: Sequence[AggregationAblationRow]) -> str:
+    """Render the aggregation ablation (Ablation A)."""
+    headers = [
+        "aggregation",
+        "group",
+        "fairness",
+        "value",
+        "min satisfaction",
+        "mean satisfaction",
+    ]
+    table_rows = [
+        [
+            row.aggregation,
+            row.group_kind,
+            row.fairness,
+            row.value,
+            row.min_satisfaction,
+            row.mean_satisfaction,
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, float_format="{:.3f}")
+
+
+def format_similarity_ablation(rows: Sequence[SimilarityAblationRow]) -> str:
+    """Render the similarity ablation (Ablation B)."""
+    headers = [
+        "similarity",
+        "fairness",
+        "value",
+        "mean satisfaction",
+        "candidates",
+        "time (ms)",
+    ]
+    table_rows = [
+        [
+            row.similarity,
+            row.fairness,
+            row.value,
+            row.mean_satisfaction,
+            row.candidates,
+            row.elapsed_ms,
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, float_format="{:.3f}")
+
+
+def format_value_quality(rows: Sequence[ValueQualityRow]) -> str:
+    """Render the selection-quality ablation (Ablation C)."""
+    headers = ["m", "z", "greedy/opt", "swap/opt", "greedy value", "optimal value"]
+    table_rows = [
+        [
+            row.m,
+            row.z,
+            row.greedy_ratio,
+            row.swap_ratio,
+            row.greedy_value,
+            row.brute_force_value,
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, float_format="{:.3f}")
+
+
+def format_metrics(metrics: Mapping[str, float]) -> str:
+    """Render a flat metric mapping as ``name: value`` lines."""
+    width = max((len(name) for name in metrics), default=0)
+    return "\n".join(
+        f"{name.ljust(width)} : {value:.4f}" if isinstance(value, float)
+        else f"{name.ljust(width)} : {value}"
+        for name, value in metrics.items()
+    )

@@ -1,0 +1,68 @@
+"""Small timing utilities used by the experiment harness.
+
+The Table II reproduction measures wall-clock time of the brute-force
+and heuristic selections.  ``perf_counter`` based helpers keep the
+measurement code out of the experiment logic and make it easy to repeat
+measurements and report medians (single runs of sub-millisecond
+functions are too noisy to compare).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class TimerResult:
+    """Wall-clock samples of one measured callable."""
+
+    label: str
+    samples_ms: list[float]
+    result: Any = None
+
+    @property
+    def best_ms(self) -> float:
+        """Fastest sample in milliseconds."""
+        return min(self.samples_ms)
+
+    @property
+    def median_ms(self) -> float:
+        """Median sample in milliseconds."""
+        return statistics.median(self.samples_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean sample in milliseconds."""
+        return statistics.fmean(self.samples_ms)
+
+
+@contextmanager
+def stopwatch() -> Iterator[Callable[[], float]]:
+    """Context manager yielding a callable that reports elapsed ms."""
+    start = time.perf_counter()
+    yield lambda: (time.perf_counter() - start) * 1000.0
+
+
+def time_callable(
+    func: Callable[[], Any],
+    repeats: int = 3,
+    label: str = "",
+) -> TimerResult:
+    """Run ``func`` ``repeats`` times and collect wall-clock samples.
+
+    The return value of the *last* run is kept in ``result`` so callers
+    can both time a selection and inspect what it produced.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    samples: list[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return TimerResult(label=label, samples_ms=samples, result=result)

@@ -1,0 +1,42 @@
+"""MapReduce substrate and the paper's three-job pipeline (Section IV)."""
+
+from .engine import (
+    JobCounters,
+    JobResult,
+    MapReduceEngine,
+    MapReduceJob,
+)
+from .jobs import (
+    CANDIDATE_TAG,
+    PARTIAL_TAG,
+    PartialSimilarity,
+    make_job1,
+    make_job2,
+    make_job3,
+    ratings_to_item_pairs,
+    similarity_table,
+    split_job1_output,
+)
+from .runner import MapReduceGroupRecommender, MapReduceRunResult
+from .topk import make_global_topk_job, make_local_topk_job, mapreduce_topk
+
+__all__ = [
+    "CANDIDATE_TAG",
+    "JobCounters",
+    "JobResult",
+    "MapReduceEngine",
+    "MapReduceGroupRecommender",
+    "MapReduceJob",
+    "MapReduceRunResult",
+    "PARTIAL_TAG",
+    "PartialSimilarity",
+    "make_global_topk_job",
+    "make_job1",
+    "make_job2",
+    "make_job3",
+    "make_local_topk_job",
+    "mapreduce_topk",
+    "ratings_to_item_pairs",
+    "similarity_table",
+    "split_job1_output",
+]

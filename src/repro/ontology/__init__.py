@@ -1,0 +1,40 @@
+"""Ontology substrate: concept hierarchy and semantic similarity."""
+
+from .ontology import Concept, HealthOntology
+from .pathsim import (
+    CONCEPT_SIMILARITIES,
+    get_concept_similarity,
+    inverse_path_similarity,
+    leacock_chodorow_similarity,
+    linear_path_similarity,
+    path_similarity,
+    wu_palmer_similarity,
+)
+from .snomed import (
+    ACUTE_BRONCHITIS,
+    BROKEN_ARM,
+    CHEST_PAIN,
+    TRACHEOBRONCHITIS,
+    build_snomed_like_ontology,
+    extend_with_random_subtrees,
+    paper_example_concepts,
+)
+
+__all__ = [
+    "ACUTE_BRONCHITIS",
+    "BROKEN_ARM",
+    "CHEST_PAIN",
+    "CONCEPT_SIMILARITIES",
+    "Concept",
+    "HealthOntology",
+    "TRACHEOBRONCHITIS",
+    "build_snomed_like_ontology",
+    "extend_with_random_subtrees",
+    "get_concept_similarity",
+    "inverse_path_similarity",
+    "leacock_chodorow_similarity",
+    "linear_path_similarity",
+    "paper_example_concepts",
+    "path_similarity",
+    "wu_palmer_similarity",
+]

@@ -1,0 +1,315 @@
+"""Health concept ontology (IS-A hierarchy).
+
+The semantic similarity of Section V.C relies on the SNOMED-CT class
+hierarchy: each health problem maps to a node of the hierarchy tree and
+the similarity of two problems is derived from the *shortest path*
+between their nodes.  SNOMED-CT itself is licensed, so the library ships
+a structural stand-in (:mod:`repro.ontology.snomed`), but the graph
+machinery in this module is generic: concepts with one or more parents,
+BFS shortest paths, depths, lowest common ancestors and subtree queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..exceptions import OntologyStructureError, UnknownConceptError
+
+
+@dataclass
+class Concept:
+    """A node of the ontology.
+
+    Parameters
+    ----------
+    concept_id:
+        Stable identifier (SNOMED-style numeric string or synthetic id).
+    name:
+        Preferred term (e.g. ``"Acute bronchitis"``).
+    parent_ids:
+        Identifiers of the IS-A parents.  The root concept has none.
+    synonyms:
+        Alternative names used by :meth:`HealthOntology.find_by_name`.
+    """
+
+    concept_id: str
+    name: str
+    parent_ids: list[str] = field(default_factory=list)
+    synonyms: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "concept_id": self.concept_id,
+            "name": self.name,
+            "parent_ids": list(self.parent_ids),
+            "synonyms": list(self.synonyms),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Concept":
+        return cls(
+            concept_id=payload["concept_id"],
+            name=payload["name"],
+            parent_ids=list(payload.get("parent_ids", [])),
+            synonyms=list(payload.get("synonyms", [])),
+        )
+
+
+class HealthOntology:
+    """An IS-A concept hierarchy with path queries.
+
+    Concepts must be added parents-first (the root first); adding a
+    concept whose parent is unknown raises
+    :class:`OntologyStructureError`.  The hierarchy may be a DAG
+    (multiple parents), although the synthetic SNOMED stand-in is a tree.
+    """
+
+    def __init__(self) -> None:
+        self._concepts: dict[str, Concept] = {}
+        self._children: dict[str, list[str]] = {}
+        self._roots: list[str] = []
+        self._name_index: dict[str, str] = {}
+        self._depth_cache: dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_concept(
+        self,
+        concept_id: str,
+        name: str,
+        parent_ids: Iterable[str] = (),
+        synonyms: Iterable[str] = (),
+    ) -> Concept:
+        """Add a concept and return it.
+
+        Raises
+        ------
+        OntologyStructureError
+            If the id already exists or a parent id is unknown.
+        """
+        if concept_id in self._concepts:
+            raise OntologyStructureError(f"duplicate concept id {concept_id!r}")
+        parents = list(parent_ids)
+        for parent_id in parents:
+            if parent_id not in self._concepts:
+                raise OntologyStructureError(
+                    f"parent {parent_id!r} of {concept_id!r} is not in the ontology"
+                )
+        concept = Concept(
+            concept_id=concept_id,
+            name=name,
+            parent_ids=parents,
+            synonyms=list(synonyms),
+        )
+        self._concepts[concept_id] = concept
+        self._children[concept_id] = []
+        for parent_id in parents:
+            self._children[parent_id].append(concept_id)
+        if not parents:
+            self._roots.append(concept_id)
+        self._name_index[name.lower()] = concept_id
+        for synonym in concept.synonyms:
+            self._name_index.setdefault(synonym.lower(), concept_id)
+        self._depth_cache.clear()
+        return concept
+
+    # -- basic access -----------------------------------------------------
+
+    def get(self, concept_id: str) -> Concept:
+        """Return the concept with ``concept_id`` or raise."""
+        try:
+            return self._concepts[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def __getitem__(self, concept_id: str) -> Concept:
+        return self.get(concept_id)
+
+    def __contains__(self, concept_id: object) -> bool:
+        return concept_id in self._concepts
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def concept_ids(self) -> list[str]:
+        """All concept ids in insertion order."""
+        return list(self._concepts.keys())
+
+    def roots(self) -> list[str]:
+        """Ids of concepts without parents."""
+        return list(self._roots)
+
+    def children(self, concept_id: str) -> list[str]:
+        """Ids of the direct children of ``concept_id``."""
+        if concept_id not in self._concepts:
+            raise UnknownConceptError(concept_id)
+        return list(self._children[concept_id])
+
+    def parents(self, concept_id: str) -> list[str]:
+        """Ids of the direct parents of ``concept_id``."""
+        return list(self.get(concept_id).parent_ids)
+
+    def leaves(self) -> list[str]:
+        """Ids of concepts without children."""
+        return [cid for cid in self._concepts if not self._children[cid]]
+
+    def find_by_name(self, name: str) -> Concept:
+        """Look a concept up by preferred term or synonym (case-insensitive)."""
+        concept_id = self._name_index.get(name.lower())
+        if concept_id is None:
+            raise UnknownConceptError(name)
+        return self._concepts[concept_id]
+
+    # -- hierarchy queries ---------------------------------------------------
+
+    def ancestors(self, concept_id: str) -> set[str]:
+        """All transitive ancestors of ``concept_id`` (excluding itself)."""
+        result: set[str] = set()
+        frontier = deque(self.get(concept_id).parent_ids)
+        while frontier:
+            current = frontier.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._concepts[current].parent_ids)
+        return result
+
+    def descendants(self, concept_id: str) -> set[str]:
+        """All transitive descendants of ``concept_id`` (excluding itself)."""
+        if concept_id not in self._concepts:
+            raise UnknownConceptError(concept_id)
+        result: set[str] = set()
+        frontier = deque(self._children[concept_id])
+        while frontier:
+            current = frontier.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._children[current])
+        return result
+
+    def depth(self, concept_id: str) -> int:
+        """Minimum number of IS-A edges from ``concept_id`` up to a root."""
+        if concept_id in self._depth_cache:
+            return self._depth_cache[concept_id]
+        concept = self.get(concept_id)
+        if not concept.parent_ids:
+            depth = 0
+        else:
+            depth = 1 + min(self.depth(parent) for parent in concept.parent_ids)
+        self._depth_cache[concept_id] = depth
+        return depth
+
+    def max_depth(self) -> int:
+        """Depth of the deepest concept in the ontology (0 when empty)."""
+        if not self._concepts:
+            return 0
+        return max(self.depth(cid) for cid in self._concepts)
+
+    def shortest_path_length(self, source_id: str, target_id: str) -> int:
+        """Number of edges on the shortest undirected IS-A path.
+
+        This is the distance Section V.C.1 uses ("we will identify the
+        shortest path that connects those two nodes in the tree").
+        Raises :class:`UnknownConceptError` for unknown concepts and
+        ``ValueError`` when the concepts are not connected.
+        """
+        path = self.shortest_path(source_id, target_id)
+        return len(path) - 1
+
+    def shortest_path(self, source_id: str, target_id: str) -> list[str]:
+        """The actual shortest undirected path (list of concept ids)."""
+        if source_id not in self._concepts:
+            raise UnknownConceptError(source_id)
+        if target_id not in self._concepts:
+            raise UnknownConceptError(target_id)
+        if source_id == target_id:
+            return [source_id]
+        previous: dict[str, str] = {}
+        visited = {source_id}
+        frontier = deque([source_id])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in self._neighbours(current):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                previous[neighbour] = current
+                if neighbour == target_id:
+                    return self._reconstruct(previous, source_id, target_id)
+                frontier.append(neighbour)
+        raise ValueError(
+            f"concepts {source_id!r} and {target_id!r} are not connected"
+        )
+
+    def _neighbours(self, concept_id: str) -> list[str]:
+        concept = self._concepts[concept_id]
+        return list(concept.parent_ids) + self._children[concept_id]
+
+    @staticmethod
+    def _reconstruct(
+        previous: Mapping[str, str], source_id: str, target_id: str
+    ) -> list[str]:
+        path = [target_id]
+        while path[-1] != source_id:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path
+
+    def lowest_common_ancestor(self, source_id: str, target_id: str) -> str | None:
+        """Deepest concept that is an ancestor of both (or one of them).
+
+        Returns ``None`` when the two concepts share no ancestor (e.g.
+        separate roots in a forest).
+        """
+        ancestors_a = self.ancestors(source_id) | {source_id}
+        ancestors_b = self.ancestors(target_id) | {target_id}
+        common = ancestors_a & ancestors_b
+        if not common:
+            return None
+        return max(common, key=self.depth)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the ontology to plain JSON-friendly types."""
+        return {"concepts": [concept.to_dict() for concept in self]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HealthOntology":
+        """Rebuild an ontology from :meth:`to_dict` output.
+
+        Concepts are inserted parents-first regardless of their order in
+        the payload.
+        """
+        ontology = cls()
+        pending = [Concept.from_dict(entry) for entry in payload.get("concepts", [])]
+        remaining = deque(pending)
+        stall_counter = 0
+        while remaining:
+            concept = remaining.popleft()
+            if all(parent in ontology for parent in concept.parent_ids):
+                ontology.add_concept(
+                    concept.concept_id,
+                    concept.name,
+                    concept.parent_ids,
+                    concept.synonyms,
+                )
+                stall_counter = 0
+            else:
+                remaining.append(concept)
+                stall_counter += 1
+                if stall_counter > len(remaining):
+                    missing = [c.concept_id for c in remaining]
+                    raise OntologyStructureError(
+                        f"cannot resolve parents for concepts {missing}"
+                    )
+        return ontology
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HealthOntology({len(self)} concepts, depth={self.max_depth()})"

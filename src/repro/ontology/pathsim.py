@@ -1,0 +1,136 @@
+"""Concept-to-concept similarity measures on the ontology.
+
+Section V.C.1 states the principle: "To calculate the similarity between
+two health problems, we will identify the shortest path that connects
+those two nodes in the tree.  Longer path means a smaller similarity."
+The paper does not fix the exact transformation from path length to
+similarity, so this module offers the standard family:
+
+* :func:`path_similarity` — ``1 / (1 + path_length)``, the default used
+  throughout the library (monotonically decreasing in the path length,
+  equal to 1 for identical concepts);
+* :func:`inverse_path_similarity` — ``1 / path_length`` with the
+  convention that identical concepts score 1;
+* :func:`linear_path_similarity` — ``max(0, 1 - path_length / max_len)``;
+* :func:`leacock_chodorow_similarity` — ``-log(path_length+1 / 2·depth)``
+  rescaled to ``[0, 1]``;
+* :func:`wu_palmer_similarity` — depth-of-LCA based measure.
+
+All functions return values in ``[0, 1]`` and are strictly decreasing in
+the path length (for a fixed ontology), which is the only property the
+paper's Equation 4 aggregation needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .ontology import HealthOntology
+
+#: Type of every concept-similarity function in this module.
+ConceptSimilarity = Callable[[HealthOntology, str, str], float]
+
+
+def path_similarity(
+    ontology: HealthOntology, concept_a: str, concept_b: str
+) -> float:
+    """``1 / (1 + shortest_path_length)`` — the library default.
+
+    Identical concepts score exactly 1; the paper's Table I examples give
+    ``1/3`` for tracheobronchitis↔acute bronchitis (path 2) and ``1/6``
+    for acute bronchitis↔chest pain (path 5), preserving the ordering the
+    paper derives.
+    """
+    distance = ontology.shortest_path_length(concept_a, concept_b)
+    return 1.0 / (1.0 + distance)
+
+
+def inverse_path_similarity(
+    ontology: HealthOntology, concept_a: str, concept_b: str
+) -> float:
+    """``1 / shortest_path_length`` with identical concepts scoring 1."""
+    distance = ontology.shortest_path_length(concept_a, concept_b)
+    if distance == 0:
+        return 1.0
+    return 1.0 / distance
+
+
+def linear_path_similarity(
+    ontology: HealthOntology,
+    concept_a: str,
+    concept_b: str,
+    max_length: int | None = None,
+) -> float:
+    """``max(0, 1 - path_length / max_length)``.
+
+    ``max_length`` defaults to twice the ontology depth, the longest
+    possible path in a tree-shaped hierarchy.
+    """
+    distance = ontology.shortest_path_length(concept_a, concept_b)
+    if max_length is None:
+        max_length = max(2 * ontology.max_depth(), 1)
+    return max(0.0, 1.0 - distance / max_length)
+
+
+def leacock_chodorow_similarity(
+    ontology: HealthOntology, concept_a: str, concept_b: str
+) -> float:
+    """Leacock–Chodorow similarity rescaled to ``[0, 1]``.
+
+    The classical definition is ``-log((d + 1) / (2 · D))`` where ``d``
+    is the shortest path length and ``D`` the maximum ontology depth.
+    We divide by the maximum attainable value ``-log(1 / (2 · D))`` so
+    identical concepts score 1 and the most distant concepts approach 0.
+    """
+    depth = max(ontology.max_depth(), 1)
+    distance = ontology.shortest_path_length(concept_a, concept_b)
+    raw = -math.log((distance + 1.0) / (2.0 * depth))
+    maximum = -math.log(1.0 / (2.0 * depth))
+    if maximum == 0.0:
+        return 1.0 if distance == 0 else 0.0
+    return max(0.0, raw / maximum)
+
+
+def wu_palmer_similarity(
+    ontology: HealthOntology, concept_a: str, concept_b: str
+) -> float:
+    """Wu–Palmer similarity: ``2·depth(lca) / (depth(a) + depth(b))``.
+
+    Returns 0 when the concepts share no ancestor or when both are
+    roots (depth 0), and 1 for identical concepts at non-zero depth.
+    In a multi-parent hierarchy the minimum-depth convention can make a
+    common ancestor "deeper" than one of the concepts themselves, which
+    would push the raw ratio above 1; the result is therefore clamped to
+    ``[0, 1]``.
+    """
+    if concept_a == concept_b:
+        return 1.0
+    lca = ontology.lowest_common_ancestor(concept_a, concept_b)
+    if lca is None:
+        return 0.0
+    depth_sum = ontology.depth(concept_a) + ontology.depth(concept_b)
+    if depth_sum == 0:
+        return 0.0
+    return min(1.0, 2.0 * ontology.depth(lca) / depth_sum)
+
+
+#: Registry of the named concept-similarity functions.
+CONCEPT_SIMILARITIES: dict[str, ConceptSimilarity] = {
+    "path": path_similarity,
+    "inverse_path": inverse_path_similarity,
+    "linear_path": linear_path_similarity,
+    "leacock_chodorow": leacock_chodorow_similarity,
+    "wu_palmer": wu_palmer_similarity,
+}
+
+
+def get_concept_similarity(name: str) -> ConceptSimilarity:
+    """Look up a concept-similarity function by name."""
+    try:
+        return CONCEPT_SIMILARITIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown concept similarity {name!r}; "
+            f"expected one of {sorted(CONCEPT_SIMILARITIES)}"
+        ) from None

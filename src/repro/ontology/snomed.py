@@ -1,0 +1,212 @@
+"""Synthetic SNOMED-CT-like hierarchy.
+
+The paper computes problem-to-problem similarity on the SNOMED-CT class
+hierarchy (Section V.C).  SNOMED-CT is licensed and far too large to
+bundle, so :func:`build_snomed_like_ontology` constructs a *structural
+stand-in*: an IS-A hierarchy rooted at a single concept, organised into
+the familiar top-level clinical-finding branches (respiratory,
+cardiovascular, digestive, musculoskeletal, neoplastic, endocrine,
+neurological, mental-health, infectious-disease and symptom findings).
+Like the real SNOMED-CT, some concepts carry more than one IS-A parent.
+
+The stand-in reproduces the concrete distances the paper's discussion of
+Table I relies on:
+
+* ``Acute bronchitis`` ↔ ``Tracheobronchitis`` — shortest path **2**
+  (both are children of ``Bronchitis``);
+* ``Acute bronchitis`` ↔ ``Chest pain`` — shortest path **5**
+  (Acute bronchitis → Bronchitis → Disorder of bronchus → Finding of
+  region of thorax → Pain of truncal structure → Chest pain).
+
+For scale experiments, :func:`extend_with_random_subtrees` grows the
+hierarchy with deterministic synthetic subtrees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .ontology import HealthOntology
+
+#: Concept ids of the nodes that appear in the paper's Table I discussion.
+ACUTE_BRONCHITIS = "SCT-RESP-0031"
+TRACHEOBRONCHITIS = "SCT-RESP-0032"
+CHEST_PAIN = "SCT-SYMP-0012"
+BROKEN_ARM = "SCT-MUSC-0021"
+
+#: ``(concept_id, name, parent_ids, synonyms)`` rows of the hand-written
+#: core hierarchy.  Parents always appear before their children.
+_CORE_CONCEPTS: tuple[tuple[str, str, tuple[str, ...], tuple[str, ...]], ...] = (
+    ("SCT-ROOT", "SNOMED CT Concept", (), ()),
+    ("SCT-FIND", "Clinical finding", ("SCT-ROOT",), ()),
+    # --- top-level branches ----------------------------------------------
+    ("SCT-DIS", "Disease", ("SCT-FIND",), ("Disorder",)),
+    ("SCT-SYMP", "Symptom finding", ("SCT-FIND",), ("Symptom",)),
+    ("SCT-THOR-0001", "Finding of region of thorax", ("SCT-FIND",), ()),
+    # --- respiratory branch ----------------------------------------------
+    ("SCT-RESP-0001", "Disorder of respiratory system", ("SCT-DIS",), ()),
+    ("SCT-RESP-0002", "Disorder of lower respiratory system", ("SCT-RESP-0001",), ()),
+    # Disorder of bronchus sits both under the lower-respiratory branch and
+    # under the thorax-region findings, exactly like real SNOMED-CT places
+    # bronchial disorders in the thorax body region.  This double parent
+    # yields the length-5 shortest path between acute bronchitis and chest
+    # pain that the paper quotes.
+    (
+        "SCT-RESP-0003",
+        "Disorder of bronchus",
+        ("SCT-RESP-0002", "SCT-THOR-0001"),
+        (),
+    ),
+    ("SCT-RESP-0004", "Disorder of lung", ("SCT-RESP-0002",), ()),
+    ("SCT-RESP-0005", "Disorder of upper respiratory system", ("SCT-RESP-0001",), ()),
+    ("SCT-RESP-0030", "Bronchitis", ("SCT-RESP-0003",), ()),
+    (ACUTE_BRONCHITIS, "Acute bronchitis", ("SCT-RESP-0030",), ()),
+    (TRACHEOBRONCHITIS, "Tracheobronchitis", ("SCT-RESP-0030",), ()),
+    ("SCT-RESP-0033", "Chronic bronchitis", ("SCT-RESP-0030",), ()),
+    ("SCT-RESP-0040", "Pneumonia", ("SCT-RESP-0004",), ()),
+    ("SCT-RESP-0041", "Pulmonary emphysema", ("SCT-RESP-0004",), ("Emphysema",)),
+    ("SCT-RESP-0042", "Asthma", ("SCT-RESP-0003",), ()),
+    ("SCT-RESP-0050", "Acute sinusitis", ("SCT-RESP-0005",), ()),
+    ("SCT-RESP-0051", "Allergic rhinitis", ("SCT-RESP-0005",), ("Hay fever",)),
+    # --- symptom branch (chest pain lives under the thorax findings) -------
+    ("SCT-SYMP-0001", "Pain finding", ("SCT-SYMP",), ("Pain",)),
+    ("SCT-SYMP-0010", "Pain of truncal structure", ("SCT-THOR-0001",), ()),
+    (CHEST_PAIN, "Chest pain", ("SCT-SYMP-0010",), ("Chest pains",)),
+    ("SCT-SYMP-0013", "Abdominal pain", ("SCT-SYMP-0001",), ()),
+    ("SCT-SYMP-0014", "Headache", ("SCT-SYMP-0001",), ()),
+    ("SCT-SYMP-0015", "Fatigue", ("SCT-SYMP",), ("Tiredness",)),
+    ("SCT-SYMP-0016", "Nausea", ("SCT-SYMP",), ()),
+    ("SCT-SYMP-0017", "Fever", ("SCT-SYMP",), ("Pyrexia",)),
+    # --- cardiovascular branch ------------------------------------------------
+    ("SCT-CARD-0001", "Disorder of cardiovascular system", ("SCT-DIS",), ()),
+    ("SCT-CARD-0002", "Heart disease", ("SCT-CARD-0001",), ()),
+    ("SCT-CARD-0003", "Hypertensive disorder", ("SCT-CARD-0001",), ("Hypertension",)),
+    ("SCT-CARD-0004", "Ischemic heart disease", ("SCT-CARD-0002",), ()),
+    ("SCT-CARD-0005", "Myocardial infarction", ("SCT-CARD-0004",), ("Heart attack",)),
+    ("SCT-CARD-0006", "Angina pectoris", ("SCT-CARD-0004",), ("Angina",)),
+    ("SCT-CARD-0007", "Cardiac arrhythmia", ("SCT-CARD-0002",), ()),
+    ("SCT-CARD-0008", "Atrial fibrillation", ("SCT-CARD-0007",), ()),
+    ("SCT-CARD-0009", "Heart failure", ("SCT-CARD-0002",), ()),
+    # --- digestive branch -----------------------------------------------------
+    ("SCT-DIGE-0001", "Disorder of digestive system", ("SCT-DIS",), ()),
+    ("SCT-DIGE-0002", "Disorder of stomach", ("SCT-DIGE-0001",), ()),
+    ("SCT-DIGE-0003", "Gastritis", ("SCT-DIGE-0002",), ()),
+    ("SCT-DIGE-0004", "Gastric ulcer", ("SCT-DIGE-0002",), ()),
+    ("SCT-DIGE-0005", "Disorder of intestine", ("SCT-DIGE-0001",), ()),
+    ("SCT-DIGE-0006", "Irritable bowel syndrome", ("SCT-DIGE-0005",), ()),
+    ("SCT-DIGE-0007", "Crohn's disease", ("SCT-DIGE-0005",), ()),
+    ("SCT-DIGE-0008", "Disorder of liver", ("SCT-DIGE-0001",), ()),
+    ("SCT-DIGE-0009", "Hepatitis", ("SCT-DIGE-0008",), ()),
+    # --- musculoskeletal branch (broken arm from Table I) ------------------------
+    ("SCT-MUSC-0001", "Disorder of musculoskeletal system", ("SCT-DIS",), ()),
+    ("SCT-MUSC-0002", "Arthropathy", ("SCT-MUSC-0001",), ("Joint disorder",)),
+    ("SCT-MUSC-0003", "Osteoarthritis", ("SCT-MUSC-0002",), ()),
+    ("SCT-MUSC-0004", "Rheumatoid arthritis", ("SCT-MUSC-0002",), ()),
+    ("SCT-MUSC-0010", "Fracture of bone", ("SCT-MUSC-0001",), ("Bone fracture",)),
+    ("SCT-MUSC-0020", "Fracture of upper limb", ("SCT-MUSC-0010",), ()),
+    (BROKEN_ARM, "Fracture of arm", ("SCT-MUSC-0020",), ("Broken arm",)),
+    ("SCT-MUSC-0022", "Fracture of lower limb", ("SCT-MUSC-0010",), ()),
+    ("SCT-MUSC-0030", "Osteoporosis", ("SCT-MUSC-0001",), ()),
+    # --- neoplastic branch (iManageCancer context) ----------------------------------
+    ("SCT-NEOP-0001", "Neoplastic disease", ("SCT-DIS",), ("Neoplasm",)),
+    ("SCT-NEOP-0002", "Malignant neoplastic disease", ("SCT-NEOP-0001",), ("Cancer",)),
+    ("SCT-NEOP-0003", "Malignant tumor of breast", ("SCT-NEOP-0002",), ("Breast cancer",)),
+    ("SCT-NEOP-0004", "Malignant tumor of lung", ("SCT-NEOP-0002",), ("Lung cancer",)),
+    ("SCT-NEOP-0005", "Malignant tumor of prostate", ("SCT-NEOP-0002",), ("Prostate cancer",)),
+    ("SCT-NEOP-0006", "Malignant tumor of colon", ("SCT-NEOP-0002",), ("Colon cancer",)),
+    ("SCT-NEOP-0007", "Leukemia", ("SCT-NEOP-0002",), ()),
+    ("SCT-NEOP-0008", "Lymphoma", ("SCT-NEOP-0002",), ()),
+    ("SCT-NEOP-0009", "Benign neoplasm", ("SCT-NEOP-0001",), ()),
+    # --- endocrine / metabolic branch -------------------------------------------------
+    ("SCT-ENDO-0001", "Disorder of endocrine system", ("SCT-DIS",), ()),
+    ("SCT-ENDO-0002", "Diabetes mellitus", ("SCT-ENDO-0001",), ()),
+    ("SCT-ENDO-0003", "Diabetes mellitus type 1", ("SCT-ENDO-0002",), ()),
+    ("SCT-ENDO-0004", "Diabetes mellitus type 2", ("SCT-ENDO-0002",), ()),
+    ("SCT-ENDO-0005", "Disorder of thyroid gland", ("SCT-ENDO-0001",), ()),
+    ("SCT-ENDO-0006", "Hypothyroidism", ("SCT-ENDO-0005",), ()),
+    ("SCT-ENDO-0007", "Hyperthyroidism", ("SCT-ENDO-0005",), ()),
+    ("SCT-ENDO-0008", "Obesity", ("SCT-ENDO-0001",), ()),
+    # --- neurological branch -------------------------------------------------------------
+    ("SCT-NEUR-0001", "Disorder of nervous system", ("SCT-DIS",), ()),
+    ("SCT-NEUR-0002", "Epilepsy", ("SCT-NEUR-0001",), ()),
+    ("SCT-NEUR-0003", "Migraine", ("SCT-NEUR-0001",), ()),
+    ("SCT-NEUR-0004", "Parkinson's disease", ("SCT-NEUR-0001",), ()),
+    ("SCT-NEUR-0005", "Multiple sclerosis", ("SCT-NEUR-0001",), ()),
+    # --- mental health branch ----------------------------------------------------------------
+    ("SCT-MENT-0001", "Mental disorder", ("SCT-FIND",), ()),
+    ("SCT-MENT-0002", "Depressive disorder", ("SCT-MENT-0001",), ("Depression",)),
+    ("SCT-MENT-0003", "Anxiety disorder", ("SCT-MENT-0001",), ("Anxiety",)),
+    ("SCT-MENT-0004", "Insomnia", ("SCT-MENT-0001",), ()),
+    # --- infectious branch ------------------------------------------------------------------------
+    ("SCT-INFE-0001", "Infectious disease", ("SCT-DIS",), ()),
+    ("SCT-INFE-0002", "Viral disease", ("SCT-INFE-0001",), ()),
+    ("SCT-INFE-0003", "Influenza", ("SCT-INFE-0002",), ("Flu",)),
+    ("SCT-INFE-0004", "Bacterial infectious disease", ("SCT-INFE-0001",), ()),
+    ("SCT-INFE-0005", "Urinary tract infection", ("SCT-INFE-0004",), ()),
+)
+
+
+def build_snomed_like_ontology() -> HealthOntology:
+    """Build the hand-written SNOMED-like core hierarchy.
+
+    Returns a hierarchy of ~80 concepts covering the major clinical
+    branches, including the exact concepts (and path lengths) the
+    paper's Table I discussion uses.
+    """
+    ontology = HealthOntology()
+    for concept_id, name, parent_ids, synonyms in _CORE_CONCEPTS:
+        ontology.add_concept(concept_id, name, parent_ids, synonyms)
+    return ontology
+
+
+def extend_with_random_subtrees(
+    ontology: HealthOntology,
+    num_concepts: int,
+    branching: int = 4,
+    seed: int = 13,
+    attach_under: Sequence[str] | None = None,
+    prefix: str = "SCT-SYN",
+) -> list[str]:
+    """Grow ``ontology`` with ``num_concepts`` synthetic concepts.
+
+    Each new concept attaches under a uniformly chosen existing concept
+    drawn from ``attach_under`` (default: any concept already present),
+    but never more than ``branching`` synthetic children per parent, so
+    the hierarchy keeps a realistic fan-out.  Returns the new concept
+    ids.  The operation is deterministic for a fixed ``seed``.
+    """
+    if num_concepts < 0:
+        raise ValueError("num_concepts must be non-negative")
+    rng = random.Random(seed)
+    candidates = list(attach_under) if attach_under else ontology.concept_ids()
+    synthetic_children: dict[str, int] = {}
+    new_ids: list[str] = []
+    for index in range(num_concepts):
+        concept_id = f"{prefix}-{index:05d}"
+        available = [
+            parent
+            for parent in candidates
+            if synthetic_children.get(parent, 0) < branching
+        ]
+        if not available:
+            # Every candidate is saturated; fall back to the synthetic
+            # concepts added so far (or the original candidates when none
+            # exist yet) so progress is always possible.
+            available = new_ids or candidates
+        parent_id = rng.choice(available)
+        ontology.add_concept(concept_id, f"Synthetic finding {index}", [parent_id])
+        synthetic_children[parent_id] = synthetic_children.get(parent_id, 0) + 1
+        candidates.append(concept_id)
+        new_ids.append(concept_id)
+    return new_ids
+
+
+def paper_example_concepts() -> dict[str, str]:
+    """Map the Table I problem names to their concept ids in the stand-in."""
+    return {
+        "Acute bronchitis": ACUTE_BRONCHITIS,
+        "Tracheobronchitis": TRACHEOBRONCHITIS,
+        "Chest pain": CHEST_PAIN,
+        "Broken arm": BROKEN_ARM,
+    }

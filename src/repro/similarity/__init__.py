@@ -1,0 +1,38 @@
+"""User similarity measures (Section V of the paper) and peer selection."""
+
+from .base import PrecomputedSimilarity, UserSimilarity
+from .clustering import (
+    Cluster,
+    ClusteredPeerSelector,
+    KMeansClusterer,
+    RatingVectorizer,
+)
+from .hybrid import HybridSimilarity
+from .peers import Peer, PeerSelector, mapping_as_peers, peers_as_mapping
+from .profile_sim import ProfileSimilarity
+from .ratings_sim import (
+    CosineRatingSimilarity,
+    JaccardRatingSimilarity,
+    PearsonRatingSimilarity,
+)
+from .semantic_sim import SemanticSimilarity, harmonic_mean
+
+__all__ = [
+    "Cluster",
+    "ClusteredPeerSelector",
+    "CosineRatingSimilarity",
+    "HybridSimilarity",
+    "KMeansClusterer",
+    "JaccardRatingSimilarity",
+    "Peer",
+    "PeerSelector",
+    "PearsonRatingSimilarity",
+    "PrecomputedSimilarity",
+    "ProfileSimilarity",
+    "RatingVectorizer",
+    "SemanticSimilarity",
+    "UserSimilarity",
+    "harmonic_mean",
+    "mapping_as_peers",
+    "peers_as_mapping",
+]

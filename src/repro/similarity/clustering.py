@@ -1,0 +1,238 @@
+"""Clustering-based peer pre-selection (related-work extension).
+
+The paper's related work (Section VII) notes that "clustering has been
+employed to pre-partition users into clusters of similar users and rely
+on cluster members for recommendations" (Ntoutsi et al. [17]).  Scanning
+every user for every peer query is quadratic; pre-clustering makes peer
+search scale to large patient populations at a small accuracy cost.
+
+This module implements that refinement without external dependencies:
+
+* :class:`RatingVectorizer` — turns users into mean-centred sparse
+  rating vectors;
+* :class:`KMeansClusterer` — a small k-means over sparse vectors with
+  cosine assignment and deterministic seeding;
+* :class:`ClusteredPeerSelector` — a drop-in replacement for
+  :class:`~repro.similarity.peers.PeerSelector` that only evaluates the
+  exact similarity against users in the query user's cluster (optionally
+  the closest ``num_probe_clusters`` clusters).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..data.ratings import RatingMatrix
+from ..text.vectors import SparseVector
+from .base import UserSimilarity
+from .peers import Peer, PeerSelector
+
+
+class RatingVectorizer:
+    """Represent each user as a mean-centred sparse vector of ratings."""
+
+    def __init__(self, matrix: RatingMatrix, center: bool = True) -> None:
+        self.matrix = matrix
+        self.center = center
+
+    def vector(self, user_id: str) -> SparseVector:
+        """The (optionally mean-centred) rating vector of ``user_id``."""
+        ratings = self.matrix.items_of(user_id)
+        if not ratings:
+            return SparseVector()
+        if not self.center:
+            return SparseVector(ratings)
+        mean = sum(ratings.values()) / len(ratings)
+        centred = {item_id: value - mean for item_id, value in ratings.items()}
+        return SparseVector(centred)
+
+    def vectors(self, user_ids: Iterable[str]) -> dict[str, SparseVector]:
+        """Vectors for several users."""
+        return {user_id: self.vector(user_id) for user_id in user_ids}
+
+
+@dataclass
+class Cluster:
+    """One cluster: its centroid and the member user ids."""
+
+    centroid: SparseVector
+    members: list[str] = field(default_factory=list)
+
+
+class KMeansClusterer:
+    """Cosine k-means over sparse user vectors.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters ``k``.
+    max_iterations:
+        Maximum number of assignment/update rounds.
+    seed:
+        Seed of the deterministic centroid initialisation.
+    """
+
+    def __init__(
+        self, num_clusters: int = 8, max_iterations: int = 20, seed: int = 7
+    ) -> None:
+        if num_clusters <= 0:
+            raise ValueError("num_clusters must be positive")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self.num_clusters = num_clusters
+        self.max_iterations = max_iterations
+        self.seed = seed
+
+    def fit(self, vectors: dict[str, SparseVector]) -> list[Cluster]:
+        """Cluster the users; returns the final clusters.
+
+        Users with empty vectors are assigned to the first cluster (they
+        carry no signal either way).  The number of clusters is capped at
+        the number of non-empty vectors.
+        """
+        user_ids = sorted(vectors)
+        non_empty = [uid for uid in user_ids if len(vectors[uid])]
+        k = min(self.num_clusters, max(1, len(non_empty)))
+        rng = random.Random(self.seed)
+        seeds = rng.sample(non_empty, k) if non_empty else user_ids[:1]
+        centroids = [vectors[uid].normalized() for uid in seeds]
+
+        assignment: dict[str, int] = {}
+        for _ in range(self.max_iterations):
+            new_assignment = {
+                user_id: self._closest(vectors[user_id], centroids)
+                for user_id in user_ids
+            }
+            if new_assignment == assignment:
+                break
+            assignment = new_assignment
+            centroids = self._update_centroids(vectors, assignment, len(centroids))
+
+        clusters = [Cluster(centroid=centroid) for centroid in centroids]
+        for user_id, index in assignment.items():
+            clusters[index].members.append(user_id)
+        return clusters
+
+    @staticmethod
+    def _closest(vector: SparseVector, centroids: Sequence[SparseVector]) -> int:
+        best_index = 0
+        best_score = float("-inf")
+        for index, centroid in enumerate(centroids):
+            score = vector.cosine(centroid)
+            if score > best_score:
+                best_score = score
+                best_index = index
+        return best_index
+
+    @staticmethod
+    def _update_centroids(
+        vectors: dict[str, SparseVector],
+        assignment: dict[str, int],
+        num_clusters: int,
+    ) -> list[SparseVector]:
+        sums: list[SparseVector] = [SparseVector() for _ in range(num_clusters)]
+        counts = [0] * num_clusters
+        for user_id, index in assignment.items():
+            vector = vectors[user_id]
+            if len(vector) == 0:
+                continue
+            sums[index] = sums[index].add(vector)
+            counts[index] += 1
+        centroids: list[SparseVector] = []
+        for index, total in enumerate(sums):
+            if counts[index] == 0:
+                centroids.append(total)
+            else:
+                centroids.append(total.scale(1.0 / counts[index]).normalized())
+        return centroids
+
+
+class ClusteredPeerSelector:
+    """Peer selection restricted to the query user's cluster(s).
+
+    A drop-in alternative to :class:`~repro.similarity.peers.PeerSelector`
+    for large user populations: the exact ``simU`` is only evaluated
+    against the members of the ``num_probe_clusters`` clusters whose
+    centroids are closest to the query user's vector.
+
+    Parameters
+    ----------
+    similarity:
+        The exact ``simU`` used inside the probed clusters.
+    matrix:
+        The rating matrix (used both for vectorisation and for the
+        candidate universe).
+    threshold, max_peers:
+        Same semantics as :class:`PeerSelector` (Definition 1).
+    num_clusters:
+        Number of k-means clusters.
+    num_probe_clusters:
+        How many of the closest clusters to search (1 = only the user's
+        own cluster; more probes trade speed for recall).
+    """
+
+    def __init__(
+        self,
+        similarity: UserSimilarity,
+        matrix: RatingMatrix,
+        threshold: float = 0.0,
+        max_peers: int | None = None,
+        num_clusters: int = 8,
+        num_probe_clusters: int = 1,
+        seed: int = 7,
+    ) -> None:
+        if num_probe_clusters <= 0:
+            raise ValueError("num_probe_clusters must be positive")
+        self.exact_selector = PeerSelector(
+            similarity, threshold=threshold, max_peers=max_peers
+        )
+        self.matrix = matrix
+        self.num_probe_clusters = num_probe_clusters
+        self.vectorizer = RatingVectorizer(matrix)
+        clusterer = KMeansClusterer(num_clusters=num_clusters, seed=seed)
+        self._vectors = self.vectorizer.vectors(matrix.user_ids())
+        self.clusters = clusterer.fit(self._vectors)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of fitted clusters."""
+        return len(self.clusters)
+
+    def cluster_of(self, user_id: str) -> int:
+        """Index of the cluster containing ``user_id`` (-1 when unknown)."""
+        for index, cluster in enumerate(self.clusters):
+            if user_id in cluster.members:
+                return index
+        return -1
+
+    def cluster_sizes(self) -> list[int]:
+        """Member counts of every cluster."""
+        return [len(cluster.members) for cluster in self.clusters]
+
+    # -- peer search --------------------------------------------------------------
+
+    def candidate_pool(self, user_id: str) -> list[str]:
+        """Users in the probed clusters (excluding the query user)."""
+        vector = self._vectors.get(user_id, self.vectorizer.vector(user_id))
+        scored = sorted(
+            range(len(self.clusters)),
+            key=lambda index: -vector.cosine(self.clusters[index].centroid),
+        )
+        pool: list[str] = []
+        for index in scored[: self.num_probe_clusters]:
+            pool.extend(self.clusters[index].members)
+        return [candidate for candidate in pool if candidate != user_id]
+
+    def peers(self, user_id: str, exclude: Iterable[str] = ()) -> list[Peer]:
+        """Peers of ``user_id`` inside the probed clusters (Definition 1)."""
+        excluded = set(exclude)
+        candidates = [
+            candidate
+            for candidate in self.candidate_pool(user_id)
+            if candidate not in excluded
+        ]
+        return self.exact_selector.peers(user_id, candidates)

@@ -1,0 +1,68 @@
+"""Weighted combination of the three similarity measures.
+
+Section V presents the ratings, profile and semantic measures as
+complementary views on "how to exploit health-related information for
+computing similarities between users".  :class:`HybridSimilarity`
+combines any subset of them with non-negative weights, which is the
+natural way to use all three at once and the configuration the
+``similarity="hybrid"`` option of :class:`~repro.config.RecommenderConfig`
+selects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import ConfigurationError
+from .base import UserSimilarity
+
+
+class HybridSimilarity(UserSimilarity):
+    """Weighted average of component similarity measures.
+
+    Parameters
+    ----------
+    components:
+        The similarity measures to combine (at least one).
+    weights:
+        Non-negative weights, one per component.  They are normalised to
+        sum to one; an all-zero weight vector is rejected.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        components: Sequence[UserSimilarity],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not components:
+            raise ConfigurationError("HybridSimilarity needs at least one component")
+        if weights is None:
+            weights = [1.0] * len(components)
+        if len(weights) != len(components):
+            raise ConfigurationError(
+                f"got {len(weights)} weights for {len(components)} components"
+            )
+        if any(weight < 0 for weight in weights):
+            raise ConfigurationError("weights must be non-negative")
+        total = float(sum(weights))
+        if total == 0.0:
+            raise ConfigurationError("weights must not all be zero")
+        self.components = list(components)
+        self.weights = [weight / total for weight in weights]
+
+    def similarity(self, user_a: str, user_b: str) -> float:
+        if user_a == user_b:
+            return 1.0
+        return sum(
+            weight * component.similarity(user_a, user_b)
+            for component, weight in zip(self.components, self.weights)
+        )
+
+    def component_scores(self, user_a: str, user_b: str) -> dict[str, float]:
+        """Per-component breakdown of the hybrid score (for reporting)."""
+        return {
+            component.name: component.similarity(user_a, user_b)
+            for component in self.components
+        }

@@ -1,0 +1,116 @@
+"""Peer selection (Definition 1 of the paper).
+
+The peers ``P_u`` of a user ``u`` are "all those users ``u'`` which are
+similar to ``u`` w.r.t. a similarity function ``simU`` and a threshold
+``δ``".  :class:`PeerSelector` implements that definition on top of any
+:class:`~repro.similarity.base.UserSimilarity`, with two practical
+refinements that the library exposes but does not enable by default:
+
+* an optional cap on the number of peers (``max_peers``), keeping only
+  the most similar ones;
+* an optional explicit candidate pool (the MapReduce implementation of
+  Section IV only considers users *outside* the group as potential
+  peers — the same restriction can be expressed here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..data.ratings import RatingMatrix
+from .base import UserSimilarity
+
+
+@dataclass(frozen=True)
+class Peer:
+    """One selected peer with its similarity score."""
+
+    user_id: str
+    similarity: float
+
+
+class PeerSelector:
+    """Select the peers ``P_u`` of users according to Definition 1.
+
+    Parameters
+    ----------
+    similarity:
+        The ``simU`` function.
+    threshold:
+        The ``δ`` threshold; a candidate with ``simU >= δ`` is a peer.
+    max_peers:
+        Optional cap; when set, only the ``max_peers`` most similar
+        peers are kept (ties broken by user id for determinism).
+    """
+
+    def __init__(
+        self,
+        similarity: UserSimilarity,
+        threshold: float = 0.0,
+        max_peers: int | None = None,
+    ) -> None:
+        if max_peers is not None and max_peers <= 0:
+            raise ValueError("max_peers must be positive or None")
+        self.similarity = similarity
+        self.threshold = threshold
+        self.max_peers = max_peers
+
+    def peers(
+        self,
+        user_id: str,
+        candidates: Iterable[str],
+    ) -> list[Peer]:
+        """Peers of ``user_id`` among ``candidates``, most similar first.
+
+        The user itself is never returned, regardless of ``candidates``.
+        """
+        scored: list[Peer] = []
+        for candidate in candidates:
+            if candidate == user_id:
+                continue
+            score = self.similarity.similarity(user_id, candidate)
+            if score >= self.threshold:
+                scored.append(Peer(user_id=candidate, similarity=score))
+        scored.sort(key=lambda peer: (-peer.similarity, peer.user_id))
+        if self.max_peers is not None:
+            scored = scored[: self.max_peers]
+        return scored
+
+    def peer_map(
+        self,
+        user_ids: Iterable[str],
+        candidates: Iterable[str],
+    ) -> dict[str, list[Peer]]:
+        """Peers for every user in ``user_ids`` against the same candidates."""
+        candidate_list = list(candidates)
+        return {
+            user_id: self.peers(user_id, candidate_list) for user_id in user_ids
+        }
+
+    def peers_from_matrix(
+        self,
+        user_id: str,
+        matrix: RatingMatrix,
+        exclude: Iterable[str] = (),
+    ) -> list[Peer]:
+        """Peers of ``user_id`` among every user of ``matrix``.
+
+        ``exclude`` removes additional users from the candidate pool
+        (the MapReduce formulation excludes the other group members).
+        """
+        excluded = set(exclude) | {user_id}
+        candidates = [uid for uid in matrix.user_ids() if uid not in excluded]
+        return self.peers(user_id, candidates)
+
+
+def peers_as_mapping(peers: Iterable[Peer]) -> dict[str, float]:
+    """Convert a peer list into a ``{user_id: similarity}`` mapping."""
+    return {peer.user_id: peer.similarity for peer in peers}
+
+
+def mapping_as_peers(scores: Mapping[str, float]) -> list[Peer]:
+    """Convert a ``{user_id: similarity}`` mapping into a sorted peer list."""
+    peers = [Peer(user_id=user_id, similarity=score) for user_id, score in scores.items()]
+    peers.sort(key=lambda peer: (-peer.similarity, peer.user_id))
+    return peers

@@ -1,0 +1,90 @@
+"""Profile-based user similarity (Section V.B, Equation 3).
+
+The paper flattens every user profile into one text document, computes
+TF-IDF vectors over the resulting corpus (Definition 4) and compares
+users with the cosine of their vectors (Equation 3).
+:class:`ProfileSimilarity` performs exactly those steps on top of a
+:class:`~repro.data.users.UserRegistry`; profile vectors are computed
+lazily and cached.
+"""
+
+from __future__ import annotations
+
+from ..data.users import UserRegistry
+from ..text.tfidf import TfIdfModel
+from ..text.tokenizer import DEFAULT_TOKENIZER, Tokenizer
+from ..text.vectors import SparseVector
+from .base import UserSimilarity
+
+
+class ProfileSimilarity(UserSimilarity):
+    """``CS(u, u')`` — TF-IDF cosine over flattened user profiles.
+
+    Scores lie in ``[0, 1]``.  Users whose profile text is empty (or
+    consists only of out-of-vocabulary terms) score 0 against everyone.
+
+    Parameters
+    ----------
+    users:
+        Registry providing the profiles.  The TF-IDF model is fitted on
+        the profile documents of *all* registered users, matching the
+        paper's "total number of documents" ``N`` in Definition 4.
+    tokenizer:
+        Text pipeline used for both fitting and transformation.
+    """
+
+    name = "profile"
+
+    def __init__(
+        self,
+        users: UserRegistry,
+        tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+    ) -> None:
+        self.users = users
+        self.tokenizer = tokenizer
+        self._model = TfIdfModel(tokenizer=tokenizer)
+        self._vector_cache: dict[str, SparseVector] = {}
+        self._fitted = False
+
+    # -- model management ---------------------------------------------------
+
+    def fit(self) -> "ProfileSimilarity":
+        """(Re)fit the TF-IDF model on all registered profiles."""
+        documents = [user.profile_text() for user in self.users]
+        self._model.fit(documents)
+        self._vector_cache.clear()
+        self._fitted = True
+        return self
+
+    def refresh(self) -> None:
+        """Refit after the registry or any profile changed."""
+        self.fit()
+
+    @property
+    def model(self) -> TfIdfModel:
+        """The underlying TF-IDF model (fitted on first use)."""
+        self._ensure_fitted()
+        return self._model
+
+    def _ensure_fitted(self) -> None:
+        if not self._fitted:
+            self.fit()
+
+    # -- vectors ---------------------------------------------------------------
+
+    def profile_vector(self, user_id: str) -> SparseVector:
+        """TF-IDF vector of the user's flattened profile."""
+        self._ensure_fitted()
+        if user_id not in self._vector_cache:
+            user = self.users.get(user_id)
+            self._vector_cache[user_id] = self._model.transform(user.profile_text())
+        return self._vector_cache[user_id]
+
+    # -- similarity -------------------------------------------------------------
+
+    def similarity(self, user_a: str, user_b: str) -> float:
+        if user_a == user_b:
+            return 1.0
+        vector_a = self.profile_vector(user_a)
+        vector_b = self.profile_vector(user_b)
+        return vector_a.cosine(vector_b)

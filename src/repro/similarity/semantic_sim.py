@@ -1,0 +1,116 @@
+"""Semantic user similarity (Section V.C, Equation 4).
+
+Two users are compared through their health problems:
+
+1. every problem maps to a concept of the SNOMED-like ontology and the
+   similarity of two problems is a decreasing function of the shortest
+   path between their concepts (Section V.C.1);
+2. the overall similarity of two users is the *harmonic mean* of the
+   pairwise problem similarities over all pairs of problems from the
+   two profiles (Section V.C.2, Equation 4).
+
+The harmonic mean is undefined when any pairwise similarity is 0; since
+our path-based similarities are strictly positive for connected
+ontologies, that situation only arises for users without mappable
+problems, which score 0.
+"""
+
+from __future__ import annotations
+
+from ..data.users import UserRegistry
+from ..ontology.ontology import HealthOntology
+from ..ontology.pathsim import ConceptSimilarity, path_similarity
+from .base import UserSimilarity
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Harmonic mean of strictly positive values (Equation 4).
+
+    Returns 0 for an empty list and for any list containing a
+    non-positive entry (the harmonic mean is undefined there; 0 is the
+    conservative "not similar" answer).
+    """
+    if not values:
+        return 0.0
+    if any(value <= 0.0 for value in values):
+        return 0.0
+    return len(values) / sum(1.0 / value for value in values)
+
+
+class SemanticSimilarity(UserSimilarity):
+    """``SS(u, u')`` — harmonic mean of problem-to-problem similarities.
+
+    Scores lie in ``(0, 1]`` for users with mappable problems and 0
+    otherwise.
+
+    Parameters
+    ----------
+    users:
+        Registry providing the patient profiles (their problem lists).
+    ontology:
+        Concept hierarchy used for the path computations.
+    concept_similarity:
+        The problem-to-problem similarity function; defaults to
+        ``1 / (1 + shortest_path)`` (:func:`path_similarity`).
+    skip_unknown_concepts:
+        When true (default) problems whose concept id is missing from
+        the ontology are ignored; when false they raise.
+    """
+
+    name = "semantic"
+
+    def __init__(
+        self,
+        users: UserRegistry,
+        ontology: HealthOntology,
+        concept_similarity: ConceptSimilarity = path_similarity,
+        skip_unknown_concepts: bool = True,
+    ) -> None:
+        self.users = users
+        self.ontology = ontology
+        self.concept_similarity = concept_similarity
+        self.skip_unknown_concepts = skip_unknown_concepts
+        self._concept_cache: dict[tuple[str, str], float] = {}
+
+    # -- problem level ---------------------------------------------------------
+
+    def problem_similarity(self, concept_a: str, concept_b: str) -> float:
+        """Similarity of two problems via their ontology concepts."""
+        key = (concept_a, concept_b) if concept_a <= concept_b else (concept_b, concept_a)
+        if key not in self._concept_cache:
+            self._concept_cache[key] = self.concept_similarity(
+                self.ontology, concept_a, concept_b
+            )
+        return self._concept_cache[key]
+
+    def _user_concepts(self, user_id: str) -> list[str]:
+        user = self.users.get(user_id)
+        concepts = []
+        for concept_id in user.problem_concepts():
+            if concept_id in self.ontology:
+                concepts.append(concept_id)
+            elif not self.skip_unknown_concepts:
+                # Delegate the error to the ontology accessor for a
+                # consistent exception type.
+                self.ontology.get(concept_id)
+        return concepts
+
+    # -- user level ------------------------------------------------------------------
+
+    def pairwise_problem_similarities(
+        self, user_a: str, user_b: str
+    ) -> list[float]:
+        """All cross-profile problem similarities ``x_i`` of Equation 4."""
+        concepts_a = self._user_concepts(user_a)
+        concepts_b = self._user_concepts(user_b)
+        return [
+            self.problem_similarity(concept_a, concept_b)
+            for concept_a in concepts_a
+            for concept_b in concepts_b
+        ]
+
+    def similarity(self, user_a: str, user_b: str) -> float:
+        if user_a == user_b:
+            return 1.0
+        values = self.pairwise_problem_similarities(user_a, user_b)
+        return harmonic_mean(values)

@@ -1,0 +1,16 @@
+"""Text substrate: tokenisation, TF-IDF and sparse vectors."""
+
+from .tokenizer import DEFAULT_STOPWORDS, DEFAULT_TOKENIZER, Tokenizer, simple_stem
+from .tfidf import TfIdfModel, corpus_tfidf
+from .vectors import SparseVector, cosine_similarity
+
+__all__ = [
+    "DEFAULT_STOPWORDS",
+    "DEFAULT_TOKENIZER",
+    "SparseVector",
+    "TfIdfModel",
+    "Tokenizer",
+    "corpus_tfidf",
+    "cosine_similarity",
+    "simple_stem",
+]

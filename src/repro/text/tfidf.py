@@ -1,0 +1,168 @@
+"""TF-IDF corpus model (Definition 4 of the paper).
+
+Section V.B flattens every user profile into one document, computes term
+frequency (tf) and inverse document frequency (idf) scores and compares
+the resulting vectors with cosine similarity.  :class:`TfIdfModel`
+implements exactly that:
+
+* ``tf(t, d)`` — raw term count, optionally normalised by document length;
+* ``idf(t, D) = log(N / |{d ∈ D : t ∈ d}|)`` — Definition 4;
+* the vector of a document multiplies the two.
+
+The model is fitted once on a corpus and can then transform unseen
+documents (terms never seen in the corpus receive idf 0, i.e. they are
+ignored — the standard convention and the behaviour Definition 4
+implies, since the ratio inside the log is undefined for them).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from .tokenizer import DEFAULT_TOKENIZER, Tokenizer
+from .vectors import SparseVector
+
+
+class TfIdfModel:
+    """Fit/transform TF-IDF vectorizer over a corpus of text documents.
+
+    Parameters
+    ----------
+    tokenizer:
+        The :class:`~repro.text.tokenizer.Tokenizer` used to split
+        documents into terms.
+    sublinear_tf:
+        When true, use ``1 + log(tf)`` instead of the raw count — a
+        common refinement; the paper uses raw counts, so it defaults to
+        ``False``.
+    normalize_length:
+        When true, divide term counts by the document length so long
+        profiles do not dominate.  Cosine similarity is scale-invariant,
+        so this does not change similarities; it only changes the
+        absolute weights reported by :meth:`transform`.
+    smooth_idf:
+        When true, use ``log((1 + N) / (1 + df)) + 1`` which never
+        produces zero or negative idf.  Defaults to ``False`` to follow
+        Definition 4 literally.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+        sublinear_tf: bool = False,
+        normalize_length: bool = False,
+        smooth_idf: bool = False,
+    ) -> None:
+        self.tokenizer = tokenizer
+        self.sublinear_tf = sublinear_tf
+        self.normalize_length = normalize_length
+        self.smooth_idf = smooth_idf
+        self._idf: dict[str, float] = {}
+        self._num_documents = 0
+        self._fitted = False
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(self, documents: Sequence[str]) -> "TfIdfModel":
+        """Learn idf weights from ``documents``; returns ``self``."""
+        document_frequency: Counter[str] = Counter()
+        self._num_documents = len(documents)
+        for document in documents:
+            terms = set(self.tokenizer.tokenize(document))
+            document_frequency.update(terms)
+        self._idf = {
+            term: self._idf_value(df)
+            for term, df in document_frequency.items()
+        }
+        self._fitted = True
+        return self
+
+    def _idf_value(self, document_frequency: int) -> float:
+        if self.smooth_idf:
+            return (
+                math.log((1 + self._num_documents) / (1 + document_frequency)) + 1.0
+            )
+        if document_frequency == 0:
+            return 0.0
+        return math.log(self._num_documents / document_frequency)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fitted
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """Sorted corpus vocabulary (terms with a learned idf)."""
+        return sorted(self._idf)
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents the model was fitted on."""
+        return self._num_documents
+
+    def idf(self, term: str) -> float:
+        """The learned idf of ``term`` (0 for out-of-vocabulary terms)."""
+        return self._idf.get(term, 0.0)
+
+    def document_frequency(self, term: str) -> int:
+        """Reconstructed document frequency of ``term`` (0 when unseen)."""
+        idf_value = self._idf.get(term)
+        if idf_value is None:
+            return 0
+        if self.smooth_idf:
+            return round((1 + self._num_documents) / math.exp(idf_value - 1.0) - 1)
+        return round(self._num_documents / math.exp(idf_value))
+
+    # -- transformation ------------------------------------------------------------
+
+    def term_frequencies(self, document: str) -> dict[str, float]:
+        """Raw (or length-normalised) term frequencies of ``document``."""
+        tokens = self.tokenizer.tokenize(document)
+        counts = Counter(tokens)
+        if not tokens:
+            return {}
+        frequencies: dict[str, float] = {}
+        for term, count in counts.items():
+            tf = float(count)
+            if self.sublinear_tf:
+                tf = 1.0 + math.log(count)
+            if self.normalize_length:
+                tf = tf / len(tokens)
+            frequencies[term] = tf
+        return frequencies
+
+    def transform(self, document: str) -> SparseVector:
+        """TF-IDF vector of ``document`` (requires :meth:`fit`)."""
+        if not self._fitted:
+            raise RuntimeError("TfIdfModel.transform called before fit")
+        frequencies = self.term_frequencies(document)
+        return SparseVector(
+            {
+                term: tf * self._idf.get(term, 0.0)
+                for term, tf in frequencies.items()
+                if self._idf.get(term, 0.0) != 0.0
+            }
+        )
+
+    def fit_transform(self, documents: Sequence[str]) -> list[SparseVector]:
+        """Fit on ``documents`` and return their vectors in order."""
+        self.fit(documents)
+        return [self.transform(document) for document in documents]
+
+    def similarity(self, document_a: str, document_b: str) -> float:
+        """Cosine similarity between the vectors of two documents."""
+        return self.transform(document_a).cosine(self.transform(document_b))
+
+
+def corpus_tfidf(
+    documents: Iterable[str],
+    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+) -> tuple[TfIdfModel, list[SparseVector]]:
+    """Convenience helper: fit a model on ``documents`` and vectorise them."""
+    documents = list(documents)
+    model = TfIdfModel(tokenizer=tokenizer)
+    vectors = model.fit_transform(documents)
+    return model, vectors

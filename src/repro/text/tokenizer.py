@@ -1,0 +1,99 @@
+"""Tokenisation utilities for profile and document text.
+
+The TF-IDF based profile similarity (Section V.B) treats each user
+profile as a single document.  This module provides the small text
+pipeline that feeds it: lowercasing, alphanumeric token extraction,
+optional stop-word removal and a light suffix stemmer.  Keeping the
+pipeline dependency-free (no NLTK) keeps the reproduction hermetic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A compact English stop-word list covering the function words that occur
+#: in PHR free text and document titles.  Deliberately small: removing too
+#: many words would change the TF-IDF vectors more than the paper intends.
+DEFAULT_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an and are as at be but by for from has have he her his i if in into is
+    it its of on or s she that the their them they this to was were will with
+    you your not no nor so than then there these those
+    """.split()
+)
+
+_SUFFIXES: tuple[str, ...] = ("ingly", "edly", "ing", "edly", "ed", "es", "s", "ly")
+
+
+def simple_stem(token: str) -> str:
+    """Strip one common English suffix from ``token``.
+
+    This is intentionally a very light stemmer (far lighter than Porter):
+    it merges obvious inflections ("rating"/"ratings", "treated"/
+    "treats") without the aggressive conflation that would distort the
+    medical vocabulary (e.g. it never reduces a token below 4 chars).
+    """
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 4:
+            return token[: -len(suffix)]
+    return token
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable text → token-list transformer.
+
+    Parameters
+    ----------
+    lowercase:
+        Whether to lowercase the text first.
+    remove_stopwords:
+        Whether to drop tokens in :data:`DEFAULT_STOPWORDS` (or the
+        custom ``stopwords`` set).
+    stem:
+        Whether to apply :func:`simple_stem` to each token.
+    min_length:
+        Tokens shorter than this are dropped.
+    stopwords:
+        Custom stop-word set; defaults to :data:`DEFAULT_STOPWORDS`.
+    """
+
+    lowercase: bool = True
+    remove_stopwords: bool = True
+    stem: bool = False
+    min_length: int = 2
+    stopwords: frozenset[str] = field(default=DEFAULT_STOPWORDS)
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into the configured token stream."""
+        if self.lowercase:
+            text = text.lower()
+        tokens = _TOKEN_RE.findall(text)
+        result: list[str] = []
+        for token in tokens:
+            if len(token) < self.min_length:
+                continue
+            if self.remove_stopwords and token in self.stopwords:
+                continue
+            if self.stem:
+                token = simple_stem(token)
+            result.append(token)
+        return result
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+    def vocabulary(self, texts: Iterable[str]) -> list[str]:
+        """Sorted distinct tokens over an iterable of texts."""
+        vocab: set[str] = set()
+        for text in texts:
+            vocab.update(self.tokenize(text))
+        return sorted(vocab)
+
+
+#: A ready-to-use tokenizer with the library defaults.
+DEFAULT_TOKENIZER = Tokenizer()

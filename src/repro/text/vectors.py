@@ -1,0 +1,124 @@
+"""Sparse vector arithmetic used by the TF-IDF profile similarity.
+
+Profile vectors are sparse (a patient profile mentions a handful of
+terms out of the whole vocabulary), so they are represented as plain
+``dict[str, float]`` wrapped in :class:`SparseVector` which adds the
+operations Equation 3 needs: dot product, Euclidean norm and cosine
+similarity, plus the small conveniences (addition, scaling, top terms)
+the examples and tests use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+
+class SparseVector:
+    """An immutable sparse mapping of term → weight.
+
+    Zero weights are dropped on construction so that two vectors with
+    the same non-zero entries compare equal regardless of explicit
+    zeros.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, float] | None = None) -> None:
+        self._data: dict[str, float] = {
+            key: float(value)
+            for key, value in (data or {}).items()
+            if value != 0.0
+        }
+
+    # -- mapping interface -------------------------------------------------
+
+    def __getitem__(self, key: str) -> float:
+        return self._data.get(key, 0.0)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """Weight of ``key`` or ``default`` when absent."""
+        return self._data.get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterable[str]:
+        """Terms with non-zero weight."""
+        return self._data.keys()
+
+    def items(self) -> Iterable[tuple[str, float]]:
+        """``(term, weight)`` pairs with non-zero weight."""
+        return self._data.items()
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict copy of the vector."""
+        return dict(self._data)
+
+    # -- equality -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:  # immutable by convention
+        return hash(frozenset(self._data.items()))
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def dot(self, other: "SparseVector") -> float:
+        """Dot product; iterates over the smaller vector."""
+        if len(other) < len(self):
+            return other.dot(self)
+        return sum(weight * other[term] for term, weight in self.items())
+
+    def norm(self) -> float:
+        """Euclidean (L2) norm."""
+        return math.sqrt(sum(weight * weight for weight in self._data.values()))
+
+    def cosine(self, other: "SparseVector") -> float:
+        """Cosine similarity (Equation 3); 0 when either vector is empty."""
+        denominator = self.norm() * other.norm()
+        if denominator == 0.0:
+            return 0.0
+        return self.dot(other) / denominator
+
+    def scale(self, factor: float) -> "SparseVector":
+        """Return a new vector with every weight multiplied by ``factor``."""
+        return SparseVector({term: weight * factor for term, weight in self.items()})
+
+    def add(self, other: "SparseVector") -> "SparseVector":
+        """Element-wise sum of two vectors."""
+        result = dict(self._data)
+        for term, weight in other.items():
+            result[term] = result.get(term, 0.0) + weight
+        return SparseVector(result)
+
+    def normalized(self) -> "SparseVector":
+        """Return the unit-norm version of the vector (self when empty)."""
+        norm = self.norm()
+        if norm == 0.0:
+            return SparseVector()
+        return self.scale(1.0 / norm)
+
+    def top_terms(self, n: int = 10) -> list[tuple[str, float]]:
+        """The ``n`` highest-weighted terms, sorted by weight then term."""
+        return sorted(self.items(), key=lambda pair: (-pair[1], pair[0]))[:n]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(
+            f"{term}={weight:.3f}" for term, weight in self.top_terms(3)
+        )
+        return f"SparseVector({len(self)} terms: {preview})"
+
+
+def cosine_similarity(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Cosine similarity between two plain term-weight mappings."""
+    return SparseVector(a).cosine(SparseVector(b))

@@ -1,0 +1,138 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small deterministic worlds:
+
+* ``tiny_matrix`` — a hand-written rating matrix where the expected
+  Pearson similarities and Equation 1 predictions can be verified by
+  hand;
+* ``small_dataset`` / ``nutrition_dataset`` — synthetic datasets small
+  enough to run the full pipeline in milliseconds;
+* ``snomed`` — the SNOMED-like ontology;
+* ``paper_patients`` — the three Table I example patients;
+* ``synthetic_candidates_small`` — a ready-made candidate bundle for the
+  selection-algorithm tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import generate_dataset, paper_example_users
+from repro.data.groups import Group
+from repro.data.nutrition import generate_nutrition_dataset
+from repro.data.phr import HealthProblem, Medication, PersonalHealthRecord
+from repro.data.ratings import RatingMatrix
+from repro.data.users import User, UserRegistry
+from repro.eval.experiments import synthetic_candidates
+from repro.ontology.snomed import build_snomed_like_ontology
+
+
+@pytest.fixture
+def tiny_matrix() -> RatingMatrix:
+    """A small hand-checkable rating matrix.
+
+    Users ``alice`` and ``bob`` agree strongly, ``carol`` disagrees with
+    both, and ``dave`` has rated only one item in common with anyone.
+    Items ``i5``/``i6`` are unrated by ``alice`` and ``bob``.
+    """
+    matrix = RatingMatrix()
+    ratings = [
+        ("alice", "i1", 5.0),
+        ("alice", "i2", 4.0),
+        ("alice", "i3", 1.0),
+        ("bob", "i1", 5.0),
+        ("bob", "i2", 4.0),
+        ("bob", "i3", 2.0),
+        ("bob", "i5", 5.0),
+        ("carol", "i1", 1.0),
+        ("carol", "i2", 2.0),
+        ("carol", "i3", 5.0),
+        ("carol", "i5", 2.0),
+        ("carol", "i6", 4.0),
+        ("dave", "i3", 3.0),
+        ("dave", "i6", 5.0),
+    ]
+    for user_id, item_id, value in ratings:
+        matrix.add(user_id, item_id, value)
+    return matrix
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A synthetic health dataset shared by the integration tests."""
+    return generate_dataset(
+        num_users=40, num_items=60, ratings_per_user=15, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def nutrition_dataset():
+    """A synthetic nutrition dataset."""
+    return generate_nutrition_dataset(
+        num_users=30, num_recipes=50, ratings_per_user=12, seed=5
+    )
+
+
+@pytest.fixture(scope="session")
+def snomed():
+    """The SNOMED-like ontology stand-in."""
+    return build_snomed_like_ontology()
+
+
+@pytest.fixture
+def paper_patients(snomed) -> UserRegistry:
+    """The three example patients of Table I."""
+    return paper_example_users(snomed)
+
+
+@pytest.fixture
+def profile_registry() -> UserRegistry:
+    """A small registry with textual profiles for the TF-IDF tests."""
+    registry = UserRegistry()
+    registry.add(
+        User(
+            user_id="u-resp",
+            gender="Female",
+            age=40,
+            record=PersonalHealthRecord(
+                problems=[HealthProblem(name="Acute bronchitis")],
+                medications=[Medication(name="Salbutamol 100 MCG Inhaler")],
+            ),
+        )
+    )
+    registry.add(
+        User(
+            user_id="u-resp2",
+            gender="Male",
+            age=45,
+            record=PersonalHealthRecord(
+                problems=[HealthProblem(name="Chronic bronchitis")],
+                medications=[Medication(name="Salbutamol 100 MCG Inhaler")],
+            ),
+        )
+    )
+    registry.add(
+        User(
+            user_id="u-card",
+            gender="Male",
+            age=60,
+            record=PersonalHealthRecord(
+                problems=[HealthProblem(name="Myocardial infarction")],
+                medications=[Medication(name="Atorvastatin 20 MG Tablet")],
+            ),
+        )
+    )
+    registry.add(User(user_id="u-empty"))
+    return registry
+
+
+@pytest.fixture
+def synthetic_candidates_small():
+    """A deterministic candidate bundle (m=20, |G|=4) for selection tests."""
+    return synthetic_candidates(num_candidates=20, group_size=4, top_k=5, seed=3)
+
+
+@pytest.fixture
+def small_group(small_dataset) -> Group:
+    """A 4-member caregiver group from the shared synthetic dataset."""
+    return small_dataset.random_group(4, seed=2)

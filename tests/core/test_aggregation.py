@@ -1,0 +1,113 @@
+"""Unit tests for the group aggregation strategies (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import (
+    AGGREGATIONS,
+    AverageAggregation,
+    BordaAggregation,
+    MaximumAggregation,
+    MedianAggregation,
+    MinimumAggregation,
+    MultiplicativeAggregation,
+    get_aggregation,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def table() -> dict[str, dict[str, float]]:
+    return {
+        "u1": {"i1": 5.0, "i2": 1.0, "i3": 3.0},
+        "u2": {"i1": 4.0, "i2": 5.0, "i3": 3.0},
+        "u3": {"i1": 3.0, "i2": 4.0, "i3": 3.0, "only-u3": 5.0},
+    }
+
+
+class TestScalarStrategies:
+    def test_average(self):
+        assert AverageAggregation().aggregate([1.0, 2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_minimum_is_least_misery(self):
+        assert MinimumAggregation().aggregate([4.0, 2.0, 5.0]) == 2.0
+
+    def test_maximum_is_most_pleasure(self):
+        assert MaximumAggregation().aggregate([4.0, 2.0, 5.0]) == 5.0
+
+    def test_median(self):
+        assert MedianAggregation().aggregate([1.0, 9.0, 3.0]) == 3.0
+
+    def test_multiplicative_geometric_mean(self):
+        assert MultiplicativeAggregation().aggregate([4.0, 1.0]) == pytest.approx(2.0)
+
+    def test_multiplicative_rejects_negative_scores(self):
+        with pytest.raises(ValueError):
+            MultiplicativeAggregation().aggregate([-1.0, 2.0])
+
+    @pytest.mark.parametrize("name", ["average", "minimum", "maximum", "median", "multiplicative"])
+    def test_empty_scores_rejected(self, name):
+        with pytest.raises(ValueError):
+            get_aggregation(name).aggregate([])
+
+    def test_single_member_group_all_strategies_agree(self):
+        for name in ["average", "minimum", "maximum", "median", "multiplicative"]:
+            assert get_aggregation(name).aggregate([4.0]) == pytest.approx(4.0)
+
+    def test_minimum_never_exceeds_average(self):
+        scores = [2.0, 3.0, 5.0]
+        assert MinimumAggregation().aggregate(scores) <= AverageAggregation().aggregate(scores)
+
+
+class TestAggregateTable:
+    def test_only_items_scored_by_everyone_are_kept(self, table):
+        aggregated = AverageAggregation().aggregate_table(table)
+        assert set(aggregated) == {"i1", "i2", "i3"}
+
+    def test_average_table_values(self, table):
+        aggregated = AverageAggregation().aggregate_table(table)
+        assert aggregated["i1"] == pytest.approx(4.0)
+        assert aggregated["i2"] == pytest.approx(10.0 / 3.0)
+
+    def test_minimum_table_values(self, table):
+        aggregated = MinimumAggregation().aggregate_table(table)
+        assert aggregated["i1"] == 3.0
+        assert aggregated["i2"] == 1.0
+
+    def test_veto_semantics_change_ranking(self, table):
+        """The least-misery veto demotes items a single member dislikes."""
+        average = AverageAggregation().aggregate_table(table)
+        minimum = MinimumAggregation().aggregate_table(table)
+        # Under average, i2 beats i3; under minimum the veto of u1 flips it.
+        assert average["i2"] > average["i3"]
+        assert minimum["i2"] < minimum["i3"]
+
+    def test_empty_table(self):
+        assert AverageAggregation().aggregate_table({}) == {}
+
+
+class TestBorda:
+    def test_scalar_aggregate_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            BordaAggregation().aggregate([1.0, 2.0])
+
+    def test_borda_points(self, table):
+        aggregated = BordaAggregation().aggregate_table(table)
+        # Three common items → points per user are 2 (best), 1, 0.
+        assert set(aggregated) == {"i1", "i2", "i3"}
+        # i1 is ranked first by u1 and second by u2 and u3 → (2+1+1)/3.
+        assert aggregated["i1"] == pytest.approx(4.0 / 3.0)
+
+    def test_borda_empty_table(self):
+        assert BordaAggregation().aggregate_table({}) == {}
+
+
+class TestRegistry:
+    def test_all_registered_strategies_instantiable(self):
+        for name in AGGREGATIONS:
+            assert get_aggregation(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_aggregation("does-not-exist")

@@ -1,0 +1,92 @@
+"""Unit tests for the brute-force optimal selection."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.brute_force import BruteForceSelector, brute_force_selection, subset_count
+from repro.core.candidates import GroupCandidates
+from repro.core.fairness import value
+from repro.core.greedy import FairnessAwareGreedy
+from repro.data.groups import Group
+from repro.eval.experiments import synthetic_candidates
+from repro.exceptions import InsufficientCandidatesError
+
+
+class TestSubsetCount:
+    def test_binomial_values(self):
+        assert subset_count(10, 4) == 210
+        assert subset_count(20, 8) == 125970
+        assert subset_count(30, 12) == 86493225
+
+    def test_degenerate_cases(self):
+        assert subset_count(5, 0) == 1
+        assert subset_count(5, 6) == 0
+        assert subset_count(5, -1) == 0
+
+
+class TestOptimality:
+    def test_matches_explicit_enumeration(self):
+        candidates = synthetic_candidates(num_candidates=8, group_size=3, top_k=3, seed=5)
+        result = BruteForceSelector().select(candidates, 3)
+        best = max(
+            value(candidates, subset)
+            for subset in combinations(sorted(candidates.group_relevance), 3)
+        )
+        assert result.value == pytest.approx(best)
+
+    def test_value_at_least_greedy(self):
+        """The optimum can never be worse than the heuristic."""
+        for seed in range(5):
+            candidates = synthetic_candidates(
+                num_candidates=10, group_size=4, top_k=4, seed=seed
+            )
+            optimal = BruteForceSelector().select(candidates, 4)
+            heuristic = FairnessAwareGreedy().select(candidates, 4)
+            assert optimal.value >= heuristic.value - 1e-9
+
+    def test_selects_z_items(self):
+        candidates = synthetic_candidates(num_candidates=9, group_size=3, seed=2)
+        result = brute_force_selection(candidates, 4)
+        assert len(result.items) == 4
+        assert len(set(result.items)) == 4
+
+    def test_deterministic_tie_breaking(self):
+        group = Group(member_ids=["u1"])
+        relevance = {"u1": {"a": 3.0, "b": 3.0, "c": 3.0}}
+        candidates = GroupCandidates.from_relevance_table(group, relevance, top_k=1)
+        first = BruteForceSelector().select(candidates, 1)
+        second = BruteForceSelector().select(candidates, 1)
+        assert first.items == second.items
+
+    def test_prefers_fair_subsets(self):
+        """With one very relevant item per member, the optimum covers both."""
+        group = Group(member_ids=["u1", "u2"])
+        relevance = {
+            "u1": {"a": 5.0, "b": 4.9, "x": 1.0},
+            "u2": {"a": 1.0, "b": 1.1, "x": 5.0},
+        }
+        candidates = GroupCandidates.from_relevance_table(group, relevance, top_k=1)
+        result = BruteForceSelector().select(candidates, 2)
+        assert set(result.items) == {"a", "x"}
+        assert result.fairness == 1.0
+
+
+class TestGuards:
+    def test_z_larger_than_pool_rejected(self):
+        candidates = synthetic_candidates(num_candidates=4, group_size=2, seed=1)
+        with pytest.raises(InsufficientCandidatesError):
+            BruteForceSelector().select(candidates, 5)
+
+    def test_invalid_z_rejected(self):
+        candidates = synthetic_candidates(num_candidates=4, group_size=2, seed=1)
+        with pytest.raises(ValueError):
+            BruteForceSelector().select(candidates, 0)
+
+    def test_max_subsets_guard(self):
+        candidates = synthetic_candidates(num_candidates=30, group_size=3, seed=1)
+        selector = BruteForceSelector(max_subsets=1000)
+        with pytest.raises(MemoryError):
+            selector.select(candidates, 12)

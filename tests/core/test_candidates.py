@@ -1,0 +1,91 @@
+"""Unit tests for the GroupCandidates bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import AverageAggregation, MinimumAggregation
+from repro.core.candidates import GroupCandidates
+from repro.data.groups import Group
+
+
+@pytest.fixture
+def group() -> Group:
+    return Group(member_ids=["u1", "u2"])
+
+
+@pytest.fixture
+def relevance_table() -> dict[str, dict[str, float]]:
+    return {
+        "u1": {"i1": 5.0, "i2": 1.0, "i3": 3.0, "i4": 4.0},
+        "u2": {"i1": 2.0, "i2": 5.0, "i3": 3.0, "extra": 4.0},
+    }
+
+
+class TestFromRelevanceTable:
+    def test_keeps_only_common_items(self, group, relevance_table):
+        candidates = GroupCandidates.from_relevance_table(group, relevance_table)
+        assert set(candidates.group_relevance) == {"i1", "i2", "i3"}
+
+    def test_group_relevance_uses_aggregation(self, group, relevance_table):
+        average = GroupCandidates.from_relevance_table(
+            group, relevance_table, aggregation=AverageAggregation()
+        )
+        minimum = GroupCandidates.from_relevance_table(
+            group, relevance_table, aggregation=MinimumAggregation()
+        )
+        assert average.item_group_relevance("i1") == pytest.approx(3.5)
+        assert minimum.item_group_relevance("i1") == 2.0
+
+    def test_candidate_limit_keeps_best_m(self, group, relevance_table):
+        candidates = GroupCandidates.from_relevance_table(
+            group, relevance_table, candidate_limit=2
+        )
+        assert candidates.num_candidates == 2
+        # i1 (3.5) and i2/i3 (3.0): limit keeps the two best by group score.
+        assert "i1" in candidates.group_relevance
+
+    def test_candidate_limit_larger_than_pool_is_noop(self, group, relevance_table):
+        candidates = GroupCandidates.from_relevance_table(
+            group, relevance_table, candidate_limit=100
+        )
+        assert candidates.num_candidates == 3
+
+    def test_missing_member_rejected(self, relevance_table):
+        group = Group(member_ids=["u1", "u2", "ghost"])
+        with pytest.raises(ValueError):
+            GroupCandidates.from_relevance_table(group, relevance_table)
+
+
+class TestAccessors:
+    @pytest.fixture
+    def candidates(self, group, relevance_table) -> GroupCandidates:
+        return GroupCandidates.from_relevance_table(group, relevance_table, top_k=2)
+
+    def test_item_ids_sorted_by_group_relevance(self, candidates):
+        assert candidates.item_ids[0] == "i1"
+
+    def test_user_ranking_is_descending(self, candidates):
+        ranking = candidates.user_ranking("u1")
+        scores = [item.score for item in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_user_top_items_respects_top_k(self, candidates):
+        assert candidates.user_top_items("u1") == {"i1", "i3"}
+        assert candidates.user_top_items("u2") == {"i2", "i3"}
+
+    def test_user_relevance_lookup(self, candidates):
+        assert candidates.user_relevance("u1", "i2") == 1.0
+
+    def test_top_group_items(self, candidates):
+        top = candidates.top_group_items(1)
+        assert top[0].item_id == "i1"
+
+    def test_restrict_to_subset(self, candidates):
+        restricted = candidates.restrict_to(["i2", "i3", "missing"])
+        assert set(restricted.group_relevance) == {"i2", "i3"}
+        assert restricted.top_k == candidates.top_k
+
+    def test_invalid_top_k_rejected(self, group, relevance_table):
+        with pytest.raises(ValueError):
+            GroupCandidates.from_relevance_table(group, relevance_table, top_k=0)

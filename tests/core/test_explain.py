@@ -1,0 +1,107 @@
+"""Unit tests for recommendation explanations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force import BruteForceSelector
+from repro.core.candidates import GroupCandidates
+from repro.core.explain import explain_recommendation, render_explanation
+from repro.core.greedy import FairnessAwareGreedy
+from repro.data.groups import Group
+
+
+@pytest.fixture
+def candidates() -> GroupCandidates:
+    group = Group(member_ids=["u1", "u2"])
+    relevance = {
+        "u1": {"a": 5.0, "b": 4.0, "c": 1.0, "d": 2.0},
+        "u2": {"a": 1.0, "b": 2.0, "c": 5.0, "d": 4.0},
+    }
+    return GroupCandidates.from_relevance_table(group, relevance, top_k=2)
+
+
+class TestExplainRecommendation:
+    def test_one_explanation_per_item(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 3)
+        explanation = explain_recommendation(candidates, recommendation)
+        assert len(explanation.items) == len(recommendation.items)
+        assert [item.item_id for item in explanation.items] == list(recommendation.items)
+
+    def test_greedy_steps_preserved(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 2)
+        explanation = explain_recommendation(candidates, recommendation)
+        for item in explanation.items:
+            assert item.selected_for in candidates.group
+            assert item.drawn_from in candidates.group
+            assert item.selected_for != item.drawn_from
+
+    def test_member_relevance_and_top_k_fields(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 2)
+        explanation = explain_recommendation(candidates, recommendation)
+        for item in explanation.items:
+            assert set(item.member_relevance) == {"u1", "u2"}
+            for member in item.top_k_for:
+                assert item.item_id in candidates.user_top_items(member)
+
+    def test_best_member(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 2)
+        explanation = explain_recommendation(candidates, recommendation)
+        for item in explanation.items:
+            best = item.best_member()
+            assert item.member_relevance[best] == max(item.member_relevance.values())
+
+    def test_for_item_lookup(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 2)
+        explanation = explain_recommendation(candidates, recommendation)
+        first = recommendation.items[0]
+        assert explanation.for_item(first).item_id == first
+        with pytest.raises(KeyError):
+            explanation.for_item("not-selected")
+
+    def test_items_serving_user(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 2)
+        explanation = explain_recommendation(candidates, recommendation)
+        served_u1 = explanation.items_serving("u1")
+        assert all("u1" in item.top_k_for for item in served_u1)
+        assert served_u1  # fairness 1 ⇒ u1 is served by something
+
+    def test_works_for_brute_force_without_steps(self, candidates):
+        recommendation = BruteForceSelector().select(candidates, 2)
+        explanation = explain_recommendation(candidates, recommendation)
+        for item in explanation.items:
+            assert item.selected_for == ""
+            assert item.drawn_from == ""
+        assert explanation.fairness == recommendation.fairness
+
+
+class TestRenderExplanation:
+    def test_render_contains_items_and_fairness(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 2)
+        explanation = explain_recommendation(candidates, recommendation)
+        text = render_explanation(explanation, item_titles={"a": "Diet guide"})
+        assert "fairness" in text
+        for item_id in recommendation.items:
+            assert item_id in text
+
+    def test_render_mentions_unsatisfied_members(self, candidates):
+        # Selection that is unfair to u2 (both items from u1's top list).
+        from repro.core.fairness import fairness_report
+        from repro.core.greedy import GroupRecommendation
+
+        recommendation = GroupRecommendation(
+            items=("a", "b"),
+            report=fairness_report(candidates, ["a", "b"]),
+            algorithm="manual",
+        )
+        explanation = explain_recommendation(candidates, recommendation)
+        text = render_explanation(explanation)
+        assert "u2" in text
+        assert "without a personally relevant item" in text
+
+    def test_max_items_truncates(self, candidates):
+        recommendation = FairnessAwareGreedy().select(candidates, 3)
+        explanation = explain_recommendation(candidates, recommendation)
+        short = render_explanation(explanation, max_items=1)
+        item_lines = [line for line in short.splitlines() if line.startswith("- ")]
+        assert len(item_lines) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the fairness model (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import GroupCandidates
+from repro.core.fairness import (
+    fairness,
+    fairness_report,
+    is_fair_to_user,
+    satisfied_users,
+    total_group_relevance,
+    value,
+)
+from repro.data.groups import Group
+
+
+@pytest.fixture
+def candidates() -> GroupCandidates:
+    """Two users with opposite tastes over four candidates (top_k = 1)."""
+    group = Group(member_ids=["u1", "u2"])
+    relevance = {
+        "u1": {"a": 5.0, "b": 4.0, "c": 1.0, "d": 1.0},
+        "u2": {"a": 1.0, "b": 1.0, "c": 5.0, "d": 4.0},
+    }
+    return GroupCandidates.from_relevance_table(group, relevance, top_k=1)
+
+
+class TestIsFairToUser:
+    def test_contains_top_item(self, candidates):
+        assert is_fair_to_user(candidates, ["a"], "u1")
+        assert not is_fair_to_user(candidates, ["a"], "u2")
+
+    def test_empty_selection_is_unfair(self, candidates):
+        assert not is_fair_to_user(candidates, [], "u1")
+
+
+class TestFairness:
+    def test_fair_to_both_users(self, candidates):
+        assert fairness(candidates, ["a", "c"]) == 1.0
+
+    def test_fair_to_one_of_two(self, candidates):
+        assert fairness(candidates, ["a", "b"]) == 0.5
+
+    def test_fair_to_none(self, candidates):
+        assert fairness(candidates, ["b", "d"]) == 0.0
+
+    def test_satisfied_users_names(self, candidates):
+        assert satisfied_users(candidates, ["a", "b"]) == ["u1"]
+        assert satisfied_users(candidates, ["a", "c"]) == ["u1", "u2"]
+
+
+class TestValue:
+    def test_value_is_fairness_times_relevance_sum(self, candidates):
+        selection = ["a", "c"]
+        expected = 1.0 * (candidates.item_group_relevance("a") + candidates.item_group_relevance("c"))
+        assert value(candidates, selection) == pytest.approx(expected)
+
+    def test_unfair_selection_has_zero_value(self, candidates):
+        assert value(candidates, ["b", "d"]) == 0.0
+
+    def test_total_group_relevance(self, candidates):
+        assert total_group_relevance(candidates, ["a", "c"]) == pytest.approx(6.0)
+
+    def test_fairness_weighting_can_beat_raw_relevance(self, candidates):
+        """A fair selection can have higher value than a higher-relevance
+        unfair one — the core motivation of Definition 3."""
+        fair_selection = ["a", "c"]          # relevance 3 + 3, fairness 1
+        unfair_selection = ["a", "b"]        # relevance 3 + 2.5, fairness 0.5
+        assert value(candidates, fair_selection) > value(candidates, unfair_selection)
+
+
+class TestFairnessReport:
+    def test_report_fields(self, candidates):
+        report = fairness_report(candidates, ["a", "b"])
+        assert report.selection == ("a", "b")
+        assert report.fairness == 0.5
+        assert report.satisfied_users == ("u1",)
+        assert report.unsatisfied_users == ("u2",)
+        assert report.total_relevance == pytest.approx(5.5)
+        assert report.value == pytest.approx(0.5 * 5.5)
+
+    def test_per_user_best_rank(self, candidates):
+        report = fairness_report(candidates, ["b", "c"])
+        # For u1, 'b' is their rank-1 (0-indexed 1? ranking: a, b, ...) item.
+        assert report.per_user_best_rank["u1"] == 1
+        assert report.per_user_best_rank["u2"] == 0
+
+    def test_best_rank_none_when_nothing_selected_for_user(self, candidates):
+        report = fairness_report(candidates, [])
+        assert report.per_user_best_rank["u1"] is None
+        assert report.fairness == 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for Algorithm 1 (fairness-aware greedy selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import GroupCandidates
+from repro.core.greedy import FairnessAwareGreedy, greedy_selection
+from repro.data.groups import Group
+from repro.eval.experiments import synthetic_candidates
+from repro.exceptions import InsufficientCandidatesError
+
+
+@pytest.fixture
+def polarized_candidates() -> GroupCandidates:
+    """Two members with opposite tastes (top_k = 2)."""
+    group = Group(member_ids=["u1", "u2"])
+    relevance = {
+        "u1": {"a": 5.0, "b": 4.5, "c": 4.0, "x": 1.0, "y": 1.5, "z": 2.0},
+        "u2": {"a": 1.0, "b": 1.5, "c": 2.0, "x": 5.0, "y": 4.5, "z": 4.0},
+    }
+    return GroupCandidates.from_relevance_table(group, relevance, top_k=2)
+
+
+class TestBasicBehaviour:
+    def test_selects_exactly_z_items(self, synthetic_candidates_small):
+        result = FairnessAwareGreedy().select(synthetic_candidates_small, 6)
+        assert len(result.items) == 6
+        assert len(set(result.items)) == 6
+
+    def test_invalid_z_rejected(self, synthetic_candidates_small):
+        with pytest.raises(ValueError):
+            FairnessAwareGreedy().select(synthetic_candidates_small, 0)
+
+    def test_strict_mode_raises_when_pool_too_small(self, polarized_candidates):
+        with pytest.raises(InsufficientCandidatesError):
+            FairnessAwareGreedy().select(polarized_candidates, 100, strict=True)
+
+    def test_non_strict_mode_returns_whole_pool(self, polarized_candidates):
+        result = FairnessAwareGreedy(restrict_to_top_k=False).select(
+            polarized_candidates, 100
+        )
+        assert set(result.items) == {"a", "b", "c", "x", "y", "z"}
+
+    def test_items_come_from_candidate_pool(self, synthetic_candidates_small):
+        result = FairnessAwareGreedy().select(synthetic_candidates_small, 8)
+        assert set(result.items) <= set(synthetic_candidates_small.group_relevance)
+
+    def test_result_report_matches_items(self, synthetic_candidates_small):
+        result = FairnessAwareGreedy().select(synthetic_candidates_small, 5)
+        assert result.report.selection == result.items
+        assert result.algorithm == "greedy"
+
+    def test_convenience_wrapper(self, synthetic_candidates_small):
+        result = greedy_selection(synthetic_candidates_small, 4)
+        assert len(result.items) == 4
+
+
+class TestPairSemantics:
+    def test_satisfies_both_polarized_members(self, polarized_candidates):
+        """With opposite tastes, the pair loop alternates between the two
+        members' favourites — both get a top item immediately."""
+        result = FairnessAwareGreedy().select(polarized_candidates, 2)
+        assert result.fairness == 1.0
+        assert "a" in result.items or "b" in result.items   # u1's favourites
+        assert "x" in result.items or "y" in result.items   # u2's favourites
+
+    def test_steps_record_pair_provenance(self, polarized_candidates):
+        result = FairnessAwareGreedy().select(polarized_candidates, 2)
+        assert len(result.steps) == 2
+        first, second = result.steps
+        assert first.target_user != first.source_user
+        assert {first.target_user, second.target_user} == {"u1", "u2"}
+        assert first.relevance == polarized_candidates.user_relevance(
+            first.target_user, first.item_id
+        )
+
+    def test_restrict_to_top_k_limits_source_lists(self, polarized_candidates):
+        """With restrict_to_top_k the item picked from u_y's list must be
+        one of u_y's top-k candidates."""
+        result = FairnessAwareGreedy(restrict_to_top_k=True).select(
+            polarized_candidates, 4
+        )
+        for step in result.steps:
+            assert step.item_id in polarized_candidates.user_top_items(step.source_user)
+
+    def test_deterministic(self, synthetic_candidates_small):
+        first = FairnessAwareGreedy().select(synthetic_candidates_small, 6)
+        second = FairnessAwareGreedy().select(synthetic_candidates_small, 6)
+        assert first.items == second.items
+
+
+class TestProposition1:
+    """If z >= |G| the fairness of the greedy selection is 1 (Prop. 1)."""
+
+    @pytest.mark.parametrize("group_size", [2, 3, 4, 5, 7])
+    def test_fairness_is_one_when_z_equals_group_size(self, group_size):
+        candidates = synthetic_candidates(
+            num_candidates=30, group_size=group_size, top_k=5, seed=group_size
+        )
+        result = FairnessAwareGreedy().select(candidates, group_size)
+        assert result.fairness == 1.0
+
+    @pytest.mark.parametrize("group_size", [2, 4, 6])
+    @pytest.mark.parametrize("extra", [0, 1, 5])
+    def test_fairness_is_one_when_z_exceeds_group_size(self, group_size, extra):
+        candidates = synthetic_candidates(
+            num_candidates=40, group_size=group_size, top_k=8, seed=11
+        )
+        result = FairnessAwareGreedy().select(candidates, group_size + extra)
+        assert result.fairness == 1.0
+
+    def test_holds_for_polarized_groups(self, polarized_candidates):
+        result = FairnessAwareGreedy().select(polarized_candidates, 2)
+        assert result.fairness == 1.0
+
+    def test_may_be_below_one_when_z_smaller_than_group(self):
+        """Not an assertion of Proposition 1 — just documents that fairness
+        can drop when z < |G| (the premise of the proposition matters)."""
+        candidates = synthetic_candidates(
+            num_candidates=30, group_size=6, top_k=3, seed=1
+        )
+        result = FairnessAwareGreedy().select(candidates, 2)
+        assert 0.0 <= result.fairness <= 1.0

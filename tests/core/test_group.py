@@ -1,0 +1,148 @@
+"""Unit tests for the group recommender (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.group import GroupRecommender
+from repro.data.groups import Group
+from repro.exceptions import EmptyGroupError
+from repro.similarity.base import PrecomputedSimilarity
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+
+
+@pytest.fixture
+def similarity(tiny_matrix) -> PrecomputedSimilarity:
+    return PrecomputedSimilarity(
+        {
+            ("alice", "bob"): 0.9,
+            ("alice", "carol"): 0.6,
+            ("alice", "dave"): 0.5,
+            ("bob", "carol"): 0.4,
+            ("bob", "dave"): 0.3,
+            ("carol", "dave"): 0.2,
+        }
+    )
+
+
+class TestCandidateItems:
+    def test_candidates_unrated_by_all_members(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        group = Group(member_ids=["alice", "bob"])
+        assert recommender.candidate_items(group) == ["i6"]
+
+    def test_candidates_for_single_member_group(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        group = Group(member_ids=["alice"])
+        assert set(recommender.candidate_items(group)) == {"i5", "i6"}
+
+
+class TestMemberRelevanceTable:
+    def test_peers_exclude_other_group_members(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(
+            tiny_matrix, similarity, exclude_group_from_peers=True
+        )
+        group = Group(member_ids=["alice", "bob"])
+        table = recommender.member_relevance_table(group)
+        # i6 is rated by carol (4) and dave (5); alice's peers among the
+        # raters are carol (0.6) and dave (0.5): weighted average.
+        expected_alice = (0.6 * 4.0 + 0.5 * 5.0) / 1.1
+        assert table["alice"]["i6"] == pytest.approx(expected_alice)
+        # bob's peers among the raters: carol (0.4), dave (0.3).
+        expected_bob = (0.4 * 4.0 + 0.3 * 5.0) / 0.7
+        assert table["bob"]["i6"] == pytest.approx(expected_bob)
+
+    def test_group_members_do_not_influence_each_other(self, tiny_matrix, similarity):
+        """Even though bob rated i5, his rating must not be used for alice
+        when both are in the group (the MapReduce formulation pairs group
+        members with non-members only)."""
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        group = Group(member_ids=["alice", "bob"])
+        table = recommender.member_relevance_table(group, candidate_items=["i5"])
+        # i5 raters: bob (excluded, group member) and carol (0.6).
+        assert table["alice"]["i5"] == pytest.approx(2.0)
+
+    def test_include_group_members_when_configured(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(
+            tiny_matrix, similarity, exclude_group_from_peers=False
+        )
+        group = Group(member_ids=["alice", "bob"])
+        table = recommender.member_relevance_table(group, candidate_items=["i5"])
+        expected = (0.9 * 5.0 + 0.6 * 2.0) / 1.5
+        assert table["alice"]["i5"] == pytest.approx(expected)
+
+    def test_empty_group_rejected(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        with pytest.raises(EmptyGroupError):
+            recommender.member_relevance_table(_make_empty_group())
+
+
+def _make_empty_group() -> Group:
+    """Build an (invalid) empty group by bypassing the constructor check."""
+    group = Group(member_ids=["placeholder"])
+    group.member_ids = []
+    return group
+
+
+class TestGroupRelevanceAndRecommend:
+    def test_average_aggregation(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity, aggregation="average")
+        group = Group(member_ids=["alice", "bob"])
+        scores = recommender.group_relevance(group)
+        table = recommender.member_relevance_table(group)
+        expected = (table["alice"]["i6"] + table["bob"]["i6"]) / 2.0
+        assert scores["i6"] == pytest.approx(expected)
+
+    def test_minimum_aggregation(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity, aggregation="minimum")
+        group = Group(member_ids=["alice", "bob"])
+        scores = recommender.group_relevance(group)
+        table = recommender.member_relevance_table(group)
+        assert scores["i6"] == pytest.approx(
+            min(table["alice"]["i6"], table["bob"]["i6"])
+        )
+
+    def test_recommend_returns_ranked_scored_items(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        group = Group(member_ids=["alice", "bob"])
+        recommendations = recommender.recommend(group, k=5)
+        assert [item.item_id for item in recommendations] == ["i6"]
+
+    def test_recommend_for_member(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        group = Group(member_ids=["alice", "bob"])
+        personal = recommender.recommend_for_member(group, "alice", k=5)
+        assert {item.item_id for item in personal} == {"i6"}
+
+    def test_recommend_for_non_member_rejected(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        group = Group(member_ids=["alice", "bob"])
+        with pytest.raises(EmptyGroupError):
+            recommender.recommend_for_member(group, "carol")
+
+    def test_build_candidates_limit(self, tiny_matrix, similarity):
+        recommender = GroupRecommender(tiny_matrix, similarity)
+        group = Group(member_ids=["alice"])
+        candidates = recommender.build_candidates(group, candidate_limit=1)
+        assert candidates.num_candidates == 1
+
+    def test_aggregation_accepts_string_or_instance(self, tiny_matrix, similarity):
+        from repro.core.aggregation import MinimumAggregation
+
+        by_name = GroupRecommender(tiny_matrix, similarity, aggregation="minimum")
+        by_instance = GroupRecommender(
+            tiny_matrix, similarity, aggregation=MinimumAggregation()
+        )
+        group = Group(member_ids=["alice", "bob"])
+        assert by_name.group_relevance(group) == by_instance.group_relevance(group)
+
+    def test_pearson_similarity_end_to_end(self, tiny_matrix):
+        recommender = GroupRecommender(
+            tiny_matrix, PearsonRatingSimilarity(tiny_matrix), peer_threshold=-1.0
+        )
+        group = Group(member_ids=["alice", "bob"])
+        candidates = recommender.build_candidates(group)
+        assert candidates.num_candidates >= 1
+        for member in group:
+            for score in candidates.relevance[member].values():
+                assert 1.0 <= score <= 5.0

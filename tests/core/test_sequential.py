@@ -1,0 +1,104 @@
+"""Unit tests for sequential (multi-round) group recommendations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import GroupCandidates
+from repro.core.sequential import SequentialGroupRecommender
+from repro.data.groups import Group
+from repro.eval.experiments import synthetic_candidates
+
+
+@pytest.fixture
+def candidates() -> GroupCandidates:
+    return synthetic_candidates(num_candidates=40, group_size=4, top_k=8, seed=5)
+
+
+class TestSequentialRuns:
+    def test_rounds_have_requested_size(self, candidates):
+        report = SequentialGroupRecommender().run(candidates, z=6, num_rounds=3)
+        assert report.num_rounds == 3
+        for round_result in report.rounds:
+            assert len(round_result.items) == 6
+
+    def test_no_item_repeats_across_rounds(self, candidates):
+        report = SequentialGroupRecommender().run(candidates, z=6, num_rounds=4)
+        all_items = report.all_items()
+        assert len(all_items) == len(set(all_items))
+
+    def test_stops_early_when_pool_exhausted(self, candidates):
+        report = SequentialGroupRecommender().run(candidates, z=15, num_rounds=10)
+        assert report.num_rounds <= 3  # 40 candidates / 15 per round
+        assert len(report.all_items()) <= candidates.num_candidates
+
+    def test_per_round_fairness_is_one_when_z_at_least_group(self, candidates):
+        report = SequentialGroupRecommender().run(candidates, z=5, num_rounds=4)
+        for round_result in report.rounds:
+            assert round_result.fairness == 1.0
+        assert report.mean_round_fairness() == 1.0
+
+    def test_cumulative_report_covers_sequence(self, candidates):
+        report = SequentialGroupRecommender().run(candidates, z=4, num_rounds=3)
+        cumulative = report.cumulative_report(candidates)
+        assert cumulative.fairness == 1.0
+        assert set(cumulative.selection) == set(report.all_items())
+
+    def test_member_weights_tracked(self, candidates):
+        report = SequentialGroupRecommender().run(candidates, z=4, num_rounds=2)
+        for round_result in report.rounds:
+            assert set(round_result.member_weights) == set(candidates.group.member_ids)
+            assert all(weight >= 0.0 for weight in round_result.member_weights.values())
+
+    def test_deterministic(self, candidates):
+        first = SequentialGroupRecommender().run(candidates, z=6, num_rounds=3)
+        second = SequentialGroupRecommender().run(candidates, z=6, num_rounds=3)
+        assert first.all_items() == second.all_items()
+
+    def test_invalid_parameters(self, candidates):
+        recommender = SequentialGroupRecommender()
+        with pytest.raises(ValueError):
+            recommender.run(candidates, z=0, num_rounds=2)
+        with pytest.raises(ValueError):
+            recommender.run(candidates, z=4, num_rounds=0)
+        with pytest.raises(ValueError):
+            SequentialGroupRecommender(satisfaction_boost=-1.0)
+
+
+class TestPrioritisation:
+    def test_underserved_member_prioritised_next_round(self):
+        """A member ignored in round 1 must be served first in round 2.
+
+        Construct a scenario where z = 1 < |G| so a single round cannot be
+        fair to both members; the sequence should alternate between them.
+        """
+        group = Group(member_ids=["u1", "u2"])
+        relevance = {
+            "u1": {"a": 5.0, "b": 4.9, "x": 1.0, "y": 1.1},
+            "u2": {"a": 1.0, "b": 1.1, "x": 5.0, "y": 4.9},
+        }
+        candidates = GroupCandidates.from_relevance_table(group, relevance, top_k=2)
+        report = SequentialGroupRecommender(satisfaction_boost=2.0).run(
+            candidates, z=1, num_rounds=2
+        )
+        first_round = set(report.rounds[0].items)
+        second_round = set(report.rounds[1].items)
+        u1_items = {"a", "b"}
+        u2_items = {"x", "y"}
+        served_u1 = bool(first_round & u1_items) or bool(second_round & u1_items)
+        served_u2 = bool(first_round & u2_items) or bool(second_round & u2_items)
+        assert served_u1 and served_u2
+        cumulative = report.cumulative_report(candidates)
+        assert cumulative.fairness == 1.0
+
+    def test_zero_boost_disables_reprioritisation(self, candidates):
+        baseline = SequentialGroupRecommender(satisfaction_boost=0.0).run(
+            candidates, z=6, num_rounds=2
+        )
+        for round_result in baseline.rounds:
+            # Weights stay at the neutral value when boosting is disabled
+            # and satisfaction is capped at 1.
+            assert all(
+                weight <= 1.0 + 1e-9
+                for weight in round_result.member_weights.values()
+            )

@@ -1,0 +1,54 @@
+"""Unit tests for the swap-refinement selector (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force import BruteForceSelector
+from repro.core.greedy import FairnessAwareGreedy
+from repro.core.swap import SwapRefinementSelector, swap_selection
+from repro.eval.experiments import synthetic_candidates
+
+
+class TestSwapRefinement:
+    def test_selects_z_items(self, synthetic_candidates_small):
+        result = SwapRefinementSelector().select(synthetic_candidates_small, 6)
+        assert len(result.items) == 6
+        assert len(set(result.items)) == 6
+
+    def test_never_worse_than_greedy(self):
+        for seed in range(6):
+            candidates = synthetic_candidates(
+                num_candidates=15, group_size=4, top_k=5, seed=seed
+            )
+            greedy = FairnessAwareGreedy().select(candidates, 5)
+            swapped = SwapRefinementSelector().select(candidates, 5)
+            assert swapped.value >= greedy.value - 1e-9
+
+    def test_never_better_than_optimum(self):
+        for seed in range(4):
+            candidates = synthetic_candidates(
+                num_candidates=12, group_size=3, top_k=4, seed=seed
+            )
+            optimal = BruteForceSelector().select(candidates, 4)
+            swapped = SwapRefinementSelector().select(candidates, 4)
+            assert swapped.value <= optimal.value + 1e-9
+
+    def test_deterministic(self, synthetic_candidates_small):
+        first = SwapRefinementSelector().select(synthetic_candidates_small, 5)
+        second = SwapRefinementSelector().select(synthetic_candidates_small, 5)
+        assert first.items == second.items
+
+    def test_invalid_max_passes(self):
+        with pytest.raises(ValueError):
+            SwapRefinementSelector(max_passes=0)
+
+    def test_algorithm_name(self, synthetic_candidates_small):
+        result = swap_selection(synthetic_candidates_small, 4)
+        assert result.algorithm == "greedy+swap"
+
+    def test_single_pass_budget_respected(self, synthetic_candidates_small):
+        result = SwapRefinementSelector(max_passes=1).select(
+            synthetic_candidates_small, 5
+        )
+        assert len(result.items) == 5

@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic health dataset generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import (
+    DatasetConfig,
+    HealthDataset,
+    SyntheticHealthDataSource,
+    generate_dataset,
+    paper_example_users,
+)
+from repro.ontology.snomed import (
+    ACUTE_BRONCHITIS,
+    BROKEN_ARM,
+    CHEST_PAIN,
+    TRACHEOBRONCHITIS,
+)
+
+
+class TestDatasetConfig:
+    def test_defaults_valid(self):
+        DatasetConfig()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_users", 0),
+            ("num_items", 0),
+            ("ratings_per_user", 0),
+            ("num_topics_per_user", 0),
+            ("rating_noise", -0.1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            DatasetConfig(**{field: value})
+
+    def test_empty_topics_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(topics=[])
+
+
+class TestGeneration:
+    def test_sizes_match_config(self):
+        dataset = generate_dataset(num_users=20, num_items=30, ratings_per_user=8, seed=1)
+        assert dataset.num_users == 20
+        assert dataset.num_items == 30
+        assert dataset.num_ratings == 20 * 8
+
+    def test_deterministic_for_seed(self):
+        first = generate_dataset(num_users=15, num_items=20, ratings_per_user=5, seed=4)
+        second = generate_dataset(num_users=15, num_items=20, ratings_per_user=5, seed=4)
+        assert first.ratings.triples() == second.ratings.triples()
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(num_users=15, num_items=20, ratings_per_user=5, seed=4)
+        second = generate_dataset(num_users=15, num_items=20, ratings_per_user=5, seed=5)
+        assert first.ratings.triples() != second.ratings.triples()
+
+    def test_ratings_within_scale_and_integer(self):
+        dataset = generate_dataset(num_users=10, num_items=15, ratings_per_user=5, seed=2)
+        for _, _, value in dataset.ratings.triples():
+            assert 1.0 <= value <= 5.0
+            assert value == int(value)
+
+    def test_fractional_ratings_option(self):
+        config = DatasetConfig(
+            num_users=10, num_items=15, ratings_per_user=5, integer_ratings=False, seed=2
+        )
+        dataset = SyntheticHealthDataSource(config).generate()
+        assert any(value != int(value) for _, _, value in dataset.ratings.triples())
+
+    def test_users_have_phr_problems_from_ontology(self):
+        dataset = generate_dataset(num_users=10, num_items=15, ratings_per_user=5, seed=2)
+        for user in dataset.users:
+            assert user.record is not None
+            for concept_id in user.record.problem_concept_ids():
+                assert concept_id in dataset.ontology
+
+    def test_items_have_topics(self):
+        dataset = generate_dataset(num_users=5, num_items=25, ratings_per_user=3, seed=2)
+        assert all(item.topics for item in dataset.items)
+
+    def test_random_group_helper(self):
+        dataset = generate_dataset(num_users=10, num_items=15, ratings_per_user=5, seed=2)
+        group = dataset.random_group(4, seed=1)
+        assert group.size == 4
+        assert all(member in dataset.users for member in group)
+
+    def test_roundtrip_through_dict(self):
+        dataset = generate_dataset(num_users=6, num_items=10, ratings_per_user=3, seed=2)
+        rebuilt = HealthDataset.from_dict(dataset.to_dict())
+        assert rebuilt.num_users == dataset.num_users
+        assert rebuilt.num_items == dataset.num_items
+        assert rebuilt.ratings.triples() == dataset.ratings.triples()
+        assert len(rebuilt.ontology) == len(dataset.ontology)
+
+
+class TestPaperExampleUsers:
+    def test_three_patients_with_expected_problems(self):
+        registry = paper_example_users()
+        assert len(registry) == 3
+        assert registry.get("patient-1").problem_concepts() == [ACUTE_BRONCHITIS]
+        assert registry.get("patient-2").problem_concepts() == [CHEST_PAIN]
+        assert set(registry.get("patient-3").problem_concepts()) == {
+            TRACHEOBRONCHITIS,
+            BROKEN_ARM,
+        }
+
+    def test_demographics_match_table1(self):
+        registry = paper_example_users()
+        assert registry.get("patient-1").gender == "Female"
+        assert registry.get("patient-1").age == 40
+        assert registry.get("patient-2").age == 53
+        assert registry.get("patient-3").age == 34

@@ -1,0 +1,88 @@
+"""Unit tests for caregiver groups and group constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.groups import Group, diverse_group, random_group, similar_group
+from repro.exceptions import EmptyGroupError
+
+
+class TestGroup:
+    def test_empty_group_rejected(self):
+        with pytest.raises(EmptyGroupError):
+            Group(member_ids=[])
+
+    def test_duplicates_removed_preserving_order(self):
+        group = Group(member_ids=["a", "b", "a", "c", "b"])
+        assert group.member_ids == ["a", "b", "c"]
+        assert group.size == 3
+
+    def test_membership_and_iteration(self):
+        group = Group(member_ids=["a", "b"])
+        assert "a" in group
+        assert "z" not in group
+        assert list(group) == ["a", "b"]
+        assert len(group) == 2
+
+    def test_roundtrip(self):
+        group = Group(
+            member_ids=["a", "b"],
+            caregiver_id="cg",
+            name="ward 3",
+            attributes={"shift": "night"},
+        )
+        rebuilt = Group.from_dict(group.to_dict())
+        assert rebuilt.member_ids == ["a", "b"]
+        assert rebuilt.caregiver_id == "cg"
+        assert rebuilt.attributes == {"shift": "night"}
+
+
+class TestRandomGroup:
+    def test_size_and_membership(self):
+        users = [f"u{i}" for i in range(20)]
+        group = random_group(users, 5, seed=1)
+        assert group.size == 5
+        assert set(group.member_ids) <= set(users)
+
+    def test_deterministic_for_seed(self):
+        users = [f"u{i}" for i in range(20)]
+        assert random_group(users, 5, seed=1).member_ids == random_group(
+            users, 5, seed=1
+        ).member_ids
+
+    def test_oversized_group_rejected(self):
+        with pytest.raises(ValueError):
+            random_group(["u1", "u2"], 3)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(EmptyGroupError):
+            random_group(["u1", "u2"], 0)
+
+
+class TestSimilarAndDiverseGroups:
+    def test_similar_group_contains_anchor_first(self, tiny_matrix):
+        group = similar_group(tiny_matrix, "alice", 3, seed=0)
+        assert group.member_ids[0] == "alice"
+        assert group.size == 3
+
+    def test_similar_group_prefers_high_overlap(self, tiny_matrix):
+        group = similar_group(tiny_matrix, "alice", 2, seed=0)
+        # bob and carol share 3 items with alice, dave only 1.
+        assert group.member_ids[1] in {"bob", "carol"}
+
+    def test_diverse_group_prefers_low_overlap(self, tiny_matrix):
+        group = diverse_group(tiny_matrix, "alice", 2, seed=0)
+        assert group.member_ids[1] == "dave"
+
+    def test_group_too_large_raises(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            similar_group(tiny_matrix, "alice", 10)
+        with pytest.raises(ValueError):
+            diverse_group(tiny_matrix, "alice", 10)
+
+    def test_zero_size_rejected(self, tiny_matrix):
+        with pytest.raises(EmptyGroupError):
+            similar_group(tiny_matrix, "alice", 0)
+        with pytest.raises(EmptyGroupError):
+            diverse_group(tiny_matrix, "alice", 0)

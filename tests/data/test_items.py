@@ -1,0 +1,82 @@
+"""Unit tests for health documents and the item catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.items import HealthDocument, ItemCatalog
+from repro.exceptions import UnknownItemError
+
+
+class TestHealthDocument:
+    def test_requires_non_empty_id(self):
+        with pytest.raises(ValueError):
+            HealthDocument(item_id="")
+
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            HealthDocument(item_id="d1", quality=1.5)
+        with pytest.raises(ValueError):
+            HealthDocument(item_id="d1", quality=-0.1)
+
+    def test_full_text(self):
+        document = HealthDocument(item_id="d1", title="Diet", text="eat fiber")
+        assert document.full_text() == "Diet eat fiber"
+
+    def test_roundtrip(self):
+        document = HealthDocument(
+            item_id="d1",
+            title="Diet",
+            text="eat fiber",
+            topics=["nutrition"],
+            source="expert-1",
+            quality=0.9,
+            concept_ids=["C1"],
+        )
+        rebuilt = HealthDocument.from_dict(document.to_dict())
+        assert rebuilt.to_dict() == document.to_dict()
+
+
+class TestItemCatalog:
+    @pytest.fixture
+    def catalog(self) -> ItemCatalog:
+        return ItemCatalog(
+            [
+                HealthDocument(item_id="d1", title="Diet", topics=["nutrition"]),
+                HealthDocument(item_id="d2", title="Walk", topics=["exercise"]),
+                HealthDocument(
+                    item_id="d3", title="Meal plan", topics=["nutrition", "diabetes"]
+                ),
+            ]
+        )
+
+    def test_get_and_contains(self, catalog):
+        assert catalog.get("d1").title == "Diet"
+        assert "d2" in catalog
+        assert "missing" not in catalog
+
+    def test_get_unknown_raises(self, catalog):
+        with pytest.raises(UnknownItemError):
+            catalog.get("missing")
+
+    def test_remove(self, catalog):
+        catalog.remove("d1")
+        assert "d1" not in catalog
+        with pytest.raises(UnknownItemError):
+            catalog.remove("d1")
+
+    def test_by_topic(self, catalog):
+        assert [d.item_id for d in catalog.by_topic("nutrition")] == ["d1", "d3"]
+        assert catalog.by_topic("unknown") == []
+
+    def test_topics_sorted_distinct(self, catalog):
+        assert catalog.topics() == ["diabetes", "exercise", "nutrition"]
+
+    def test_ids_order_and_len(self, catalog):
+        assert catalog.ids() == ["d1", "d2", "d3"]
+        assert len(catalog) == 3
+
+    def test_roundtrip(self, catalog):
+        rebuilt = ItemCatalog.from_dict(catalog.to_dict())
+        assert rebuilt.ids() == catalog.ids()
+        assert rebuilt.get("d3").topics == ["nutrition", "diabetes"]

@@ -1,0 +1,88 @@
+"""Unit tests for the nutrition workload generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.nutrition import (
+    DIETARY_CONDITIONS,
+    NUTRIENTS,
+    NutritionConfig,
+    NutritionDataSource,
+    Recipe,
+    generate_nutrition_dataset,
+)
+
+
+class TestNutritionConfig:
+    @pytest.mark.parametrize(
+        "field, value",
+        [("num_users", 0), ("num_recipes", 0), ("ratings_per_user", 0), ("rating_noise", -1.0)],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            NutritionConfig(**{field: value})
+
+
+class TestRecipe:
+    def test_to_document_tags_nutrients(self):
+        recipe = Recipe(
+            item_id="r1",
+            name="Salad 1",
+            category="salad",
+            nutrients={"sugar": 0.2, "protein": 0.8},
+        )
+        document = recipe.to_document()
+        assert document.item_id == "r1"
+        assert "nutrition" in document.topics
+        assert "salad" in document.topics
+        assert "low sugar" in document.text
+        assert "high protein" in document.text
+
+
+class TestGeneration:
+    def test_sizes(self):
+        dataset = generate_nutrition_dataset(
+            num_users=12, num_recipes=20, ratings_per_user=6, seed=3
+        )
+        assert dataset.num_users == 12
+        assert dataset.num_items == 20
+        assert dataset.num_ratings == 12 * 6
+
+    def test_deterministic(self):
+        first = generate_nutrition_dataset(num_users=8, num_recipes=15, ratings_per_user=4, seed=9)
+        second = generate_nutrition_dataset(num_users=8, num_recipes=15, ratings_per_user=4, seed=9)
+        assert first.ratings.triples() == second.ratings.triples()
+
+    def test_every_patient_has_a_dietary_condition(self):
+        dataset = generate_nutrition_dataset(num_users=10, num_recipes=15, ratings_per_user=4, seed=3)
+        known_concepts = {concept_id for _, concept_id, _, _ in DIETARY_CONDITIONS}
+        for user in dataset.users:
+            concepts = user.problem_concepts()
+            assert concepts
+            assert set(concepts) <= known_concepts
+
+    def test_recipes_cover_all_nutrients(self):
+        source = NutritionDataSource(NutritionConfig(num_recipes=10, seed=1))
+        recipes = source.generate_recipes(random.Random(1))
+        for recipe in recipes:
+            assert set(recipe.nutrients) == set(NUTRIENTS)
+            assert all(0.0 <= value <= 1.0 for value in recipe.nutrients.values())
+
+    def test_diabetic_prefers_low_sugar_recipes(self):
+        """The rating model encodes the dietary preference direction."""
+        source = NutritionDataSource(NutritionConfig(rating_noise=0.0, seed=1))
+        rng = random.Random(0)
+        low_sugar = Recipe("r-low", "Low", "salad", {"sugar": 0.05})
+        high_sugar = Recipe("r-high", "High", "dessert", {"sugar": 0.95})
+        sensitivities = [("sugar", True)]
+        low_rating = source._recipe_rating(rng, low_sugar, sensitivities)
+        high_rating = source._recipe_rating(rng, high_sugar, sensitivities)
+        assert low_rating > high_rating
+
+    def test_ratings_within_scale(self):
+        dataset = generate_nutrition_dataset(num_users=10, num_recipes=15, ratings_per_user=4, seed=3)
+        for _, _, value in dataset.ratings.triples():
+            assert 1.0 <= value <= 5.0

@@ -1,0 +1,91 @@
+"""Unit tests for the personal health record model."""
+
+from __future__ import annotations
+
+from repro.data.phr import (
+    Allergy,
+    HealthProblem,
+    Measurement,
+    Medication,
+    PersonalHealthRecord,
+    Procedure,
+)
+
+
+class TestEntries:
+    def test_problem_text_and_roundtrip(self):
+        problem = HealthProblem(name="Acute bronchitis", concept_id="C1", onset_year=2015)
+        assert problem.as_text() == "Acute bronchitis"
+        rebuilt = HealthProblem.from_dict(problem.to_dict())
+        assert rebuilt == problem
+
+    def test_medication_text_includes_dosage_and_frequency(self):
+        medication = Medication(name="Ramipril", dosage="10 MG", frequency="daily")
+        assert medication.as_text() == "Ramipril 10 MG daily"
+        assert Medication.from_dict(medication.to_dict()) == medication
+
+    def test_procedure_roundtrip(self):
+        procedure = Procedure(name="Appendectomy", year=2010)
+        assert Procedure.from_dict(procedure.to_dict()) == procedure
+
+    def test_measurement_text(self):
+        measurement = Measurement(name="Glucose", value=5.4, unit="mmol/L")
+        assert measurement.as_text() == "Glucose 5.4 mmol/L"
+        assert Measurement.from_dict(measurement.to_dict()) == measurement
+
+    def test_allergy_text(self):
+        allergy = Allergy(substance="Penicillin", reaction="rash")
+        assert allergy.as_text() == "Penicillin rash"
+        assert Allergy.from_dict(allergy.to_dict()) == allergy
+
+
+class TestRecord:
+    def test_empty_record(self):
+        record = PersonalHealthRecord()
+        assert record.is_empty()
+        assert record.as_text() == ""
+        assert record.problem_concept_ids() == []
+
+    def test_add_helpers(self):
+        record = PersonalHealthRecord()
+        record.add_problem(HealthProblem(name="Asthma", concept_id="C-A"))
+        record.add_medication(Medication(name="Salbutamol"))
+        record.add_procedure(Procedure(name="Spirometry"))
+        record.add_measurement(Measurement(name="FEV1", value=2.5, unit="L"))
+        record.add_allergy(Allergy(substance="Pollen"))
+        assert not record.is_empty()
+        assert record.problem_concept_ids() == ["C-A"]
+
+    def test_as_text_order_is_deterministic(self):
+        record = PersonalHealthRecord(
+            problems=[HealthProblem(name="Asthma")],
+            medications=[Medication(name="Salbutamol")],
+            notes="likes walking",
+        )
+        assert record.as_text() == "Asthma Salbutamol likes walking"
+
+    def test_active_problems_filter(self):
+        record = PersonalHealthRecord(
+            problems=[
+                HealthProblem(name="Asthma", active=True),
+                HealthProblem(name="Old fracture", active=False),
+            ]
+        )
+        assert [p.name for p in record.active_problems()] == ["Asthma"]
+
+    def test_roundtrip(self):
+        record = PersonalHealthRecord(
+            problems=[HealthProblem(name="Asthma", concept_id="C-A")],
+            medications=[Medication(name="Salbutamol", dosage="100 MCG")],
+            procedures=[Procedure(name="Spirometry", year=2020)],
+            measurements=[Measurement(name="FEV1", value=2.5, unit="L")],
+            allergies=[Allergy(substance="Pollen")],
+            notes="note",
+        )
+        rebuilt = PersonalHealthRecord.from_dict(record.to_dict())
+        assert rebuilt.to_dict() == record.to_dict()
+
+    def test_from_problems_constructor(self):
+        record = PersonalHealthRecord.from_problems([("Asthma", "C-A"), ("Flu", "C-F")])
+        assert record.problem_concept_ids() == ["C-A", "C-F"]
+        assert [p.name for p in record.problems] == ["Asthma", "Flu"]

@@ -1,0 +1,140 @@
+"""Unit tests for the sparse rating matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.ratings import Rating, RatingMatrix
+from repro.exceptions import InvalidRatingError, UnknownItemError, UnknownUserError
+
+
+class TestAddAndGet:
+    def test_add_and_get_rating(self):
+        matrix = RatingMatrix()
+        matrix.add("u1", "i1", 4.0)
+        assert matrix.get("u1", "i1") == 4.0
+
+    def test_get_missing_rating_returns_none(self):
+        matrix = RatingMatrix()
+        assert matrix.get("u1", "i1") is None
+
+    def test_add_overwrites_existing_rating(self):
+        matrix = RatingMatrix()
+        matrix.add("u1", "i1", 2.0)
+        matrix.add("u1", "i1", 5.0)
+        assert matrix.get("u1", "i1") == 5.0
+        assert matrix.num_ratings == 1
+
+    def test_rating_below_scale_rejected(self):
+        matrix = RatingMatrix()
+        with pytest.raises(InvalidRatingError):
+            matrix.add("u1", "i1", 0.5)
+
+    def test_rating_above_scale_rejected(self):
+        matrix = RatingMatrix()
+        with pytest.raises(InvalidRatingError):
+            matrix.add("u1", "i1", 5.5)
+
+    def test_custom_scale_accepted(self):
+        matrix = RatingMatrix(scale=(0.0, 10.0))
+        matrix.add("u1", "i1", 9.5)
+        assert matrix.get("u1", "i1") == 9.5
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix(scale=(5.0, 1.0))
+
+    def test_constructor_accepts_triples_and_rating_objects(self):
+        matrix = RatingMatrix([("u1", "i1", 3.0), Rating("u2", "i1", 4.0)])
+        assert matrix.num_ratings == 2
+        assert matrix.get("u2", "i1") == 4.0
+
+
+class TestRemoval:
+    def test_remove_rating(self, tiny_matrix):
+        tiny_matrix.remove("alice", "i1")
+        assert tiny_matrix.get("alice", "i1") is None
+        assert "alice" not in tiny_matrix.user_ids_of("i1")
+
+    def test_remove_last_rating_drops_user_and_item(self):
+        matrix = RatingMatrix([("u1", "i1", 3.0)])
+        matrix.remove("u1", "i1")
+        assert matrix.num_users == 0
+        assert matrix.num_items == 0
+
+    def test_remove_unknown_user_raises(self, tiny_matrix):
+        with pytest.raises(UnknownUserError):
+            tiny_matrix.remove("nobody", "i1")
+
+    def test_remove_unknown_item_raises(self, tiny_matrix):
+        with pytest.raises(UnknownItemError):
+            tiny_matrix.remove("alice", "missing")
+
+
+class TestAccessPaths:
+    def test_items_of_returns_iu(self, tiny_matrix):
+        assert tiny_matrix.items_of("alice") == {"i1": 5.0, "i2": 4.0, "i3": 1.0}
+
+    def test_users_of_returns_ui(self, tiny_matrix):
+        assert set(tiny_matrix.users_of("i1")) == {"alice", "bob", "carol"}
+
+    def test_items_of_unknown_user_is_empty(self, tiny_matrix):
+        assert tiny_matrix.items_of("nobody") == {}
+
+    def test_mean_rating(self, tiny_matrix):
+        assert tiny_matrix.mean_rating("alice") == pytest.approx(10.0 / 3.0)
+
+    def test_mean_rating_unknown_user_raises(self, tiny_matrix):
+        with pytest.raises(UnknownUserError):
+            tiny_matrix.mean_rating("nobody")
+
+    def test_co_rated_items(self, tiny_matrix):
+        assert tiny_matrix.co_rated_items("alice", "carol") == {"i1", "i2", "i3"}
+        assert tiny_matrix.co_rated_items("alice", "dave") == {"i3"}
+
+    def test_unrated_items_preserves_order(self, tiny_matrix):
+        unrated = tiny_matrix.unrated_items("alice", ["i3", "i5", "i6", "i1"])
+        assert unrated == ["i5", "i6"]
+
+    def test_items_unrated_by_all(self, tiny_matrix):
+        assert tiny_matrix.items_unrated_by_all(["alice", "bob"]) == ["i6"]
+        assert tiny_matrix.items_unrated_by_all(["carol"]) == []
+
+    def test_contains_pair(self, tiny_matrix):
+        assert ("alice", "i1") in tiny_matrix
+        assert ("alice", "i6") not in tiny_matrix
+        assert "alice" not in tiny_matrix  # only pairs are supported
+
+    def test_density(self, tiny_matrix):
+        expected = tiny_matrix.num_ratings / (
+            tiny_matrix.num_users * tiny_matrix.num_items
+        )
+        assert tiny_matrix.density() == pytest.approx(expected)
+
+    def test_density_of_empty_matrix_is_zero(self):
+        assert RatingMatrix().density() == 0.0
+
+
+class TestIterationAndSerialization:
+    def test_triples_roundtrip(self, tiny_matrix):
+        rebuilt = RatingMatrix(tiny_matrix.triples())
+        assert rebuilt.to_dict() == tiny_matrix.to_dict()
+
+    def test_len_matches_num_ratings(self, tiny_matrix):
+        assert len(tiny_matrix) == tiny_matrix.num_ratings == 14
+
+    def test_to_dict_from_dict_roundtrip(self, tiny_matrix):
+        payload = tiny_matrix.to_dict()
+        rebuilt = RatingMatrix.from_dict(payload)
+        assert rebuilt.triples() == tiny_matrix.triples()
+        assert rebuilt.scale == tiny_matrix.scale
+
+    def test_copy_is_independent(self, tiny_matrix):
+        clone = tiny_matrix.copy()
+        clone.add("alice", "i6", 3.0)
+        assert tiny_matrix.get("alice", "i6") is None
+
+    def test_iteration_yields_rating_objects(self, tiny_matrix):
+        first = next(iter(tiny_matrix))
+        assert isinstance(first, Rating)
+        assert first.as_triple() == (first.user_id, first.item_id, first.value)

@@ -1,0 +1,91 @@
+"""Unit tests for JSON/CSV persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import generate_dataset
+from repro.data.ratings import RatingMatrix
+from repro.data.serialization import (
+    load_dataset,
+    load_json,
+    load_ratings_csv,
+    save_dataset,
+    save_json,
+    save_ratings_csv,
+)
+from repro.exceptions import SerializationError
+
+
+class TestJson:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        payload = {"a": 1, "b": [1, 2, 3]}
+        path = save_json(payload, tmp_path / "payload.json")
+        assert load_json(path) == payload
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        path = save_json({"x": 1}, tmp_path / "nested" / "dir" / "payload.json")
+        assert path.exists()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_json(tmp_path / "missing.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_json(path)
+
+    def test_unserialisable_payload_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_json({"bad": object()}, tmp_path / "bad.json")
+
+
+class TestDatasetPersistence:
+    def test_dataset_roundtrip(self, tmp_path):
+        dataset = generate_dataset(num_users=6, num_items=10, ratings_per_user=3, seed=1)
+        path = save_dataset(dataset, tmp_path / "dataset.json")
+        loaded = load_dataset(path)
+        assert loaded.num_users == dataset.num_users
+        assert loaded.ratings.triples() == dataset.ratings.triples()
+
+    def test_malformed_dataset_raises(self, tmp_path):
+        path = save_json({"users": {}}, tmp_path / "broken.json")
+        with pytest.raises(SerializationError):
+            load_dataset(path)
+
+
+class TestRatingsCsv:
+    def test_csv_roundtrip(self, tmp_path, tiny_matrix):
+        path = save_ratings_csv(tiny_matrix, tmp_path / "ratings.csv")
+        loaded = load_ratings_csv(path)
+        assert sorted(loaded.triples()) == sorted(tiny_matrix.triples())
+
+    def test_csv_without_header_is_accepted(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("u1,i1,4.0\nu2,i1,5.0\n")
+        loaded = load_ratings_csv(path)
+        assert loaded.num_ratings == 2
+
+    def test_csv_with_bad_row_raises(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("u1,i1\n")
+        with pytest.raises(SerializationError):
+            load_ratings_csv(path)
+
+    def test_csv_with_bad_value_raises(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("u1,i1,not-a-number\n")
+        with pytest.raises(SerializationError):
+            load_ratings_csv(path)
+
+    def test_missing_csv_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_ratings_csv(tmp_path / "missing.csv")
+
+    def test_custom_scale_enforced(self, tmp_path):
+        matrix = RatingMatrix([("u1", "i1", 4.0)])
+        path = save_ratings_csv(matrix, tmp_path / "ratings.csv")
+        with pytest.raises(SerializationError):
+            load_ratings_csv(path, scale=(1.0, 3.0))

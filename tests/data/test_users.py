@@ -1,0 +1,112 @@
+"""Unit tests for users and the user registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.phr import HealthProblem, Medication, PersonalHealthRecord
+from repro.data.users import User, UserRegistry
+from repro.exceptions import UnknownUserError
+
+
+class TestUser:
+    def test_requires_non_empty_id(self):
+        with pytest.raises(ValueError):
+            User(user_id="")
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            User(user_id="u1", age=-1)
+
+    def test_has_record_flag(self):
+        assert not User(user_id="u1").has_record
+        assert User(user_id="u2", record=PersonalHealthRecord()).has_record
+
+    def test_profile_text_contains_demographics_and_record(self):
+        record = PersonalHealthRecord(
+            problems=[HealthProblem(name="Acute bronchitis")],
+            medications=[Medication(name="Ramipril 10 MG Oral Capsule")],
+        )
+        user = User(user_id="u1", name="Pat", age=40, gender="Female", record=record)
+        text = user.profile_text()
+        assert "Female" in text
+        assert "age 40" in text
+        assert "Acute bronchitis" in text
+        assert "Ramipril" in text
+
+    def test_profile_text_of_minimal_user_is_short(self):
+        assert User(user_id="u1").profile_text() == ""
+
+    def test_problem_concepts(self):
+        record = PersonalHealthRecord(
+            problems=[
+                HealthProblem(name="A", concept_id="C1"),
+                HealthProblem(name="B"),  # no concept id
+            ]
+        )
+        assert User(user_id="u1", record=record).problem_concepts() == ["C1"]
+        assert User(user_id="u2").problem_concepts() == []
+
+    def test_to_dict_from_dict_roundtrip(self):
+        record = PersonalHealthRecord(
+            problems=[HealthProblem(name="A", concept_id="C1")]
+        )
+        user = User(
+            user_id="u1",
+            name="Pat",
+            age=33,
+            gender="Male",
+            record=record,
+            attributes={"language": "en"},
+        )
+        rebuilt = User.from_dict(user.to_dict())
+        assert rebuilt.user_id == "u1"
+        assert rebuilt.age == 33
+        assert rebuilt.attributes == {"language": "en"}
+        assert rebuilt.record is not None
+        assert rebuilt.record.problems[0].concept_id == "C1"
+
+    def test_from_dict_without_record(self):
+        rebuilt = User.from_dict({"user_id": "u9"})
+        assert rebuilt.record is None
+
+
+class TestUserRegistry:
+    def test_add_and_get(self):
+        registry = UserRegistry([User(user_id="u1")])
+        assert registry.get("u1").user_id == "u1"
+        assert registry["u1"].user_id == "u1"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownUserError):
+            UserRegistry().get("missing")
+
+    def test_contains_len_iter(self):
+        registry = UserRegistry([User(user_id="u1"), User(user_id="u2")])
+        assert "u1" in registry
+        assert "u3" not in registry
+        assert len(registry) == 2
+        assert [user.user_id for user in registry] == ["u1", "u2"]
+
+    def test_add_replaces_same_id(self):
+        registry = UserRegistry([User(user_id="u1", name="old")])
+        registry.add(User(user_id="u1", name="new"))
+        assert len(registry) == 1
+        assert registry.get("u1").name == "new"
+
+    def test_remove(self):
+        registry = UserRegistry([User(user_id="u1")])
+        registry.remove("u1")
+        assert len(registry) == 0
+        with pytest.raises(UnknownUserError):
+            registry.remove("u1")
+
+    def test_ids_preserve_insertion_order(self):
+        registry = UserRegistry([User(user_id=f"u{i}") for i in range(5)])
+        assert registry.ids() == [f"u{i}" for i in range(5)]
+
+    def test_roundtrip(self):
+        registry = UserRegistry([User(user_id="u1", age=50), User(user_id="u2")])
+        rebuilt = UserRegistry.from_dict(registry.to_dict())
+        assert rebuilt.ids() == ["u1", "u2"]
+        assert rebuilt.get("u1").age == 50

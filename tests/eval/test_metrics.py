@@ -1,0 +1,115 @@
+"""Unit tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import GroupCandidates
+from repro.data.groups import Group
+from repro.eval.metrics import (
+    compare_selections,
+    coverage,
+    group_satisfaction,
+    mean_satisfaction,
+    min_satisfaction,
+    ndcg,
+    precision_at_z,
+    satisfaction_spread,
+    summarize_selection,
+    user_ndcg,
+    user_satisfaction,
+)
+
+
+@pytest.fixture
+def candidates() -> GroupCandidates:
+    group = Group(member_ids=["u1", "u2"])
+    relevance = {
+        "u1": {"a": 5.0, "b": 4.0, "c": 1.0, "d": 2.0},
+        "u2": {"a": 1.0, "b": 2.0, "c": 5.0, "d": 4.0},
+    }
+    return GroupCandidates.from_relevance_table(group, relevance, top_k=2)
+
+
+class TestSatisfaction:
+    def test_ideal_selection_scores_one(self, candidates):
+        assert user_satisfaction(candidates, ["a", "b"], "u1") == pytest.approx(1.0)
+
+    def test_worst_selection_scores_low(self, candidates):
+        value = user_satisfaction(candidates, ["c", "d"], "u1")
+        assert value == pytest.approx(3.0 / 9.0)
+
+    def test_empty_selection_scores_zero(self, candidates):
+        assert user_satisfaction(candidates, [], "u1") == 0.0
+
+    def test_group_satisfaction_has_all_members(self, candidates):
+        scores = group_satisfaction(candidates, ["a", "c"])
+        assert set(scores) == {"u1", "u2"}
+
+    def test_min_and_mean_satisfaction(self, candidates):
+        selection = ["a", "b"]  # perfect for u1, poor for u2
+        low = min_satisfaction(candidates, selection)
+        mean = mean_satisfaction(candidates, selection)
+        assert low < mean <= 1.0
+
+    def test_spread_zero_for_balanced_selection(self, candidates):
+        # a+c gives each member one 5.0 and one 1.0 → identical satisfaction.
+        assert satisfaction_spread(candidates, ["a", "c"]) == pytest.approx(0.0)
+
+    def test_spread_positive_for_skewed_selection(self, candidates):
+        assert satisfaction_spread(candidates, ["a", "b"]) > 0.0
+
+
+class TestRankingMetrics:
+    def test_precision_at_z(self, candidates):
+        assert precision_at_z(candidates, ["a", "b"], "u1") == 1.0
+        assert precision_at_z(candidates, ["a", "c"], "u1") == 0.5
+        assert precision_at_z(candidates, [], "u1") == 0.0
+
+    def test_ndcg_perfect_ranking_is_one(self):
+        assert ndcg([3.0, 2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_ndcg_reversed_ranking_below_one(self):
+        assert ndcg([1.0, 2.0, 3.0]) < 1.0
+
+    def test_ndcg_empty_is_zero(self):
+        assert ndcg([]) == 0.0
+
+    def test_ndcg_with_explicit_ideal(self):
+        assert ndcg([1.0, 1.0], [2.0, 2.0]) < 1.0
+
+    def test_user_ndcg_in_unit_interval(self, candidates):
+        value = user_ndcg(candidates, ["c", "a"], "u1")
+        assert 0.0 < value <= 1.0
+
+    def test_user_ndcg_best_selection_is_one(self, candidates):
+        assert user_ndcg(candidates, ["a", "b"], "u1") == pytest.approx(1.0)
+
+
+class TestCoverage:
+    def test_coverage_fraction(self):
+        assert coverage([["a", "b"], ["b", "c"]], catalog_size=10) == pytest.approx(0.3)
+
+    def test_coverage_empty_catalog(self):
+        assert coverage([["a"]], catalog_size=0) == 0.0
+
+
+class TestSummaries:
+    def test_summary_keys(self, candidates):
+        summary = summarize_selection(candidates, ["a", "c"])
+        assert set(summary) == {
+            "fairness",
+            "value",
+            "min_satisfaction",
+            "mean_satisfaction",
+            "satisfaction_spread",
+        }
+        assert summary["fairness"] == 1.0
+
+    def test_compare_selections(self, candidates):
+        # With top_k = 2, ["b"] is fair to u1 (top set {a, b}) but not to
+        # u2 (top set {c, d}); ["a", "c"] is fair to both.
+        comparison = compare_selections(
+            candidates, {"fair": ["a", "c"], "partial": ["b"]}
+        )
+        assert comparison["fair"]["fairness"] > comparison["partial"]["fairness"]

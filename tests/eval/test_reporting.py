@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import (
+    run_table2,
+    run_value_quality,
+    verify_proposition1,
+)
+from repro.eval.reporting import (
+    format_metrics,
+    format_proposition1,
+    format_table,
+    format_table2,
+    format_value_quality,
+)
+
+
+class TestFormatTable:
+    def test_header_and_rows_aligned(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["longer-name", 12.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to the same width
+
+    def test_float_format_applied(self):
+        table = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in table
+        assert "1.23" not in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestExperimentFormatters:
+    def test_format_table2_contains_all_cells(self):
+        result = run_table2(m_values=[10], z_values=[4, 8], repeats=1)
+        rendered = format_table2(result)
+        assert "Brute-force (ms)" in rendered
+        assert rendered.count("\n") >= 3
+
+    def test_format_proposition1(self):
+        rows = verify_proposition1(group_sizes=(2,), z_values=(2, 4), num_candidates=10)
+        rendered = format_proposition1(rows)
+        assert "fairness" in rendered
+        assert "True" in rendered
+
+    def test_format_value_quality(self):
+        rows = run_value_quality(m_values=(8,), z_values=(4,), seed=1)
+        rendered = format_value_quality(rows)
+        assert "greedy/opt" in rendered
+
+    def test_format_metrics(self):
+        rendered = format_metrics({"fairness": 1.0, "count": 3})
+        assert "fairness" in rendered
+        assert "1.0000" in rendered
+        assert "count" in rendered

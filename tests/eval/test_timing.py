@@ -1,0 +1,37 @@
+"""Unit tests for the timing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.timing import TimerResult, stopwatch, time_callable
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotonic(self):
+        with stopwatch() as elapsed:
+            first = elapsed()
+            second = elapsed()
+        assert second >= first >= 0.0
+
+
+class TestTimeCallable:
+    def test_collects_requested_samples(self):
+        result = time_callable(lambda: sum(range(100)), repeats=4, label="sum")
+        assert len(result.samples_ms) == 4
+        assert result.label == "sum"
+        assert result.result == sum(range(100))
+
+    def test_statistics(self):
+        result = TimerResult(label="x", samples_ms=[3.0, 1.0, 2.0])
+        assert result.best_ms == 1.0
+        assert result.median_ms == 2.0
+        assert result.mean_ms == pytest.approx(2.0)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_samples_are_non_negative(self):
+        result = time_callable(lambda: None, repeats=3)
+        assert all(sample >= 0.0 for sample in result.samples_ms)

@@ -1,0 +1,176 @@
+"""Unit tests for the paper's three MapReduce jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import AverageAggregation, MinimumAggregation
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import (
+    CANDIDATE_TAG,
+    PARTIAL_TAG,
+    make_job1,
+    make_job2,
+    make_job3,
+    ratings_to_item_pairs,
+    similarity_table,
+    split_job1_output,
+)
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+
+
+@pytest.fixture
+def engine() -> MapReduceEngine:
+    return MapReduceEngine()
+
+
+@pytest.fixture
+def group_members() -> list[str]:
+    return ["alice", "bob"]
+
+
+@pytest.fixture
+def user_means(tiny_matrix) -> dict[str, float]:
+    return {
+        user_id: tiny_matrix.mean_rating(user_id)
+        for user_id in tiny_matrix.user_ids()
+    }
+
+
+class TestJob1:
+    def test_input_conversion(self, tiny_matrix):
+        pairs = ratings_to_item_pairs(tiny_matrix.triples())
+        assert ("i1", ("alice", 5.0)) in pairs
+        assert len(pairs) == tiny_matrix.num_ratings
+
+    def test_candidates_are_items_unrated_by_the_group(
+        self, engine, tiny_matrix, group_members, user_means
+    ):
+        job1 = make_job1(group_members, user_means)
+        result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        candidates, _ = split_job1_output(result.output)
+        candidate_items = {item_id for item_id, _ in candidates}
+        assert candidate_items == {"i6"}
+
+    def test_candidate_output_carries_original_ratings(
+        self, engine, tiny_matrix, group_members, user_means
+    ):
+        job1 = make_job1(group_members, user_means)
+        result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        candidates, _ = split_job1_output(result.output)
+        ratings = {user for _, (user, _) in candidates}
+        assert ratings == {"carol", "dave"}
+
+    def test_partial_scores_only_pair_members_with_non_members(
+        self, engine, tiny_matrix, group_members, user_means
+    ):
+        job1 = make_job1(group_members, user_means)
+        result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        _, partials = split_job1_output(result.output)
+        for (member, peer), _ in partials:
+            assert member in group_members
+            assert peer not in group_members
+
+    def test_partial_score_count_matches_co_rated_items(
+        self, engine, tiny_matrix, group_members, user_means
+    ):
+        job1 = make_job1(group_members, user_means)
+        result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        _, partials = split_job1_output(result.output)
+        alice_carol = [1 for (member, peer), _ in partials if (member, peer) == ("alice", "carol")]
+        assert len(alice_carol) == len(tiny_matrix.co_rated_items("alice", "carol"))
+
+    def test_output_tags_are_wellformed(
+        self, engine, tiny_matrix, group_members, user_means
+    ):
+        job1 = make_job1(group_members, user_means)
+        result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        tags = {key[0] for key, _ in result.output}
+        assert tags <= {CANDIDATE_TAG, PARTIAL_TAG}
+
+
+class TestJob2:
+    def _job2_output(self, engine, tiny_matrix, group_members, user_means, threshold=-1.0):
+        job1 = make_job1(group_members, user_means)
+        job1_result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        _, partials = split_job1_output(job1_result.output)
+        job2 = make_job2(threshold, min_common_items=2)
+        return engine.run(job2, partials).output
+
+    def test_similarities_match_pearson(self, engine, tiny_matrix, group_members, user_means):
+        output = self._job2_output(engine, tiny_matrix, group_members, user_means)
+        pearson = PearsonRatingSimilarity(tiny_matrix, min_common_items=2)
+        table = similarity_table(output)
+        for member, peers in table.items():
+            for peer, score in peers.items():
+                assert score == pytest.approx(pearson(member, peer))
+
+    def test_threshold_filters_pairs(self, engine, tiny_matrix, group_members, user_means):
+        strict = similarity_table(
+            self._job2_output(engine, tiny_matrix, group_members, user_means, threshold=0.5)
+        )
+        relaxed = similarity_table(
+            self._job2_output(engine, tiny_matrix, group_members, user_means, threshold=-1.0)
+        )
+        strict_pairs = {(m, p) for m, peers in strict.items() for p in peers}
+        relaxed_pairs = {(m, p) for m, peers in relaxed.items() for p in peers}
+        assert strict_pairs <= relaxed_pairs
+        for member, peers in strict.items():
+            assert all(score >= 0.5 for score in peers.values())
+
+    def test_min_common_items_enforced(self, engine, tiny_matrix, group_members, user_means):
+        table = similarity_table(
+            self._job2_output(engine, tiny_matrix, group_members, user_means)
+        )
+        # alice and dave share a single item: the pair must be absent.
+        assert "dave" not in table.get("alice", {})
+
+    def test_combiner_does_not_change_results(self, engine, tiny_matrix, group_members, user_means):
+        job1 = make_job1(group_members, user_means)
+        job1_result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        _, partials = split_job1_output(job1_result.output)
+        with_combiner = make_job2(-1.0, min_common_items=2, num_partitions=3)
+        plain = make_job2(-1.0, min_common_items=2)
+        assert dict(engine.run(with_combiner, partials).output) == pytest.approx(
+            dict(engine.run(plain, partials).output)
+        )
+
+
+class TestJob3:
+    def test_group_relevance_for_candidates(
+        self, engine, tiny_matrix, group_members, user_means
+    ):
+        job1 = make_job1(group_members, user_means)
+        job1_result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        candidates, partials = split_job1_output(job1_result.output)
+        job2 = make_job2(-1.0, min_common_items=1)
+        similarities = similarity_table(engine.run(job2, partials).output)
+        job3 = make_job3(group_members, similarities, AverageAggregation())
+        output = engine.run(job3, candidates).output
+        assert len(output) == 1
+        item_id, payload = output[0]
+        assert item_id == "i6"
+        assert set(payload["members"]) == set(group_members)
+        expected_group = sum(payload["members"].values()) / len(group_members)
+        assert payload["group"] == pytest.approx(expected_group)
+
+    def test_minimum_aggregation(self, engine, tiny_matrix, group_members, user_means):
+        job1 = make_job1(group_members, user_means)
+        job1_result = engine.run(job1, ratings_to_item_pairs(tiny_matrix.triples()))
+        candidates, partials = split_job1_output(job1_result.output)
+        similarities = similarity_table(
+            engine.run(make_job2(-1.0, min_common_items=1), partials).output
+        )
+        job3 = make_job3(group_members, similarities, MinimumAggregation())
+        output = engine.run(job3, candidates).output
+        _, payload = output[0]
+        assert payload["group"] == pytest.approx(min(payload["members"].values()))
+
+    def test_items_without_scores_for_all_members_are_dropped(self, engine):
+        # Candidate item rated only by a peer of member "a"; member "b" has
+        # no similar rater, so the item must not be aggregated.
+        candidates = [("item-x", ("peer-of-a", 4.0))]
+        similarities = {"a": {"peer-of-a": 0.8}, "b": {}}
+        job3 = make_job3(["a", "b"], similarities, AverageAggregation())
+        output = engine.run(job3, candidates).output
+        assert output == []

@@ -1,0 +1,102 @@
+"""Integration tests: the MapReduce pipeline matches the in-memory one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import FairnessAwareGreedy
+from repro.core.group import GroupRecommender
+from repro.data.groups import random_group
+from repro.mapreduce.runner import MapReduceGroupRecommender
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.data.datasets import generate_dataset
+
+    return generate_dataset(num_users=30, num_items=50, ratings_per_user=12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def group(dataset):
+    return random_group(dataset.users.ids(), 4, seed=2)
+
+
+class TestEquivalenceWithInMemory:
+    """The paper's Jobs 1-3 must compute exactly what the in-memory
+    GroupRecommender computes (Figure 2 is an implementation of the same
+    model, not a different model)."""
+
+    @pytest.mark.parametrize("aggregation", ["average", "minimum"])
+    def test_group_relevance_identical(self, dataset, group, aggregation):
+        in_memory = GroupRecommender(
+            dataset.ratings,
+            PearsonRatingSimilarity(dataset.ratings),
+            aggregation=aggregation,
+            peer_threshold=0.0,
+            top_k=10,
+        ).build_candidates(group)
+        mapreduce = MapReduceGroupRecommender(
+            dataset.ratings,
+            peer_threshold=0.0,
+            aggregation=aggregation,
+            top_k=10,
+        ).run(group)
+        assert set(mapreduce.candidates.group_relevance) == set(
+            in_memory.group_relevance
+        )
+        for item_id, score in in_memory.group_relevance.items():
+            assert mapreduce.candidates.group_relevance[item_id] == pytest.approx(score)
+
+    def test_member_relevance_identical(self, dataset, group):
+        in_memory = GroupRecommender(
+            dataset.ratings,
+            PearsonRatingSimilarity(dataset.ratings),
+            peer_threshold=0.0,
+            top_k=10,
+        ).build_candidates(group)
+        mapreduce = MapReduceGroupRecommender(
+            dataset.ratings, peer_threshold=0.0, top_k=10
+        ).run(group)
+        for member in group:
+            for item_id, score in in_memory.relevance[member].items():
+                assert mapreduce.candidates.relevance[member][item_id] == pytest.approx(score)
+
+    def test_similarity_table_respects_threshold(self, dataset, group):
+        threshold = 0.3
+        result = MapReduceGroupRecommender(
+            dataset.ratings, peer_threshold=threshold
+        ).run(group)
+        for member, peers in result.similarity.items():
+            assert member in group
+            for peer, score in peers.items():
+                assert peer not in group
+                assert score >= threshold
+
+    def test_partitioning_does_not_change_results(self, dataset, group):
+        one = MapReduceGroupRecommender(dataset.ratings, num_partitions=1).run(group)
+        many = MapReduceGroupRecommender(dataset.ratings, num_partitions=7).run(group)
+        assert one.candidates.group_relevance == pytest.approx(
+            many.candidates.group_relevance
+        )
+
+    def test_final_selection_matches_centralized_algorithm1(self, dataset, group):
+        runner = MapReduceGroupRecommender(dataset.ratings, top_k=10)
+        recommendation = runner.recommend(group, z=6)
+        manual = FairnessAwareGreedy().select(runner.run(group).candidates, 6)
+        assert recommendation.items == manual.items
+        assert recommendation.fairness == manual.fairness
+
+    def test_mapreduce_topk_matches_in_memory_topk(self, dataset, group):
+        runner = MapReduceGroupRecommender(dataset.ratings, top_k=5)
+        with_topk = runner.run(group, use_mapreduce_topk=True)
+        without = runner.run(group, use_mapreduce_topk=False)
+        assert [item.item_id for item in with_topk.top_items] == [
+            item.item_id for item in without.top_items
+        ]
+
+    def test_counters_present_for_all_jobs(self, dataset, group):
+        result = MapReduceGroupRecommender(dataset.ratings).run(group)
+        assert set(result.counters) == {"job1", "job2", "job3"}
+        assert result.counters["job1"].map_input_records == dataset.ratings.num_ratings

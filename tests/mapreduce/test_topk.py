@@ -1,0 +1,54 @@
+"""Unit tests for the distributed top-k job."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.topk import make_global_topk_job, make_local_topk_job, mapreduce_topk
+
+
+class TestMapReduceTopK:
+    def test_returns_k_best_in_order(self):
+        scores = [("a", 1.0), ("b", 5.0), ("c", 3.0), ("d", 4.0), ("e", 2.0)]
+        result = mapreduce_topk(scores, k=3)
+        assert result == [("b", 5.0), ("d", 4.0), ("c", 3.0)]
+
+    def test_matches_sorted_baseline_on_random_data(self):
+        rng = random.Random(4)
+        scores = [(f"item-{i}", round(rng.uniform(0, 100), 3)) for i in range(200)]
+        expected = sorted(scores, key=lambda pair: (-pair[1], pair[0]))[:10]
+        assert mapreduce_topk(scores, k=10, num_partitions=5) == expected
+
+    def test_k_larger_than_input_returns_everything(self):
+        scores = [("a", 1.0), ("b", 2.0)]
+        result = mapreduce_topk(scores, k=10)
+        assert len(result) == 2
+        assert result[0] == ("b", 2.0)
+
+    @pytest.mark.parametrize("partitions", [1, 2, 4, 8])
+    def test_result_independent_of_partitions(self, partitions):
+        rng = random.Random(9)
+        scores = [(f"item-{i}", rng.uniform(0, 10)) for i in range(64)]
+        baseline = mapreduce_topk(scores, k=7, num_partitions=1)
+        assert mapreduce_topk(scores, k=7, num_partitions=partitions) == baseline
+
+    def test_ties_broken_by_item_id(self):
+        scores = [("b", 3.0), ("a", 3.0), ("c", 3.0)]
+        result = mapreduce_topk(scores, k=2)
+        assert result == [("a", 3.0), ("b", 3.0)]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            make_local_topk_job(0)
+        with pytest.raises(ValueError):
+            make_global_topk_job(-1)
+
+    def test_local_job_bounds_shuffle_volume(self):
+        engine = MapReduceEngine()
+        scores = [(f"item-{i}", float(i)) for i in range(100)]
+        local = engine.run(make_local_topk_job(5, num_partitions=4), scores)
+        # At most k records per pseudo-mapper cross the shuffle boundary.
+        assert len(local.output) <= 5 * 4

@@ -1,0 +1,147 @@
+"""Unit tests for the generic concept hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OntologyStructureError, UnknownConceptError
+from repro.ontology.ontology import HealthOntology
+
+
+@pytest.fixture
+def tree() -> HealthOntology:
+    r"""A small hierarchy::
+
+            root
+           /    \
+          a      b
+         / \      \
+        a1  a2     b1
+        |
+        a1x
+    """
+    ontology = HealthOntology()
+    ontology.add_concept("root", "Root")
+    ontology.add_concept("a", "A", ["root"])
+    ontology.add_concept("b", "B", ["root"])
+    ontology.add_concept("a1", "A1", ["a"])
+    ontology.add_concept("a2", "A2", ["a"])
+    ontology.add_concept("b1", "B1", ["b"], synonyms=["Bee One"])
+    ontology.add_concept("a1x", "A1X", ["a1"])
+    return ontology
+
+
+class TestConstruction:
+    def test_duplicate_id_rejected(self, tree):
+        with pytest.raises(OntologyStructureError):
+            tree.add_concept("a", "duplicate")
+
+    def test_unknown_parent_rejected(self, tree):
+        with pytest.raises(OntologyStructureError):
+            tree.add_concept("x", "X", ["missing-parent"])
+
+    def test_roots_and_leaves(self, tree):
+        assert tree.roots() == ["root"]
+        assert set(tree.leaves()) == {"a2", "b1", "a1x"}
+
+    def test_children_and_parents(self, tree):
+        assert set(tree.children("a")) == {"a1", "a2"}
+        assert tree.parents("a1x") == ["a1"]
+        assert tree.parents("root") == []
+
+    def test_unknown_concept_raises(self, tree):
+        with pytest.raises(UnknownConceptError):
+            tree.get("missing")
+        with pytest.raises(UnknownConceptError):
+            tree.children("missing")
+
+    def test_find_by_name_and_synonym(self, tree):
+        assert tree.find_by_name("b1").concept_id == "b1"
+        assert tree.find_by_name("BEE ONE").concept_id == "b1"
+        with pytest.raises(UnknownConceptError):
+            tree.find_by_name("nothing")
+
+    def test_len_and_contains(self, tree):
+        assert len(tree) == 7
+        assert "a1" in tree
+        assert "zzz" not in tree
+
+
+class TestHierarchyQueries:
+    def test_ancestors_and_descendants(self, tree):
+        assert tree.ancestors("a1x") == {"a1", "a", "root"}
+        assert tree.descendants("a") == {"a1", "a2", "a1x"}
+        assert tree.ancestors("root") == set()
+        assert tree.descendants("a1x") == set()
+
+    def test_depth(self, tree):
+        assert tree.depth("root") == 0
+        assert tree.depth("a") == 1
+        assert tree.depth("a1x") == 3
+        assert tree.max_depth() == 3
+
+    def test_shortest_path_between_siblings(self, tree):
+        assert tree.shortest_path_length("a1", "a2") == 2
+        assert tree.shortest_path("a1", "a2") == ["a1", "a", "a2"]
+
+    def test_shortest_path_across_branches(self, tree):
+        assert tree.shortest_path_length("a1x", "b1") == 5
+
+    def test_shortest_path_to_self_is_zero(self, tree):
+        assert tree.shortest_path_length("a1", "a1") == 0
+        assert tree.shortest_path("a1", "a1") == ["a1"]
+
+    def test_shortest_path_unknown_concept_raises(self, tree):
+        with pytest.raises(UnknownConceptError):
+            tree.shortest_path_length("a1", "missing")
+
+    def test_disconnected_concepts_raise(self):
+        ontology = HealthOntology()
+        ontology.add_concept("r1", "Root 1")
+        ontology.add_concept("r2", "Root 2")
+        with pytest.raises(ValueError):
+            ontology.shortest_path_length("r1", "r2")
+
+    def test_lowest_common_ancestor(self, tree):
+        assert tree.lowest_common_ancestor("a1x", "a2") == "a"
+        assert tree.lowest_common_ancestor("a1", "b1") == "root"
+        assert tree.lowest_common_ancestor("a1", "a1x") == "a1"
+
+    def test_lca_of_disconnected_roots_is_none(self):
+        ontology = HealthOntology()
+        ontology.add_concept("r1", "Root 1")
+        ontology.add_concept("r2", "Root 2")
+        assert ontology.lowest_common_ancestor("r1", "r2") is None
+
+    def test_multi_parent_shortcut_affects_path(self):
+        ontology = HealthOntology()
+        ontology.add_concept("root", "Root")
+        ontology.add_concept("left", "Left", ["root"])
+        ontology.add_concept("right", "Right", ["root"])
+        ontology.add_concept("shared", "Shared", ["left", "right"])
+        ontology.add_concept("leaf", "Leaf", ["shared"])
+        # Without the double parent the path leaf→right would be 4.
+        assert ontology.shortest_path_length("leaf", "right") == 2
+        assert ontology.depth("shared") == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self, tree):
+        rebuilt = HealthOntology.from_dict(tree.to_dict())
+        assert set(rebuilt.concept_ids()) == set(tree.concept_ids())
+        assert rebuilt.shortest_path_length("a1x", "b1") == 5
+
+    def test_from_dict_accepts_shuffled_order(self, tree):
+        payload = tree.to_dict()
+        payload["concepts"].reverse()
+        rebuilt = HealthOntology.from_dict(payload)
+        assert len(rebuilt) == len(tree)
+
+    def test_from_dict_with_missing_parent_raises(self):
+        payload = {
+            "concepts": [
+                {"concept_id": "child", "name": "Child", "parent_ids": ["ghost"]}
+            ]
+        }
+        with pytest.raises(OntologyStructureError):
+            HealthOntology.from_dict(payload)

@@ -1,0 +1,91 @@
+"""Unit tests for concept-level similarity measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.pathsim import (
+    CONCEPT_SIMILARITIES,
+    get_concept_similarity,
+    inverse_path_similarity,
+    leacock_chodorow_similarity,
+    linear_path_similarity,
+    path_similarity,
+    wu_palmer_similarity,
+)
+from repro.ontology.snomed import (
+    ACUTE_BRONCHITIS,
+    CHEST_PAIN,
+    TRACHEOBRONCHITIS,
+    build_snomed_like_ontology,
+)
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_snomed_like_ontology()
+
+
+class TestPathSimilarity:
+    def test_identical_concepts_score_one(self, ontology):
+        assert path_similarity(ontology, CHEST_PAIN, CHEST_PAIN) == 1.0
+
+    def test_values_match_paper_distances(self, ontology):
+        assert path_similarity(ontology, ACUTE_BRONCHITIS, TRACHEOBRONCHITIS) == (
+            pytest.approx(1.0 / 3.0)
+        )
+        assert path_similarity(ontology, ACUTE_BRONCHITIS, CHEST_PAIN) == (
+            pytest.approx(1.0 / 6.0)
+        )
+
+    def test_longer_path_means_smaller_similarity(self, ontology):
+        near = path_similarity(ontology, ACUTE_BRONCHITIS, TRACHEOBRONCHITIS)
+        far = path_similarity(ontology, ACUTE_BRONCHITIS, CHEST_PAIN)
+        assert near > far
+
+    def test_symmetry(self, ontology):
+        assert path_similarity(ontology, ACUTE_BRONCHITIS, CHEST_PAIN) == (
+            path_similarity(ontology, CHEST_PAIN, ACUTE_BRONCHITIS)
+        )
+
+
+class TestOtherMeasures:
+    def test_inverse_path_identity_convention(self, ontology):
+        assert inverse_path_similarity(ontology, CHEST_PAIN, CHEST_PAIN) == 1.0
+        assert inverse_path_similarity(
+            ontology, ACUTE_BRONCHITIS, TRACHEOBRONCHITIS
+        ) == pytest.approx(0.5)
+
+    def test_linear_path_in_unit_interval(self, ontology):
+        value = linear_path_similarity(ontology, ACUTE_BRONCHITIS, CHEST_PAIN)
+        assert 0.0 <= value <= 1.0
+
+    def test_linear_path_with_explicit_max(self, ontology):
+        assert linear_path_similarity(
+            ontology, ACUTE_BRONCHITIS, CHEST_PAIN, max_length=10
+        ) == pytest.approx(0.5)
+
+    def test_leacock_chodorow_bounds(self, ontology):
+        identical = leacock_chodorow_similarity(ontology, CHEST_PAIN, CHEST_PAIN)
+        far = leacock_chodorow_similarity(ontology, ACUTE_BRONCHITIS, CHEST_PAIN)
+        assert identical == pytest.approx(1.0)
+        assert 0.0 <= far < identical
+
+    def test_wu_palmer_identical_is_one(self, ontology):
+        assert wu_palmer_similarity(ontology, CHEST_PAIN, CHEST_PAIN) == 1.0
+
+    def test_wu_palmer_siblings_higher_than_distant(self, ontology):
+        siblings = wu_palmer_similarity(ontology, ACUTE_BRONCHITIS, TRACHEOBRONCHITIS)
+        distant = wu_palmer_similarity(ontology, ACUTE_BRONCHITIS, CHEST_PAIN)
+        assert siblings > distant
+
+    def test_all_measures_decrease_with_distance(self, ontology):
+        for name, measure in CONCEPT_SIMILARITIES.items():
+            near = measure(ontology, ACUTE_BRONCHITIS, TRACHEOBRONCHITIS)
+            far = measure(ontology, ACUTE_BRONCHITIS, CHEST_PAIN)
+            assert near >= far, name
+
+    def test_registry_lookup(self):
+        assert get_concept_similarity("path") is path_similarity
+        with pytest.raises(KeyError):
+            get_concept_similarity("nope")

@@ -1,0 +1,115 @@
+"""Unit tests for the SNOMED-like stand-in hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.snomed import (
+    ACUTE_BRONCHITIS,
+    BROKEN_ARM,
+    CHEST_PAIN,
+    TRACHEOBRONCHITIS,
+    build_snomed_like_ontology,
+    extend_with_random_subtrees,
+    paper_example_concepts,
+)
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_snomed_like_ontology()
+
+
+class TestStructure:
+    def test_single_root(self, ontology):
+        assert ontology.roots() == ["SCT-ROOT"]
+
+    def test_size_is_reasonable(self, ontology):
+        assert len(ontology) >= 70
+
+    def test_every_concept_reachable_from_root(self, ontology):
+        root_descendants = ontology.descendants("SCT-ROOT")
+        assert len(root_descendants) == len(ontology) - 1
+
+    def test_branches_exist(self, ontology):
+        for name in [
+            "Disorder of respiratory system",
+            "Disorder of cardiovascular system",
+            "Malignant neoplastic disease",
+            "Diabetes mellitus",
+            "Mental disorder",
+        ]:
+            assert ontology.find_by_name(name)
+
+    def test_synonym_lookup(self, ontology):
+        assert ontology.find_by_name("Cancer").concept_id == "SCT-NEOP-0002"
+        assert ontology.find_by_name("Broken arm").concept_id == BROKEN_ARM
+
+
+class TestPaperDistances:
+    """The exact shortest paths the paper's Table I discussion quotes."""
+
+    def test_acute_bronchitis_to_tracheobronchitis_is_2(self, ontology):
+        assert (
+            ontology.shortest_path_length(ACUTE_BRONCHITIS, TRACHEOBRONCHITIS) == 2
+        )
+
+    def test_acute_bronchitis_to_chest_pain_is_5(self, ontology):
+        assert ontology.shortest_path_length(ACUTE_BRONCHITIS, CHEST_PAIN) == 5
+
+    def test_patient1_closer_to_patient3_than_patient2(self, ontology):
+        """'the similarity based on the health problems between patients 1
+        and 3 is greater than the one between patients 1 and 2'."""
+        distance_1_3 = ontology.shortest_path_length(
+            ACUTE_BRONCHITIS, TRACHEOBRONCHITIS
+        )
+        distance_1_2 = ontology.shortest_path_length(ACUTE_BRONCHITIS, CHEST_PAIN)
+        assert distance_1_3 < distance_1_2
+
+    def test_paper_example_concepts_resolve(self, ontology):
+        for name, concept_id in paper_example_concepts().items():
+            assert concept_id in ontology
+            concept = ontology.get(concept_id)
+            assert name.lower() in {concept.name.lower()} | {
+                synonym.lower() for synonym in concept.synonyms
+            }
+
+
+class TestExtension:
+    def test_extend_adds_requested_number_of_concepts(self):
+        ontology = build_snomed_like_ontology()
+        before = len(ontology)
+        new_ids = extend_with_random_subtrees(ontology, 100, seed=1)
+        assert len(new_ids) == 100
+        assert len(ontology) == before + 100
+
+    def test_extension_is_deterministic(self):
+        first = build_snomed_like_ontology()
+        second = build_snomed_like_ontology()
+        ids_first = extend_with_random_subtrees(first, 50, seed=9)
+        ids_second = extend_with_random_subtrees(second, 50, seed=9)
+        assert ids_first == ids_second
+        assert [first.get(cid).parent_ids for cid in ids_first] == [
+            second.get(cid).parent_ids for cid in ids_second
+        ]
+
+    def test_extension_respects_branching_limit(self):
+        ontology = build_snomed_like_ontology()
+        extend_with_random_subtrees(ontology, 200, branching=2, seed=3)
+        synthetic_parents: dict[str, int] = {}
+        for concept_id in ontology.concept_ids():
+            if concept_id.startswith("SCT-SYN"):
+                for parent in ontology.parents(concept_id):
+                    synthetic_parents[parent] = synthetic_parents.get(parent, 0) + 1
+        assert all(count <= 2 for count in synthetic_parents.values())
+
+    def test_extended_concepts_stay_connected(self):
+        ontology = build_snomed_like_ontology()
+        new_ids = extend_with_random_subtrees(ontology, 30, seed=2)
+        for concept_id in new_ids:
+            assert ontology.shortest_path_length("SCT-ROOT", concept_id) >= 1
+
+    def test_negative_count_rejected(self):
+        ontology = build_snomed_like_ontology()
+        with pytest.raises(ValueError):
+            extend_with_random_subtrees(ontology, -1)

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the fairness model and selectors."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    AverageAggregation,
+    MaximumAggregation,
+    MedianAggregation,
+    MinimumAggregation,
+)
+from repro.core.brute_force import BruteForceSelector
+from repro.core.candidates import GroupCandidates
+from repro.core.fairness import fairness, total_group_relevance, value
+from repro.core.greedy import FairnessAwareGreedy
+from repro.data.groups import Group
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+scores = st.floats(min_value=1.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def relevance_tables(draw, max_users: int = 4, max_items: int = 8):
+    """A random group + per-member relevance table over shared items."""
+    num_users = draw(st.integers(min_value=1, max_value=max_users))
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    users = [f"u{i}" for i in range(num_users)]
+    items = [f"i{j}" for j in range(num_items)]
+    table = {
+        user: {item: draw(scores) for item in items}
+        for user in users
+    }
+    return Group(member_ids=users), table
+
+
+@st.composite
+def candidate_bundles(draw, top_k_max: int = 5):
+    group, table = draw(relevance_tables())
+    top_k = draw(st.integers(min_value=1, max_value=top_k_max))
+    return GroupCandidates.from_relevance_table(group, table, top_k=top_k)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation invariants
+# ---------------------------------------------------------------------------
+
+
+class TestAggregationProperties:
+    @given(st.lists(scores, min_size=1, max_size=8))
+    def test_min_le_median_le_max(self, values):
+        assert (
+            MinimumAggregation().aggregate(values)
+            <= MedianAggregation().aggregate(values)
+            <= MaximumAggregation().aggregate(values)
+        )
+
+    @given(st.lists(scores, min_size=1, max_size=8))
+    def test_average_between_min_and_max(self, values):
+        average = AverageAggregation().aggregate(values)
+        assert MinimumAggregation().aggregate(values) <= average + 1e-12
+        assert average <= MaximumAggregation().aggregate(values) + 1e-12
+
+    @given(st.lists(scores, min_size=1, max_size=8))
+    def test_aggregations_are_order_invariant(self, values):
+        import math
+
+        for strategy in (AverageAggregation(), MinimumAggregation(), MaximumAggregation()):
+            assert math.isclose(
+                strategy.aggregate(values),
+                strategy.aggregate(list(reversed(values))),
+                rel_tol=1e-9,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Fairness / value invariants
+# ---------------------------------------------------------------------------
+
+
+class TestFairnessProperties:
+    @settings(max_examples=50)
+    @given(candidate_bundles(), st.data())
+    def test_fairness_in_unit_interval(self, candidates, data):
+        items = sorted(candidates.group_relevance)
+        selection = data.draw(st.lists(st.sampled_from(items), max_size=len(items), unique=True))
+        assert 0.0 <= fairness(candidates, selection) <= 1.0
+
+    @settings(max_examples=50)
+    @given(candidate_bundles(), st.data())
+    def test_fairness_monotone_under_superset(self, candidates, data):
+        """Adding items to a selection can never decrease its fairness."""
+        items = sorted(candidates.group_relevance)
+        selection = data.draw(
+            st.lists(st.sampled_from(items), max_size=len(items), unique=True)
+        )
+        extra = data.draw(st.lists(st.sampled_from(items), max_size=len(items), unique=True))
+        superset = list(dict.fromkeys(selection + extra))
+        assert fairness(candidates, superset) >= fairness(candidates, selection)
+
+    @settings(max_examples=50)
+    @given(candidate_bundles(), st.data())
+    def test_value_identity(self, candidates, data):
+        items = sorted(candidates.group_relevance)
+        selection = data.draw(
+            st.lists(st.sampled_from(items), max_size=len(items), unique=True)
+        )
+        assert value(candidates, selection) == (
+            fairness(candidates, selection)
+            * total_group_relevance(candidates, selection)
+        )
+
+    @settings(max_examples=50)
+    @given(candidate_bundles())
+    def test_full_selection_is_maximally_fair(self, candidates):
+        """Selecting every candidate satisfies every member (each member's
+        top-k set is non-empty and drawn from the candidates)."""
+        everything = list(candidates.group_relevance)
+        assert fairness(candidates, everything) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Selector invariants (Algorithm 1, brute force)
+# ---------------------------------------------------------------------------
+
+
+class TestSelectorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(candidate_bundles(), st.integers(min_value=1, max_value=8))
+    def test_greedy_returns_distinct_candidates(self, candidates, z):
+        result = FairnessAwareGreedy().select(candidates, z)
+        assert len(result.items) == len(set(result.items))
+        assert set(result.items) <= set(candidates.group_relevance)
+        assert len(result.items) <= z
+
+    @settings(max_examples=40, deadline=None)
+    @given(candidate_bundles(), st.integers(min_value=0, max_value=4))
+    def test_proposition1_property(self, candidates, extra):
+        """For any candidate bundle and any z >= |G|, the greedy selection
+        has fairness 1 (Proposition 1)."""
+        z = len(candidates.group) + extra
+        result = FairnessAwareGreedy().select(candidates, z)
+        assert result.fairness == 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(candidate_bundles(), st.integers(min_value=1, max_value=4))
+    def test_brute_force_dominates_greedy(self, candidates, z):
+        if z > candidates.num_candidates:
+            z = candidates.num_candidates
+        greedy_result = FairnessAwareGreedy().select(candidates, z)
+        optimal = BruteForceSelector().select(candidates, z)
+        assert optimal.value >= greedy_result.value - 1e-9

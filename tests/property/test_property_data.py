@@ -1,0 +1,164 @@
+"""Property-based tests for the data substrate (rating matrix, vectors, TF-IDF)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.ratings import RatingMatrix
+from repro.text.tfidf import TfIdfModel
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectors import SparseVector
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+user_ids = st.integers(min_value=0, max_value=9).map(lambda i: f"u{i}")
+item_ids = st.integers(min_value=0, max_value=14).map(lambda i: f"i{i}")
+rating_values = st.floats(min_value=1.0, max_value=5.0, allow_nan=False)
+
+rating_triples = st.lists(
+    st.tuples(user_ids, item_ids, rating_values), min_size=0, max_size=60
+)
+
+term_weights = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False).map(
+        lambda x: round(x, 3)
+    ),
+    max_size=6,
+)
+
+words = st.sampled_from(
+    ["pain", "diet", "cancer", "sleep", "drug", "heart", "lung", "sugar"]
+)
+documents = st.lists(words, min_size=1, max_size=12).map(" ".join)
+
+
+# ---------------------------------------------------------------------------
+# RatingMatrix invariants
+# ---------------------------------------------------------------------------
+
+
+class TestRatingMatrixProperties:
+    @given(rating_triples)
+    def test_indexes_stay_consistent(self, triples):
+        matrix = RatingMatrix(triples)
+        for user_id in matrix.user_ids():
+            for item_id in matrix.items_of(user_id):
+                assert user_id in matrix.users_of(item_id)
+        for item_id in matrix.item_ids():
+            for user_id in matrix.users_of(item_id):
+                assert item_id in matrix.items_of(user_id)
+
+    @given(rating_triples)
+    def test_roundtrip_preserves_all_ratings(self, triples):
+        matrix = RatingMatrix(triples)
+        rebuilt = RatingMatrix.from_dict(matrix.to_dict())
+        assert sorted(rebuilt.triples()) == sorted(matrix.triples())
+
+    @given(rating_triples)
+    def test_num_ratings_matches_iteration(self, triples):
+        matrix = RatingMatrix(triples)
+        assert matrix.num_ratings == sum(1 for _ in matrix)
+
+    @given(rating_triples)
+    def test_mean_rating_within_scale(self, triples):
+        matrix = RatingMatrix(triples)
+        for user_id in matrix.user_ids():
+            mean = matrix.mean_rating(user_id)
+            assert 1.0 - 1e-9 <= mean <= 5.0 + 1e-9
+
+    @given(rating_triples, user_ids, item_ids)
+    def test_last_write_wins(self, triples, user_id, item_id):
+        matrix = RatingMatrix(triples)
+        matrix.add(user_id, item_id, 3.0)
+        matrix.add(user_id, item_id, 4.0)
+        assert matrix.get(user_id, item_id) == 4.0
+
+    @given(rating_triples)
+    def test_co_rated_is_symmetric(self, triples):
+        matrix = RatingMatrix(triples)
+        users = matrix.user_ids()[:4]
+        for user_a in users:
+            for user_b in users:
+                assert matrix.co_rated_items(user_a, user_b) == matrix.co_rated_items(
+                    user_b, user_a
+                )
+
+
+# ---------------------------------------------------------------------------
+# SparseVector invariants
+# ---------------------------------------------------------------------------
+
+
+class TestVectorProperties:
+    @given(term_weights, term_weights)
+    def test_cosine_is_symmetric_and_bounded(self, weights_a, weights_b):
+        a, b = SparseVector(weights_a), SparseVector(weights_b)
+        assert math.isclose(a.cosine(b), b.cosine(a), abs_tol=1e-9)
+        assert -1.0 - 1e-9 <= a.cosine(b) <= 1.0 + 1e-9
+
+    @given(term_weights)
+    def test_cosine_with_self_is_one_or_zero(self, weights):
+        vector = SparseVector(weights)
+        if len(vector) == 0:
+            assert vector.cosine(vector) == 0.0
+        else:
+            assert math.isclose(vector.cosine(vector), 1.0, rel_tol=1e-9)
+
+    @given(term_weights, term_weights)
+    def test_dot_is_commutative(self, weights_a, weights_b):
+        a, b = SparseVector(weights_a), SparseVector(weights_b)
+        assert math.isclose(a.dot(b), b.dot(a), abs_tol=1e-9)
+
+    @given(term_weights)
+    def test_normalised_norm_is_one(self, weights):
+        vector = SparseVector(weights)
+        if len(vector):
+            assert math.isclose(vector.normalized().norm(), 1.0, rel_tol=1e-9)
+
+    @given(term_weights, st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+    def test_scaling_scales_norm(self, weights, factor):
+        vector = SparseVector(weights)
+        assert math.isclose(
+            vector.scale(factor).norm(), abs(factor) * vector.norm(), abs_tol=1e-6
+        )
+
+
+# ---------------------------------------------------------------------------
+# TF-IDF invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTfIdfProperties:
+    @settings(max_examples=40)
+    @given(st.lists(documents, min_size=1, max_size=8))
+    def test_idf_non_negative_and_bounded(self, corpus):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(corpus)
+        for term in model.vocabulary:
+            assert 0.0 <= model.idf(term) <= math.log(len(corpus)) + 1e-9
+
+    @settings(max_examples=40)
+    @given(st.lists(documents, min_size=2, max_size=8))
+    def test_self_similarity_is_maximal(self, corpus):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(corpus)
+        for document in corpus:
+            vector = model.transform(document)
+            if len(vector) == 0:
+                continue
+            assert math.isclose(model.similarity(document, document), 1.0)
+
+    @settings(max_examples=40)
+    @given(st.lists(documents, min_size=1, max_size=8), documents)
+    def test_similarity_symmetric(self, corpus, query):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(corpus)
+        for document in corpus:
+            assert math.isclose(
+                model.similarity(query, document),
+                model.similarity(document, query),
+                abs_tol=1e-12,
+            )

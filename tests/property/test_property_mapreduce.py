@@ -1,0 +1,70 @@
+"""Property-based tests for the MapReduce engine and the top-k job."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.topk import mapreduce_topk
+
+words = st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"])
+lines = st.lists(words, min_size=0, max_size=8).map(" ".join)
+
+
+def word_count_job(num_partitions: int) -> MapReduceJob:
+    def mapper(key, line):
+        for word in line.split():
+            yield (word, 1)
+
+    def reducer(word, counts):
+        yield (word, sum(counts))
+
+    return MapReduceJob(
+        name="word-count",
+        mapper=mapper,
+        reducer=reducer,
+        num_partitions=num_partitions,
+    )
+
+
+class TestEngineProperties:
+    @settings(max_examples=50)
+    @given(st.lists(lines, max_size=15), st.integers(min_value=1, max_value=6))
+    def test_word_count_matches_counter(self, documents, partitions):
+        """For any input and any partitioning, the engine's word count
+        equals the plain Counter over the same text."""
+        engine = MapReduceEngine()
+        input_pairs = list(enumerate(documents))
+        result = engine.run(word_count_job(partitions), input_pairs)
+        expected = Counter(word for line in documents for word in line.split())
+        assert dict(result.output) == dict(expected)
+
+    @settings(max_examples=50)
+    @given(st.lists(lines, max_size=15), st.integers(min_value=1, max_value=6))
+    def test_counters_are_consistent(self, documents, partitions):
+        engine = MapReduceEngine()
+        result = engine.run(word_count_job(partitions), list(enumerate(documents)))
+        counters = result.counters
+        assert counters.map_input_records == len(documents)
+        assert counters.reduce_input_records == counters.map_output_records
+        assert counters.reduce_output_records == counters.reduce_input_groups
+
+
+class TestTopKProperties:
+    scores = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200).map(lambda i: f"item-{i}"),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        max_size=60,
+        unique_by=lambda pair: pair[0],
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(scores, st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=5))
+    def test_matches_sorted_baseline(self, items, k, partitions):
+        expected = sorted(items, key=lambda pair: (-pair[1], pair[0]))[:k]
+        assert mapreduce_topk(items, k=k, num_partitions=partitions) == expected

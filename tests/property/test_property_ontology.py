@@ -1,0 +1,113 @@
+"""Property-based tests for the ontology and similarity measures."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.ratings import RatingMatrix
+from repro.ontology.pathsim import path_similarity, wu_palmer_similarity
+from repro.ontology.snomed import build_snomed_like_ontology, extend_with_random_subtrees
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+from repro.similarity.semantic_sim import harmonic_mean
+
+_ONTOLOGY = build_snomed_like_ontology()
+_CONCEPTS = _ONTOLOGY.concept_ids()
+
+concept_ids = st.sampled_from(_CONCEPTS)
+
+
+class TestOntologyProperties:
+    @given(concept_ids, concept_ids)
+    def test_shortest_path_is_symmetric(self, concept_a, concept_b):
+        assert _ONTOLOGY.shortest_path_length(
+            concept_a, concept_b
+        ) == _ONTOLOGY.shortest_path_length(concept_b, concept_a)
+
+    @given(concept_ids, concept_ids, concept_ids)
+    def test_triangle_inequality(self, a, b, c):
+        ab = _ONTOLOGY.shortest_path_length(a, b)
+        bc = _ONTOLOGY.shortest_path_length(b, c)
+        ac = _ONTOLOGY.shortest_path_length(a, c)
+        assert ac <= ab + bc
+
+    @given(concept_ids)
+    def test_distance_to_self_is_zero(self, concept):
+        assert _ONTOLOGY.shortest_path_length(concept, concept) == 0
+
+    @given(concept_ids, concept_ids)
+    def test_path_endpoints_and_adjacency(self, concept_a, concept_b):
+        path = _ONTOLOGY.shortest_path(concept_a, concept_b)
+        assert path[0] == concept_a
+        assert path[-1] == concept_b
+        for first, second in zip(path, path[1:]):
+            neighbours = set(_ONTOLOGY.parents(first)) | set(_ONTOLOGY.children(first))
+            assert second in neighbours
+
+    @given(concept_ids, concept_ids)
+    def test_similarities_bounded_and_symmetric(self, concept_a, concept_b):
+        for measure in (path_similarity, wu_palmer_similarity):
+            forward = measure(_ONTOLOGY, concept_a, concept_b)
+            backward = measure(_ONTOLOGY, concept_b, concept_a)
+            assert math.isclose(forward, backward)
+            assert 0.0 <= forward <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=10_000))
+    def test_extension_keeps_single_connected_hierarchy(self, extra, seed):
+        ontology = build_snomed_like_ontology()
+        new_ids = extend_with_random_subtrees(ontology, extra, seed=seed)
+        assert len(new_ids) == extra
+        assert ontology.roots() == ["SCT-ROOT"]
+        # Every synthetic concept still reaches the root.
+        for concept_id in new_ids[:5]:
+            assert "SCT-ROOT" in ontology.ancestors(concept_id)
+
+
+class TestHarmonicMeanProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=10))
+    def test_bounded_by_min_and_max(self, values):
+        result = harmonic_mean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=10))
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert harmonic_mean(values) <= sum(values) / len(values) + 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=1.0), st.integers(min_value=1, max_value=10))
+    def test_constant_list_returns_the_constant(self, value, count):
+        assert math.isclose(harmonic_mean([value] * count), value)
+
+
+class TestPearsonProperties:
+    rating_triples = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5).map(lambda i: f"u{i}"),
+            st.integers(min_value=0, max_value=8).map(lambda i: f"i{i}"),
+            st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=50,
+    )
+
+    @settings(max_examples=50)
+    @given(rating_triples)
+    def test_bounded_and_symmetric(self, triples):
+        matrix = RatingMatrix(triples)
+        similarity = PearsonRatingSimilarity(matrix)
+        users = matrix.user_ids()[:4]
+        for user_a in users:
+            for user_b in users:
+                score = similarity(user_a, user_b)
+                assert -1.0 - 1e-9 <= score <= 1.0 + 1e-9
+                assert math.isclose(score, similarity(user_b, user_a), abs_tol=1e-9)
+
+    @settings(max_examples=50)
+    @given(rating_triples)
+    def test_self_similarity_is_one(self, triples):
+        matrix = RatingMatrix(triples)
+        similarity = PearsonRatingSimilarity(matrix)
+        for user_id in matrix.user_ids():
+            assert similarity(user_id, user_id) == 1.0

@@ -1,0 +1,176 @@
+"""Unit tests for clustering-based peer pre-selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import generate_dataset
+from repro.data.ratings import RatingMatrix
+from repro.similarity.clustering import (
+    ClusteredPeerSelector,
+    KMeansClusterer,
+    RatingVectorizer,
+)
+from repro.similarity.peers import PeerSelector
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+from repro.text.vectors import SparseVector
+
+
+@pytest.fixture
+def polarized_matrix() -> RatingMatrix:
+    """Two obvious taste communities: items a* loved by group A, b* by B."""
+    matrix = RatingMatrix()
+    for index in range(4):
+        user = f"a{index}"
+        for item in ("a1", "a2", "a3"):
+            matrix.add(user, item, 5.0)
+        for item in ("b1", "b2"):
+            matrix.add(user, item, 1.0)
+    for index in range(4):
+        user = f"b{index}"
+        for item in ("b1", "b2", "b3"):
+            matrix.add(user, item, 5.0)
+        for item in ("a1", "a2"):
+            matrix.add(user, item, 1.0)
+    return matrix
+
+
+class TestRatingVectorizer:
+    def test_mean_centred_vectors(self, polarized_matrix):
+        vector = RatingVectorizer(polarized_matrix).vector("a0")
+        # a0's mean is (5*3 + 1*2) / 5 = 3.4.
+        assert vector["a1"] == pytest.approx(1.6)
+        assert vector["b1"] == pytest.approx(-2.4)
+
+    def test_uncentred_option(self, polarized_matrix):
+        vector = RatingVectorizer(polarized_matrix, center=False).vector("a0")
+        assert vector["a1"] == 5.0
+
+    def test_unknown_user_is_empty(self, polarized_matrix):
+        assert len(RatingVectorizer(polarized_matrix).vector("ghost")) == 0
+
+
+class TestKMeansClusterer:
+    def test_separates_polarized_communities(self, polarized_matrix):
+        vectors = RatingVectorizer(polarized_matrix).vectors(polarized_matrix.user_ids())
+        clusters = KMeansClusterer(num_clusters=2, seed=1).fit(vectors)
+        assert len(clusters) == 2
+        memberships = [set(cluster.members) for cluster in clusters]
+        community_a = {f"a{i}" for i in range(4)}
+        community_b = {f"b{i}" for i in range(4)}
+        assert community_a in memberships
+        assert community_b in memberships
+
+    def test_every_user_assigned_exactly_once(self, polarized_matrix):
+        vectors = RatingVectorizer(polarized_matrix).vectors(polarized_matrix.user_ids())
+        clusters = KMeansClusterer(num_clusters=3, seed=2).fit(vectors)
+        assigned = [user for cluster in clusters for user in cluster.members]
+        assert sorted(assigned) == sorted(polarized_matrix.user_ids())
+
+    def test_clusters_capped_at_population(self):
+        vectors = {"u1": SparseVector({"x": 1.0}), "u2": SparseVector({"y": 1.0})}
+        clusters = KMeansClusterer(num_clusters=10, seed=1).fit(vectors)
+        assert len(clusters) <= 2
+
+    def test_deterministic_for_seed(self, polarized_matrix):
+        vectors = RatingVectorizer(polarized_matrix).vectors(polarized_matrix.user_ids())
+        first = KMeansClusterer(num_clusters=2, seed=5).fit(vectors)
+        second = KMeansClusterer(num_clusters=2, seed=5).fit(vectors)
+        assert [c.members for c in first] == [c.members for c in second]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KMeansClusterer(num_clusters=0)
+        with pytest.raises(ValueError):
+            KMeansClusterer(max_iterations=0)
+
+
+class TestClusteredPeerSelector:
+    def test_candidate_pool_stays_in_own_community(self, polarized_matrix):
+        selector = ClusteredPeerSelector(
+            PearsonRatingSimilarity(polarized_matrix),
+            polarized_matrix,
+            num_clusters=2,
+            seed=1,
+        )
+        pool = selector.candidate_pool("a0")
+        assert set(pool) == {"a1", "a2", "a3"}
+        assert "a0" not in pool
+
+    def test_peers_subset_of_exact_peers(self, polarized_matrix):
+        similarity = PearsonRatingSimilarity(polarized_matrix)
+        clustered = ClusteredPeerSelector(
+            similarity, polarized_matrix, threshold=0.0, num_clusters=2, seed=1
+        )
+        exact = PeerSelector(similarity, threshold=0.0)
+        clustered_ids = {peer.user_id for peer in clustered.peers("a0")}
+        exact_ids = {
+            peer.user_id
+            for peer in exact.peers_from_matrix("a0", polarized_matrix)
+        }
+        assert clustered_ids <= exact_ids
+
+    def test_exclusion_respected(self, polarized_matrix):
+        selector = ClusteredPeerSelector(
+            PearsonRatingSimilarity(polarized_matrix),
+            polarized_matrix,
+            num_clusters=2,
+            seed=1,
+        )
+        peers = selector.peers("a0", exclude=["a1"])
+        assert "a1" not in {peer.user_id for peer in peers}
+
+    def test_probing_more_clusters_recovers_more_candidates(self, polarized_matrix):
+        similarity = PearsonRatingSimilarity(polarized_matrix)
+        one_probe = ClusteredPeerSelector(
+            similarity, polarized_matrix, num_clusters=2, num_probe_clusters=1, seed=1
+        )
+        two_probes = ClusteredPeerSelector(
+            similarity, polarized_matrix, num_clusters=2, num_probe_clusters=2, seed=1
+        )
+        assert len(two_probes.candidate_pool("a0")) >= len(one_probe.candidate_pool("a0"))
+        assert len(two_probes.candidate_pool("a0")) == len(polarized_matrix.user_ids()) - 1
+
+    def test_recall_on_synthetic_dataset(self):
+        """On the synthetic health dataset, probing a quarter of the
+        clusters should still recover a good share of the exact peers."""
+        dataset = generate_dataset(num_users=60, num_items=80, ratings_per_user=20, seed=23)
+        similarity = PearsonRatingSimilarity(dataset.ratings)
+        exact = PeerSelector(similarity, threshold=0.3)
+        clustered = ClusteredPeerSelector(
+            similarity,
+            dataset.ratings,
+            threshold=0.3,
+            num_clusters=4,
+            num_probe_clusters=2,
+            seed=3,
+        )
+        query = dataset.users.ids()[0]
+        exact_ids = {
+            peer.user_id for peer in exact.peers_from_matrix(query, dataset.ratings)
+        }
+        clustered_ids = {peer.user_id for peer in clustered.peers(query)}
+        assert clustered_ids <= exact_ids
+        if exact_ids:
+            recall = len(clustered_ids) / len(exact_ids)
+            assert recall >= 0.3
+
+    def test_invalid_probe_count(self, polarized_matrix):
+        with pytest.raises(ValueError):
+            ClusteredPeerSelector(
+                PearsonRatingSimilarity(polarized_matrix),
+                polarized_matrix,
+                num_probe_clusters=0,
+            )
+
+    def test_cluster_introspection(self, polarized_matrix):
+        selector = ClusteredPeerSelector(
+            PearsonRatingSimilarity(polarized_matrix),
+            polarized_matrix,
+            num_clusters=2,
+            seed=1,
+        )
+        assert selector.num_clusters == 2
+        assert sum(selector.cluster_sizes()) == len(polarized_matrix.user_ids())
+        assert selector.cluster_of("a0") in (0, 1)
+        assert selector.cluster_of("ghost") == -1

@@ -1,0 +1,97 @@
+"""Unit tests for the hybrid similarity and the precomputed table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.similarity.base import PrecomputedSimilarity
+from repro.similarity.hybrid import HybridSimilarity
+
+
+class TestPrecomputedSimilarity:
+    def test_lookup_is_symmetric(self):
+        table = PrecomputedSimilarity({("a", "b"): 0.4})
+        assert table("a", "b") == 0.4
+        assert table("b", "a") == 0.4
+
+    def test_missing_pair_uses_default(self):
+        table = PrecomputedSimilarity({("a", "b"): 0.4}, default=0.1)
+        assert table("a", "c") == 0.1
+
+    def test_self_similarity_is_one(self):
+        table = PrecomputedSimilarity({})
+        assert table("a", "a") == 1.0
+
+    def test_set_updates_pair(self):
+        table = PrecomputedSimilarity({})
+        table.set("x", "y", 0.9)
+        assert table("y", "x") == 0.9
+        assert table.known_pairs() == [("x", "y")]
+
+
+class TestHybridSimilarity:
+    def test_equal_weights_average_components(self):
+        first = PrecomputedSimilarity({("a", "b"): 0.2})
+        second = PrecomputedSimilarity({("a", "b"): 0.8})
+        hybrid = HybridSimilarity([first, second])
+        assert hybrid("a", "b") == pytest.approx(0.5)
+
+    def test_weights_are_normalised(self):
+        first = PrecomputedSimilarity({("a", "b"): 0.0})
+        second = PrecomputedSimilarity({("a", "b"): 1.0})
+        hybrid = HybridSimilarity([first, second], weights=[1.0, 3.0])
+        assert hybrid("a", "b") == pytest.approx(0.75)
+
+    def test_zero_weight_component_ignored(self):
+        first = PrecomputedSimilarity({("a", "b"): 0.1})
+        second = PrecomputedSimilarity({("a", "b"): 0.9})
+        hybrid = HybridSimilarity([first, second], weights=[0.0, 1.0])
+        assert hybrid("a", "b") == pytest.approx(0.9)
+
+    def test_self_similarity_is_one(self):
+        hybrid = HybridSimilarity([PrecomputedSimilarity({})])
+        assert hybrid("a", "a") == 1.0
+
+    def test_component_scores_breakdown(self, tiny_matrix):
+        from repro.similarity.ratings_sim import (
+            JaccardRatingSimilarity,
+            PearsonRatingSimilarity,
+        )
+
+        hybrid = HybridSimilarity(
+            [PearsonRatingSimilarity(tiny_matrix), JaccardRatingSimilarity(tiny_matrix)]
+        )
+        scores = hybrid.component_scores("alice", "bob")
+        assert set(scores) == {"ratings", "ratings-jaccard"}
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridSimilarity([])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridSimilarity([PrecomputedSimilarity({})], weights=[1.0, 2.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridSimilarity([PrecomputedSimilarity({})], weights=[-1.0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridSimilarity(
+                [PrecomputedSimilarity({}), PrecomputedSimilarity({})],
+                weights=[0.0, 0.0],
+            )
+
+    def test_real_measures_combination(self, tiny_matrix):
+        from repro.similarity.ratings_sim import (
+            JaccardRatingSimilarity,
+            PearsonRatingSimilarity,
+        )
+
+        pearson = PearsonRatingSimilarity(tiny_matrix)
+        jaccard = JaccardRatingSimilarity(tiny_matrix)
+        hybrid = HybridSimilarity([pearson, jaccard], weights=[1.0, 1.0])
+        expected = (pearson("alice", "bob") + jaccard("alice", "bob")) / 2.0
+        assert hybrid("alice", "bob") == pytest.approx(expected)

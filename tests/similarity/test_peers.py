@@ -1,0 +1,85 @@
+"""Unit tests for peer selection (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.similarity.base import PrecomputedSimilarity
+from repro.similarity.peers import (
+    Peer,
+    PeerSelector,
+    mapping_as_peers,
+    peers_as_mapping,
+)
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+
+
+@pytest.fixture
+def scores() -> PrecomputedSimilarity:
+    return PrecomputedSimilarity(
+        {
+            ("query", "high"): 0.9,
+            ("query", "medium"): 0.5,
+            ("query", "low"): 0.1,
+            ("query", "negative"): -0.3,
+        }
+    )
+
+
+class TestPeerSelector:
+    def test_threshold_filters_definition1(self, scores):
+        selector = PeerSelector(scores, threshold=0.4)
+        peers = selector.peers("query", ["high", "medium", "low", "negative"])
+        assert [peer.user_id for peer in peers] == ["high", "medium"]
+
+    def test_threshold_is_inclusive(self, scores):
+        selector = PeerSelector(scores, threshold=0.5)
+        peers = selector.peers("query", ["high", "medium", "low"])
+        assert "medium" in {peer.user_id for peer in peers}
+
+    def test_peers_sorted_by_similarity_desc(self, scores):
+        selector = PeerSelector(scores, threshold=-1.0)
+        peers = selector.peers("query", ["low", "high", "negative", "medium"])
+        assert [peer.user_id for peer in peers] == ["high", "medium", "low", "negative"]
+
+    def test_max_peers_cap(self, scores):
+        selector = PeerSelector(scores, threshold=-1.0, max_peers=2)
+        peers = selector.peers("query", ["low", "high", "negative", "medium"])
+        assert [peer.user_id for peer in peers] == ["high", "medium"]
+
+    def test_self_never_included(self, scores):
+        selector = PeerSelector(scores, threshold=-1.0)
+        peers = selector.peers("query", ["query", "high"])
+        assert "query" not in {peer.user_id for peer in peers}
+
+    def test_invalid_max_peers(self, scores):
+        with pytest.raises(ValueError):
+            PeerSelector(scores, max_peers=0)
+
+    def test_peer_map_shares_candidates(self, scores):
+        selector = PeerSelector(scores, threshold=0.0)
+        mapping = selector.peer_map(["query"], ["high", "low"])
+        assert set(mapping) == {"query"}
+        assert {peer.user_id for peer in mapping["query"]} == {"high", "low"}
+
+    def test_peers_from_matrix_excludes_requested_users(self, tiny_matrix):
+        selector = PeerSelector(PearsonRatingSimilarity(tiny_matrix), threshold=-1.0)
+        peers = selector.peers_from_matrix("alice", tiny_matrix, exclude=["bob"])
+        ids = {peer.user_id for peer in peers}
+        assert "bob" not in ids
+        assert "alice" not in ids
+        assert "carol" in ids
+
+    def test_empty_candidates_give_empty_peers(self, scores):
+        selector = PeerSelector(scores)
+        assert selector.peers("query", []) == []
+
+
+class TestConversions:
+    def test_peers_as_mapping(self):
+        peers = [Peer("a", 0.3), Peer("b", 0.9)]
+        assert peers_as_mapping(peers) == {"a": 0.3, "b": 0.9}
+
+    def test_mapping_as_peers_sorted(self):
+        peers = mapping_as_peers({"a": 0.3, "b": 0.9, "c": 0.9})
+        assert [peer.user_id for peer in peers] == ["b", "c", "a"]

@@ -1,0 +1,88 @@
+"""Unit tests for the TF-IDF profile similarity (CS, Equation 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.phr import HealthProblem, PersonalHealthRecord
+from repro.data.users import User, UserRegistry
+from repro.similarity.profile_sim import ProfileSimilarity
+
+
+class TestProfileSimilarity:
+    def test_self_similarity_is_one(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        assert similarity("u-resp", "u-resp") == 1.0
+
+    def test_scores_in_unit_interval(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        users = profile_registry.ids()
+        for user_a in users:
+            for user_b in users:
+                assert 0.0 <= similarity(user_a, user_b) <= 1.0 + 1e-9
+
+    def test_similar_profiles_score_higher(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        respiratory_pair = similarity("u-resp", "u-resp2")
+        unrelated_pair = similarity("u-resp", "u-card")
+        assert respiratory_pair > unrelated_pair
+
+    def test_empty_profile_scores_zero_against_everyone(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        assert similarity("u-empty", "u-resp") == 0.0
+        assert similarity("u-empty", "u-card") == 0.0
+
+    def test_symmetry(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        assert similarity("u-resp", "u-card") == pytest.approx(
+            similarity("u-card", "u-resp")
+        )
+
+    def test_model_is_fitted_lazily(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        assert not similarity._fitted
+        similarity.similarity("u-resp", "u-card")
+        assert similarity._fitted
+
+    def test_profile_vector_caching(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        first = similarity.profile_vector("u-resp")
+        second = similarity.profile_vector("u-resp")
+        assert first is second
+
+    def test_refresh_picks_up_new_users(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        similarity.fit()
+        profile_registry.add(
+            User(
+                user_id="u-new",
+                record=PersonalHealthRecord(
+                    problems=[HealthProblem(name="Acute bronchitis")]
+                ),
+            )
+        )
+        similarity.refresh()
+        assert similarity("u-new", "u-resp") > 0.0
+
+    def test_model_exposes_tfidf(self, profile_registry):
+        similarity = ProfileSimilarity(profile_registry)
+        assert similarity.model.num_documents == len(profile_registry)
+
+    def test_identical_profiles_score_close_to_one(self):
+        registry = UserRegistry()
+        record = PersonalHealthRecord(
+            problems=[HealthProblem(name="Diabetes mellitus type 2")]
+        )
+        registry.add(User(user_id="twin-1", gender="Male", record=record))
+        registry.add(User(user_id="twin-2", gender="Male", record=record))
+        registry.add(
+            User(
+                user_id="other",
+                gender="Female",
+                record=PersonalHealthRecord(
+                    problems=[HealthProblem(name="Fracture of arm")]
+                ),
+            )
+        )
+        similarity = ProfileSimilarity(registry)
+        assert similarity("twin-1", "twin-2") == pytest.approx(1.0)

@@ -1,0 +1,153 @@
+"""Unit tests for rating-based similarities (RS, Equation 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.ratings import RatingMatrix
+from repro.similarity.ratings_sim import (
+    CosineRatingSimilarity,
+    JaccardRatingSimilarity,
+    PearsonRatingSimilarity,
+)
+
+
+def manual_pearson(matrix: RatingMatrix, user_a: str, user_b: str) -> float:
+    """Straightforward re-implementation of Equation 2 for cross-checking."""
+    ratings_a = matrix.items_of(user_a)
+    ratings_b = matrix.items_of(user_b)
+    common = sorted(set(ratings_a) & set(ratings_b))
+    mean_a = sum(ratings_a.values()) / len(ratings_a)
+    mean_b = sum(ratings_b.values()) / len(ratings_b)
+    numerator = sum(
+        (ratings_a[i] - mean_a) * (ratings_b[i] - mean_b) for i in common
+    )
+    denominator = math.sqrt(
+        sum((ratings_a[i] - mean_a) ** 2 for i in common)
+    ) * math.sqrt(sum((ratings_b[i] - mean_b) ** 2 for i in common))
+    return numerator / denominator if denominator else 0.0
+
+
+class TestPearson:
+    def test_self_similarity_is_one(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        assert similarity("alice", "alice") == 1.0
+
+    def test_matches_manual_equation2(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        for pair in [("alice", "bob"), ("alice", "carol"), ("bob", "carol")]:
+            assert similarity(*pair) == pytest.approx(manual_pearson(tiny_matrix, *pair))
+
+    def test_agreeing_users_are_positive(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        assert similarity("alice", "bob") > 0.5
+
+    def test_disagreeing_users_are_negative(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        assert similarity("alice", "carol") < 0.0
+
+    def test_symmetry(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        assert similarity("alice", "carol") == pytest.approx(
+            similarity("carol", "alice")
+        )
+
+    def test_too_few_common_items_scores_zero(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix, min_common_items=2)
+        # alice and dave share only i3.
+        assert similarity("alice", "dave") == 0.0
+
+    def test_min_common_items_one_allows_single_overlap(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix, min_common_items=1)
+        # With a single co-rated item the correlation degenerates to ±1
+        # (which is exactly why min_common_items defaults to 2).
+        assert abs(similarity("alice", "dave")) == pytest.approx(1.0)
+
+    def test_zero_variance_user_scores_zero(self):
+        matrix = RatingMatrix(
+            [
+                ("flat", "i1", 3.0),
+                ("flat", "i2", 3.0),
+                ("other", "i1", 2.0),
+                ("other", "i2", 5.0),
+            ]
+        )
+        assert PearsonRatingSimilarity(matrix)("flat", "other") == 0.0
+
+    def test_unknown_users_score_zero(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        assert similarity("alice", "ghost") == 0.0
+
+    def test_mean_over_common_only_variant(self):
+        matrix = RatingMatrix(
+            [
+                ("a", "i1", 5.0),
+                ("a", "i2", 1.0),
+                ("a", "i3", 3.0),
+                ("b", "i1", 5.0),
+                ("b", "i2", 1.0),
+                ("b", "i4", 1.0),
+            ]
+        )
+        paper_variant = PearsonRatingSimilarity(matrix)
+        common_variant = PearsonRatingSimilarity(matrix, mean_over_common_only=True)
+        # Both must agree these users correlate positively, but the exact
+        # values differ because the means differ.
+        assert paper_variant("a", "b") > 0
+        assert common_variant("a", "b") > 0
+        assert paper_variant("a", "b") != pytest.approx(common_variant("a", "b"))
+
+    def test_invalid_min_common_items(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            PearsonRatingSimilarity(tiny_matrix, min_common_items=0)
+
+    def test_cache_invalidation_after_matrix_change(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        before = similarity("alice", "bob")
+        tiny_matrix.add("alice", "i5", 1.0)
+        similarity.invalidate_cache()
+        after = similarity("alice", "bob")
+        assert before != pytest.approx(after)
+
+    def test_similarities_batch_excludes_self(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        scores = similarity.similarities("alice", ["alice", "bob", "carol"])
+        assert set(scores) == {"bob", "carol"}
+
+    def test_pairwise(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        scores = similarity.pairwise(["alice", "bob", "carol"])
+        assert set(scores) == {("alice", "bob"), ("alice", "carol"), ("bob", "carol")}
+
+
+class TestCosine:
+    def test_self_similarity_is_one(self, tiny_matrix):
+        assert CosineRatingSimilarity(tiny_matrix)("alice", "alice") == 1.0
+
+    def test_range_is_non_negative(self, tiny_matrix):
+        similarity = CosineRatingSimilarity(tiny_matrix)
+        for pair in [("alice", "bob"), ("alice", "carol"), ("bob", "dave")]:
+            assert similarity(*pair) >= 0.0
+
+    def test_no_common_items_scores_zero(self):
+        matrix = RatingMatrix([("a", "i1", 5.0), ("b", "i2", 5.0)])
+        assert CosineRatingSimilarity(matrix)("a", "b") == 0.0
+
+    def test_agreement_ranks_higher_than_disagreement(self, tiny_matrix):
+        similarity = CosineRatingSimilarity(tiny_matrix)
+        assert similarity("alice", "bob") > similarity("alice", "carol")
+
+
+class TestJaccard:
+    def test_self_similarity_is_one(self, tiny_matrix):
+        assert JaccardRatingSimilarity(tiny_matrix)("alice", "alice") == 1.0
+
+    def test_exact_value(self, tiny_matrix):
+        similarity = JaccardRatingSimilarity(tiny_matrix)
+        # alice: {i1,i2,i3}; carol: {i1,i2,i3,i5,i6} → 3/5.
+        assert similarity("alice", "carol") == pytest.approx(0.6)
+
+    def test_users_without_ratings_score_zero(self, tiny_matrix):
+        assert JaccardRatingSimilarity(tiny_matrix)("ghost1", "ghost2") == 0.0

@@ -1,0 +1,136 @@
+"""Unit tests for the semantic similarity (SS, Equation 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.phr import HealthProblem, PersonalHealthRecord
+from repro.data.users import User, UserRegistry
+from repro.ontology.snomed import (
+    ACUTE_BRONCHITIS,
+    BROKEN_ARM,
+    CHEST_PAIN,
+    TRACHEOBRONCHITIS,
+)
+from repro.similarity.semantic_sim import SemanticSimilarity, harmonic_mean
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([0.5]) == 0.5
+
+    def test_classic_example(self):
+        assert harmonic_mean([1.0, 0.5]) == pytest.approx(2.0 / 3.0)
+
+    def test_empty_list_is_zero(self):
+        assert harmonic_mean([]) == 0.0
+
+    def test_non_positive_value_gives_zero(self):
+        assert harmonic_mean([0.5, 0.0]) == 0.0
+        assert harmonic_mean([0.5, -0.1]) == 0.0
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([1.0, 0.01]) < 0.05
+
+
+class TestSemanticSimilarity:
+    def test_self_similarity_is_one(self, paper_patients, snomed):
+        similarity = SemanticSimilarity(paper_patients, snomed)
+        assert similarity("patient-1", "patient-1") == 1.0
+
+    def test_paper_ordering_on_problem_level(self, paper_patients, snomed):
+        """'the similarity based on the health problems between patients 1
+        and 3 is greater than the one between patients 1 and 2' — the paper
+        states this at the problem level (tracheobronchitis vs chest pain)."""
+        similarity = SemanticSimilarity(paper_patients, snomed)
+        assert similarity.problem_similarity(
+            ACUTE_BRONCHITIS, TRACHEOBRONCHITIS
+        ) > similarity.problem_similarity(ACUTE_BRONCHITIS, CHEST_PAIN)
+
+    def test_pairwise_problem_similarities_cross_product(self, paper_patients, snomed):
+        similarity = SemanticSimilarity(paper_patients, snomed)
+        values = similarity.pairwise_problem_similarities("patient-1", "patient-3")
+        # patient-1 has 1 problem, patient-3 has 2 → 2 pairwise values.
+        assert len(values) == 2
+        assert all(0.0 < value <= 1.0 for value in values)
+
+    def test_patient1_patient2_value_matches_path_5(self, paper_patients, snomed):
+        similarity = SemanticSimilarity(paper_patients, snomed)
+        # One problem each: harmonic mean of a single value is the value
+        # itself: 1 / (1 + 5).
+        assert similarity("patient-1", "patient-2") == pytest.approx(1.0 / 6.0)
+
+    def test_patient1_patient3_is_harmonic_mean(self, paper_patients, snomed):
+        similarity = SemanticSimilarity(paper_patients, snomed)
+        x1 = 1.0 / (1.0 + snomed.shortest_path_length(ACUTE_BRONCHITIS, TRACHEOBRONCHITIS))
+        x2 = 1.0 / (1.0 + snomed.shortest_path_length(ACUTE_BRONCHITIS, BROKEN_ARM))
+        expected = 2.0 / (1.0 / x1 + 1.0 / x2)
+        assert similarity("patient-1", "patient-3") == pytest.approx(expected)
+
+    def test_symmetry(self, paper_patients, snomed):
+        similarity = SemanticSimilarity(paper_patients, snomed)
+        assert similarity("patient-2", "patient-3") == pytest.approx(
+            similarity("patient-3", "patient-2")
+        )
+
+    def test_user_without_problems_scores_zero(self, snomed):
+        registry = UserRegistry()
+        registry.add(
+            User(
+                user_id="with",
+                record=PersonalHealthRecord(
+                    problems=[HealthProblem(name="Chest pain", concept_id=CHEST_PAIN)]
+                ),
+            )
+        )
+        registry.add(User(user_id="without"))
+        similarity = SemanticSimilarity(registry, snomed)
+        assert similarity("with", "without") == 0.0
+
+    def test_unknown_concepts_skipped_by_default(self, snomed):
+        registry = UserRegistry()
+        registry.add(
+            User(
+                user_id="known",
+                record=PersonalHealthRecord(
+                    problems=[HealthProblem(name="Chest pain", concept_id=CHEST_PAIN)]
+                ),
+            )
+        )
+        registry.add(
+            User(
+                user_id="mixed",
+                record=PersonalHealthRecord(
+                    problems=[
+                        HealthProblem(name="Chest pain", concept_id=CHEST_PAIN),
+                        HealthProblem(name="Unmapped", concept_id="NOT-A-CONCEPT"),
+                    ]
+                ),
+            )
+        )
+        similarity = SemanticSimilarity(registry, snomed)
+        assert similarity("known", "mixed") == 1.0
+
+    def test_unknown_concepts_raise_when_strict(self, snomed):
+        from repro.exceptions import UnknownConceptError
+
+        registry = UserRegistry()
+        registry.add(
+            User(
+                user_id="bad",
+                record=PersonalHealthRecord(
+                    problems=[HealthProblem(name="Unmapped", concept_id="NOT-A-CONCEPT")]
+                ),
+            )
+        )
+        registry.add(User(user_id="other"))
+        similarity = SemanticSimilarity(
+            registry, snomed, skip_unknown_concepts=False
+        )
+        with pytest.raises(UnknownConceptError):
+            similarity("bad", "other")
+
+    def test_concept_cache_used(self, paper_patients, snomed):
+        similarity = SemanticSimilarity(paper_patients, snomed)
+        similarity("patient-1", "patient-2")
+        assert len(similarity._concept_cache) > 0

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.serialization import load_dataset, save_dataset
+from repro.data.datasets import generate_dataset
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.json"])
+        assert args.kind == "health"
+        assert args.users == 100
+
+
+class TestGenerateCommand:
+    def test_generates_health_dataset(self, tmp_path, capsys):
+        output = tmp_path / "dataset.json"
+        code = main(
+            [
+                "generate",
+                str(output),
+                "--users",
+                "8",
+                "--items",
+                "12",
+                "--ratings-per-user",
+                "4",
+            ]
+        )
+        assert code == 0
+        dataset = load_dataset(output)
+        assert dataset.num_users == 8
+        assert "wrote 8 users" in capsys.readouterr().out
+
+    def test_generates_nutrition_dataset(self, tmp_path):
+        output = tmp_path / "nutrition.json"
+        code = main(
+            [
+                "generate",
+                str(output),
+                "--kind",
+                "nutrition",
+                "--users",
+                "6",
+                "--items",
+                "10",
+                "--ratings-per-user",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert load_dataset(output).num_items == 10
+
+
+class TestRecommendCommand:
+    def test_recommend_on_saved_dataset(self, tmp_path, capsys):
+        dataset = generate_dataset(num_users=20, num_items=30, ratings_per_user=10, seed=3)
+        path = tmp_path / "dataset.json"
+        save_dataset(dataset, path)
+        code = main(["recommend", str(path), "--group-size", "3", "--z", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fairness:" in output
+        assert "recommended items:" in output
+
+    def test_recommend_with_explicit_group(self, tmp_path, capsys):
+        dataset = generate_dataset(num_users=20, num_items=30, ratings_per_user=10, seed=3)
+        path = tmp_path / "dataset.json"
+        save_dataset(dataset, path)
+        members = dataset.users.ids()[:3]
+        code = main(["recommend", str(path), "--group", *members, "--z", "4"])
+        assert code == 0
+        assert ", ".join(members) in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_table2_quick(self, capsys):
+        code = main(["table2", "--max-subsets", "1000", "--group-size", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Brute-force" in output
+
+    def test_prop1(self, capsys):
+        code = main(["prop1", "--candidates", "15"])
+        assert code == 0
+        assert "fairness" in capsys.readouterr().out
+
+    def test_value_quality_ablation(self, capsys):
+        code = main(["ablation", "value-quality"])
+        assert code == 0
+        assert "greedy/opt" in capsys.readouterr().out
+
+    def test_evaluate_command(self, tmp_path, capsys):
+        dataset = generate_dataset(num_users=20, num_items=30, ratings_per_user=12, seed=3)
+        path = tmp_path / "dataset.json"
+        save_dataset(dataset, path)
+        code = main(["evaluate", str(path), "--k", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MAE" in output
+        assert "pearson" in output

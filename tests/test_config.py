@@ -1,0 +1,70 @@
+"""Unit tests for the recommender configuration object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, RecommenderConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        assert DEFAULT_CONFIG.top_k > 0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"peer_threshold": 1.5},
+            {"peer_threshold": -2.0},
+            {"max_peers": 0},
+            {"top_k": 0},
+            {"top_z": -1},
+            {"candidate_pool_size": 0},
+            {"rating_scale": (5.0, 1.0)},
+            {"aggregation": "nonsense"},
+            {"similarity": "nonsense"},
+            {"hybrid_weights": (1.0, 1.0)},
+            {"hybrid_weights": (-1.0, 1.0, 1.0)},
+            {"hybrid_weights": (0.0, 0.0, 0.0)},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            RecommenderConfig(**overrides)
+
+    def test_valid_extension_aggregations_accepted(self):
+        for aggregation in ["median", "maximum", "multiplicative", "borda"]:
+            RecommenderConfig(aggregation=aggregation)
+
+
+class TestConvenience:
+    def test_rating_bounds_properties(self):
+        config = RecommenderConfig(rating_scale=(0.0, 10.0))
+        assert config.rating_low == 0.0
+        assert config.rating_high == 10.0
+
+    def test_with_overrides_revalidates(self):
+        config = RecommenderConfig()
+        updated = config.with_overrides(top_z=20)
+        assert updated.top_z == 20
+        assert config.top_z != 20  # frozen original untouched
+        with pytest.raises(ConfigurationError):
+            config.with_overrides(top_z=0)
+
+    def test_roundtrip_through_dict(self):
+        config = RecommenderConfig(
+            peer_threshold=0.3,
+            max_peers=15,
+            top_k=7,
+            top_z=9,
+            aggregation="minimum",
+            similarity="hybrid",
+            hybrid_weights=(2.0, 1.0, 1.0),
+        )
+        rebuilt = RecommenderConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RecommenderConfig().top_k = 5  # type: ignore[misc]

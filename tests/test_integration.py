@@ -1,0 +1,135 @@
+"""End-to-end integration tests across the whole library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CaregiverPipeline,
+    FairnessAwareGreedy,
+    GroupRecommender,
+    MapReduceGroupRecommender,
+    PearsonRatingSimilarity,
+    RecommenderConfig,
+    generate_dataset,
+    generate_nutrition_dataset,
+)
+from repro.core.fairness import value
+from repro.data.groups import diverse_group
+from repro.eval.metrics import summarize_selection
+
+
+class TestHealthPipelineEndToEnd:
+    def test_full_flow_from_dataset_to_recommendation(self, small_dataset, small_group):
+        config = RecommenderConfig(top_k=10, top_z=8, candidate_pool_size=30)
+        pipeline = CaregiverPipeline(small_dataset, config)
+        recommendation = pipeline.recommend(small_group)
+
+        assert len(recommendation.items) == 8
+        assert recommendation.report.fairness == 1.0
+        # Every recommended item is unknown to every member.
+        for item_id in recommendation.items:
+            for member in small_group:
+                assert not small_dataset.ratings.has_rating(member, item_id)
+        # And every recommended item exists in the catalog.
+        for item_id in recommendation.items:
+            assert item_id in small_dataset.items
+
+    @pytest.mark.parametrize("similarity", ["ratings", "profile", "semantic", "hybrid"])
+    def test_every_similarity_measure_supports_the_pipeline(
+        self, small_dataset, small_group, similarity
+    ):
+        config = RecommenderConfig(
+            similarity=similarity,
+            top_z=6,
+            candidate_pool_size=25,
+            peer_threshold=0.0,
+        )
+        pipeline = CaregiverPipeline(small_dataset, config)
+        recommendation = pipeline.recommend(small_group)
+        assert 1 <= len(recommendation.items) <= 6
+        assert 0.0 <= recommendation.report.fairness <= 1.0
+
+    def test_fairness_aware_selection_at_least_as_fair_as_plain_topz(
+        self, small_dataset
+    ):
+        """The motivating scenario: for a divergent group the plain top-z
+        can ignore a member entirely; the fairness-aware selection is never
+        less fair than the plain ranking, and when the plain ranking is
+        unfair the fairness-aware value is at least as large."""
+        from repro.core.fairness import fairness as fairness_of
+
+        group = diverse_group(small_dataset.ratings, small_dataset.users.ids()[0], 5, seed=3)
+        config = RecommenderConfig(top_z=6, top_k=5, candidate_pool_size=30)
+        pipeline = CaregiverPipeline(small_dataset, config)
+        recommendation = pipeline.recommend(group)
+        plain_items = [item.item_id for item in recommendation.plain_top_z]
+        plain_fairness = fairness_of(recommendation.candidates, plain_items)
+        assert recommendation.report.fairness >= plain_fairness - 1e-9
+        if plain_fairness < 1.0:
+            assert recommendation.report.value >= value(
+                recommendation.candidates, plain_items
+            ) - 1e-9
+
+    def test_mapreduce_and_in_memory_agree_on_final_recommendation(
+        self, small_dataset, small_group
+    ):
+        in_memory = GroupRecommender(
+            small_dataset.ratings,
+            PearsonRatingSimilarity(small_dataset.ratings),
+            peer_threshold=0.0,
+            top_k=10,
+        )
+        candidates = in_memory.build_candidates(small_group)
+        expected = FairnessAwareGreedy().select(candidates, 6)
+
+        mapreduce = MapReduceGroupRecommender(
+            small_dataset.ratings, peer_threshold=0.0, top_k=10
+        )
+        actual = mapreduce.recommend(small_group, z=6)
+        assert actual.items == expected.items
+
+    def test_summary_metrics_for_recommendation(self, small_dataset, small_group):
+        pipeline = CaregiverPipeline(small_dataset, RecommenderConfig(top_z=6))
+        recommendation = pipeline.recommend(small_group)
+        summary = summarize_selection(
+            recommendation.candidates, list(recommendation.items)
+        )
+        assert summary["fairness"] == recommendation.report.fairness
+        assert summary["min_satisfaction"] <= summary["mean_satisfaction"] + 1e-9
+
+
+class TestNutritionWorkload:
+    def test_nutrition_pipeline(self, nutrition_dataset):
+        group = nutrition_dataset.random_group(4, seed=7)
+        config = RecommenderConfig(top_z=6, candidate_pool_size=25)
+        pipeline = CaregiverPipeline(nutrition_dataset, config)
+        recommendation = pipeline.recommend(group)
+        assert len(recommendation.items) == 6
+        assert recommendation.report.fairness == 1.0
+        for item_id in recommendation.items:
+            document = nutrition_dataset.items.get(item_id)
+            assert "nutrition" in document.topics
+
+    def test_nutrition_semantic_similarity_pipeline(self, nutrition_dataset):
+        group = nutrition_dataset.random_group(3, seed=9)
+        config = RecommenderConfig(similarity="semantic", top_z=5, candidate_pool_size=20)
+        pipeline = CaregiverPipeline(nutrition_dataset, config)
+        recommendation = pipeline.recommend(group)
+        assert len(recommendation.items) >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_recommendation(self):
+        def run() -> tuple:
+            dataset = generate_dataset(num_users=25, num_items=40, ratings_per_user=10, seed=21)
+            group = dataset.random_group(4, seed=5)
+            pipeline = CaregiverPipeline(dataset, RecommenderConfig(top_z=6))
+            return pipeline.recommend(group).items
+
+        assert run() == run()
+
+    def test_nutrition_generation_is_stable(self):
+        first = generate_nutrition_dataset(num_users=10, num_recipes=20, ratings_per_user=5, seed=2)
+        second = generate_nutrition_dataset(num_users=10, num_recipes=20, ratings_per_user=5, seed=2)
+        assert first.ratings.triples() == second.ratings.triples()

@@ -1,0 +1,116 @@
+"""Sanity checks of the public package surface.
+
+A downstream user should be able to rely on ``repro.__all__``: every
+listed name must be importable from the top-level package, and the key
+entry points must be reachable without touching private modules.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_every_name_in_all_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} is exported but missing"
+
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+    def test_key_entry_points_exposed(self):
+        assert repro.CaregiverPipeline is not None
+        assert repro.FairnessAwareGreedy is not None
+        assert repro.MapReduceGroupRecommender is not None
+        assert callable(repro.generate_dataset)
+        assert callable(repro.fairness)
+        assert callable(repro.value)
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.config",
+            "repro.exceptions",
+            "repro.data",
+            "repro.text",
+            "repro.ontology",
+            "repro.similarity",
+            "repro.core",
+            "repro.mapreduce",
+            "repro.eval",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.data",
+            "repro.text",
+            "repro.ontology",
+            "repro.similarity",
+            "repro.core",
+            "repro.mapreduce",
+            "repro.eval",
+        ],
+    )
+    def test_subpackage_all_lists_are_valid(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_exceptions_share_base_class(self):
+        from repro.exceptions import (
+            ConfigurationError,
+            EmptyGroupError,
+            InsufficientCandidatesError,
+            InvalidRatingError,
+            MapReduceError,
+            OntologyStructureError,
+            ReproError,
+            SerializationError,
+            UnknownConceptError,
+            UnknownItemError,
+            UnknownUserError,
+        )
+
+        for exception_type in (
+            ConfigurationError,
+            EmptyGroupError,
+            InsufficientCandidatesError,
+            InvalidRatingError,
+            MapReduceError,
+            OntologyStructureError,
+            SerializationError,
+            UnknownConceptError,
+            UnknownItemError,
+            UnknownUserError,
+        ):
+            assert issubclass(exception_type, ReproError)
+
+    def test_public_classes_have_docstrings(self):
+        for name in repro.__all__:
+            member = getattr(repro, name)
+            if isinstance(member, type):
+                assert member.__doc__, f"repro.{name} has no docstring"
+
+
+class TestMinimalEndToEndViaPublicApi:
+    def test_readme_quickstart_snippet_works(self):
+        dataset = repro.generate_dataset(
+            num_users=20, num_items=30, ratings_per_user=10, seed=1
+        )
+        pipeline = repro.CaregiverPipeline(dataset, repro.RecommenderConfig(top_z=5))
+        group = dataset.random_group(size=3, seed=1)
+        recommendation = pipeline.recommend(group)
+        assert len(recommendation.items) == 5
+        assert 0.0 <= recommendation.report.fairness <= 1.0

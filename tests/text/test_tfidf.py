@@ -1,0 +1,112 @@
+"""Unit tests for the TF-IDF model (Definition 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.text.tfidf import TfIdfModel, corpus_tfidf
+from repro.text.tokenizer import Tokenizer
+
+
+@pytest.fixture
+def corpus() -> list[str]:
+    return [
+        "acute bronchitis cough inhaler",
+        "chest pain heart pressure",
+        "bronchitis inhaler breathing exercise",
+        "diet nutrition meal plan",
+    ]
+
+
+class TestFitting:
+    def test_idf_matches_definition4(self, corpus):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(corpus)
+        # 'bronchitis' appears in 2 of 4 documents: idf = log(4/2).
+        assert model.idf("bronchitis") == pytest.approx(math.log(2.0))
+        # 'diet' appears in 1 of 4 documents: idf = log(4).
+        assert model.idf("diet") == pytest.approx(math.log(4.0))
+
+    def test_idf_of_unknown_term_is_zero(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        assert model.idf("unknown-term") == 0.0
+
+    def test_term_in_every_document_has_zero_idf(self):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(
+            ["flu season", "flu vaccine", "flu symptoms"]
+        )
+        assert model.idf("flu") == pytest.approx(0.0)
+
+    def test_document_frequency_reconstruction(self, corpus):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(corpus)
+        assert model.document_frequency("bronchitis") == 2
+        assert model.document_frequency("diet") == 1
+        assert model.document_frequency("unknown") == 0
+
+    def test_vocabulary_and_num_documents(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        assert model.num_documents == 4
+        assert "bronchitis" in model.vocabulary
+        assert model.is_fitted
+
+
+class TestTransform:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfIdfModel().transform("some text")
+
+    def test_vector_weights_are_tf_times_idf(self, corpus):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(corpus)
+        vector = model.transform("diet diet nutrition")
+        assert vector["diet"] == pytest.approx(2.0 * math.log(4.0))
+        assert vector["nutrition"] == pytest.approx(1.0 * math.log(4.0))
+
+    def test_common_terms_filtered_out(self):
+        model = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(
+            ["flu shot", "flu rest"]
+        )
+        vector = model.transform("flu shot")
+        assert "flu" not in vector  # idf = 0 ⇒ filtered
+        assert "shot" in vector
+
+    def test_out_of_vocabulary_terms_ignored(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        vector = model.transform("zzz unseen words")
+        assert len(vector) == 0
+
+    def test_sublinear_tf(self, corpus):
+        model = TfIdfModel(
+            tokenizer=Tokenizer(remove_stopwords=False), sublinear_tf=True
+        ).fit(corpus)
+        vector = model.transform("diet diet diet")
+        assert vector["diet"] == pytest.approx((1.0 + math.log(3.0)) * math.log(4.0))
+
+    def test_length_normalisation_preserves_cosine(self, corpus):
+        plain = TfIdfModel(tokenizer=Tokenizer(remove_stopwords=False)).fit(corpus)
+        normalised = TfIdfModel(
+            tokenizer=Tokenizer(remove_stopwords=False), normalize_length=True
+        ).fit(corpus)
+        a, b = corpus[0], corpus[2]
+        assert plain.similarity(a, b) == pytest.approx(normalised.similarity(a, b))
+
+    def test_smooth_idf_never_zero(self, corpus):
+        model = TfIdfModel(smooth_idf=True).fit(corpus)
+        assert all(model.idf(term) > 0 for term in model.vocabulary)
+
+
+class TestSimilarity:
+    def test_identical_documents_have_similarity_one(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        assert model.similarity(corpus[0], corpus[0]) == pytest.approx(1.0)
+
+    def test_related_documents_more_similar_than_unrelated(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        related = model.similarity(corpus[0], corpus[2])     # share bronchitis/inhaler
+        unrelated = model.similarity(corpus[0], corpus[3])   # respiratory vs nutrition
+        assert related > unrelated
+
+    def test_corpus_tfidf_helper(self, corpus):
+        model, vectors = corpus_tfidf(corpus)
+        assert model.is_fitted
+        assert len(vectors) == len(corpus)

@@ -1,0 +1,57 @@
+"""Unit tests for the tokenizer."""
+
+from __future__ import annotations
+
+from repro.text.tokenizer import DEFAULT_STOPWORDS, Tokenizer, simple_stem
+
+
+class TestSimpleStem:
+    def test_strips_common_suffixes(self):
+        assert simple_stem("ratings") == "rating"
+        assert simple_stem("treated") == "treat"
+        assert simple_stem("walking") == "walk"
+
+    def test_keeps_short_tokens_unchanged(self):
+        # Stripping would leave fewer than 4 characters.
+        assert simple_stem("bed") == "bed"
+        assert simple_stem("dogs") == "dogs"
+
+    def test_no_matching_suffix(self):
+        assert simple_stem("cancer") == "cancer"
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits_on_non_alphanumeric(self):
+        tokenizer = Tokenizer(remove_stopwords=False)
+        assert tokenizer("Acute Bronchitis, 10 MG!") == ["acute", "bronchitis", "10", "mg"]
+
+    def test_removes_stopwords_by_default(self):
+        tokenizer = Tokenizer()
+        tokens = tokenizer("the patient is in pain and has a fever")
+        assert "the" not in tokens
+        assert "and" not in tokens
+        assert "pain" in tokens
+        assert "fever" in tokens
+
+    def test_min_length_filter(self):
+        tokenizer = Tokenizer(min_length=3, remove_stopwords=False)
+        assert tokenizer("a an the flu") == ["the", "flu"]
+
+    def test_stemming_option(self):
+        tokenizer = Tokenizer(stem=True, remove_stopwords=False)
+        assert tokenizer("ratings rating") == ["rating", "rating"]
+
+    def test_custom_stopwords(self):
+        tokenizer = Tokenizer(stopwords=frozenset({"cancer"}))
+        assert "cancer" not in tokenizer("breast cancer treatment")
+
+    def test_empty_text(self):
+        assert Tokenizer()("") == []
+
+    def test_vocabulary(self):
+        tokenizer = Tokenizer(remove_stopwords=False)
+        vocab = tokenizer.vocabulary(["flu shot", "flu season"])
+        assert vocab == ["flu", "season", "shot"]
+
+    def test_default_stopwords_are_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOPWORDS)

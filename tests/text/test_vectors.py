@@ -1,0 +1,78 @@
+"""Unit tests for sparse vectors and cosine similarity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.text.vectors import SparseVector, cosine_similarity
+
+
+class TestConstructionAndAccess:
+    def test_zero_entries_dropped(self):
+        vector = SparseVector({"a": 0.0, "b": 2.0})
+        assert "a" not in vector
+        assert len(vector) == 1
+
+    def test_getitem_defaults_to_zero(self):
+        vector = SparseVector({"a": 1.0})
+        assert vector["missing"] == 0.0
+        assert vector.get("missing", 7.0) == 7.0
+
+    def test_equality_ignores_explicit_zeros(self):
+        assert SparseVector({"a": 1.0, "b": 0.0}) == SparseVector({"a": 1.0})
+
+    def test_hashable(self):
+        assert hash(SparseVector({"a": 1.0})) == hash(SparseVector({"a": 1.0}))
+
+    def test_to_dict_copy(self):
+        vector = SparseVector({"a": 1.0})
+        payload = vector.to_dict()
+        payload["a"] = 99.0
+        assert vector["a"] == 1.0
+
+
+class TestArithmetic:
+    def test_dot_product(self):
+        a = SparseVector({"x": 1.0, "y": 2.0})
+        b = SparseVector({"y": 3.0, "z": 4.0})
+        assert a.dot(b) == 6.0
+        assert b.dot(a) == 6.0
+
+    def test_norm(self):
+        assert SparseVector({"x": 3.0, "y": 4.0}).norm() == 5.0
+        assert SparseVector().norm() == 0.0
+
+    def test_cosine_identical_is_one(self):
+        a = SparseVector({"x": 2.0, "y": 1.0})
+        assert a.cosine(a) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal_is_zero(self):
+        assert SparseVector({"x": 1.0}).cosine(SparseVector({"y": 1.0})) == 0.0
+
+    def test_cosine_with_empty_vector_is_zero(self):
+        assert SparseVector({"x": 1.0}).cosine(SparseVector()) == 0.0
+
+    def test_cosine_matches_manual_computation(self):
+        a = SparseVector({"x": 1.0, "y": 2.0})
+        b = SparseVector({"x": 2.0, "y": 1.0})
+        expected = 4.0 / (math.sqrt(5.0) * math.sqrt(5.0))
+        assert a.cosine(b) == pytest.approx(expected)
+
+    def test_scale_and_add(self):
+        a = SparseVector({"x": 1.0, "y": 2.0})
+        assert a.scale(2.0).to_dict() == {"x": 2.0, "y": 4.0}
+        combined = a.add(SparseVector({"y": 1.0, "z": 3.0}))
+        assert combined.to_dict() == {"x": 1.0, "y": 3.0, "z": 3.0}
+
+    def test_normalized_has_unit_norm(self):
+        assert SparseVector({"x": 3.0, "y": 4.0}).normalized().norm() == pytest.approx(1.0)
+        assert SparseVector().normalized() == SparseVector()
+
+    def test_top_terms_ordering(self):
+        vector = SparseVector({"a": 1.0, "b": 3.0, "c": 2.0})
+        assert vector.top_terms(2) == [("b", 3.0), ("c", 2.0)]
+
+    def test_module_level_cosine_helper(self):
+        assert cosine_similarity({"x": 1.0}, {"x": 2.0}) == pytest.approx(1.0)
