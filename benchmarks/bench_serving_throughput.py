@@ -1,0 +1,164 @@
+"""Serving-layer throughput: warm service vs cold pipeline.
+
+The serving layer exists for exactly one reason: repeated and
+overlapping group requests should not pay for peer search and relevance
+prediction again and again.  This benchmark replays a repeated-group
+workload (caregivers refreshing their dashboards) two ways:
+
+* **cold** — a fresh :class:`~repro.core.pipeline.CaregiverPipeline`
+  per request, the stateless reproduction path;
+* **warm** — one :class:`~repro.serving.RecommendationService` with a
+  pre-built neighbour index and LRU caches (index build time is charged
+  to the warm side).
+
+The acceptance bar of the serving subsystem is a ≥5× end-to-end
+speedup on this workload; ``test_serving_throughput_speedup`` asserts
+it.  Run directly (``python benchmarks/bench_serving_throughput.py``)
+or via ``pytest benchmarks/bench_serving_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import RecommenderConfig  # noqa: E402
+from repro.core.pipeline import CaregiverPipeline  # noqa: E402
+from repro.data.datasets import generate_dataset  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+from repro.eval.timing import stopwatch  # noqa: E402
+from repro.serving import RecommendationService, synthetic_workload  # noqa: E402
+
+
+@dataclass
+class ThroughputResult:
+    """Wall-clock comparison of one workload replay."""
+
+    requests: int
+    distinct_groups: int
+    cold_ms: float
+    warm_build_ms: float
+    warm_serve_ms: float
+
+    @property
+    def warm_total_ms(self) -> float:
+        """Warm side including the index build (the honest comparison)."""
+        return self.warm_build_ms + self.warm_serve_ms
+
+    @property
+    def speedup(self) -> float:
+        """Cold wall-clock over warm wall-clock (build included)."""
+        if self.warm_total_ms == 0.0:
+            return float("inf")
+        return self.cold_ms / self.warm_total_ms
+
+
+def run_throughput_comparison(
+    num_users: int = 120,
+    num_items: int = 200,
+    ratings_per_user: int = 25,
+    num_requests: int = 60,
+    distinct_groups: int = 12,
+    group_size: int = 5,
+    seed: int = 42,
+) -> ThroughputResult:
+    """Replay the same repeated-group workload cold and warm."""
+    dataset = generate_dataset(
+        num_users=num_users,
+        num_items=num_items,
+        ratings_per_user=ratings_per_user,
+        seed=seed,
+    )
+    config = RecommenderConfig(peer_threshold=0.1, top_z=10)
+    workload = synthetic_workload(
+        dataset.users.ids(),
+        num_requests=num_requests,
+        group_size=group_size,
+        distinct_groups=distinct_groups,
+        seed=seed,
+    )
+    groups = [request.group() for request in workload if request.kind == "group"]
+
+    with stopwatch() as elapsed:
+        cold_results = [
+            CaregiverPipeline(dataset, config).recommend(group) for group in groups
+        ]
+        cold_ms = elapsed()
+
+    service = RecommendationService(dataset, config)
+    with stopwatch() as elapsed:
+        service.warm()
+        warm_build_ms = elapsed()
+    with stopwatch() as elapsed:
+        warm_results = [service.recommend_group(group) for group in groups]
+        warm_serve_ms = elapsed()
+
+    for cold, warm in zip(cold_results, warm_results):
+        if cold.items != warm.items:
+            raise AssertionError(
+                f"warm serving diverged from the cold pipeline: "
+                f"{cold.items} != {warm.items}"
+            )
+    return ThroughputResult(
+        requests=len(groups),
+        distinct_groups=distinct_groups,
+        cold_ms=cold_ms,
+        warm_build_ms=warm_build_ms,
+        warm_serve_ms=warm_serve_ms,
+    )
+
+
+def test_serving_throughput_speedup():
+    """Warm serving must beat cold per-request pipelines by >= 5x.
+
+    200 requests over 12 overlapping groups — enough repetition to
+    amortise the one-off neighbour-index build, which is charged to the
+    warm side.
+    """
+    result = run_throughput_comparison(num_requests=200)
+    assert result.speedup >= 5.0, (
+        f"warm service only {result.speedup:.1f}x faster than the cold pipeline "
+        f"(cold {result.cold_ms:.0f} ms vs warm {result.warm_total_ms:.0f} ms)"
+    )
+
+
+def main() -> int:
+    rows = []
+    for num_requests, distinct_groups in [(20, 4), (60, 12), (200, 12)]:
+        result = run_throughput_comparison(
+            num_requests=num_requests, distinct_groups=distinct_groups
+        )
+        rows.append(
+            [
+                result.requests,
+                result.distinct_groups,
+                result.cold_ms,
+                result.warm_build_ms,
+                result.warm_serve_ms,
+                result.speedup,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "requests",
+                "groups",
+                "cold (ms)",
+                "warm build (ms)",
+                "warm serve (ms)",
+                "speedup",
+            ],
+            rows,
+            float_format="{:.1f}",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,11 @@ The package is organised in layers:
 * :mod:`repro.mapreduce` — an in-process MapReduce engine and the
   paper's three-job implementation;
 * :mod:`repro.eval` — metrics, timing and the experiment harness that
-  regenerates the paper's Table II and the extension ablations.
+  regenerates the paper's Table II and the extension ablations;
+* :mod:`repro.serving` — the stateful serving layer: a neighbour
+  index, LRU score caches and a :class:`RecommendationService` that
+  answers repeated single-user, group and batch requests fast, with
+  targeted cache invalidation on rating/profile updates.
 
 Quickstart::
 
@@ -63,6 +67,7 @@ from .data import (
 from .exceptions import ReproError
 from .mapreduce import MapReduceEngine, MapReduceGroupRecommender
 from .ontology import HealthOntology, build_snomed_like_ontology
+from .serving import RecommendationService
 from .similarity import (
     HybridSimilarity,
     PearsonRatingSimilarity,
@@ -70,7 +75,7 @@ from .similarity import (
     SemanticSimilarity,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BruteForceSelector",
@@ -94,6 +99,7 @@ __all__ = [
     "PersonalHealthRecord",
     "ProfileSimilarity",
     "RatingMatrix",
+    "RecommendationService",
     "RecommenderConfig",
     "ReproError",
     "ScoredItem",

@@ -10,7 +10,10 @@ without writing any Python:
 * ``table2`` — reproduce the paper's Table II (brute force vs heuristic);
 * ``prop1`` — verify Proposition 1 over a sweep of group sizes;
 * ``ablation`` — run the aggregation / similarity / value-quality
-  ablations.
+  ablations;
+* ``serve`` — load a dataset into a warm
+  :class:`~repro.serving.RecommendationService` and answer a stream of
+  JSONL requests, printing latency and cache statistics.
 """
 
 from __future__ import annotations
@@ -101,6 +104,57 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--test-fraction", type=float, default=0.2)
     evaluate.add_argument("--k", type=int, default=10)
     evaluate.add_argument("--seed", type=int, default=7)
+
+    serve = subparsers.add_parser(
+        "serve", help="answer a stream of requests from a warm service"
+    )
+    serve.add_argument("dataset", help="path of a dataset JSON (or '-' to generate)")
+    serve.add_argument(
+        "requests",
+        help="path of a JSONL request file (or '-' for a synthetic workload)",
+    )
+    serve.add_argument(
+        "--synthetic-requests",
+        type=int,
+        default=100,
+        help="size of the synthetic workload when requests is '-'",
+    )
+    serve.add_argument("--group-size", type=int, default=5)
+    serve.add_argument("--z", type=int, default=10)
+    serve.add_argument("--top-k", type=int, default=10)
+    serve.add_argument(
+        "--similarity",
+        choices=["ratings", "profile", "semantic", "hybrid"],
+        default="ratings",
+    )
+    serve.add_argument(
+        "--aggregation", choices=["average", "minimum"], default="average"
+    )
+    serve.add_argument("--peer-threshold", type=float, default=0.2)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "thread-pool width; >1 fans runs of consecutive group requests "
+            "out in parallel (latency is then reported per batch-average)"
+        ),
+    )
+    serve.add_argument(
+        "--similarity-cache", type=int, default=500_000, help="pair-score LRU capacity"
+    )
+    serve.add_argument(
+        "--relevance-cache", type=int, default=10_000, help="relevance-row LRU capacity"
+    )
+    serve.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the eager neighbor-index build (rows build lazily)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request output lines"
+    )
+    serve.add_argument("--seed", type=int, default=7)
 
     return parser
 
@@ -232,6 +286,122 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .eval.reporting import format_latency, format_serving_stats
+    from .eval.timing import stopwatch
+    from .serving import RecommendationService, load_requests, synthetic_workload
+
+    if args.dataset == "-":
+        dataset = generate_dataset(seed=args.seed)
+    else:
+        dataset = load_dataset(args.dataset)
+    config = RecommenderConfig(
+        top_k=args.top_k,
+        top_z=args.z,
+        similarity=args.similarity,
+        aggregation=args.aggregation,
+        peer_threshold=args.peer_threshold,
+        similarity_cache_size=args.similarity_cache,
+        relevance_cache_size=args.relevance_cache,
+        serve_workers=args.workers,
+    )
+    service = RecommendationService(dataset, config)
+    if args.requests == "-":
+        requests = synthetic_workload(
+            dataset.users.ids(),
+            num_requests=args.synthetic_requests,
+            group_size=args.group_size,
+            seed=args.seed,
+        )
+    else:
+        requests = load_requests(args.requests)
+
+    with stopwatch() as warm_elapsed:
+        if not args.no_warm:
+            built = service.warm()
+            print(f"warmed neighbor index: {built} rows in {warm_elapsed():.1f} ms")
+
+    def _group_line(request, recommendation) -> str:
+        return (
+            f"group [{', '.join(request.members)}] -> "
+            f"{', '.join(recommendation.items)} "
+            f"(fairness={recommendation.report.fairness:.3f})"
+        )
+
+    def _emit(number: int, line: str) -> None:
+        if not args.quiet:
+            print(f"[{number:4d}] {line}")
+
+    # Consecutive group requests form one batch so --workers can fan
+    # them out; user/rate requests are natural batch boundaries (a rate
+    # must invalidate before the next read).  With workers=1 the batch
+    # path degenerates to the sequential loop.
+    samples_ms: list[float] = []
+    number = 0
+    with stopwatch() as total_elapsed:
+        pending: list = []
+
+        def _flush() -> None:
+            nonlocal number
+            if not pending:
+                return
+            with stopwatch() as batch_elapsed:
+                results = service.recommend_many(
+                    [request.group() for request in pending],
+                    z=pending[0].z,
+                    workers=args.workers,
+                )
+                batch_ms = batch_elapsed()
+            samples_ms.extend([batch_ms / len(pending)] * len(pending))
+            for request, recommendation in zip(pending, results):
+                number += 1
+                _emit(number, _group_line(request, recommendation))
+            pending.clear()
+
+        for request in requests:
+            if request.kind == "group" and args.workers > 1:
+                # recommend_many takes one z for the whole batch; a z
+                # change closes the current batch.
+                if pending and pending[0].z != request.z:
+                    _flush()
+                pending.append(request)
+                continue
+            _flush()
+            number += 1
+            with stopwatch() as request_elapsed:
+                if request.kind == "group":
+                    recommendation = service.recommend_group(
+                        request.group(), z=request.z
+                    )
+                    line = _group_line(request, recommendation)
+                elif request.kind == "user":
+                    scored = service.recommend_user(request.user_id, k=request.k)
+                    line = (
+                        f"user {request.user_id} -> "
+                        f"{', '.join(item.item_id for item in scored)}"
+                    )
+                else:
+                    service.ingest_rating(
+                        request.user_id, request.item_id, request.value
+                    )
+                    line = (
+                        f"rate {request.user_id} {request.item_id} "
+                        f"= {request.value:g} (caches invalidated)"
+                    )
+            samples_ms.append(request_elapsed())
+            _emit(number, line)
+        _flush()
+        total_ms = total_elapsed()
+
+    throughput = len(samples_ms) / (total_ms / 1000.0) if total_ms > 0 else 0.0
+    print()
+    print(format_latency(samples_ms))
+    print(f"throughput: {throughput:.1f} requests/s")
+    print()
+    print(format_serving_stats(service.stats()))
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "recommend": _command_recommend,
@@ -239,6 +409,7 @@ _COMMANDS = {
     "prop1": _command_prop1,
     "ablation": _command_ablation,
     "evaluate": _command_evaluate,
+    "serve": _command_serve,
 }
 
 

@@ -75,6 +75,19 @@ class RecommenderConfig:
     random_seed:
         Seed used by any stochastic component (dataset generation, tie
         shuffling) so every run is reproducible.
+    similarity_cache_size:
+        Capacity (in pair scores) of the serving layer's LRU cache for
+        pairwise user similarities.  ``0`` disables the cache.
+    relevance_cache_size:
+        Capacity (in per-user relevance rows) of the serving layer's
+        LRU cache.  ``0`` disables the cache.
+    group_cache_size:
+        Capacity (in finished group recommendations) of the serving
+        layer's result cache.  ``0`` disables the cache.
+    serve_workers:
+        Default thread-pool size used by
+        :meth:`repro.serving.RecommendationService.recommend_many`;
+        ``1`` serves batches sequentially.
     """
 
     peer_threshold: float = 0.2
@@ -87,6 +100,10 @@ class RecommenderConfig:
     hybrid_weights: tuple[float, float, float] = (1.0, 1.0, 1.0)
     candidate_pool_size: int = 30
     random_seed: int = 7
+    similarity_cache_size: int = 500_000
+    relevance_cache_size: int = 10_000
+    group_cache_size: int = 2048
+    serve_workers: int = 1
 
     def __post_init__(self) -> None:
         low, high = self.rating_scale
@@ -122,6 +139,14 @@ class RecommenderConfig:
             raise ConfigurationError("hybrid_weights must be non-negative")
         if sum(self.hybrid_weights) == 0:
             raise ConfigurationError("hybrid_weights must not all be zero")
+        if self.similarity_cache_size < 0:
+            raise ConfigurationError("similarity_cache_size must be >= 0")
+        if self.relevance_cache_size < 0:
+            raise ConfigurationError("relevance_cache_size must be >= 0")
+        if self.group_cache_size < 0:
+            raise ConfigurationError("group_cache_size must be >= 0")
+        if self.serve_workers <= 0:
+            raise ConfigurationError("serve_workers must be positive")
 
     # -- convenience -----------------------------------------------------
 
@@ -152,6 +177,10 @@ class RecommenderConfig:
             "hybrid_weights": list(self.hybrid_weights),
             "candidate_pool_size": self.candidate_pool_size,
             "random_seed": self.random_seed,
+            "similarity_cache_size": self.similarity_cache_size,
+            "relevance_cache_size": self.relevance_cache_size,
+            "group_cache_size": self.group_cache_size,
+            "serve_workers": self.serve_workers,
         }
 
     @classmethod

@@ -67,6 +67,36 @@ def predict_relevance(
     return numerator / denominator
 
 
+def predict_table(
+    matrix: RatingMatrix,
+    user_id: str,
+    peer_similarities: Mapping[str, float],
+    candidate_items: Sequence[str],
+    default_score: float | None = None,
+) -> dict[str, float]:
+    """Equation 1 over many candidate items for a fixed peer set.
+
+    This is the shared inner loop of :meth:`SingleUserRecommender.predict_items`
+    and of the serving layer's cached relevance rows — both go through
+    this function so warm and cold results are bit-identical.  Items the
+    user already rated keep their actual rating; items with undefined
+    predictions are omitted unless ``default_score`` is given.
+    """
+    predictions: dict[str, float] = {}
+    for item_id in candidate_items:
+        existing = matrix.get(user_id, item_id)
+        if existing is not None:
+            predictions[item_id] = existing
+            continue
+        predicted = predict_relevance(peer_similarities, matrix.users_of(item_id))
+        if predicted is None:
+            if default_score is not None:
+                predictions[item_id] = default_score
+            continue
+        predictions[item_id] = predicted
+    return predictions
+
+
 def rank_items(scores: Mapping[str, float], k: int | None = None) -> list[ScoredItem]:
     """Sort ``{item: score}`` by descending score (ties by item id).
 
@@ -166,22 +196,14 @@ class SingleUserRecommender:
         Items with undefined predictions are omitted unless a
         ``default_score`` was configured.
         """
-        predictions: dict[str, float] = {}
         peer_similarities = self._peer_similarities(user_id, exclude_peers)
-        for item_id in candidate_items:
-            existing = self.matrix.get(user_id, item_id)
-            if existing is not None:
-                predictions[item_id] = existing
-                continue
-            predicted = predict_relevance(
-                peer_similarities, self.matrix.users_of(item_id)
-            )
-            if predicted is None:
-                if self.default_score is not None:
-                    predictions[item_id] = self.default_score
-                continue
-            predictions[item_id] = predicted
-        return predictions
+        return predict_table(
+            self.matrix,
+            user_id,
+            peer_similarities,
+            candidate_items,
+            default_score=self.default_score,
+        )
 
     def recommend(
         self,

@@ -141,6 +141,15 @@ class RatingMatrix:
         """``U(i)`` — the set of user ids that rated ``item_id``."""
         return set(self._by_item.get(item_id, {}))
 
+    def iter_raters(self, item_id: str) -> Iterator[str]:
+        """Iterate over ``U(i)`` without copying the inverted index row.
+
+        The batched similarity implementations walk the inverted index
+        once per caller; the copying :meth:`users_of` accessor would
+        allocate a dict per item there.
+        """
+        return iter(self._by_item.get(item_id, ()))
+
     def user_ids(self) -> list[str]:
         """All user ids with at least one rating, in insertion order."""
         return list(self._by_user.keys())

@@ -8,6 +8,7 @@ reads well in a terminal and in the EXPERIMENTS.md log.
 
 from __future__ import annotations
 
+import statistics
 from typing import Any, Mapping, Sequence
 
 from .experiments import (
@@ -150,6 +151,60 @@ def format_value_quality(rows: Sequence[ValueQualityRow]) -> str:
         for row in rows
     ]
     return format_table(headers, table_rows, float_format="{:.3f}")
+
+
+def format_latency(samples_ms: Sequence[float], label: str = "request") -> str:
+    """Render a latency distribution (mean / median / p95 / max) as a table."""
+    if not samples_ms:
+        return format_table([label, "count"], [["-", 0]])
+    ordered = sorted(samples_ms)
+    p95_index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+    headers = [label, "count", "mean ms", "median ms", "p95 ms", "max ms"]
+    row = [
+        "latency",
+        len(ordered),
+        sum(ordered) / len(ordered),
+        statistics.median(ordered),
+        ordered[p95_index],
+        ordered[-1],
+    ]
+    return format_table(headers, [row], float_format="{:.3f}")
+
+
+def format_serving_stats(stats: Mapping[str, Any]) -> str:
+    """Render :meth:`RecommendationService.stats` output for the terminal."""
+    lines = [format_metrics(stats.get("requests", {}))]
+    cache_rows = []
+    for name in ("similarity_cache", "relevance_cache", "group_cache"):
+        cache = stats.get(name)
+        if cache:
+            cache_rows.append(
+                [
+                    name.replace("_cache", ""),
+                    cache["hits"],
+                    cache["misses"],
+                    cache["evictions"],
+                    cache["invalidations"],
+                    cache["hit_rate"],
+                ]
+            )
+    if cache_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["cache", "hits", "misses", "evictions", "invalidated", "hit rate"],
+                cache_rows,
+                float_format="{:.3f}",
+            )
+        )
+    index = stats.get("index")
+    if index:
+        lines.append("")
+        lines.append(
+            f"neighbor index: {index['built_rows']}/{index['users']} rows "
+            f"(δ={index['threshold']})"
+        )
+    return "\n".join(lines)
 
 
 def format_metrics(metrics: Mapping[str, float]) -> str:

@@ -1,0 +1,272 @@
+"""Bounded LRU score caches for the serving layer.
+
+The recommendation service keeps two kinds of hot state: pairwise user
+similarities and per-user relevance rows.  Both are served out of
+:class:`ScoreCache`, a thread-safe LRU mapping with hit/miss statistics
+so operators can size the caches from observed traffic.
+
+:class:`CachedSimilarity` decorates any
+:class:`~repro.similarity.base.UserSimilarity` with a pair-score cache.
+It is what the :class:`~repro.serving.index.NeighborIndex` reads
+through, so rebuilding one user's neighbourhood after an update re-uses
+every untouched pair score.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable
+
+from ..similarity.base import UserSimilarity
+
+#: Sentinel distinguishing "not cached" from a cached ``None``/0 value.
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a :class:`ScoreCache` is performing."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-type view for reports and JSON."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ScoreCache:
+    """A bounded, thread-safe LRU mapping with statistics.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is
+        evicted when the bound is exceeded.  ``0`` disables caching
+        (every lookup misses, nothing is stored).
+    name:
+        Label used in reports.
+    """
+
+    def __init__(self, capacity: int, name: str = "cache") -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.name = name
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = CacheStats()
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def epoch(self) -> int:
+        """Invalidation epoch — bumped by every invalidate/clear.
+
+        Callers that compute a value outside the lock pass the epoch
+        they observed at miss time back into :meth:`put`; the put is
+        discarded if an invalidation happened in between.  This closes
+        the window where a value computed from *pre-update* data would
+        be re-inserted after the update's targeted invalidation and
+        then served stale forever.
+        """
+        with self._lock:
+            return self._epoch
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                invalidations=self._stats.invalidations,
+            )
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it recently used) or ``default``."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self._stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any, epoch: int | None = None) -> None:
+        """Store a value, evicting the least recently used beyond capacity.
+
+        When ``epoch`` is given the store is skipped if any
+        invalidation happened since that epoch was read — see
+        :attr:`epoch`.
+        """
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Cached value for ``key``, computing and storing it on a miss.
+
+        The factory runs outside the lock (concurrent misses may
+        compute in parallel); the result is only stored if no
+        invalidation happened while it was being computed.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is not _MISS:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return value
+            self._stats.misses += 1
+            observed_epoch = self._epoch
+        computed = factory()
+        self.put(key, computed, epoch=observed_epoch)
+        return computed
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            self._epoch += 1
+            if key in self._entries:
+                del self._entries[key]
+                self._stats.invalidations += 1
+                return True
+            return False
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Returns the number of dropped entries.  This is the targeted
+        invalidation primitive: after a rating update only the keys
+        touching the affected users are scanned out, the rest of the
+        cache stays warm.
+        """
+        with self._lock:
+            self._epoch += 1
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of dropped entries."""
+        with self._lock:
+            self._epoch += 1
+            count = len(self._entries)
+            self._entries.clear()
+            self._stats.invalidations += count
+            return count
+
+
+class CachedSimilarity(UserSimilarity):
+    """Read-through pair-score cache around any similarity measure.
+
+    Pair keys are *directional* — ``(a, b)`` and ``(b, a)`` are cached
+    separately.  The measures are mathematically symmetric but not
+    bit-symmetric (their accumulation order over co-rated items or
+    vector entries depends on the argument order), and the serving
+    layer promises results bit-identical to the cold pipeline, which
+    always evaluates ``simU(row_owner, candidate)``.  Halving the key
+    space is not worth 1-ulp divergences.
+
+    The decorated measure's batched :meth:`similarities` stays batched:
+    only the missing candidates are forwarded to the inner measure in
+    one call.
+    """
+
+    def __init__(self, inner: UserSimilarity, cache: ScoreCache) -> None:
+        self.inner = inner
+        self.cache = cache
+        self.name = f"cached-{inner.name}"
+
+    @staticmethod
+    def _key(user_a: str, user_b: str) -> tuple[str, str]:
+        return (user_a, user_b)
+
+    def similarity(self, user_a: str, user_b: str) -> float:
+        if user_a == user_b:
+            return 1.0
+        key = self._key(user_a, user_b)
+        epoch = self.cache.epoch
+        score = self.cache.get(key, _MISS)
+        if score is _MISS:
+            score = self.inner.similarity(user_a, user_b)
+            self.cache.put(key, score, epoch=epoch)
+        return score
+
+    def similarities(
+        self, user_id: str, candidates: Iterable[str]
+    ) -> dict[str, float]:
+        candidate_list = [c for c in candidates if c != user_id]
+        scores: dict[str, float] = {}
+        missing: list[str] = []
+        epoch = self.cache.epoch
+        for candidate in candidate_list:
+            cached = self.cache.get(self._key(user_id, candidate), _MISS)
+            if cached is _MISS:
+                missing.append(candidate)
+            else:
+                scores[candidate] = cached
+        if missing:
+            computed = self.inner.similarities(user_id, missing)
+            for candidate, score in computed.items():
+                self.cache.put(self._key(user_id, candidate), score, epoch=epoch)
+            scores.update(computed)
+        # Preserve the candidate order of the inner contract.
+        return {c: scores[c] for c in candidate_list if c in scores}
+
+    @property
+    def profile_corpus_sensitive(self) -> bool:  # type: ignore[override]
+        return self.inner.profile_corpus_sensitive
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Drop every cached pair involving ``user_id`` and inner state."""
+        self.cache.invalidate_where(lambda key: user_id in key)
+        self.inner.invalidate_user(user_id)
+
+    def invalidate_user_ratings(self, user_id: str) -> None:
+        """Ratings-only variant: pairs with ``user_id`` plus inner rating state.
+
+        The pair drops are still needed (rating-based components change
+        with the new rating), but profile/semantic inner state survives.
+        """
+        self.cache.invalidate_where(lambda key: user_id in key)
+        self.inner.invalidate_user_ratings(user_id)

@@ -1,0 +1,208 @@
+"""Precomputed peer neighbourhoods (Definition 1, served from memory).
+
+Every group request needs, for each member, the peers above the
+threshold ``δ``.  The cold pipeline recomputes them per request; the
+:class:`NeighborIndex` computes each user's *uncapped* thresholded peer
+list once and answers every later request by filtering.
+
+Two properties keep the index exactly equivalent to
+:class:`~repro.similarity.peers.PeerSelector`:
+
+* rows are stored uncapped and sorted by ``(-similarity, user_id)``,
+  so applying a group-exclusion filter followed by the ``max_peers``
+  cap reproduces what the selector would compute against the reduced
+  candidate pool;
+* rows are built through the measure's (batched, possibly cached)
+  :meth:`~repro.similarity.base.UserSimilarity.similarities`, whose
+  scores are bit-identical to the pairwise path.
+
+A reverse index (who lists ``u`` as a peer) powers the targeted
+invalidation of :meth:`refresh_user`: after a rating update only the
+touched user's row is rebuilt; every other built row is patched in
+place with the new score of that single pair.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from ..data.ratings import RatingMatrix
+from ..similarity.base import UserSimilarity
+from ..similarity.peers import Peer
+
+
+class NeighborIndex:
+    """Per-user thresholded peer lists over a rating matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The rating matrix whose users form the candidate pool (matching
+        :meth:`PeerSelector.peers_from_matrix`).
+    similarity:
+        The ``simU`` measure; typically a
+        :class:`~repro.serving.cache.CachedSimilarity`.
+    threshold:
+        The ``δ`` of Definition 1 (``simU >= δ`` qualifies).
+    """
+
+    def __init__(
+        self,
+        matrix: RatingMatrix,
+        similarity: UserSimilarity,
+        threshold: float = 0.0,
+    ) -> None:
+        self.matrix = matrix
+        self.similarity = similarity
+        self.threshold = threshold
+        self._rows: dict[str, list[Peer]] = {}
+        self._reverse: dict[str, set[str]] = {}
+        self._lock = threading.RLock()
+
+    # -- construction --------------------------------------------------------
+
+    def _compute_row(self, user_id: str) -> tuple[list[Peer], dict[str, float]]:
+        candidates = [uid for uid in self.matrix.user_ids() if uid != user_id]
+        scores = self.similarity.similarities(user_id, candidates)
+        row = [
+            Peer(user_id=candidate, similarity=score)
+            for candidate, score in scores.items()
+            if score >= self.threshold
+        ]
+        row.sort(key=lambda peer: (-peer.similarity, peer.user_id))
+        return row, scores
+
+    def _store_row(self, user_id: str, row: list[Peer]) -> None:
+        old = self._rows.get(user_id)
+        if old is not None:
+            for peer in old:
+                self._reverse.get(peer.user_id, set()).discard(user_id)
+        self._rows[user_id] = row
+        for peer in row:
+            self._reverse.setdefault(peer.user_id, set()).add(user_id)
+
+    def build(self, user_ids: Iterable[str] | None = None) -> int:
+        """Eagerly index ``user_ids`` (default: every user of the matrix).
+
+        Returns the number of rows built.  Already-indexed users are
+        skipped, so repeated calls are cheap.
+        """
+        targets = list(user_ids) if user_ids is not None else self.matrix.user_ids()
+        built = 0
+        for user_id in targets:
+            with self._lock:
+                if user_id in self._rows:
+                    continue
+                row, _ = self._compute_row(user_id)
+                self._store_row(user_id, row)
+                built += 1
+        return built
+
+    # -- queries -------------------------------------------------------------
+
+    def row(self, user_id: str) -> list[Peer]:
+        """The full thresholded peer list of ``user_id`` (built lazily)."""
+        with self._lock:
+            cached = self._rows.get(user_id)
+            if cached is None:
+                cached, _ = self._compute_row(user_id)
+                self._store_row(user_id, cached)
+            return cached
+
+    def peer_ids(self, user_id: str) -> set[str]:
+        """The ids in ``user_id``'s thresholded peer list."""
+        return {peer.user_id for peer in self.row(user_id)}
+
+    def peers_excluding(
+        self,
+        user_id: str,
+        exclude: Iterable[str] = (),
+        max_peers: int | None = None,
+    ) -> list[Peer]:
+        """``P_u`` with some users excluded and an optional cap applied.
+
+        Equivalent to running the peer selector against the candidate
+        pool minus ``exclude`` — the row is already sorted, so filtering
+        then slicing reproduces the threshold + cap semantics.
+        """
+        excluded = set(exclude)
+        row = self.row(user_id)
+        peers = [peer for peer in row if peer.user_id not in excluded]
+        if max_peers is not None:
+            peers = peers[:max_peers]
+        return peers
+
+    def users_with_neighbor(self, user_id: str) -> set[str]:
+        """The indexed users whose peer list contains ``user_id``."""
+        with self._lock:
+            return set(self._reverse.get(user_id, set()))
+
+    @property
+    def built_rows(self) -> int:
+        """Number of users currently indexed."""
+        return len(self._rows)
+
+    def is_built(self, user_id: str) -> bool:
+        """Whether ``user_id`` is currently indexed."""
+        with self._lock:
+            return user_id in self._rows
+
+    # -- maintenance ---------------------------------------------------------
+
+    def refresh_user(self, user_id: str) -> set[str]:
+        """Rebuild one user's row and patch their entry everywhere else.
+
+        After ``user_id``'s ratings or profile changed, ``simU(u, v)``
+        changed for every ``v`` — but for each *other* built row only
+        the single entry for ``u`` moves.  The row of ``u`` is rebuilt
+        from scratch; every other built row is patched in place.
+
+        Returns the set of users whose peer list changed (including
+        ``user_id`` itself), which is exactly the set whose cached
+        relevance rows the service must drop.
+        """
+        with self._lock:
+            row, _ = self._compute_row(user_id)
+            changed = {user_id}
+            self._store_row(user_id, row)
+            for other, other_row in self._rows.items():
+                if other == user_id:
+                    continue
+                old_entry = next(
+                    (p for p in other_row if p.user_id == user_id), None
+                )
+                # Evaluate in the row owner's direction — the measures
+                # are not bit-symmetric and the cold path computes
+                # simU(owner, candidate).
+                new_score = self.similarity.similarity(other, user_id)
+                qualifies = new_score >= self.threshold
+                if old_entry is None and not qualifies:
+                    continue
+                if (
+                    old_entry is not None
+                    and qualifies
+                    and old_entry.similarity == new_score
+                ):
+                    continue
+                patched = [p for p in other_row if p.user_id != user_id]
+                if qualifies:
+                    patched.append(Peer(user_id=user_id, similarity=new_score))
+                    patched.sort(key=lambda peer: (-peer.similarity, peer.user_id))
+                self._store_row(other, patched)
+                changed.add(other)
+            return changed
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Drop one user's row (it rebuilds lazily on next access)."""
+        with self._lock:
+            row = self._rows.pop(user_id, None)
+            if row is not None:
+                for peer in row:
+                    self._reverse.get(peer.user_id, set()).discard(user_id)
+
+    def clear(self) -> None:
+        """Drop every row."""
+        with self._lock:
+            self._rows.clear()
+            self._reverse.clear()

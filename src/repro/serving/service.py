@@ -1,0 +1,408 @@
+"""The stateful recommendation service (serving layer).
+
+The paper's pipeline is a stateless library: every call recomputes user
+similarities, peer sets and relevance tables from scratch.  That is the
+right shape for reproducing Table II and the wrong shape for serving
+heavy traffic.  :class:`RecommendationService` wraps one
+:class:`~repro.data.datasets.HealthDataset` and one
+:class:`~repro.config.RecommenderConfig` behind a warm, index-backed
+façade:
+
+* a :class:`~repro.serving.index.NeighborIndex` holds each user's
+  thresholded peer list, built once (or lazily) and patched in place on
+  updates;
+* a :class:`~repro.serving.cache.ScoreCache` holds pairwise similarity
+  scores, another one holds per-user relevance rows;
+* :meth:`ingest_rating` / :meth:`update_profile` apply *targeted*
+  invalidation — only the touched user, the users whose indexed peer
+  list changed, and the users that count the touched user as a peer
+  lose cached state;
+* :meth:`recommend_many` answers a batch of group requests, sharing
+  peer and relevance computation across overlapping groups, optionally
+  on a thread pool.
+
+Warm results are bit-identical to the cold
+:class:`~repro.core.pipeline.CaregiverPipeline`: both go through the
+same peer ordering and the same Equation 1 inner loop
+(:func:`~repro.core.relevance.predict_table`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..config import DEFAULT_CONFIG, RecommenderConfig
+from ..core.candidates import GroupCandidates
+from ..core.pipeline import (
+    CaregiverRecommendation,
+    build_selector,
+    build_similarity,
+)
+from ..core.aggregation import get_aggregation
+from ..core.relevance import ScoredItem, predict_table, rank_items
+from ..data.datasets import HealthDataset
+from ..data.groups import Group
+from ..data.users import User
+from ..similarity.base import UserSimilarity
+from ..similarity.peers import peers_as_mapping
+from .cache import CachedSimilarity, ScoreCache
+from .index import NeighborIndex
+
+
+class _ReadWriteLock:
+    """Many concurrent readers, one exclusive writer.
+
+    Request paths read the rating matrix (whose dicts must not be
+    mutated mid-iteration); the update paths mutate it.  Readers run
+    in parallel (the batch API's thread pool), a writer waits for the
+    readers to drain and blocks new ones.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._condition:
+            while self._writing:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._condition:
+            while self._writing or self._readers:
+                self._condition.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writing = False
+                self._condition.notify_all()
+
+
+class RecommendationService:
+    """Cached, index-backed façade over the caregiver pipeline.
+
+    Parameters
+    ----------
+    dataset:
+        The data bundle served by this instance.
+    config:
+        Recommendation parameters; also supplies the cache sizes
+        (``similarity_cache_size``, ``relevance_cache_size``) and the
+        default batch thread-pool width (``serve_workers``).
+    selector:
+        Fairness-aware selection algorithm name (as in the pipeline).
+    similarity:
+        Optional pre-built similarity measure; defaults to the one the
+        config selects.
+    """
+
+    def __init__(
+        self,
+        dataset: HealthDataset,
+        config: RecommenderConfig = DEFAULT_CONFIG,
+        selector: str = "greedy",
+        similarity: UserSimilarity | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.matrix = dataset.ratings
+        base = similarity or build_similarity(dataset, config)
+        self.similarity_cache = ScoreCache(
+            config.similarity_cache_size, name="similarity"
+        )
+        self.similarity = CachedSimilarity(base, self.similarity_cache)
+        self.index = NeighborIndex(
+            self.matrix, self.similarity, threshold=config.peer_threshold
+        )
+        self.relevance_cache = ScoreCache(
+            config.relevance_cache_size, name="relevance"
+        )
+        self.group_cache = ScoreCache(config.group_cache_size, name="group")
+        self.selector = build_selector(selector)
+        self.aggregation = get_aggregation(config.aggregation)
+        self._data_lock = _ReadWriteLock()
+        self._counter_lock = threading.Lock()
+        self._counters: dict[str, int] = {
+            "group_requests": 0,
+            "user_requests": 0,
+            "batch_requests": 0,
+            "ingested_ratings": 0,
+            "profile_updates": 0,
+        }
+        self._elapsed_ms: dict[str, float] = {"group": 0.0, "user": 0.0}
+
+    # -- warm-up -------------------------------------------------------------
+
+    def warm(self, user_ids: Iterable[str] | None = None) -> int:
+        """Precompute peer rows (and nothing else); returns rows built."""
+        with self._data_lock.read():
+            return self.index.build(user_ids)
+
+    # -- relevance rows ------------------------------------------------------
+
+    def _effective_exclude(
+        self, user_id: str, exclude: Iterable[str]
+    ) -> frozenset[str]:
+        """Canonicalise an exclusion set against the user's peer row.
+
+        Excluding a user that is not in the thresholded peer list is a
+        no-op, so the cache key only keeps the members that actually
+        matter.  Overlapping groups whose other members are not peers of
+        ``user_id`` all collapse onto the same row.
+        """
+        peer_ids = self.index.peer_ids(user_id)
+        return frozenset(uid for uid in exclude if uid in peer_ids)
+
+    def relevance_row(
+        self, user_id: str, exclude: Iterable[str] = ()
+    ) -> dict[str, float]:
+        """Equation 1 predictions for every item ``user_id`` has not rated.
+
+        ``exclude`` removes users from the peer pool (the group
+        recommender excludes the other group members).  Rows are cached
+        per ``(user, effective-exclusion)`` key.
+        """
+        with self._data_lock.read():
+            return self._relevance_row(user_id, exclude)
+
+    def _relevance_row(
+        self, user_id: str, exclude: Iterable[str] = ()
+    ) -> dict[str, float]:
+        effective = self._effective_exclude(user_id, exclude)
+        key = (user_id, effective)
+        return self.relevance_cache.get_or_compute(
+            key, lambda: self._compute_relevance_row(user_id, effective)
+        )
+
+    def _compute_relevance_row(
+        self, user_id: str, exclude: frozenset[str]
+    ) -> dict[str, float]:
+        peers = self.index.peers_excluding(
+            user_id, exclude, max_peers=self.config.max_peers
+        )
+        peer_similarities = peers_as_mapping(peers)
+        candidate_items = self.matrix.unrated_items(
+            user_id, self.matrix.item_ids()
+        )
+        return predict_table(
+            self.matrix, user_id, peer_similarities, candidate_items
+        )
+
+    # -- single-user requests ------------------------------------------------
+
+    def recommend_user(self, user_id: str, k: int | None = None) -> list[ScoredItem]:
+        """Top-``k`` single-user recommendation (Section III.A), warm."""
+        k = k or self.config.top_k
+        started = time.perf_counter()
+        with self._data_lock.read():
+            row = self._relevance_row(user_id)
+        result = rank_items(row, k)
+        self._record("user", started, "user_requests")
+        return result
+
+    # -- group requests ------------------------------------------------------
+
+    def recommend_group(
+        self, group: Group, z: int | None = None
+    ) -> CaregiverRecommendation:
+        """Fairness-aware group recommendation, warm.
+
+        Produces the same :class:`CaregiverRecommendation` as
+        :meth:`CaregiverPipeline.recommend` on the same inputs.
+        Finished recommendations are cached per ``(members, z)`` —
+        repeated dashboard refreshes are answered without recomputing —
+        and invalidated as soon as an update touches any member.
+        """
+        z = z or self.config.top_z
+        started = time.perf_counter()
+        cache_key = (tuple(group.member_ids), z)
+        group_epoch = self.group_cache.epoch
+        cached = self.group_cache.get(cache_key)
+        if cached is not None:
+            self._record("group", started, "group_requests")
+            return cached
+        with self._data_lock.read():
+            candidate_items = self.matrix.items_unrated_by_all(group.member_ids)
+            table: dict[str, dict[str, float]] = {}
+            for member_id in group:
+                others = [uid for uid in group.member_ids if uid != member_id]
+                row = self._relevance_row(member_id, exclude=others)
+                table[member_id] = {
+                    item_id: row[item_id]
+                    for item_id in candidate_items
+                    if item_id in row
+                }
+        candidates = GroupCandidates.from_relevance_table(
+            group,
+            table,
+            aggregation=self.aggregation,
+            top_k=self.config.top_k,
+            candidate_limit=self.config.candidate_pool_size,
+        )
+        selection = self.selector.select(candidates, z)
+        plain = tuple(candidates.top_group_items(z))
+        recommendation = CaregiverRecommendation(
+            group=group,
+            selection=selection,
+            plain_top_z=plain,
+            candidates=candidates,
+        )
+        self.group_cache.put(cache_key, recommendation, epoch=group_epoch)
+        self._record("group", started, "group_requests")
+        return recommendation
+
+    def recommend_many(
+        self,
+        groups: Sequence[Group],
+        z: int | None = None,
+        workers: int | None = None,
+    ) -> list[CaregiverRecommendation]:
+        """Answer a batch of group requests, in input order.
+
+        Identical groups in the batch are computed once; overlapping
+        groups share peer rows and relevance rows through the caches.
+        ``workers > 1`` fans the distinct groups out on a thread pool:
+        the caches and the index are lock-protected, requests run as
+        parallel readers, and a concurrent :meth:`ingest_rating` /
+        :meth:`update_profile` waits for in-flight requests to drain
+        before mutating (results computed while an update slips in
+        between requests are simply not cached — see
+        :attr:`ScoreCache.epoch`).
+        """
+        workers = workers or self.config.serve_workers
+        with self._counter_lock:
+            self._counters["batch_requests"] += 1
+        distinct: dict[tuple[str, ...], Group] = {}
+        for group in groups:
+            distinct.setdefault(tuple(group.member_ids), group)
+        if workers > 1 and len(distinct) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    key: pool.submit(self.recommend_group, group, z)
+                    for key, group in distinct.items()
+                }
+                results = {key: future.result() for key, future in futures.items()}
+        else:
+            results = {
+                key: self.recommend_group(group, z)
+                for key, group in distinct.items()
+            }
+        return [results[tuple(group.member_ids)] for group in groups]
+
+    # -- online updates ------------------------------------------------------
+
+    def ingest_rating(self, user_id: str, item_id: str, value: float) -> set[str]:
+        """Apply one rating and drop exactly the stale cached state.
+
+        Returns the set of users whose cached relevance rows were
+        invalidated.  The similarity pair cache loses only the pairs
+        involving ``user_id``; the neighbour index rebuilds only
+        ``user_id``'s row and patches the single affected entry in the
+        other rows; relevance rows are dropped for the touched user,
+        for every user whose peer list changed, and for every user that
+        counts the touched user as a peer (their Equation 1 inputs
+        changed even if their peer list did not).
+        """
+        with self._data_lock.write():
+            self.matrix.add(user_id, item_id, value)
+            # Ratings-only invalidation: profile/semantic components
+            # keep their state, a TF-IDF corpus refit is not triggered.
+            self.similarity.invalidate_user_ratings(user_id)
+            changed = self.index.refresh_user(user_id)
+            affected = (
+                {user_id} | changed | self.index.users_with_neighbor(user_id)
+            )
+            self._drop_affected(affected)
+            with self._counter_lock:
+                self._counters["ingested_ratings"] += 1
+            return affected
+
+    def update_profile(
+        self, user_id: str, mutate: Callable[[User], None] | None = None
+    ) -> set[str]:
+        """Apply a profile change and drop exactly the stale cached state.
+
+        ``mutate`` (optional) receives the :class:`~repro.data.users.User`
+        and edits it in place; calling without it signals an external
+        edit.
+
+        With a measure whose scores react corpus-wide to one profile
+        (TF-IDF: one edit shifts every IDF weight), targeted
+        invalidation would leave pairs not involving ``user_id``
+        stale, so everything is dropped instead.  For the other
+        measures only users whose peer list changed lose cached state.
+        """
+        with self._data_lock.write():
+            if mutate is not None:
+                mutate(self.dataset.users.get(user_id))
+            self.similarity.invalidate_user(user_id)
+            if self.similarity.profile_corpus_sensitive:
+                self.similarity_cache.clear()
+                self.index.clear()
+                self.relevance_cache.clear()
+                self.group_cache.clear()
+                affected = set(self.matrix.user_ids())
+                affected.add(user_id)
+            else:
+                changed = self.index.refresh_user(user_id)
+                affected = {user_id} | changed
+                self._drop_affected(affected)
+            with self._counter_lock:
+                self._counters["profile_updates"] += 1
+            return affected
+
+    def _drop_affected(self, affected: set[str]) -> None:
+        """Drop the relevance rows and group results touching ``affected``."""
+        self.relevance_cache.invalidate_where(lambda key: key[0] in affected)
+        self.group_cache.invalidate_where(
+            lambda key: any(member in affected for member in key[0])
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def _record(self, kind: str, started: float, counter: str) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._counter_lock:
+            self._counters[counter] += 1
+            self._elapsed_ms[kind] += elapsed_ms
+
+    def stats(self) -> dict[str, Any]:
+        """Operational counters: requests, latency sums, caches, index."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+            elapsed = dict(self._elapsed_ms)
+        group_requests = counters["group_requests"]
+        user_requests = counters["user_requests"]
+        return {
+            "requests": counters,
+            "mean_group_ms": (
+                elapsed["group"] / group_requests if group_requests else 0.0
+            ),
+            "mean_user_ms": (
+                elapsed["user"] / user_requests if user_requests else 0.0
+            ),
+            "similarity_cache": self.similarity_cache.stats.as_dict(),
+            "relevance_cache": self.relevance_cache.stats.as_dict(),
+            "group_cache": self.group_cache.stats.as_dict(),
+            "index": {
+                "built_rows": self.index.built_rows,
+                "users": self.matrix.num_users,
+                "threshold": self.index.threshold,
+            },
+        }

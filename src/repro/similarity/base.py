@@ -25,6 +25,12 @@ class UserSimilarity(ABC):
     #: Human readable name used by reports and the CLI.
     name: str = "similarity"
 
+    #: Whether a *profile* edit of one user can shift the scores of
+    #: pairs not involving that user (e.g. TF-IDF: one profile changes
+    #: the corpus-wide IDF weights).  The serving layer falls back to
+    #: full invalidation on profile updates when this is set.
+    profile_corpus_sensitive: bool = False
+
     @abstractmethod
     def similarity(self, user_a: str, user_b: str) -> float:
         """Return ``simU(user_a, user_b)``.
@@ -50,6 +56,26 @@ class UserSimilarity(ABC):
             for candidate in candidates
             if candidate != user_id
         }
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Drop any cached state about ``user_id``.
+
+        Called by the serving layer after a rating or profile update so
+        that subsequent scores reflect the new data.  The default is a
+        no-op; measures that cache per-user state (means, vectors)
+        override it.
+        """
+
+    def invalidate_user_ratings(self, user_id: str) -> None:
+        """Drop cached state of ``user_id`` that depends on ratings.
+
+        Called after a rating ingest.  The default delegates to
+        :meth:`invalidate_user` (safe for rating-based measures);
+        measures that ignore ratings entirely (profile text, ontology)
+        override this as a no-op so a rating write does not trigger an
+        expensive profile recomputation.
+        """
+        self.invalidate_user(user_id)
 
     def pairwise(self, user_ids: Iterable[str]) -> dict[tuple[str, str], float]:
         """Similarity for every unordered pair of ``user_ids``."""

@@ -11,7 +11,7 @@ selects.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..exceptions import ConfigurationError
 from .base import UserSimilarity
@@ -58,6 +58,40 @@ class HybridSimilarity(UserSimilarity):
         return sum(
             weight * component.similarity(user_a, user_b)
             for component, weight in zip(self.components, self.weights)
+        )
+
+    def similarities(
+        self, user_id: str, candidates: Iterable[str]
+    ) -> dict[str, float]:
+        """Batched hybrid scores, delegating to the components' batched paths."""
+        candidate_list = [c for c in candidates if c != user_id]
+        combined = {candidate: 0.0 for candidate in candidate_list}
+        for component, weight in zip(self.components, self.weights):
+            component_scores = component.similarities(user_id, candidate_list)
+            for candidate in candidate_list:
+                combined[candidate] += weight * component_scores.get(candidate, 0.0)
+        return combined
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Propagate cache invalidation to every component."""
+        for component in self.components:
+            component.invalidate_user(user_id)
+
+    def invalidate_user_ratings(self, user_id: str) -> None:
+        """Propagate a ratings-only invalidation to every component.
+
+        Components that ignore ratings (profile, semantic) treat this
+        as a no-op, so a rating ingest does not trigger a corpus-wide
+        TF-IDF refit.
+        """
+        for component in self.components:
+            component.invalidate_user_ratings(user_id)
+
+    @property
+    def profile_corpus_sensitive(self) -> bool:  # type: ignore[override]
+        """Whether any component reacts corpus-wide to profile edits."""
+        return any(
+            component.profile_corpus_sensitive for component in self.components
         )
 
     def component_scores(self, user_a: str, user_b: str) -> dict[str, float]:

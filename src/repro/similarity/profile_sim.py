@@ -34,6 +34,7 @@ class ProfileSimilarity(UserSimilarity):
     """
 
     name = "profile"
+    profile_corpus_sensitive = True
 
     def __init__(
         self,
@@ -59,6 +60,20 @@ class ProfileSimilarity(UserSimilarity):
     def refresh(self) -> None:
         """Refit after the registry or any profile changed."""
         self.fit()
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Refit after one user's profile changed.
+
+        A profile edit shifts the corpus-wide IDF weights (Definition
+        4), so every cached vector is stale — a full refit is the only
+        correct response.  Nothing happens when the model was never
+        fitted yet.
+        """
+        if self._fitted:
+            self.fit()
+
+    def invalidate_user_ratings(self, user_id: str) -> None:
+        """No-op: profile vectors do not depend on ratings."""
 
     @property
     def model(self) -> TfIdfModel:

@@ -11,6 +11,7 @@ used by the similarity ablation benchmark.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 from ..data.ratings import RatingMatrix
 from .base import UserSimilarity
@@ -61,6 +62,10 @@ class PearsonRatingSimilarity(UserSimilarity):
         """Drop cached user means (call after mutating the matrix)."""
         self._mean_cache.clear()
 
+    def invalidate_user(self, user_id: str) -> None:
+        """Drop the cached mean of one user (after a rating change)."""
+        self._mean_cache.pop(user_id, None)
+
     def similarity(self, user_a: str, user_b: str) -> float:
         if user_a == user_b:
             return 1.0
@@ -88,6 +93,36 @@ class PearsonRatingSimilarity(UserSimilarity):
         if denominator == 0.0:
             return 0.0
         return numerator / denominator
+
+    def similarities(
+        self, user_id: str, candidates: Iterable[str]
+    ) -> dict[str, float]:
+        """Batched ``RS(u, ·)`` against many candidates.
+
+        The default implementation performs a full set intersection per
+        candidate, which makes building a neighbour index quadratic in
+        dict lookups.  This override walks the inverted index of the
+        user's rated items *once*, counting co-rated items per
+        candidate, and only evaluates the Pearson formula for the
+        candidates that reach ``min_common_items``.  Scores are
+        bit-identical to :meth:`similarity` because qualifying pairs go
+        through the same code path.
+        """
+        scores = {
+            candidate: 0.0 for candidate in candidates if candidate != user_id
+        }
+        ratings_a = self.matrix.items_of(user_id)
+        if not ratings_a or not scores:
+            return scores
+        overlap: dict[str, int] = {}
+        for item_id in ratings_a:
+            for user_b in self.matrix.iter_raters(item_id):
+                if user_b in scores:
+                    overlap[user_b] = overlap.get(user_b, 0) + 1
+        for user_b, count in overlap.items():
+            if count >= self.min_common_items:
+                scores[user_b] = self.similarity(user_id, user_b)
+        return scores
 
 
 class CosineRatingSimilarity(UserSimilarity):

@@ -72,6 +72,14 @@ class SemanticSimilarity(UserSimilarity):
         self.skip_unknown_concepts = skip_unknown_concepts
         self._concept_cache: dict[tuple[str, str], float] = {}
 
+    def invalidate_user_ratings(self, user_id: str) -> None:
+        """No-op: semantic scores do not depend on ratings.
+
+        The concept cache is keyed by ontology concepts (not users) and
+        user concepts are read from the registry on every call, so
+        profile updates need no action here either.
+        """
+
     # -- problem level ---------------------------------------------------------
 
     def problem_similarity(self, concept_a: str, concept_b: str) -> float:

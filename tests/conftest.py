@@ -59,10 +59,28 @@ def tiny_matrix() -> RatingMatrix:
 
 @pytest.fixture(scope="session")
 def small_dataset():
-    """A synthetic health dataset shared by the integration tests."""
+    """The shared synthetic health dataset.
+
+    Session-scoped and reused by the integration, eval and serving
+    tests — build it once instead of regenerating per module.  Tests
+    must not mutate it; mutating tests take :func:`mutable_dataset`.
+    """
     return generate_dataset(
         num_users=40, num_items=60, ratings_per_user=15, seed=11
     )
+
+
+@pytest.fixture
+def mutable_dataset(small_dataset):
+    """A per-test deep copy of :func:`small_dataset`.
+
+    The serving tests ingest ratings and edit profiles; the round-trip
+    through ``to_dict`` is much cheaper than regenerating and keeps the
+    shared session dataset pristine.
+    """
+    from repro.data.datasets import HealthDataset
+
+    return HealthDataset.from_dict(small_dataset.to_dict())
 
 
 @pytest.fixture(scope="session")

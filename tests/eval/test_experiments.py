@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.datasets import generate_dataset
 from repro.eval.experiments import (
     run_aggregation_ablation,
     run_similarity_ablation,
@@ -93,9 +92,10 @@ class TestProposition1:
                 assert row.fairness == 1.0
 
 
-@pytest.fixture(scope="module")
-def ablation_dataset():
-    return generate_dataset(num_users=30, num_items=40, ratings_per_user=12, seed=13)
+@pytest.fixture
+def ablation_dataset(small_dataset):
+    """The shared session dataset (see ``tests/conftest.py``)."""
+    return small_dataset
 
 
 class TestAblations:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.datasets import generate_dataset
 from repro.data.ratings import RatingMatrix
 from repro.eval.validation import (
     compare_similarities,
@@ -16,11 +15,10 @@ from repro.similarity.base import PrecomputedSimilarity
 from repro.similarity.ratings_sim import JaccardRatingSimilarity, PearsonRatingSimilarity
 
 
-@pytest.fixture(scope="module")
-def matrix() -> RatingMatrix:
-    return generate_dataset(
-        num_users=40, num_items=60, ratings_per_user=20, seed=19
-    ).ratings
+@pytest.fixture
+def matrix(small_dataset) -> RatingMatrix:
+    """Ratings of the shared session dataset (see ``tests/conftest.py``)."""
+    return small_dataset.ratings
 
 
 class TestHoldoutSplit:

@@ -1,0 +1,144 @@
+"""Unit tests for the serving-layer LRU caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.cache import CachedSimilarity, ScoreCache
+from repro.similarity.base import PrecomputedSimilarity
+
+
+class TestScoreCache:
+    def test_get_put_roundtrip(self):
+        cache = ScoreCache(capacity=4)
+        cache.put("a", 1.5)
+        assert cache.get("a") == 1.5
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_lru_eviction_bounds_size(self):
+        cache = ScoreCache(capacity=3)
+        for index in range(10):
+            cache.put(index, index)
+            assert len(cache) <= 3
+        assert cache.stats.evictions == 7
+        # The three most recently inserted keys survive.
+        assert all(key in cache for key in (7, 8, 9))
+
+    def test_get_refreshes_recency(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)  # evicts "b", not "a"
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ScoreCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreCache(capacity=-1)
+
+    def test_hit_miss_statistics(self):
+        cache = ScoreCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.requests == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert set(stats.as_dict()) == {
+            "hits",
+            "misses",
+            "evictions",
+            "invalidations",
+            "hit_rate",
+        }
+
+    def test_get_or_compute_computes_once(self):
+        cache = ScoreCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+
+    def test_invalidate_where_is_targeted(self):
+        cache = ScoreCache(capacity=16)
+        for user in ("u1", "u2", "u3"):
+            for other in ("a", "b"):
+                cache.put((user, other), 1.0)
+        dropped = cache.invalidate_where(lambda key: key[0] == "u2")
+        assert dropped == 2
+        assert ("u1", "a") in cache
+        assert ("u2", "a") not in cache
+        assert cache.stats.invalidations == 2
+
+    def test_clear(self):
+        cache = ScoreCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_stale_epoch_put_is_discarded(self):
+        cache = ScoreCache(capacity=4)
+        epoch = cache.epoch
+        cache.invalidate_where(lambda key: True)  # a concurrent update
+        cache.put("a", "stale value", epoch=epoch)
+        assert "a" not in cache
+        cache.put("a", "fresh value", epoch=cache.epoch)
+        assert cache.get("a") == "fresh value"
+
+    def test_get_or_compute_skips_store_when_invalidated_mid_compute(self):
+        cache = ScoreCache(capacity=4)
+
+        def factory():
+            cache.invalidate_where(lambda key: True)  # update races in
+            return "computed from pre-update data"
+
+        value = cache.get_or_compute("k", factory)
+        assert value == "computed from pre-update data"  # caller still served
+        assert "k" not in cache  # but the stale value was not cached
+
+
+class TestCachedSimilarity:
+    def _inner(self) -> PrecomputedSimilarity:
+        return PrecomputedSimilarity({("a", "b"): 0.8, ("a", "c"): 0.3})
+
+    def test_scores_match_inner_and_are_cached(self):
+        cache = ScoreCache(capacity=16)
+        sim = CachedSimilarity(self._inner(), cache)
+        assert sim.similarity("a", "b") == 0.8
+        assert sim.similarity("a", "b") == 0.8
+        assert cache.stats.hits == 1
+        # Keys are directional: the reverse direction is computed (and
+        # cached) separately, because measures are not bit-symmetric.
+        assert sim.similarity("b", "a") == 0.8
+        assert ("a", "b") in cache and ("b", "a") in cache
+
+    def test_batched_similarities_fill_cache(self):
+        cache = ScoreCache(capacity=16)
+        sim = CachedSimilarity(self._inner(), cache)
+        scores = sim.similarities("a", ["b", "c", "d", "a"])
+        assert scores == {"b": 0.8, "c": 0.3, "d": 0.0}
+        assert sim.similarities("a", ["b", "c", "d"]) == scores
+        assert cache.stats.hits >= 3
+
+    def test_invalidate_user_drops_only_their_pairs(self):
+        cache = ScoreCache(capacity=16)
+        sim = CachedSimilarity(self._inner(), cache)
+        sim.similarity("a", "b")
+        sim.similarity("b", "c")
+        sim.invalidate_user("a")
+        assert ("a", "b") not in cache
+        assert ("b", "c") in cache

@@ -1,0 +1,156 @@
+"""End-to-end test of the CLI ``serve`` command and the request model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serving.requests import (
+    ServeRequest,
+    load_requests,
+    parse_request,
+    save_requests,
+    synthetic_workload,
+)
+
+
+class TestRequestModel:
+    def test_parse_group_request(self):
+        request = parse_request({"type": "group", "members": ["u1", "u2"], "z": 3})
+        assert request.kind == "group"
+        assert request.members == ("u1", "u2")
+        assert request.z == 3
+        assert request.group().member_ids == ["u1", "u2"]
+
+    def test_parse_user_and_rate_requests(self):
+        user = parse_request({"type": "user", "user_id": "u1", "k": 4})
+        assert (user.kind, user.user_id, user.k) == ("user", "u1", 4)
+        rate = parse_request(
+            {"type": "rate", "user_id": "u1", "item_id": "d1", "value": 4}
+        )
+        assert (rate.kind, rate.item_id, rate.value) == ("rate", "d1", 4.0)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"type": "nope"},
+            {"type": "group", "members": []},
+            {"type": "user"},
+            {"type": "rate", "user_id": "u1", "item_id": "d1"},
+        ],
+    )
+    def test_invalid_requests_rejected(self, payload):
+        with pytest.raises(ValueError):
+            parse_request(payload)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        requests = [
+            ServeRequest(kind="group", members=("u1", "u2"), z=3),
+            ServeRequest(kind="user", user_id="u1"),
+            ServeRequest(kind="rate", user_id="u1", item_id="d1", value=2.0),
+        ]
+        path = save_requests(requests, tmp_path / "requests.jsonl")
+        assert load_requests(path) == requests
+
+    def test_jsonl_error_points_at_the_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "user", "user_id": "u1"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_requests(path)
+
+    def test_synthetic_workload_is_repeated_and_overlapping(self):
+        users = [f"u{i}" for i in range(30)]
+        workload = synthetic_workload(
+            users, num_requests=50, group_size=4, distinct_groups=5, seed=3
+        )
+        assert len(workload) == 50
+        distinct = {request.members for request in workload}
+        assert len(distinct) <= 5  # heavy repetition by construction
+
+
+class TestServeCommand:
+    def _write_dataset(self, tmp_path):
+        dataset_path = tmp_path / "dataset.json"
+        code = main(
+            [
+                "generate",
+                str(dataset_path),
+                "--users",
+                "20",
+                "--items",
+                "30",
+                "--ratings-per-user",
+                "10",
+            ]
+        )
+        assert code == 0
+        return dataset_path
+
+    def test_serve_jsonl_stream_end_to_end(self, tmp_path, capsys):
+        dataset_path = self._write_dataset(tmp_path)
+        dataset = json.loads(dataset_path.read_text())
+        user_ids = [user["user_id"] for user in dataset["users"]["users"]][:4]
+        item_id = dataset["ratings"]["ratings"][0][1]
+        requests_path = tmp_path / "requests.jsonl"
+        lines = [
+            {"type": "group", "members": user_ids[:3], "z": 3},
+            {"type": "user", "user_id": user_ids[3], "k": 3},
+            {"type": "rate", "user_id": user_ids[0], "item_id": item_id, "value": 5},
+            {"type": "group", "members": user_ids[:3], "z": 3},
+        ]
+        requests_path.write_text(
+            "\n".join(json.dumps(line) for line in lines) + "\n"
+        )
+        capsys.readouterr()
+
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                str(requests_path),
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warmed neighbor index: 20 rows" in out
+        assert "throughput:" in out
+        assert "group_requests   : 2" in out
+        assert "user_requests    : 1" in out
+        assert "ingested_ratings : 1" in out
+        assert "hit rate" in out
+        assert "neighbor index: 20/20 rows" in out
+
+    def test_serve_synthetic_workload_prints_request_lines(self, tmp_path, capsys):
+        dataset_path = self._write_dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "5",
+                "--group-size",
+                "3",
+                "--peer-threshold",
+                "0.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("group [") == 5
+        assert "latency" in out
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "data.json", "reqs.jsonl"])
+        assert args.workers == 1
+        assert args.similarity_cache == 500_000
+        assert args.relevance_cache == 10_000
+        assert args.no_warm is False

@@ -1,0 +1,273 @@
+"""Behavioural tests of the RecommendationService.
+
+The contract under test: the warm, cached serving path returns results
+bit-identical to a cold :class:`CaregiverPipeline` run on the current
+data — before updates, after `ingest_rating`, and after
+`update_profile`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RecommenderConfig
+from repro.core.pipeline import CaregiverPipeline
+from repro.data.groups import Group, random_group
+from repro.data.phr import HealthProblem
+from repro.serving import RecommendationService
+
+CONFIG = RecommenderConfig(peer_threshold=0.1, top_z=5, top_k=5, max_peers=10)
+
+
+def _cold(dataset, group, config=CONFIG):
+    """A from-scratch pipeline run — the ground truth for warm results."""
+    return CaregiverPipeline(dataset, config).recommend(group)
+
+
+@pytest.fixture
+def service(mutable_dataset) -> RecommendationService:
+    return RecommendationService(mutable_dataset, CONFIG)
+
+
+class TestWarmColdParity:
+    def test_group_results_match_cold_pipeline(self, service, mutable_dataset):
+        for seed in range(4):
+            group = random_group(mutable_dataset.users.ids(), 4, seed=seed)
+            cold = _cold(mutable_dataset, group)
+            warm_first = service.recommend_group(group)
+            warm_repeat = service.recommend_group(group)
+            assert warm_first.items == cold.items
+            assert warm_repeat.items == cold.items
+            assert (
+                warm_first.candidates.group_relevance
+                == cold.candidates.group_relevance
+            )
+            assert warm_first.candidates.relevance == cold.candidates.relevance
+            assert warm_first.report.fairness == cold.report.fairness
+
+    def test_single_user_matches_cold_pipeline(self, service, mutable_dataset):
+        pipeline = CaregiverPipeline(mutable_dataset, CONFIG)
+        for user_id in mutable_dataset.users.ids()[:5]:
+            assert service.recommend_user(user_id) == pipeline.recommend_for_user(
+                user_id
+            )
+
+    def test_repeated_requests_hit_the_caches(self, service, mutable_dataset):
+        group = random_group(mutable_dataset.users.ids(), 4, seed=1)
+        service.recommend_group(group)
+        before = service.group_cache.stats.hits
+        service.recommend_group(group)
+        assert service.group_cache.stats.hits == before + 1
+
+
+class TestIngestInvalidation:
+    def test_warm_results_equal_cold_recompute_after_ratings(
+        self, service, mutable_dataset
+    ):
+        group = random_group(mutable_dataset.users.ids(), 4, seed=2)
+        service.recommend_group(group)  # warm the caches with stale state
+
+        users = mutable_dataset.users.ids()
+        matrix = mutable_dataset.ratings
+        victims = [group.member_ids[0], users[7], users[23]]
+        for offset, user_id in enumerate(victims):
+            unrated = matrix.unrated_items(user_id, matrix.item_ids())
+            service.ingest_rating(user_id, unrated[offset], 5.0)
+
+        cold = _cold(mutable_dataset, group)
+        warm = service.recommend_group(group)
+        assert warm.items == cold.items
+        assert warm.candidates.relevance == cold.candidates.relevance
+        assert warm.candidates.group_relevance == cold.candidates.group_relevance
+
+    def test_rated_item_leaves_the_candidate_pool(self, service, mutable_dataset):
+        group = random_group(mutable_dataset.users.ids(), 4, seed=3)
+        first = service.recommend_group(group)
+        target_item = first.items[0]
+        service.ingest_rating(group.member_ids[0], target_item, 4.0)
+        second = service.recommend_group(group)
+        assert target_item not in second.candidates.group_relevance
+        assert second.items == _cold(mutable_dataset, group).items
+
+    def test_overwriting_a_rating_invalidates_consumers(
+        self, service, mutable_dataset
+    ):
+        matrix = mutable_dataset.ratings
+        user_id = matrix.user_ids()[0]
+        item_id = next(iter(matrix.items_of(user_id)))
+        group = random_group(mutable_dataset.users.ids(), 4, seed=4)
+        service.recommend_group(group)
+        service.ingest_rating(user_id, item_id, 1.0)
+        warm = service.recommend_group(group)
+        cold = _cold(mutable_dataset, group)
+        assert warm.items == cold.items
+        assert warm.candidates.relevance == cold.candidates.relevance
+
+    def test_single_user_path_sees_the_update(self, service, mutable_dataset):
+        user_id = mutable_dataset.users.ids()[5]
+        service.recommend_user(user_id)
+        matrix = mutable_dataset.ratings
+        unrated = matrix.unrated_items(user_id, matrix.item_ids())
+        service.ingest_rating(user_id, unrated[0], 5.0)
+        warm = service.recommend_user(user_id)
+        cold = CaregiverPipeline(mutable_dataset, CONFIG).recommend_for_user(user_id)
+        assert warm == cold
+
+    def test_invalidation_is_targeted(self, service, mutable_dataset):
+        users = mutable_dataset.users.ids()
+        for user_id in users[:10]:
+            service.recommend_user(user_id)
+        rows_before = len(service.relevance_cache)
+        matrix = mutable_dataset.ratings
+        victim = users[0]
+        unrated = matrix.unrated_items(victim, matrix.item_ids())
+        affected = service.ingest_rating(victim, unrated[0], 3.0)
+        assert victim in affected
+        # Far fewer rows than the whole cache must have been dropped —
+        # untouched users keep their cached state.
+        assert len(service.relevance_cache) >= rows_before - len(affected)
+        assert len(service.relevance_cache) > 0 or rows_before <= len(affected)
+
+
+class TestProfileUpdates:
+    def test_profile_update_matches_cold_recompute(self, mutable_dataset):
+        config = CONFIG.with_overrides(similarity="profile", peer_threshold=0.05)
+        service = RecommendationService(mutable_dataset, config)
+        group = random_group(mutable_dataset.users.ids(), 3, seed=5)
+        service.recommend_group(group)
+
+        target = group.member_ids[0]
+        service.update_profile(
+            target,
+            mutate=lambda user: user.record.add_problem(
+                HealthProblem(name="Chronic pain")
+            ),
+        )
+        warm = service.recommend_group(group)
+        cold = _cold(mutable_dataset, group, config)
+        assert warm.items == cold.items
+        assert warm.candidates.relevance == cold.candidates.relevance
+
+    def test_profile_edit_invalidates_uninvolved_pairs(self, mutable_dataset):
+        """TF-IDF is corpus-sensitive: one profile edit shifts every IDF
+        weight, so pairs *not* involving the edited user are stale too."""
+        config = CONFIG.with_overrides(similarity="profile", peer_threshold=0.05)
+        service = RecommendationService(mutable_dataset, config)
+        users = mutable_dataset.users.ids()
+        for user_id in users[:8]:  # warm rows for bystanders
+            service.recommend_user(user_id)
+
+        edited = users[20]
+        service.update_profile(
+            edited,
+            mutate=lambda user: user.record.add_problem(
+                HealthProblem(name="Acute sinusitis with severe headache")
+            ),
+        )
+        pipeline = CaregiverPipeline(mutable_dataset, config)
+        for bystander in users[:8]:
+            assert service.recommend_user(bystander) == (
+                pipeline.recommend_for_user(bystander)
+            ), bystander
+
+    def test_semantic_profile_update_stays_targeted(self, mutable_dataset):
+        config = CONFIG.with_overrides(similarity="semantic", peer_threshold=0.05)
+        service = RecommendationService(mutable_dataset, config)
+        users = mutable_dataset.users.ids()
+        for user_id in users[:5]:
+            service.recommend_user(user_id)
+        rows_before = len(service.relevance_cache)
+        from repro.ontology.snomed import BROKEN_ARM
+
+        affected = service.update_profile(
+            users[0],
+            mutate=lambda user: user.record.add_problem(
+                HealthProblem(name="Broken arm", concept_id=BROKEN_ARM)
+            ),
+        )
+        # Path-based concept scores are pairwise, so invalidation stays
+        # targeted instead of wiping the caches.
+        assert affected != set(users)
+        assert len(service.relevance_cache) > 0 or rows_before <= len(affected)
+        pipeline = CaregiverPipeline(mutable_dataset, config)
+        for user_id in users[:5]:
+            assert service.recommend_user(user_id) == (
+                pipeline.recommend_for_user(user_id)
+            )
+
+    def test_ingest_does_not_refit_profile_component(
+        self, mutable_dataset, monkeypatch
+    ):
+        from repro.similarity.profile_sim import ProfileSimilarity
+
+        config = CONFIG.with_overrides(similarity="hybrid", peer_threshold=0.05)
+        service = RecommendationService(mutable_dataset, config)
+        group = random_group(mutable_dataset.users.ids(), 3, seed=6)
+        service.recommend_group(group)
+
+        fits = []
+        original_fit = ProfileSimilarity.fit
+        monkeypatch.setattr(
+            ProfileSimilarity,
+            "fit",
+            lambda self: fits.append(1) or original_fit(self),
+        )
+        matrix = mutable_dataset.ratings
+        user_id = group.member_ids[0]
+        unrated = matrix.unrated_items(user_id, matrix.item_ids())
+        service.ingest_rating(user_id, unrated[0], 4.0)
+        assert fits == []  # ratings never touch the TF-IDF corpus
+        warm = service.recommend_group(group)
+        cold = _cold(mutable_dataset, group, config)
+        assert warm.items == cold.items
+
+
+class TestBatchApi:
+    def _groups(self, dataset, count=6):
+        return [random_group(dataset.users.ids(), 4, seed=seed) for seed in range(count)]
+
+    def test_batch_matches_individual_requests(self, service, mutable_dataset):
+        groups = self._groups(mutable_dataset)
+        batch = service.recommend_many(groups)
+        assert [r.items for r in batch] == [
+            service.recommend_group(group).items for group in groups
+        ]
+
+    def test_batch_preserves_order_and_dedupes(self, service, mutable_dataset):
+        groups = self._groups(mutable_dataset, count=3)
+        workload = [groups[0], groups[1], groups[0], groups[2], groups[0]]
+        results = service.recommend_many(workload)
+        assert len(results) == len(workload)
+        assert results[0].items == results[2].items == results[4].items
+        assert [tuple(r.group.member_ids) for r in results] == [
+            tuple(g.member_ids) for g in workload
+        ]
+
+    def test_threaded_batch_matches_sequential(self, mutable_dataset):
+        sequential = RecommendationService(mutable_dataset, CONFIG)
+        threaded = RecommendationService(mutable_dataset, CONFIG)
+        groups = self._groups(mutable_dataset, count=8)
+        expected = sequential.recommend_many(groups, workers=1)
+        actual = threaded.recommend_many(groups, workers=4)
+        assert [r.items for r in actual] == [r.items for r in expected]
+
+
+class TestStats:
+    def test_stats_shape_and_counters(self, service, mutable_dataset):
+        group = random_group(mutable_dataset.users.ids(), 4, seed=6)
+        service.recommend_group(group)
+        service.recommend_group(group)
+        service.recommend_user(group.member_ids[0])
+        stats = service.stats()
+        assert stats["requests"]["group_requests"] == 2
+        assert stats["requests"]["user_requests"] == 1
+        assert stats["mean_group_ms"] >= 0.0
+        for cache_name in ("similarity_cache", "relevance_cache", "group_cache"):
+            assert 0.0 <= stats[cache_name]["hit_rate"] <= 1.0
+        assert stats["index"]["built_rows"] >= len(group)
+
+    def test_warm_builds_all_rows(self, service, mutable_dataset):
+        assert service.warm() == mutable_dataset.ratings.num_users
+        assert service.stats()["index"]["built_rows"] == (
+            mutable_dataset.ratings.num_users
+        )

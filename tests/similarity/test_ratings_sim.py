@@ -151,3 +151,48 @@ class TestJaccard:
 
     def test_users_without_ratings_score_zero(self, tiny_matrix):
         assert JaccardRatingSimilarity(tiny_matrix)("ghost1", "ghost2") == 0.0
+
+
+class TestBatchedPearson:
+    def test_batched_matches_pairwise_exactly(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        users = tiny_matrix.user_ids()
+        for user_id in users:
+            batched = similarity.similarities(user_id, users)
+            looped = {
+                candidate: similarity.similarity(user_id, candidate)
+                for candidate in users
+                if candidate != user_id
+            }
+            assert batched == looped  # bit-identical, not approx
+
+    def test_batched_matches_pairwise_on_synthetic_data(self, small_dataset):
+        matrix = small_dataset.ratings
+        similarity = PearsonRatingSimilarity(matrix)
+        users = matrix.user_ids()
+        for user_id in users[:5]:
+            batched = similarity.similarities(user_id, users)
+            for candidate in users:
+                if candidate != user_id:
+                    assert batched[candidate] == similarity.similarity(
+                        user_id, candidate
+                    )
+
+    def test_batched_excludes_self_and_handles_unknown_users(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        scores = similarity.similarities("alice", ["alice", "bob", "ghost"])
+        assert "alice" not in scores
+        assert scores["ghost"] == 0.0
+
+    def test_batched_for_user_without_ratings(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        scores = similarity.similarities("ghost", ["alice", "bob"])
+        assert scores == {"alice": 0.0, "bob": 0.0}
+
+    def test_invalidate_user_drops_only_their_mean(self, tiny_matrix):
+        similarity = PearsonRatingSimilarity(tiny_matrix)
+        similarity.similarity("alice", "bob")
+        assert "alice" in similarity._mean_cache
+        similarity.invalidate_user("alice")
+        assert "alice" not in similarity._mean_cache
+        assert "bob" in similarity._mean_cache

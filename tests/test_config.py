@@ -27,6 +27,10 @@ class TestValidation:
             {"hybrid_weights": (1.0, 1.0)},
             {"hybrid_weights": (-1.0, 1.0, 1.0)},
             {"hybrid_weights": (0.0, 0.0, 0.0)},
+            {"similarity_cache_size": -1},
+            {"relevance_cache_size": -5},
+            {"group_cache_size": -1},
+            {"serve_workers": 0},
         ],
     )
     def test_invalid_values_rejected(self, overrides):
@@ -61,9 +65,24 @@ class TestConvenience:
             aggregation="minimum",
             similarity="hybrid",
             hybrid_weights=(2.0, 1.0, 1.0),
+            similarity_cache_size=1000,
+            relevance_cache_size=50,
+            group_cache_size=10,
+            serve_workers=4,
         )
         rebuilt = RecommenderConfig.from_dict(config.to_dict())
         assert rebuilt == config
+
+    def test_serving_defaults(self):
+        config = RecommenderConfig()
+        assert config.similarity_cache_size > 0
+        assert config.relevance_cache_size > 0
+        assert config.group_cache_size > 0
+        assert config.serve_workers == 1
+        disabled = config.with_overrides(
+            similarity_cache_size=0, relevance_cache_size=0, group_cache_size=0
+        )
+        assert disabled.similarity_cache_size == 0
 
     def test_frozen(self):
         with pytest.raises(AttributeError):
