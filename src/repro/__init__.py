@@ -18,6 +18,9 @@ The package is organised in layers:
   baseline and the end-to-end caregiver pipeline;
 * :mod:`repro.mapreduce` — an in-process MapReduce engine and the
   paper's three-job implementation;
+* :mod:`repro.exec` — the execution substrate (serial / thread /
+  process backends with deterministic, bit-identical results) shared
+  by the engine, the index builds, batch serving and the eval grids;
 * :mod:`repro.eval` — metrics, timing and the experiment harness that
   regenerates the paper's Table II and the extension ablations;
 * :mod:`repro.serving` — the stateful serving layer: a neighbour
@@ -65,6 +68,13 @@ from .data import (
     generate_nutrition_dataset,
 )
 from .exceptions import ReproError
+from .exec import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
 from .mapreduce import MapReduceEngine, MapReduceGroupRecommender
 from .ontology import HealthOntology, build_snomed_like_ontology
 from .serving import RecommendationService
@@ -82,6 +92,7 @@ __all__ = [
     "CaregiverPipeline",
     "CaregiverRecommendation",
     "DEFAULT_CONFIG",
+    "ExecutionBackend",
     "FairnessAwareGreedy",
     "FairnessReport",
     "Group",
@@ -97,6 +108,7 @@ __all__ = [
     "MapReduceGroupRecommender",
     "PearsonRatingSimilarity",
     "PersonalHealthRecord",
+    "ProcessBackend",
     "ProfileSimilarity",
     "RatingMatrix",
     "RecommendationService",
@@ -104,8 +116,10 @@ __all__ = [
     "ReproError",
     "ScoredItem",
     "SemanticSimilarity",
+    "SerialBackend",
     "SingleUserRecommender",
     "SwapRefinementSelector",
+    "ThreadBackend",
     "User",
     "UserRegistry",
     "__version__",
@@ -113,5 +127,6 @@ __all__ = [
     "fairness",
     "generate_dataset",
     "generate_nutrition_dataset",
+    "get_backend",
     "value",
 ]

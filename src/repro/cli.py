@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from .config import RecommenderConfig
+from .config import KNOWN_EXEC_BACKENDS, RecommenderConfig
 from .core.pipeline import CaregiverPipeline
 from .data.datasets import generate_dataset
 from .data.groups import Group, random_group
@@ -87,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="skip cells that would enumerate more subsets than this",
     )
+    table2.add_argument(
+        "--backend",
+        choices=list(KNOWN_EXEC_BACKENDS),
+        default="serial",
+        help="execution backend the (m, z) grid cells run on",
+    )
 
     prop1 = subparsers.add_parser("prop1", help="verify Proposition 1")
     prop1.add_argument("--candidates", type=int, default=30)
@@ -132,12 +139,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--peer-threshold", type=float, default=0.2)
     serve.add_argument(
+        "--backend",
+        choices=list(KNOWN_EXEC_BACKENDS),
+        default="serial",
+        help=(
+            "execution backend for the index build and batch requests; "
+            "results are bit-identical across backends"
+        ),
+    )
+    serve.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         help=(
-            "thread-pool width; >1 fans runs of consecutive group requests "
-            "out in parallel (latency is then reported per batch-average)"
+            "worker count for the chosen backend (default: one CPU per "
+            "worker for thread/process); with --backend serial, >1 falls "
+            "back to a thread pool over runs of consecutive group requests "
+            "(latency is then reported per batch-average)"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash-shard the neighbor index into N independent partitions",
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help=(
+            "neighbor-index snapshot: load it if PATH exists (rejecting a "
+            "stale fingerprint), otherwise warm the index and save it there"
         ),
     )
     serve.add_argument(
@@ -216,6 +249,7 @@ def _command_table2(args: argparse.Namespace) -> int:
         group_size=args.group_size,
         repeats=args.repeats,
         max_subsets=args.max_subsets,
+        backend=args.backend,
     )
     print(format_table2(result))
     return 0
@@ -303,7 +337,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         peer_threshold=args.peer_threshold,
         similarity_cache_size=args.similarity_cache,
         relevance_cache_size=args.relevance_cache,
-        serve_workers=args.workers,
+        serve_workers=args.workers or 1,
+        exec_backend=args.backend,
+        # 0 = auto-detect CPUs; an explicit --workers pins the width.
+        exec_workers=args.workers or 0,
+        index_shards=args.shards,
     )
     service = RecommendationService(dataset, config)
     if args.requests == "-":
@@ -316,10 +354,34 @@ def _command_serve(args: argparse.Namespace) -> int:
     else:
         requests = load_requests(args.requests)
 
-    with stopwatch() as warm_elapsed:
-        if not args.no_warm:
-            built = service.warm()
-            print(f"warmed neighbor index: {built} rows in {warm_elapsed():.1f} ms")
+    snapshot_path = Path(args.snapshot) if args.snapshot else None
+    if snapshot_path is not None and snapshot_path.exists():
+        from .exceptions import SnapshotError
+
+        try:
+            with stopwatch() as load_elapsed:
+                loaded = service.load_snapshot(snapshot_path)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"loaded neighbor-index snapshot: {loaded} rows from "
+            f"{snapshot_path} in {load_elapsed():.1f} ms"
+        )
+    else:
+        with stopwatch() as warm_elapsed:
+            if not args.no_warm:
+                built = service.warm()
+                print(
+                    f"warmed neighbor index: {built} rows in "
+                    f"{warm_elapsed():.1f} ms"
+                )
+        # Never snapshot a cold index: with --no-warm there is nothing
+        # worth saving, and an empty snapshot would suppress warm-up on
+        # every later run.
+        if snapshot_path is not None and not args.no_warm:
+            service.save_snapshot(snapshot_path)
+            print(f"saved neighbor-index snapshot to {snapshot_path}")
 
     def _group_line(request, recommendation) -> str:
         return (
@@ -358,8 +420,9 @@ def _command_serve(args: argparse.Namespace) -> int:
                 _emit(number, _group_line(request, recommendation))
             pending.clear()
 
+        batching = (args.workers or 1) > 1 or args.backend != "serial"
         for request in requests:
-            if request.kind == "group" and args.workers > 1:
+            if request.kind == "group" and batching:
                 # recommend_many takes one z for the whole batch; a z
                 # change closes the current batch.
                 if pending and pending[0].z != request.z:

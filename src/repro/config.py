@@ -10,6 +10,8 @@ MapReduce runner all agree on the same values.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
@@ -35,6 +37,26 @@ KNOWN_SIMILARITIES: tuple[str, ...] = (
     "semantic",
     "hybrid",
 )
+
+#: Execution backend names accepted by :class:`RecommenderConfig`
+#: (mirrors :data:`repro.exec.BACKEND_NAMES` without importing it —
+#: config must stay import-light).
+KNOWN_EXEC_BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+def resolve_positive(value: int | None, default: int, name: str) -> int:
+    """Resolve an optional per-call override of a positive config value.
+
+    ``None`` means "use the default".  An explicit non-positive value is
+    a caller error and raises :class:`ConfigurationError` — silently
+    mapping ``0`` to the default (the old ``value or default`` idiom)
+    hid bugs where a computed size collapsed to zero.
+    """
+    if value is None:
+        return default
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -88,6 +110,19 @@ class RecommenderConfig:
         Default thread-pool size used by
         :meth:`repro.serving.RecommendationService.recommend_many`;
         ``1`` serves batches sequentially.
+    exec_backend:
+        Default execution backend (``"serial"``, ``"thread"`` or
+        ``"process"``) used by the compute layers (MapReduce engine,
+        index builds, batch serving, eval grids).  All backends produce
+        bit-identical results; this is purely a performance knob.
+    exec_workers:
+        Worker count for the execution backend; ``0`` selects the
+        number of available CPUs.
+    index_shards:
+        Number of shards the serving layer's neighbour index is hash-
+        partitioned into.  ``1`` keeps the single flat index; more
+        shards let builds and refreshes proceed independently (and in
+        parallel under a non-serial backend).
     """
 
     peer_threshold: float = 0.2
@@ -104,6 +139,9 @@ class RecommenderConfig:
     relevance_cache_size: int = 10_000
     group_cache_size: int = 2048
     serve_workers: int = 1
+    exec_backend: str = "serial"
+    exec_workers: int = 0
+    index_shards: int = 1
 
     def __post_init__(self) -> None:
         low, high = self.rating_scale
@@ -147,6 +185,15 @@ class RecommenderConfig:
             raise ConfigurationError("group_cache_size must be >= 0")
         if self.serve_workers <= 0:
             raise ConfigurationError("serve_workers must be positive")
+        if self.exec_backend not in KNOWN_EXEC_BACKENDS:
+            raise ConfigurationError(
+                f"unknown exec_backend {self.exec_backend!r}; "
+                f"expected one of {KNOWN_EXEC_BACKENDS}"
+            )
+        if self.exec_workers < 0:
+            raise ConfigurationError("exec_workers must be >= 0 (0 = auto)")
+        if self.index_shards <= 0:
+            raise ConfigurationError("index_shards must be positive")
 
     # -- convenience -----------------------------------------------------
 
@@ -181,7 +228,34 @@ class RecommenderConfig:
             "relevance_cache_size": self.relevance_cache_size,
             "group_cache_size": self.group_cache_size,
             "serve_workers": self.serve_workers,
+            "exec_backend": self.exec_backend,
+            "exec_workers": self.exec_workers,
+            "index_shards": self.index_shards,
         }
+
+    def fingerprint(self) -> str:
+        """Stable hash of the *recommendation semantics* of this config.
+
+        Two configs share a fingerprint exactly when they produce the
+        same peer rows and recommendations: operational knobs (cache
+        sizes, worker counts, backend choice, sharding) are excluded —
+        the execution layer never changes results, only wall-clock.
+        Used to reject stale index snapshots.
+        """
+        semantics = {
+            "peer_threshold": self.peer_threshold,
+            "max_peers": self.max_peers,
+            "top_k": self.top_k,
+            "top_z": self.top_z,
+            "rating_scale": list(self.rating_scale),
+            "aggregation": self.aggregation,
+            "similarity": self.similarity,
+            "hybrid_weights": list(self.hybrid_weights),
+            "candidate_pool_size": self.candidate_pool_size,
+            "random_seed": self.random_seed,
+        }
+        canonical = json.dumps(semantics, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RecommenderConfig":

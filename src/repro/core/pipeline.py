@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..config import DEFAULT_CONFIG, RecommenderConfig
+from ..config import DEFAULT_CONFIG, RecommenderConfig, resolve_positive
 from ..data.datasets import HealthDataset
 from ..data.groups import Group
 from ..exceptions import ConfigurationError
@@ -154,9 +154,11 @@ class CaregiverPipeline:
     def recommend(self, group: Group, z: int | None = None) -> CaregiverRecommendation:
         """Produce the caregiver recommendation for ``group``.
 
-        ``z`` defaults to ``config.top_z``.
+        ``z`` defaults to ``config.top_z``; an explicit non-positive
+        ``z`` raises :class:`~repro.exceptions.ConfigurationError`
+        (it used to silently fall back to the default).
         """
-        z = z or self.config.top_z
+        z = resolve_positive(z, self.config.top_z, "z")
         candidates = self.build_candidates(group)
         selection = self.selector.select(candidates, z)
         plain = tuple(candidates.top_group_items(z))
@@ -168,6 +170,10 @@ class CaregiverPipeline:
         )
 
     def recommend_for_user(self, user_id: str, k: int | None = None) -> list[ScoredItem]:
-        """Single-user recommendation (Section III.A) for one patient."""
-        k = k or self.config.top_k
+        """Single-user recommendation (Section III.A) for one patient.
+
+        ``k`` defaults to ``config.top_k``; an explicit non-positive
+        ``k`` raises :class:`~repro.exceptions.ConfigurationError`.
+        """
+        k = resolve_positive(k, self.config.top_k, "k")
         return self.group_recommender.single_user.recommend(user_id, k=k)

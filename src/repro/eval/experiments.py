@@ -31,6 +31,7 @@ from typing import Sequence
 
 from ..core.aggregation import get_aggregation
 from ..core.brute_force import BruteForceSelector, subset_count
+from ..exec import ExecutionBackend, backend_scope
 from ..core.candidates import GroupCandidates
 from ..core.fairness import fairness as fairness_of
 from ..core.fairness import value as value_of
@@ -139,6 +140,40 @@ class Table2Result:
         raise KeyError(f"no row for m={m}, z={z}")
 
 
+def _table2_cell(spec: tuple[int, int, int, int, int, int]) -> Table2Row:
+    """Time one ``(m, z)`` cell (module-level: process-backend safe).
+
+    The candidate bundle is regenerated per cell from the seed, which
+    is deterministic, so per-cell execution produces exactly the rows
+    the original per-``m`` loop did — in any backend.
+    """
+    m, z, group_size, top_k, repeats, seed = spec
+    candidates = synthetic_candidates(
+        num_candidates=m, group_size=group_size, top_k=top_k, seed=seed
+    )
+    brute = BruteForceSelector(max_subsets=None)
+    greedy = FairnessAwareGreedy(restrict_to_top_k=False)
+    brute_timing = time_callable(
+        lambda: brute.select(candidates, z), repeats=repeats
+    )
+    greedy_timing = time_callable(
+        lambda: greedy.select(candidates, z), repeats=repeats
+    )
+    brute_result = brute_timing.result
+    greedy_result = greedy_timing.result
+    return Table2Row(
+        m=m,
+        z=z,
+        brute_force_ms=brute_timing.median_ms,
+        heuristic_ms=greedy_timing.median_ms,
+        brute_force_fairness=brute_result.fairness,
+        heuristic_fairness=greedy_result.fairness,
+        brute_force_value=brute_result.value,
+        heuristic_value=greedy_result.value,
+        subsets_enumerated=subset_count(m, z),
+    )
+
+
 def run_table2(
     m_values: Sequence[int] = TABLE2_M_VALUES,
     z_values: Sequence[int] = TABLE2_Z_VALUES,
@@ -147,51 +182,31 @@ def run_table2(
     repeats: int = 1,
     seed: int = 7,
     max_subsets: int | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> Table2Result:
     """Reproduce Table II: brute force vs. heuristic wall-clock time.
 
     ``max_subsets`` optionally skips cells whose subset count exceeds
     the limit (useful for quick smoke runs); the full grid (the paper's
     largest cell enumerates ``(30 choose 12) ≈ 8.6 × 10^7`` subsets) can
-    take minutes of CPU, exactly as the paper reports.
+    take minutes of CPU, exactly as the paper reports.  ``backend``
+    fans the grid cells out (the process backend genuinely parallelises
+    the brute-force enumeration; note per-cell *timings* then share the
+    machine, so compare cells within one run only).
     """
     result = Table2Result(group_size=group_size, repeats=repeats)
-    brute = BruteForceSelector(max_subsets=None)
     # The Table II experiment selects z out of the full m-candidate pool, so
     # every member's candidate list is the whole ranked pool (k = m); the
     # per-user top-k sets used by the fairness test stay at ``top_k``.
-    greedy = FairnessAwareGreedy(restrict_to_top_k=False)
-    for m in m_values:
-        candidates = synthetic_candidates(
-            num_candidates=m, group_size=group_size, top_k=top_k, seed=seed
-        )
-        for z in z_values:
-            if z > m:
-                continue
-            count = subset_count(m, z)
-            if max_subsets is not None and count > max_subsets:
-                continue
-            brute_timing = time_callable(
-                lambda: brute.select(candidates, z), repeats=repeats
-            )
-            greedy_timing = time_callable(
-                lambda: greedy.select(candidates, z), repeats=repeats
-            )
-            brute_result = brute_timing.result
-            greedy_result = greedy_timing.result
-            result.rows.append(
-                Table2Row(
-                    m=m,
-                    z=z,
-                    brute_force_ms=brute_timing.median_ms,
-                    heuristic_ms=greedy_timing.median_ms,
-                    brute_force_fairness=brute_result.fairness,
-                    heuristic_fairness=greedy_result.fairness,
-                    brute_force_value=brute_result.value,
-                    heuristic_value=greedy_result.value,
-                    subsets_enumerated=count,
-                )
-            )
+    specs = [
+        (m, z, group_size, top_k, repeats, seed)
+        for m in m_values
+        for z in z_values
+        if z <= m
+        and (max_subsets is None or subset_count(m, z) <= max_subsets)
+    ]
+    with backend_scope(backend) as resolved:
+        result.rows.extend(resolved.map_items(_table2_cell, specs))
     return result
 
 
@@ -211,43 +226,50 @@ class Proposition1Row:
     holds: bool
 
 
+def _proposition1_cell(
+    spec: tuple[int, int, int, int, int]
+) -> Proposition1Row:
+    """Check one ``(group size, z)`` configuration (process-safe)."""
+    group_size, z, num_candidates, top_k, seed = spec
+    candidates = synthetic_candidates(
+        num_candidates=num_candidates,
+        group_size=group_size,
+        top_k=top_k,
+        seed=seed + group_size,
+    )
+    selection = FairnessAwareGreedy().select(candidates, z)
+    fairness_value = selection.fairness
+    return Proposition1Row(
+        group_size=group_size,
+        z=z,
+        m=num_candidates,
+        fairness=fairness_value,
+        holds=(z < group_size) or (fairness_value == 1.0),
+    )
+
+
 def verify_proposition1(
     group_sizes: Sequence[int] = (2, 3, 4, 5, 6, 8),
     z_values: Sequence[int] = (2, 4, 6, 8, 10, 12),
     num_candidates: int = 30,
     top_k: int = 10,
     seed: int = 7,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> list[Proposition1Row]:
     """Check Proposition 1 empirically over a sweep of configurations.
 
     Only configurations with ``z >= |G|`` are asserted; rows with
     ``z < |G|`` are still reported (fairness may or may not be 1 there).
+    The sweep cells run through ``backend`` in grid order.
     """
-    rows: list[Proposition1Row] = []
-    greedy = FairnessAwareGreedy()
-    for group_size in group_sizes:
-        candidates = synthetic_candidates(
-            num_candidates=num_candidates,
-            group_size=group_size,
-            top_k=top_k,
-            seed=seed + group_size,
-        )
-        for z in z_values:
-            if z > num_candidates:
-                continue
-            selection = greedy.select(candidates, z)
-            fairness_value = selection.fairness
-            holds = (z < group_size) or (fairness_value == 1.0)
-            rows.append(
-                Proposition1Row(
-                    group_size=group_size,
-                    z=z,
-                    m=num_candidates,
-                    fairness=fairness_value,
-                    holds=holds,
-                )
-            )
-    return rows
+    specs = [
+        (group_size, z, num_candidates, top_k, seed)
+        for group_size in group_sizes
+        for z in z_values
+        if z <= num_candidates
+    ]
+    with backend_scope(backend) as resolved:
+        return resolved.map_items(_proposition1_cell, specs)
 
 
 # ---------------------------------------------------------------------------
@@ -420,38 +442,44 @@ class ValueQualityRow:
         return self.swap_value / self.brute_force_value
 
 
+def _value_quality_cell(
+    spec: tuple[int, int, int, int, int]
+) -> ValueQualityRow:
+    """Run the three selectors on one ``(m, z)`` cell (process-safe)."""
+    m, z, group_size, top_k, seed = spec
+    candidates = synthetic_candidates(
+        num_candidates=m, group_size=group_size, top_k=top_k, seed=seed
+    )
+    return ValueQualityRow(
+        m=m,
+        z=z,
+        greedy_value=FairnessAwareGreedy().select(candidates, z).value,
+        swap_value=SwapRefinementSelector().select(candidates, z).value,
+        brute_force_value=BruteForceSelector().select(candidates, z).value,
+    )
+
+
 def run_value_quality(
     m_values: Sequence[int] = (10, 15, 20),
     z_values: Sequence[int] = (4, 6, 8),
     group_size: int = 4,
     top_k: int = 10,
     seed: int = 7,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> list[ValueQualityRow]:
-    """Compare the value achieved by greedy, swap and brute force."""
-    greedy = FairnessAwareGreedy()
-    swap = SwapRefinementSelector()
-    brute = BruteForceSelector()
-    rows: list[ValueQualityRow] = []
-    for m in m_values:
-        candidates = synthetic_candidates(
-            num_candidates=m, group_size=group_size, top_k=top_k, seed=seed
-        )
-        for z in z_values:
-            if z > m:
-                continue
-            greedy_result = greedy.select(candidates, z)
-            swap_result = swap.select(candidates, z)
-            brute_result = brute.select(candidates, z)
-            rows.append(
-                ValueQualityRow(
-                    m=m,
-                    z=z,
-                    greedy_value=greedy_result.value,
-                    swap_value=swap_result.value,
-                    brute_force_value=brute_result.value,
-                )
-            )
-    return rows
+    """Compare the value achieved by greedy, swap and brute force.
+
+    The grid cells run through ``backend``; the resulting rows are
+    bit-identical for every backend (the selectors are deterministic).
+    """
+    specs = [
+        (m, z, group_size, top_k, seed)
+        for m in m_values
+        for z in z_values
+        if z <= m
+    ]
+    with backend_scope(backend) as resolved:
+        return resolved.map_items(_value_quality_cell, specs)
 
 
 __all__ = [

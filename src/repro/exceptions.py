@@ -83,3 +83,21 @@ class OntologyStructureError(ReproError, ValueError):
 
 class MapReduceError(ReproError, RuntimeError):
     """Raised when a MapReduce job is misconfigured or fails."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Raised when an execution backend cannot run a task.
+
+    The most common cause is handing the process backend a task that
+    cannot be pickled (a closure, a lambda, or state holding a lock);
+    the error message names the offending callable.
+    """
+
+
+class SnapshotError(SerializationError):
+    """Raised when an index snapshot cannot be loaded.
+
+    Covers unreadable or malformed snapshot files as well as snapshots
+    whose config/dataset fingerprint no longer matches the service that
+    is trying to restore them.
+    """

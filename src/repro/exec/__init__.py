@@ -1,0 +1,34 @@
+"""repro.exec — the execution substrate shared by every compute layer.
+
+One abstraction (:class:`~repro.exec.backends.ExecutionBackend`) with
+three implementations — serial, thread, process — used by the MapReduce
+engine, the similarity batch builds, the neighbour index, the serving
+batch API and the evaluation grids.  All backends produce bit-identical
+results; they differ only in wall-clock.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_scope,
+    chunk_evenly,
+    default_workers,
+    get_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "backend_scope",
+    "chunk_evenly",
+    "default_workers",
+    "get_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,327 @@
+"""Pluggable execution backends (serial / thread / process).
+
+The paper frames the recommender as three MapReduce jobs precisely
+because peer-set and relevance computation dominate at scale — yet the
+engine, the similarity batch builds, the serving fan-out and the eval
+grids each hand-rolled their own (mostly serial) execution.  This
+module is the single substrate they all share:
+
+* :class:`SerialBackend` — a plain loop; the reference semantics.
+* :class:`ThreadBackend` — a persistent thread pool; parallelises
+  workloads that release the GIL or block, and batch request fan-out.
+* :class:`ProcessBackend` — a process pool created per call, for the
+  CPU-bound workloads (Pearson over co-rated items) where threads are
+  GIL-bound.  Task functions and arguments must be picklable; per-call
+  pools mean workers always observe the parent's *current* state, so an
+  in-place data update can never leave a pool serving stale data.
+
+Every backend maps a function over items **in input order** and returns
+a list — results are bit-identical across backends by construction,
+which is what lets the compute layers treat the backend as a pure
+performance knob.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+
+from ..exceptions import ConfigurationError, ExecutionError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Backend names accepted by :func:`get_backend` (and the CLI/config).
+BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process")
+
+
+def default_workers() -> int:
+    """Number of workers to use when none is configured.
+
+    Prefers the scheduler affinity mask (honours container CPU limits)
+    over the raw core count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def chunk_evenly(items: Sequence[T], num_chunks: int) -> list[list[T]]:
+    """Split ``items`` into at most ``num_chunks`` contiguous chunks.
+
+    Chunk sizes differ by at most one and concatenating the chunks
+    reproduces ``items`` exactly — chunked execution therefore cannot
+    change result ordering.  Empty chunks are never returned.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    items = list(items)
+    if not items:
+        return []
+    num_chunks = min(num_chunks, len(items))
+    base, extra = divmod(len(items), num_chunks)
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(num_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+class ExecutionBackend(ABC):
+    """Maps functions over items with deterministic result ordering.
+
+    Parameters
+    ----------
+    workers:
+        Degree of parallelism; ``None`` selects :func:`default_workers`.
+        The serial backend ignores it.
+    """
+
+    #: Human-readable backend name (also the CLI/config spelling).
+    name: str = "backend"
+
+    #: Whether task functions and their arguments cross a process
+    #: boundary and therefore must be picklable.  Call sites use this to
+    #: select a module-level task spec instead of a closure.
+    requires_pickling: bool = False
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be >= 1 or None")
+        self.workers = workers or default_workers()
+
+    @abstractmethod
+    def map_items(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> list[R]:
+        """``[fn(item) for item in items]`` — possibly in parallel.
+
+        Results are returned in input order regardless of completion
+        order.  ``initializer``/``initargs`` set up per-worker state
+        (the process backend runs it once in every worker; the in-process
+        backends run it once before mapping, so the same task function
+        works everywhere).
+        """
+
+    def map_partitions(
+        self,
+        fn: Callable[[T], R],
+        partitions: Sequence[T],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> list[R]:
+        """Apply ``fn`` to whole partitions, one task per partition."""
+        return self.map_items(
+            fn, partitions, initializer=initializer, initargs=initargs
+        )
+
+    def close(self) -> None:
+        """Release any pooled workers (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """The reference backend: a plain, in-order loop."""
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers=1 if workers is None else workers)
+
+    def map_items(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> list[R]:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """A persistent thread pool (created lazily, reused across calls).
+
+    Right for I/O-bound or lock-releasing tasks and for fan-out whose
+    per-task state lives in the parent process (no pickling).  The
+    CPU-bound inner loops of this library are GIL-bound under threads —
+    use :class:`ProcessBackend` for those.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def map_items(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> list[R]:
+        if initializer is not None:
+            initializer(*initargs)
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(ExecutionBackend):
+    """A process pool created per ``map_items`` call.
+
+    Task functions must be defined at module level and every argument
+    and result must be picklable — hand it a *chunked task spec*
+    (module-level function + plain-data chunks, per-worker state shipped
+    once through ``initializer``/``initargs``), not a closure.
+
+    A fresh pool per call costs a few milliseconds of fork overhead and
+    buys a crucial property: workers always see the parent's state *at
+    call time*, so an ``ingest_rating`` between two batches can never be
+    served stale from a long-lived worker.
+    """
+
+    name = "process"
+    requires_pickling = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        methods = multiprocessing.get_all_start_methods()
+        # fork is substantially cheaper than spawn and inherits the
+        # parent's imports; fall back to the platform default elsewhere.
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def map_items(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        self._check_picklable(fn)
+        workers = min(self.workers, len(items))
+        chunksize = max(1, len(items) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self._context,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+    @staticmethod
+    def _check_picklable(fn: Callable[..., Any]) -> None:
+        """Fail fast, with a useful message, before forking workers.
+
+        Only the task function is checked: module-level functions pickle
+        by reference (cheap), while closures/lambdas fail here with a
+        readable error instead of a cryptic pool crash.  Initializer
+        arguments are deliberately not pre-pickled — under the fork
+        start method they are inherited, never serialised, and eagerly
+        dumping a large dataset per call would double the dispatch cost.
+        """
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise ExecutionError(
+                f"process backend requires picklable tasks; cannot pickle "
+                f"{fn!r}: {exc}. Use a module-level function and plain-data "
+                f"arguments (see repro.exec)."
+            ) from exc
+
+
+def get_backend(
+    name: str | None, workers: int | None = None
+) -> ExecutionBackend:
+    """Instantiate a backend by name (``None`` means serial)."""
+    if name is None:
+        name = "serial"
+    if name == "serial":
+        return SerialBackend(workers)
+    if name == "thread":
+        return ThreadBackend(workers)
+    if name == "process":
+        return ProcessBackend(workers)
+    raise ConfigurationError(
+        f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | str | None", workers: int | None = None
+) -> ExecutionBackend:
+    """Coerce a backend spec (instance, name or ``None``) to an instance.
+
+    ``None`` resolves to the serial backend, keeping every refactored
+    call site backward compatible by default.
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    return get_backend(backend, workers)
+
+
+@contextmanager
+def backend_scope(
+    backend: "ExecutionBackend | str | None", workers: int | None = None
+) -> "Iterator[ExecutionBackend]":
+    """Resolve a backend spec, closing it on exit if this scope made it.
+
+    A caller-provided instance is passed through untouched (its owner
+    closes it); a name or ``None`` is instantiated here and its pooled
+    workers are released when the block ends — per-call fan-out sites
+    use this so a ``backend="thread"`` sweep cannot leak idle threads.
+    """
+    owned = not isinstance(backend, ExecutionBackend)
+    resolved = resolve_backend(backend, workers)
+    try:
+        yield resolved
+    finally:
+        if owned:
+            resolved.close()

@@ -21,13 +21,26 @@ pseudo-code describes:
 Jobs can be chained (the output pair list of one job is the input of the
 next) and the engine records counters comparable to Hadoop's job
 counters, which the tests use to assert the data flow.
+
+Every phase executes through an :class:`~repro.exec.ExecutionBackend`:
+the map phase over contiguous input chunks, the combine and reduce
+phases over whole partitions.  Partitions therefore buy real
+parallelism under the thread/process backends instead of merely
+simulating a cluster — and because chunks and partitions are processed
+in a fixed order, the output (pairs *and* counters) is bit-identical
+across backends.  The process backend additionally requires the job's
+mapper/combiner/reducer to be picklable (module-level functions, not
+closures).
 """
 
 from __future__ import annotations
 
+import functools
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from ..exec import ExecutionBackend, chunk_evenly, resolve_backend
 from ..exceptions import MapReduceError
 
 #: A key/value record flowing through the engine.
@@ -122,9 +135,11 @@ class MapReduceJob:
             return index
         # ``hash`` of strings is randomised per interpreter run; use a
         # deterministic textual hash instead so repeated runs shuffle
-        # identically.
+        # identically.  CRC32 (not a character sum, which collides on
+        # every anagram and skews small partition counts) spreads keys
+        # evenly.
         text = _sort_key(key)
-        return sum(ord(ch) for ch in text) % self.num_partitions
+        return zlib.crc32(text.encode("utf-8")) % self.num_partitions
 
 
 @dataclass
@@ -136,47 +151,152 @@ class JobResult:
     counters: JobCounters = field(default_factory=JobCounters)
 
 
-class MapReduceEngine:
-    """Executes :class:`MapReduceJob` definitions over in-memory pairs."""
+# -- phase tasks ---------------------------------------------------------------
+#
+# Module-level so the process backend can pickle them; each takes only
+# plain data plus the job's user functions (which must themselves be
+# picklable for the process backend).
 
-    def __init__(self) -> None:
+
+def _map_chunk(
+    mapper: Mapper, job_name: str, chunk: Sequence[Pair]
+) -> list[Pair]:
+    """Run the map function over one contiguous chunk of input pairs."""
+    mapped: list[Pair] = []
+    for key, value in chunk:
+        try:
+            mapped.extend(mapper(key, value))
+        except Exception as exc:  # surface the failing record
+            raise MapReduceError(
+                f"job {job_name!r}: mapper failed on key {key!r}: {exc}"
+            ) from exc
+    return mapped
+
+
+def _combine_partition(
+    combiner: Combiner,
+    job_name: str,
+    partition: Sequence[tuple[Any, list[Any]]],
+) -> tuple[list[tuple[Any, list[Any]]], int, int]:
+    """Combine every key group of one partition.
+
+    Returns ``(combined groups, input records, output records)``.
+    """
+    combined_groups: list[tuple[Any, list[Any]]] = []
+    in_records = 0
+    out_records = 0
+    for key, values in partition:
+        in_records += len(values)
+        try:
+            combined_values = sorted(combiner(key, values), key=_sort_key)
+        except Exception as exc:
+            raise MapReduceError(
+                f"job {job_name!r}: combiner failed on key {key!r}: {exc}"
+            ) from exc
+        out_records += len(combined_values)
+        combined_groups.append((key, list(combined_values)))
+    return combined_groups, in_records, out_records
+
+
+def _reduce_partition(
+    reducer: Reducer,
+    job_name: str,
+    partition: Sequence[tuple[Any, list[Any]]],
+) -> tuple[list[Pair], int, int, int]:
+    """Reduce every key group of one partition.
+
+    Returns ``(output pairs, input groups, input records, output records)``.
+    """
+    output: list[Pair] = []
+    groups = 0
+    in_records = 0
+    out_records = 0
+    for key, values in partition:
+        groups += 1
+        in_records += len(values)
+        try:
+            reduced = list(reducer(key, values))
+        except Exception as exc:
+            raise MapReduceError(
+                f"job {job_name!r}: reducer failed on key {key!r}: {exc}"
+            ) from exc
+        out_records += len(reduced)
+        output.extend(reduced)
+    return output, groups, in_records, out_records
+
+
+class MapReduceEngine:
+    """Executes :class:`MapReduceJob` definitions over in-memory pairs.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend (instance, name or ``None`` for serial) the
+        map/combine/reduce phases run on.  The result is bit-identical
+        for every backend; the process backend requires picklable job
+        functions.
+    """
+
+    def __init__(self, backend: ExecutionBackend | str | None = None) -> None:
+        # A backend named by string is instantiated (and therefore
+        # owned) here; close() releases its pooled workers.  A caller-
+        # provided instance stays the caller's to close.
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(backend)
         self.history: list[JobResult] = []
+
+    def close(self) -> None:
+        """Release the engine's backend workers (if the engine owns them)."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- single job ------------------------------------------------------------
 
     def run(self, job: MapReduceJob, input_pairs: Iterable[Pair]) -> JobResult:
         """Run one job over ``input_pairs`` and return its result."""
         counters = JobCounters()
+        pairs = list(input_pairs)
+        counters.map_input_records = len(pairs)
+        # One task per worker-sized chunk; concatenating chunk outputs
+        # in order reproduces the record-by-record serial ordering.
+        chunks = chunk_evenly(pairs, max(1, self.backend.workers * 4))
+        mapped_chunks = self.backend.map_items(
+            functools.partial(_map_chunk, job.mapper, job.name), chunks
+        )
         intermediate: list[Pair] = []
-        for key, value in input_pairs:
-            counters.map_input_records += 1
-            try:
-                mapped = list(job.mapper(key, value))
-            except Exception as exc:  # surface the failing record
-                raise MapReduceError(
-                    f"job {job.name!r}: mapper failed on key {key!r}: {exc}"
-                ) from exc
+        for mapped in mapped_chunks:
             counters.map_output_records += len(mapped)
             intermediate.extend(mapped)
 
         partitions = self._shuffle(job, intermediate)
 
         if job.combiner is not None:
-            partitions = self._combine(job, partitions, counters)
+            combined = self.backend.map_partitions(
+                functools.partial(_combine_partition, job.combiner, job.name),
+                partitions,
+            )
+            partitions = []
+            for groups, in_records, out_records in combined:
+                counters.combine_input_records += in_records
+                counters.combine_output_records += out_records
+                partitions.append(groups)
 
+        reduced_partitions = self.backend.map_partitions(
+            functools.partial(_reduce_partition, job.reducer, job.name),
+            partitions,
+        )
         output: list[Pair] = []
-        for partition in partitions:
-            for key, values in partition:
-                counters.reduce_input_groups += 1
-                counters.reduce_input_records += len(values)
-                try:
-                    reduced = list(job.reducer(key, values))
-                except Exception as exc:
-                    raise MapReduceError(
-                        f"job {job.name!r}: reducer failed on key {key!r}: {exc}"
-                    ) from exc
-                counters.reduce_output_records += len(reduced)
-                output.extend(reduced)
+        for pairs_out, groups, in_records, out_records in reduced_partitions:
+            counters.reduce_input_groups += groups
+            counters.reduce_input_records += in_records
+            counters.reduce_output_records += out_records
+            output.extend(pairs_out)
 
         result = JobResult(job_name=job.name, output=output, counters=counters)
         self.history.append(result)
@@ -215,29 +335,3 @@ class MapReduceEngine:
             groups.sort(key=lambda pair: _sort_key(pair[0]))
             partitions.append(groups)
         return partitions
-
-    def _combine(
-        self,
-        job: MapReduceJob,
-        partitions: list[list[tuple[Any, list[Any]]]],
-        counters: JobCounters,
-    ) -> list[list[tuple[Any, list[Any]]]]:
-        """Apply the combiner to every key group of every partition."""
-        assert job.combiner is not None
-        combined_partitions: list[list[tuple[Any, list[Any]]]] = []
-        for partition in partitions:
-            combined_groups: list[tuple[Any, list[Any]]] = []
-            for key, values in partition:
-                counters.combine_input_records += len(values)
-                try:
-                    combined_values = sorted(
-                        job.combiner(key, values), key=_sort_key
-                    )
-                except Exception as exc:
-                    raise MapReduceError(
-                        f"job {job.name!r}: combiner failed on key {key!r}: {exc}"
-                    ) from exc
-                counters.combine_output_records += len(combined_values)
-                combined_groups.append((key, list(combined_values)))
-            combined_partitions.append(combined_groups)
-        return combined_partitions

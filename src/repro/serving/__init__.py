@@ -30,6 +30,12 @@ from .requests import (
     synthetic_workload,
 )
 from .service import RecommendationService
+from .sharding import ShardedNeighborIndex, shard_of
+from .snapshot import (
+    load_index_snapshot,
+    save_index_snapshot,
+    snapshot_fingerprint,
+)
 
 __all__ = [
     "CacheStats",
@@ -37,9 +43,14 @@ __all__ = [
     "NeighborIndex",
     "RecommendationService",
     "ServeRequest",
+    "ShardedNeighborIndex",
     "iter_requests",
+    "load_index_snapshot",
     "load_requests",
     "parse_request",
+    "save_index_snapshot",
     "save_requests",
+    "shard_of",
+    "snapshot_fingerprint",
     "synthetic_workload",
 ]

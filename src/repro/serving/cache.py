@@ -257,6 +257,15 @@ class CachedSimilarity(UserSimilarity):
     def profile_corpus_sensitive(self) -> bool:  # type: ignore[override]
         return self.inner.profile_corpus_sensitive
 
+    def picklable_measure(self) -> UserSimilarity:
+        """Ship the wrapped measure — the cache (and its lock) stay home.
+
+        Worker processes recompute instead of reading this cache; the
+        scores are bit-identical either way, which is the cache's own
+        contract.
+        """
+        return self.inner.picklable_measure()
+
     def invalidate_user(self, user_id: str) -> None:
         """Drop every cached pair involving ``user_id`` and inner state."""
         self.cache.invalidate_where(lambda key: user_id in key)

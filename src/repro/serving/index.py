@@ -25,11 +25,33 @@ place with the new score of that single pair.
 from __future__ import annotations
 
 import threading
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from ..data.ratings import RatingMatrix
+from ..exec import ExecutionBackend, chunk_evenly, resolve_backend
 from ..similarity.base import UserSimilarity
 from ..similarity.peers import Peer
+
+#: Per-process worker state for process-backend builds: each worker
+#: holds its own index over the shipped (fork-inherited) matrix and
+#: measure, and returns already-thresholded peer rows — raw O(n²)
+#: score tables never cross back to the parent.
+_BUILD_WORKER: "NeighborIndex | None" = None
+
+
+def _init_build_worker(
+    matrix: RatingMatrix, similarity: UserSimilarity, threshold: float
+) -> None:
+    global _BUILD_WORKER
+    _BUILD_WORKER = NeighborIndex(matrix, similarity, threshold)
+
+
+def _build_rows_task(user_chunk: list[str]) -> list[tuple[str, list["Peer"]]]:
+    assert _BUILD_WORKER is not None
+    return [
+        (user_id, _BUILD_WORKER._compute_row(user_id)[0])
+        for user_id in user_chunk
+    ]
 
 
 class NeighborIndex:
@@ -62,16 +84,20 @@ class NeighborIndex:
 
     # -- construction --------------------------------------------------------
 
-    def _compute_row(self, user_id: str) -> tuple[list[Peer], dict[str, float]]:
-        candidates = [uid for uid in self.matrix.user_ids() if uid != user_id]
-        scores = self.similarity.similarities(user_id, candidates)
+    def _row_from_scores(self, scores: Mapping[str, float]) -> list[Peer]:
+        """Threshold-filter and sort a score row into a peer row."""
         row = [
             Peer(user_id=candidate, similarity=score)
             for candidate, score in scores.items()
             if score >= self.threshold
         ]
         row.sort(key=lambda peer: (-peer.similarity, peer.user_id))
-        return row, scores
+        return row
+
+    def _compute_row(self, user_id: str) -> tuple[list[Peer], dict[str, float]]:
+        candidates = [uid for uid in self.matrix.user_ids() if uid != user_id]
+        scores = self.similarity.similarities(user_id, candidates)
+        return self._row_from_scores(scores), scores
 
     def _store_row(self, user_id: str, row: list[Peer]) -> None:
         old = self._rows.get(user_id)
@@ -82,22 +108,59 @@ class NeighborIndex:
         for peer in row:
             self._reverse.setdefault(peer.user_id, set()).add(user_id)
 
-    def build(self, user_ids: Iterable[str] | None = None) -> int:
+    def build(
+        self,
+        user_ids: Iterable[str] | None = None,
+        backend: "ExecutionBackend | str | None" = None,
+    ) -> int:
         """Eagerly index ``user_ids`` (default: every user of the matrix).
 
         Returns the number of rows built.  Already-indexed users are
-        skipped, so repeated calls are cheap.
+        skipped, so repeated calls are cheap.  The missing rows fan out
+        per user through ``backend``; each task thresholds its own row,
+        so only peer rows (not O(users²) raw score tables) are ever
+        held at once.  The rows are bit-identical for every backend,
+        serial included.
         """
         targets = list(user_ids) if user_ids is not None else self.matrix.user_ids()
+        with self._lock:
+            seen: set[str] = set()
+            missing = [
+                uid
+                for uid in targets
+                if uid not in self._rows and not (uid in seen or seen.add(uid))
+            ]
+        if not missing:
+            return 0
+        backend = resolve_backend(backend)
+        if backend.requires_pickling:
+            chunks = chunk_evenly(missing, max(1, backend.workers * 4))
+            row_chunks = backend.map_items(
+                _build_rows_task,
+                chunks,
+                initializer=_init_build_worker,
+                initargs=(
+                    self.matrix,
+                    self.similarity.picklable_measure(),
+                    self.threshold,
+                ),
+            )
+            computed = [pair for chunk in row_chunks for pair in chunk]
+        else:
+            rows = backend.map_items(self._computed_row, missing)
+            computed = list(zip(missing, rows))
         built = 0
-        for user_id in targets:
-            with self._lock:
+        with self._lock:
+            for user_id, row in computed:
                 if user_id in self._rows:
                     continue
-                row, _ = self._compute_row(user_id)
                 self._store_row(user_id, row)
                 built += 1
         return built
+
+    def _computed_row(self, user_id: str) -> list[Peer]:
+        """:meth:`_compute_row` without the raw score table (map task)."""
+        return self._compute_row(user_id)[0]
 
     # -- queries -------------------------------------------------------------
 
@@ -163,9 +226,33 @@ class NeighborIndex:
         relevance rows the service must drop.
         """
         with self._lock:
+            self.rebuild_row(user_id)
+            return {user_id} | self.patch_neighbor(user_id)
+
+    def rebuild_row(self, user_id: str) -> list[Peer]:
+        """Recompute and store one user's row from current data.
+
+        Compute and store happen under the index lock, so a concurrent
+        lazy :meth:`row` build cannot interleave and resurrect a stale
+        row.  Returns the new row.
+        """
+        with self._lock:
             row, _ = self._compute_row(user_id)
-            changed = {user_id}
             self._store_row(user_id, row)
+            return row
+
+    def patch_neighbor(self, user_id: str) -> set[str]:
+        """Re-evaluate ``user_id``'s entry in every *other* built row.
+
+        After ``simU(·, user_id)`` changed, each built row needs only
+        its single entry for ``user_id`` moved, added or removed.
+        Returns the owners of the rows that changed.  (Rebuilding
+        ``user_id``'s own row is the caller's job — a sharded index
+        calls this on every shard but rebuilds the row once, in the
+        home shard.)
+        """
+        with self._lock:
+            changed: set[str] = set()
             for other, other_row in self._rows.items():
                 if other == user_id:
                     continue
@@ -206,3 +293,23 @@ class NeighborIndex:
         with self._lock:
             self._rows.clear()
             self._reverse.clear()
+
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot_rows(self) -> dict[str, list[Peer]]:
+        """A copy of every built row (for snapshot persistence)."""
+        with self._lock:
+            return {uid: list(row) for uid, row in self._rows.items()}
+
+    def load_rows(self, rows: Mapping[str, Iterable[Peer]]) -> int:
+        """Replace the indexed rows with ``rows`` (snapshot restore).
+
+        The reverse index is rebuilt from the loaded rows.  Returns the
+        number of rows loaded.
+        """
+        with self._lock:
+            self._rows.clear()
+            self._reverse.clear()
+            for user_id, row in rows.items():
+                self._store_row(user_id, list(row))
+            return len(self._rows)

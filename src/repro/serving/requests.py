@@ -68,6 +68,22 @@ class ServeRequest:
         return payload
 
 
+def _optional_positive(payload: Mapping[str, Any], name: str) -> int | None:
+    """Read an optional positive-int field (``z``/``k``) or fail the line.
+
+    The serve loop resolves ``None`` to the config default; a present
+    but non-positive value would otherwise only explode deep inside the
+    service, killing the whole replay mid-stream.
+    """
+    value = payload.get(name)
+    if value is None:
+        return None
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name!r} must be a positive integer, got {value}")
+    return value
+
+
 def parse_request(payload: Mapping[str, Any]) -> ServeRequest:
     """Build a :class:`ServeRequest` from one decoded JSONL object."""
     kind = payload.get("type")
@@ -82,13 +98,17 @@ def parse_request(payload: Mapping[str, Any]) -> ServeRequest:
         return ServeRequest(
             kind="group",
             members=tuple(str(member) for member in members),
-            z=payload.get("z"),
+            z=_optional_positive(payload, "z"),
         )
     if kind == "user":
         user_id = payload.get("user_id")
         if not user_id:
             raise ValueError("user request needs a 'user_id'")
-        return ServeRequest(kind="user", user_id=str(user_id), k=payload.get("k"))
+        return ServeRequest(
+            kind="user",
+            user_id=str(user_id),
+            k=_optional_positive(payload, "k"),
+        )
     user_id = payload.get("user_id")
     item_id = payload.get("item_id")
     value = payload.get("value")

@@ -31,11 +31,11 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from ..config import DEFAULT_CONFIG, RecommenderConfig
+from ..config import DEFAULT_CONFIG, RecommenderConfig, resolve_positive
 from ..core.candidates import GroupCandidates
 from ..core.pipeline import (
     CaregiverRecommendation,
@@ -47,10 +47,23 @@ from ..core.relevance import ScoredItem, predict_table, rank_items
 from ..data.datasets import HealthDataset
 from ..data.groups import Group
 from ..data.users import User
+from ..exec import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    resolve_backend,
+)
 from ..similarity.base import UserSimilarity
 from ..similarity.peers import peers_as_mapping
 from .cache import CachedSimilarity, ScoreCache
 from .index import NeighborIndex
+from .sharding import ShardedNeighborIndex
+from .snapshot import (
+    load_index_snapshot,
+    save_index_snapshot,
+    snapshot_fingerprint,
+)
 
 
 class _ReadWriteLock:
@@ -94,6 +107,36 @@ class _ReadWriteLock:
                 self._condition.notify_all()
 
 
+# -- process-backend worker state ------------------------------------------
+#
+# ``recommend_many`` under the process backend builds one service per
+# worker (shipped the dataset/config once via the backend initializer)
+# and answers group requests from it.  The warm/cold bit-identity
+# invariant makes the worker's answers equal to the parent's.
+
+_SERVE_WORKER: "RecommendationService | None" = None
+
+
+def _init_serve_worker(
+    dataset: HealthDataset,
+    config: RecommenderConfig,
+    selector: str,
+    similarity: UserSimilarity,
+) -> None:
+    global _SERVE_WORKER
+    _SERVE_WORKER = RecommendationService(
+        dataset, config, selector=selector, similarity=similarity
+    )
+
+
+def _serve_group_task(
+    spec: tuple[Group, int],
+) -> CaregiverRecommendation:
+    group, z = spec
+    assert _SERVE_WORKER is not None
+    return _SERVE_WORKER.recommend_group(group, z=z)
+
+
 class RecommendationService:
     """Cached, index-backed façade over the caregiver pipeline.
 
@@ -103,13 +146,18 @@ class RecommendationService:
         The data bundle served by this instance.
     config:
         Recommendation parameters; also supplies the cache sizes
-        (``similarity_cache_size``, ``relevance_cache_size``) and the
-        default batch thread-pool width (``serve_workers``).
+        (``similarity_cache_size``, ``relevance_cache_size``), the
+        default batch width (``serve_workers``), the execution backend
+        (``exec_backend``/``exec_workers``) and the index sharding
+        (``index_shards``).
     selector:
         Fairness-aware selection algorithm name (as in the pipeline).
     similarity:
         Optional pre-built similarity measure; defaults to the one the
         config selects.
+    backend:
+        Execution backend (instance or name) for index builds and batch
+        requests; defaults to the config's ``exec_backend``.
     """
 
     def __init__(
@@ -118,22 +166,43 @@ class RecommendationService:
         config: RecommenderConfig = DEFAULT_CONFIG,
         selector: str = "greedy",
         similarity: UserSimilarity | None = None,
+        backend: ExecutionBackend | str | None = None,
     ) -> None:
         self.dataset = dataset
         self.config = config
         self.matrix = dataset.ratings
+        # A backend instance stays the caller's to close; one the
+        # service instantiates from a name/config is owned (see close()).
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        if isinstance(backend, ExecutionBackend):
+            self.backend = backend
+        else:
+            self.backend = get_backend(
+                backend or config.exec_backend, config.exec_workers or None
+            )
         base = similarity or build_similarity(dataset, config)
         self.similarity_cache = ScoreCache(
             config.similarity_cache_size, name="similarity"
         )
         self.similarity = CachedSimilarity(base, self.similarity_cache)
-        self.index = NeighborIndex(
-            self.matrix, self.similarity, threshold=config.peer_threshold
-        )
+        if config.index_shards > 1:
+            self.index: NeighborIndex | ShardedNeighborIndex = (
+                ShardedNeighborIndex(
+                    self.matrix,
+                    self.similarity,
+                    threshold=config.peer_threshold,
+                    num_shards=config.index_shards,
+                )
+            )
+        else:
+            self.index = NeighborIndex(
+                self.matrix, self.similarity, threshold=config.peer_threshold
+            )
         self.relevance_cache = ScoreCache(
             config.relevance_cache_size, name="relevance"
         )
         self.group_cache = ScoreCache(config.group_cache_size, name="group")
+        self.selector_name = selector
         self.selector = build_selector(selector)
         self.aggregation = get_aggregation(config.aggregation)
         self._data_lock = _ReadWriteLock()
@@ -147,12 +216,64 @@ class RecommendationService:
         }
         self._elapsed_ms: dict[str, float] = {"group": 0.0, "user": 0.0}
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the service's backend workers (if the service owns them)."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     # -- warm-up -------------------------------------------------------------
 
-    def warm(self, user_ids: Iterable[str] | None = None) -> int:
-        """Precompute peer rows (and nothing else); returns rows built."""
+    def warm(
+        self,
+        user_ids: Iterable[str] | None = None,
+        backend: ExecutionBackend | str | None = None,
+    ) -> int:
+        """Precompute peer rows (and nothing else); returns rows built.
+
+        The per-user row builds fan out on ``backend`` (default: the
+        service backend) — rows are bit-identical for every backend.
+        """
         with self._data_lock.read():
-            return self.index.build(user_ids)
+            return self.index.build(
+                user_ids, backend=backend if backend is not None else self.backend
+            )
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot_fingerprint(self) -> str:
+        """Fingerprint binding snapshots to this config/dataset pair."""
+        return snapshot_fingerprint(self.config, self.dataset)
+
+    def save_snapshot(self, path: str | Path) -> Path:
+        """Persist the warm neighbour-index rows to ``path`` (JSON)."""
+        with self._data_lock.read():
+            rows = self.index.snapshot_rows()
+            return save_index_snapshot(
+                rows,
+                path,
+                self.snapshot_fingerprint(),
+                num_shards=getattr(self.index, "num_shards", 1),
+            )
+
+    def load_snapshot(self, path: str | Path) -> int:
+        """Restore the neighbour index from a snapshot; returns rows loaded.
+
+        Raises :class:`~repro.exceptions.SnapshotError` when the
+        snapshot's fingerprint does not match this service's config
+        semantics and dataset shape — serving from a stale index would
+        silently change recommendations.
+        """
+        rows = load_index_snapshot(path, self.snapshot_fingerprint())
+        with self._data_lock.write():
+            return self.index.load_rows(rows)
 
     # -- relevance rows ------------------------------------------------------
 
@@ -207,8 +328,12 @@ class RecommendationService:
     # -- single-user requests ------------------------------------------------
 
     def recommend_user(self, user_id: str, k: int | None = None) -> list[ScoredItem]:
-        """Top-``k`` single-user recommendation (Section III.A), warm."""
-        k = k or self.config.top_k
+        """Top-``k`` single-user recommendation (Section III.A), warm.
+
+        ``k`` defaults to ``config.top_k``; an explicit non-positive
+        ``k`` raises :class:`~repro.exceptions.ConfigurationError`.
+        """
+        k = resolve_positive(k, self.config.top_k, "k")
         started = time.perf_counter()
         with self._data_lock.read():
             row = self._relevance_row(user_id)
@@ -228,8 +353,10 @@ class RecommendationService:
         Finished recommendations are cached per ``(members, z)`` —
         repeated dashboard refreshes are answered without recomputing —
         and invalidated as soon as an update touches any member.
+        ``z`` defaults to ``config.top_z``; an explicit non-positive
+        ``z`` raises :class:`~repro.exceptions.ConfigurationError`.
         """
-        z = z or self.config.top_z
+        z = resolve_positive(z, self.config.top_z, "z")
         started = time.perf_counter()
         cache_key = (tuple(group.member_ids), z)
         group_epoch = self.group_cache.epoch
@@ -272,38 +399,128 @@ class RecommendationService:
         groups: Sequence[Group],
         z: int | None = None,
         workers: int | None = None,
+        backend: ExecutionBackend | str | None = None,
     ) -> list[CaregiverRecommendation]:
         """Answer a batch of group requests, in input order.
 
         Identical groups in the batch are computed once; overlapping
         groups share peer rows and relevance rows through the caches.
-        ``workers > 1`` fans the distinct groups out on a thread pool:
-        the caches and the index are lock-protected, requests run as
-        parallel readers, and a concurrent :meth:`ingest_rating` /
-        :meth:`update_profile` waits for in-flight requests to drain
-        before mutating (results computed while an update slips in
-        between requests are simply not cached — see
-        :attr:`ScoreCache.epoch`).
+        The distinct groups fan out on an execution backend — explicit
+        ``backend`` argument first, then the service backend, then (for
+        backward compatibility) a thread pool when ``workers > 1``:
+
+        * **thread** — requests run as parallel readers against the
+          shared caches and index; a concurrent :meth:`ingest_rating` /
+          :meth:`update_profile` waits for in-flight requests to drain
+          (results computed while an update slips in between requests
+          are simply not cached — see :attr:`ScoreCache.epoch`);
+        * **process** — each worker process receives the dataset and
+          config once and computes groups CPU-parallel; results are
+          bit-identical (the warm/cold invariant) and are folded back
+          into this service's group cache.
         """
-        workers = workers or self.config.serve_workers
+        z_value = resolve_positive(z, self.config.top_z, "z")
         with self._counter_lock:
             self._counters["batch_requests"] += 1
         distinct: dict[tuple[str, ...], Group] = {}
         for group in groups:
             distinct.setdefault(tuple(group.member_ids), group)
-        if workers > 1 and len(distinct) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    key: pool.submit(self.recommend_group, group, z)
+        resolved, owned = self._batch_backend(workers, backend)
+        try:
+            if len(distinct) <= 1 or resolved.name == "serial":
+                results = {
+                    key: self.recommend_group(group, z_value)
                     for key, group in distinct.items()
                 }
-                results = {key: future.result() for key, future in futures.items()}
-        else:
-            results = {
-                key: self.recommend_group(group, z)
-                for key, group in distinct.items()
-            }
+            elif resolved.requires_pickling:
+                results = self._recommend_many_process(
+                    distinct, z_value, resolved
+                )
+            else:
+                recommendations = resolved.map_items(
+                    lambda group: self.recommend_group(group, z_value),
+                    list(distinct.values()),
+                )
+                results = dict(zip(distinct.keys(), recommendations))
+        finally:
+            if owned:
+                resolved.close()
         return [results[tuple(group.member_ids)] for group in groups]
+
+    def _batch_backend(
+        self,
+        workers: int | None,
+        backend: ExecutionBackend | str | None,
+    ) -> tuple[ExecutionBackend, bool]:
+        """Pick the batch backend; ``owned`` means close it afterwards."""
+        if backend is not None:
+            if isinstance(backend, ExecutionBackend):
+                return backend, False
+            return resolve_backend(backend, workers), True
+        if self.backend.name != "serial":
+            if workers is not None and workers != self.backend.workers:
+                # An explicit per-call width wins over the service
+                # default — spin up a same-kind backend for this batch.
+                return resolve_backend(self.backend.name, workers), True
+            return self.backend, False
+        workers = workers or self.config.serve_workers
+        if workers > 1:
+            return ThreadBackend(workers), True
+        return SerialBackend(), False
+
+    def _recommend_many_process(
+        self,
+        distinct: dict[tuple[str, ...], Group],
+        z: int,
+        backend: ExecutionBackend,
+    ) -> dict[tuple[str, ...], CaregiverRecommendation]:
+        """Fan distinct groups out to worker processes.
+
+        Cached results are answered locally; only the misses cross the
+        process boundary.  The read lock is held for the whole dispatch
+        so the pickled dataset cannot change mid-batch.
+        """
+        results: dict[tuple[str, ...], CaregiverRecommendation] = {}
+        missing: dict[tuple[str, ...], Group] = {}
+        for key, group in distinct.items():
+            cached = self.group_cache.get((key, z))
+            if cached is not None:
+                with self._counter_lock:
+                    self._counters["group_requests"] += 1
+                results[key] = cached
+            else:
+                missing[key] = group
+        if not missing:
+            return results
+        worker_config = self.config.with_overrides(
+            exec_backend="serial", exec_workers=0, serve_workers=1
+        )
+        started = time.perf_counter()
+        with self._data_lock.read():
+            epoch = self.group_cache.epoch
+            recommendations = backend.map_items(
+                _serve_group_task,
+                [(group, z) for group in missing.values()],
+                initializer=_init_serve_worker,
+                # Ship this service's actual measure (unwrapped from its
+                # cache) — a custom similarity must survive the process
+                # hop or bit-identity silently breaks.
+                initargs=(
+                    self.dataset,
+                    worker_config,
+                    self.selector_name,
+                    self.similarity.picklable_measure(),
+                ),
+            )
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        per_group_ms = elapsed_ms / len(missing)
+        for key, recommendation in zip(missing.keys(), recommendations):
+            self.group_cache.put((key, z), recommendation, epoch=epoch)
+            with self._counter_lock:
+                self._counters["group_requests"] += 1
+                self._elapsed_ms["group"] += per_group_ms
+            results[key] = recommendation
+        return results
 
     # -- online updates ------------------------------------------------------
 
@@ -404,5 +621,10 @@ class RecommendationService:
                 "built_rows": self.index.built_rows,
                 "users": self.matrix.num_users,
                 "threshold": self.index.threshold,
+                "shards": getattr(self.index, "num_shards", 1),
+            },
+            "backend": {
+                "name": self.backend.name,
+                "workers": self.backend.workers,
             },
         }

@@ -1,0 +1,122 @@
+"""Versioned persistence of warm neighbour-index state.
+
+A warm :class:`~repro.serving.RecommendationService` has paid for every
+user's thresholded peer row; a restart should not pay again.  This
+module snapshots those rows to a JSON file (via
+:mod:`repro.data.serialization`) and restores them, with two guards:
+
+* a **format/version** header, so a future layout change fails loudly
+  instead of deserialising garbage;
+* a **fingerprint** combining the config's recommendation semantics
+  (:meth:`~repro.config.RecommenderConfig.fingerprint`) with the
+  dataset's shape — a snapshot built under a different threshold,
+  similarity measure or dataset is *stale* and is rejected with
+  :class:`~repro.exceptions.SnapshotError` rather than silently served.
+
+Scores round-trip bit-identically: ``json`` serialises floats with
+``repr``, Python's shortest round-trippable representation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..config import RecommenderConfig
+from ..data.datasets import HealthDataset
+from ..data.serialization import load_json, save_json
+from ..exceptions import SerializationError, SnapshotError
+from ..similarity.peers import Peer
+
+#: Identifies the payload layout; bump on incompatible changes.
+SNAPSHOT_FORMAT = "repro.neighbor-index"
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_fingerprint(
+    config: RecommenderConfig, dataset: HealthDataset
+) -> str:
+    """Fingerprint binding a snapshot to its config semantics and data.
+
+    The dataset contributes its shape (user/item/rating counts): a
+    changed rating alters peer rows, and while counts cannot see every
+    in-place edit, they catch the common staleness case (snapshot from
+    a different or grown dataset) cheaply.  Targeted invalidation
+    handles in-place edits at runtime; operators re-snapshot after
+    ingest.
+    """
+    payload = {
+        "config": config.fingerprint(),
+        "users": dataset.num_users,
+        "items": dataset.num_items,
+        "ratings": dataset.num_ratings,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def save_index_snapshot(
+    rows: Mapping[str, list[Peer]],
+    path: str | Path,
+    fingerprint: str,
+    num_shards: int = 1,
+) -> Path:
+    """Write the peer rows to ``path`` as a versioned JSON snapshot."""
+    payload: dict[str, Any] = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "fingerprint": fingerprint,
+        "num_shards": num_shards,
+        "rows": {
+            user_id: [[peer.user_id, peer.similarity] for peer in row]
+            for user_id, row in rows.items()
+        },
+    }
+    return save_json(payload, path)
+
+
+def load_index_snapshot(
+    path: str | Path, fingerprint: str
+) -> dict[str, list[Peer]]:
+    """Load and validate a snapshot written by :func:`save_index_snapshot`.
+
+    Raises :class:`SnapshotError` when the file is not an index
+    snapshot, uses an unsupported version, or was built under a
+    different fingerprint (config semantics or dataset shape changed).
+    """
+    try:
+        payload = load_json(path)
+    except SerializationError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path} is not a neighbor-index snapshot "
+            f"(format={payload.get('format')!r} "
+            f"expected {SNAPSHOT_FORMAT!r})"
+            if isinstance(payload, dict)
+            else f"{path} is not a neighbor-index snapshot"
+        )
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has version {payload.get('version')!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    found = payload.get("fingerprint")
+    if found != fingerprint:
+        raise SnapshotError(
+            f"snapshot {path} is stale: fingerprint {found!r} does not "
+            f"match the current config/dataset {fingerprint!r} — rebuild "
+            f"the index and re-save"
+        )
+    try:
+        return {
+            user_id: [
+                Peer(user_id=peer_id, similarity=float(score))
+                for peer_id, score in row
+            ]
+            for user_id, row in payload["rows"].items()
+        }
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed snapshot {path}: {exc}") from exc

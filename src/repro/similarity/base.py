@@ -11,8 +11,29 @@ ratings, ...), which keeps peer search over large user sets tractable.
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from typing import Iterable, Mapping
+
+from ..exec import ExecutionBackend, chunk_evenly, resolve_backend
+
+#: Per-process worker state for the process-backend batch path: the
+#: measure and candidate pool shipped once per worker via the backend's
+#: initializer instead of once per task.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _init_similarity_worker(
+    measure: "UserSimilarity", candidates: list[str]
+) -> None:
+    _WORKER_STATE["measure"] = measure
+    _WORKER_STATE["candidates"] = candidates
+
+
+def _similarity_rows_task(user_chunk: list[str]) -> list[dict[str, float]]:
+    measure = _WORKER_STATE["measure"]
+    candidates = _WORKER_STATE["candidates"]
+    return [measure.similarities(user_id, candidates) for user_id in user_chunk]
 
 
 class UserSimilarity(ABC):
@@ -56,6 +77,54 @@ class UserSimilarity(ABC):
             for candidate in candidates
             if candidate != user_id
         }
+
+    def similarities_many(
+        self,
+        user_ids: Iterable[str],
+        candidates: Iterable[str],
+        backend: "ExecutionBackend | str | None" = None,
+    ) -> dict[str, dict[str, float]]:
+        """One :meth:`similarities` row per user, through a backend.
+
+        The rows are computed independently, so they fan out on the
+        execution backend: threads share this measure in place, while
+        the process backend ships :meth:`picklable_measure` and the
+        candidate pool to each worker once and chunks the users.  Row
+        order follows ``user_ids``; scores are bit-identical across
+        backends.
+        """
+        users = list(user_ids)
+        candidate_list = list(candidates)
+        backend = resolve_backend(backend)
+        if backend.requires_pickling:
+            chunks = chunk_evenly(users, max(1, backend.workers * 4))
+            row_chunks = backend.map_items(
+                _similarity_rows_task,
+                chunks,
+                initializer=_init_similarity_worker,
+                initargs=(self.picklable_measure(), candidate_list),
+            )
+            rows = [row for chunk in row_chunks for row in chunk]
+        else:
+            rows = backend.map_items(
+                functools.partial(self._similarities_for, candidate_list), users
+            )
+        return dict(zip(users, rows))
+
+    def _similarities_for(
+        self, candidates: list[str], user_id: str
+    ) -> dict[str, float]:
+        """Argument-flipped :meth:`similarities` (partial-friendly)."""
+        return self.similarities(user_id, candidates)
+
+    def picklable_measure(self) -> "UserSimilarity":
+        """The measure to ship across a process boundary.
+
+        Measures are plain data and return ``self``; decorators holding
+        unpicklable state (locks, caches) override this to unwrap.
+        Scores must be bit-identical to this measure's own.
+        """
+        return self
 
     def invalidate_user(self, user_id: str) -> None:
         """Drop any cached state about ``user_id``.

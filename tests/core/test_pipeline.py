@@ -113,3 +113,30 @@ class TestPipeline:
         pipeline = CaregiverPipeline(small_dataset, RecommenderConfig(top_z=5))
         recommendation = pipeline.recommend(small_group)
         assert recommendation.items == recommendation.selection.items
+
+
+class TestExplicitSizeValidation:
+    """Explicit z/k of 0 must fail loudly, not fall back to the default."""
+
+    def test_zero_z_rejected(self, small_dataset, small_group):
+        pipeline = CaregiverPipeline(small_dataset, RecommenderConfig(top_z=10))
+        with pytest.raises(ConfigurationError, match="z must be positive"):
+            pipeline.recommend(small_group, z=0)
+
+    def test_negative_z_rejected(self, small_dataset, small_group):
+        pipeline = CaregiverPipeline(small_dataset)
+        with pytest.raises(ConfigurationError, match="z must be positive"):
+            pipeline.recommend(small_group, z=-3)
+
+    def test_zero_k_rejected(self, small_dataset):
+        pipeline = CaregiverPipeline(small_dataset)
+        user_id = small_dataset.users.ids()[0]
+        with pytest.raises(ConfigurationError, match="k must be positive"):
+            pipeline.recommend_for_user(user_id, k=0)
+
+    def test_none_still_uses_config_default(self, small_dataset, small_group):
+        pipeline = CaregiverPipeline(
+            small_dataset, RecommenderConfig(top_z=3, peer_threshold=0.0)
+        )
+        recommendation = pipeline.recommend(small_group, z=None)
+        assert len(recommendation.items) == 3

@@ -126,3 +126,45 @@ class TestAblations:
             assert row.greedy_ratio <= 1.0 + 1e-9
             assert row.swap_ratio <= 1.0 + 1e-9
             assert row.swap_ratio >= row.greedy_ratio - 1e-9
+
+
+class TestExperimentBackends:
+    """Grid sweeps must produce identical rows on every backend."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_value_quality_rows_match_serial(self, backend):
+        serial = run_value_quality(m_values=(8, 10), z_values=(3, 5))
+        parallel = run_value_quality(
+            m_values=(8, 10), z_values=(3, 5), backend=backend
+        )
+        assert parallel == serial
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_proposition1_rows_match_serial(self, backend):
+        serial = verify_proposition1(
+            group_sizes=(2, 3), z_values=(2, 4), num_candidates=12
+        )
+        parallel = verify_proposition1(
+            group_sizes=(2, 3), z_values=(2, 4), num_candidates=12,
+            backend=backend,
+        )
+        assert parallel == serial
+
+    def test_table2_grid_shape_matches_serial(self):
+        # Timings are machine noise; the grid cells and the
+        # deterministic columns must line up.
+        serial = run_table2(
+            m_values=(6, 8), z_values=(2, 4), max_subsets=1000
+        )
+        threaded = run_table2(
+            m_values=(6, 8), z_values=(2, 4), max_subsets=1000,
+            backend="thread",
+        )
+        assert [(r.m, r.z) for r in threaded.rows] == [
+            (r.m, r.z) for r in serial.rows
+        ]
+        for serial_row, thread_row in zip(serial.rows, threaded.rows):
+            assert thread_row.brute_force_value == serial_row.brute_force_value
+            assert thread_row.heuristic_value == serial_row.heuristic_value
+            assert thread_row.brute_force_fairness == serial_row.brute_force_fairness
+            assert thread_row.subsets_enumerated == serial_row.subsets_enumerated

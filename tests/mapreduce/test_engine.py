@@ -166,3 +166,122 @@ class TestErrors:
         )
         with pytest.raises(MapReduceError, match="partitioner"):
             MapReduceEngine().run(job, [(1, 1)])
+
+
+# -- module-level job functions (picklable, for the process backend) ----------
+
+
+def _picklable_mapper(key, line):
+    for word in line.split():
+        yield (word, 1)
+
+
+def _picklable_combiner(word, counts):
+    yield sum(counts)
+
+
+def _picklable_reducer(word, counts):
+    yield (word, sum(counts))
+
+
+def picklable_word_count_job(num_partitions: int = 3) -> MapReduceJob:
+    """Word count built from module-level functions only."""
+    return MapReduceJob(
+        name="word-count-picklable",
+        mapper=_picklable_mapper,
+        combiner=_picklable_combiner,
+        reducer=_picklable_reducer,
+        num_partitions=num_partitions,
+    )
+
+
+class TestExecutionBackends:
+    """The engine's result must be bit-identical on every backend."""
+
+    DOCUMENTS = [(i, f"w{i % 7} w{i % 3} w{i % 5}") for i in range(40)]
+
+    def _run(self, backend):
+        engine = MapReduceEngine(backend=backend)
+        return engine.run(picklable_word_count_job(), self.DOCUMENTS)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_output_and_counters_match_serial(self, backend):
+        baseline = self._run("serial")
+        parallel = self._run(backend)
+        assert parallel.output == baseline.output  # order included
+        assert parallel.counters.as_dict() == baseline.counters.as_dict()
+
+    def test_backend_instance_accepted(self):
+        from repro.exec import ThreadBackend
+
+        with ThreadBackend(workers=2) as backend:
+            result = MapReduceEngine(backend=backend).run(
+                picklable_word_count_job(), self.DOCUMENTS
+            )
+        assert dict(result.output) == dict(self._run("serial").output)
+
+    def test_mapper_failure_is_wrapped_on_thread_backend(self):
+        def mapper(key, value):
+            raise RuntimeError("nope")
+
+        job = MapReduceJob(
+            name="fail", mapper=mapper, reducer=_picklable_reducer
+        )
+        engine = MapReduceEngine(backend="thread")
+        with pytest.raises(MapReduceError, match="mapper failed"):
+            engine.run(job, [(1, "a")])
+
+    def test_closure_job_rejected_by_process_backend(self):
+        from repro.exceptions import ExecutionError
+
+        engine = MapReduceEngine(backend="process")
+        with pytest.raises(ExecutionError, match="picklable"):
+            engine.run(word_count_job(2), [(1, "a b"), (2, "c")])
+
+
+class TestDefaultPartitioner:
+    """CRC32 partitioning: deterministic, collision-resistant, even."""
+
+    def test_anagram_keys_are_not_forced_into_one_partition(self):
+        # sum(ord(ch)) — the old default — maps every anagram to the
+        # same partition; CRC32 must separate at least some of them.
+        job = MapReduceJob(
+            name="anagrams",
+            mapper=lambda k, v: [],
+            reducer=lambda k, v: [],
+            num_partitions=4,
+        )
+        anagrams = ["abcd", "abdc", "acbd", "acdb", "adbc", "adcb",
+                    "bacd", "badc", "bcad", "bcda", "bdac", "bdca"]
+        partitions = {job.partition_for(key) for key in anagrams}
+        assert len(partitions) > 1
+
+    def test_distribution_is_roughly_even(self):
+        num_partitions = 8
+        job = MapReduceJob(
+            name="spread",
+            mapper=lambda k, v: [],
+            reducer=lambda k, v: [],
+            num_partitions=num_partitions,
+        )
+        keys = [f"user-{i:05d}" for i in range(4000)]
+        counts = [0] * num_partitions
+        for key in keys:
+            counts[job.partition_for(key)] += 1
+        expected = len(keys) / num_partitions
+        # CRC32 should stay within ±25% of uniform on 4000 keys; the
+        # old character-sum hash concentrated sequential ids badly.
+        assert min(counts) > expected * 0.75
+        assert max(counts) < expected * 1.25
+
+    def test_partitioning_is_deterministic(self):
+        job = MapReduceJob(
+            name="stable",
+            mapper=lambda k, v: [],
+            reducer=lambda k, v: [],
+            num_partitions=5,
+        )
+        keys = ["alpha", "beta", ("tuple", 3), 42]
+        assert [job.partition_for(k) for k in keys] == [
+            job.partition_for(k) for k in keys
+        ]

@@ -150,7 +150,158 @@ class TestServeCommand:
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["serve", "data.json", "reqs.jsonl"])
-        assert args.workers == 1
+        assert args.workers is None  # auto: one per CPU for thread/process
+        assert args.backend == "serial"
+        assert args.shards == 1
+        assert args.snapshot is None
         assert args.similarity_cache == 500_000
         assert args.relevance_cache == 10_000
         assert args.no_warm is False
+
+
+class TestServeBackendsAndSnapshots:
+    def _dataset(self, tmp_path):
+        dataset_path = tmp_path / "data.json"
+        code = main(
+            [
+                "generate",
+                str(dataset_path),
+                "--users",
+                "20",
+                "--items",
+                "30",
+                "--ratings-per-user",
+                "10",
+            ]
+        )
+        assert code == 0
+        return dataset_path
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_serve_with_backend(self, tmp_path, capsys, backend):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "8",
+                "--backend",
+                backend,
+                "--workers",
+                "2",
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput:" in out
+
+    def test_serve_snapshot_save_then_load(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        snapshot_path = tmp_path / "index_snapshot.json"
+        args = [
+            "serve",
+            str(dataset_path),
+            "-",
+            "--synthetic-requests",
+            "4",
+            "--peer-threshold",
+            "0.0",
+            "--snapshot",
+            str(snapshot_path),
+            "--quiet",
+        ]
+        capsys.readouterr()
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "saved neighbor-index snapshot" in first
+        assert snapshot_path.exists()
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "loaded neighbor-index snapshot: 20 rows" in second
+        assert "warmed neighbor index" not in second
+
+    def test_serve_rejects_stale_snapshot(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        snapshot_path = tmp_path / "index_snapshot.json"
+        base = [
+            "serve",
+            str(dataset_path),
+            "-",
+            "--synthetic-requests",
+            "2",
+            "--snapshot",
+            str(snapshot_path),
+            "--quiet",
+        ]
+        assert main(base + ["--peer-threshold", "0.0"]) == 0
+        capsys.readouterr()
+        code = main(base + ["--peer-threshold", "0.3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "stale" in captured.err
+
+    def test_serve_with_shards(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "4",
+                "--shards",
+                "3",
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warmed neighbor index: 20 rows" in out
+
+    def test_no_warm_does_not_save_an_empty_snapshot(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        snapshot_path = tmp_path / "index_snapshot.json"
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "2",
+                "--no-warm",
+                "--snapshot",
+                str(snapshot_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert not snapshot_path.exists()
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"type": "group", "members": ["u1", "u2"], "z": 0},
+            {"type": "group", "members": ["u1", "u2"], "z": -4},
+            {"type": "user", "user_id": "u1", "k": 0},
+        ],
+    )
+    def test_non_positive_z_k_rejected_at_parse_time(self, payload):
+        with pytest.raises(ValueError, match="positive"):
+            parse_request(payload)
+
+    def test_missing_z_k_still_default(self):
+        request = parse_request({"type": "group", "members": ["u1", "u2"]})
+        assert request.z is None

@@ -271,3 +271,155 @@ class TestStats:
         assert service.stats()["index"]["built_rows"] == (
             mutable_dataset.ratings.num_users
         )
+
+
+class TestExecutionBackends:
+    """recommend_many must be bit-identical on every backend."""
+
+    def _groups(self, dataset, count=5):
+        return [
+            random_group(dataset.users.ids(), 4, seed=seed)
+            for seed in range(count)
+        ]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_batch_matches_cold_pipeline(self, mutable_dataset, backend):
+        config = CONFIG.with_overrides(exec_backend=backend, exec_workers=2)
+        service = RecommendationService(mutable_dataset, config)
+        groups = self._groups(mutable_dataset)
+        results = service.recommend_many(groups)
+        for group, result in zip(groups, results):
+            cold = _cold(mutable_dataset, group)
+            assert result.items == cold.items
+            assert (
+                result.candidates.group_relevance
+                == cold.candidates.group_relevance
+            )
+
+    def test_backend_argument_overrides_service_backend(self, mutable_dataset):
+        service = RecommendationService(mutable_dataset, CONFIG)
+        groups = self._groups(mutable_dataset)
+        baseline = [r.items for r in service.recommend_many(groups)]
+        for backend in ("thread", "process"):
+            fresh = RecommendationService(mutable_dataset, CONFIG)
+            got = [
+                r.items
+                for r in fresh.recommend_many(groups, backend=backend, workers=2)
+            ]
+            assert got == baseline
+
+    def test_process_batch_populates_group_cache(self, mutable_dataset):
+        service = RecommendationService(mutable_dataset, CONFIG)
+        groups = self._groups(mutable_dataset, count=3)
+        service.recommend_many(groups, backend="process", workers=2)
+        hits_before = service.group_cache.stats.hits
+        service.recommend_many(groups)
+        assert service.group_cache.stats.hits >= hits_before + 3
+
+    def test_sharded_service_matches_flat(self, mutable_dataset):
+        flat = RecommendationService(mutable_dataset, CONFIG)
+        sharded = RecommendationService(
+            mutable_dataset, CONFIG.with_overrides(index_shards=3)
+        )
+        flat.warm()
+        sharded.warm()
+        for group in self._groups(mutable_dataset):
+            assert (
+                sharded.recommend_group(group).items
+                == flat.recommend_group(group).items
+            )
+
+    def test_sharded_service_survives_updates(self, mutable_dataset):
+        sharded = RecommendationService(
+            mutable_dataset, CONFIG.with_overrides(index_shards=3)
+        )
+        sharded.warm()
+        group = random_group(mutable_dataset.users.ids(), 4, seed=2)
+        sharded.recommend_group(group)
+        user_id = group.member_ids[0]
+        unrated = mutable_dataset.ratings.unrated_items(
+            user_id, mutable_dataset.ratings.item_ids()
+        )
+        sharded.ingest_rating(user_id, unrated[0], 5.0)
+        fresh = sharded.recommend_group(group)
+        assert fresh.items == _cold(mutable_dataset, group).items
+
+    def test_stats_report_backend_and_shards(self, mutable_dataset):
+        service = RecommendationService(
+            mutable_dataset,
+            CONFIG.with_overrides(
+                exec_backend="thread", exec_workers=2, index_shards=2
+            ),
+        )
+        stats = service.stats()
+        assert stats["backend"]["name"] == "thread"
+        assert stats["index"]["shards"] == 2
+
+
+class TestExplicitSizeValidation:
+    def test_zero_z_rejected(self, service, mutable_dataset):
+        from repro.exceptions import ConfigurationError
+
+        group = random_group(mutable_dataset.users.ids(), 4, seed=0)
+        with pytest.raises(ConfigurationError, match="z must be positive"):
+            service.recommend_group(group, z=0)
+
+    def test_zero_k_rejected(self, service, mutable_dataset):
+        from repro.exceptions import ConfigurationError
+
+        user_id = mutable_dataset.users.ids()[0]
+        with pytest.raises(ConfigurationError, match="k must be positive"):
+            service.recommend_user(user_id, k=0)
+
+    def test_explicit_workers_override_service_backend_width(
+        self, mutable_dataset
+    ):
+        service = RecommendationService(
+            mutable_dataset,
+            CONFIG.with_overrides(exec_backend="thread", exec_workers=2),
+        )
+        resolved, owned = service._batch_backend(workers=5, backend=None)
+        try:
+            assert resolved.name == "thread"
+            assert resolved.workers == 5
+            assert owned
+        finally:
+            resolved.close()
+        reused, owned = service._batch_backend(workers=2, backend=None)
+        assert reused is service.backend
+        assert not owned
+
+
+class TestBackendLifecycleAndCustomMeasures:
+    def _groups(self, dataset, count):
+        return [
+            random_group(dataset.users.ids(), 4, seed=seed)
+            for seed in range(count)
+        ]
+
+    def test_process_batch_respects_custom_similarity(self, mutable_dataset):
+        from repro.similarity.ratings_sim import JaccardRatingSimilarity
+
+        custom = JaccardRatingSimilarity(mutable_dataset.ratings)
+        config = CONFIG.with_overrides(peer_threshold=0.05)
+        groups = self._groups(mutable_dataset, count=3)
+        reference = RecommendationService(
+            mutable_dataset, config, similarity=custom
+        )
+        baseline = [r.items for r in reference.recommend_many(groups)]
+        fresh = RecommendationService(mutable_dataset, config, similarity=custom)
+        got = [
+            r.items
+            for r in fresh.recommend_many(groups, backend="process", workers=2)
+        ]
+        assert got == baseline
+
+    def test_service_close_releases_owned_thread_pool(self, mutable_dataset):
+        service = RecommendationService(
+            mutable_dataset,
+            CONFIG.with_overrides(exec_backend="thread", exec_workers=2),
+        )
+        groups = self._groups(mutable_dataset, count=2)
+        with service:
+            service.recommend_many(groups)
+        assert service.backend._pool is None

@@ -87,3 +87,85 @@ class TestConvenience:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             RecommenderConfig().top_k = 5  # type: ignore[misc]
+
+
+class TestExecutionConfig:
+    """The execution/sharding knobs added with repro.exec."""
+
+    def test_defaults(self):
+        config = RecommenderConfig()
+        assert config.exec_backend == "serial"
+        assert config.exec_workers == 0
+        assert config.index_shards == 1
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"exec_backend": "gpu"},
+            {"exec_workers": -1},
+            {"index_shards": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            RecommenderConfig(**overrides)
+
+    def test_round_trip_includes_new_fields(self):
+        config = RecommenderConfig(
+            exec_backend="process", exec_workers=4, index_shards=3
+        )
+        rebuilt = RecommenderConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_from_dict_tolerates_old_payloads(self):
+        payload = RecommenderConfig().to_dict()
+        for key in ("exec_backend", "exec_workers", "index_shards"):
+            payload.pop(key)
+        config = RecommenderConfig.from_dict(payload)
+        assert config.exec_backend == "serial"
+
+
+class TestFingerprint:
+    def test_stable_for_equal_semantics(self):
+        assert RecommenderConfig().fingerprint() == RecommenderConfig().fingerprint()
+
+    def test_changes_with_recommendation_semantics(self):
+        base = RecommenderConfig()
+        assert (
+            base.fingerprint()
+            != base.with_overrides(peer_threshold=0.5).fingerprint()
+        )
+        assert (
+            base.fingerprint()
+            != base.with_overrides(similarity="profile").fingerprint()
+        )
+
+    def test_ignores_operational_knobs(self):
+        base = RecommenderConfig()
+        tuned = base.with_overrides(
+            exec_backend="process",
+            exec_workers=8,
+            index_shards=4,
+            similarity_cache_size=1,
+            serve_workers=16,
+        )
+        assert base.fingerprint() == tuned.fingerprint()
+
+
+class TestResolvePositive:
+    def test_none_uses_default(self):
+        from repro.config import resolve_positive
+
+        assert resolve_positive(None, 7, "z") == 7
+
+    def test_explicit_value_wins(self):
+        from repro.config import resolve_positive
+
+        assert resolve_positive(3, 7, "z") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_non_positive_rejected(self, value):
+        from repro.config import resolve_positive
+
+        with pytest.raises(ConfigurationError, match="z must be positive"):
+            resolve_positive(value, 7, "z")
