@@ -159,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--pool-sync",
+        choices=["delta", "full"],
+        default="delta",
+        help=(
+            "with --backend pool: how stale resident workers re-sync after "
+            "an update (replay a mutation delta log, or re-ship the full "
+            "state)"
+        ),
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -170,7 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "neighbor-index snapshot: load it if PATH exists (rejecting a "
-            "stale fingerprint), otherwise warm the index and save it there"
+            "stale fingerprint), otherwise warm the index and save it "
+            "there; a .json PATH is one file, a directory (or suffix-less) "
+            "PATH gets the per-shard manifest layout with incremental saves"
         ),
     )
     serve.add_argument(
@@ -341,6 +353,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         exec_backend=args.backend,
         # 0 = auto-detect CPUs; an explicit --workers pins the width.
         exec_workers=args.workers or 0,
+        pool_sync=args.pool_sync,
         index_shards=args.shards,
     )
     service = RecommendationService(dataset, config)
@@ -354,8 +367,15 @@ def _command_serve(args: argparse.Namespace) -> int:
     else:
         requests = load_requests(args.requests)
 
+    from .serving.snapshot import MANIFEST_NAME, is_sharded_snapshot_path
+
     snapshot_path = Path(args.snapshot) if args.snapshot else None
-    if snapshot_path is not None and snapshot_path.exists():
+    snapshot_present = snapshot_path is not None and (
+        (snapshot_path / MANIFEST_NAME).exists()
+        if is_sharded_snapshot_path(snapshot_path)
+        else snapshot_path.exists()
+    )
+    if snapshot_present:
         from .exceptions import SnapshotError
 
         try:

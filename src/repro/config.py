@@ -41,7 +41,11 @@ KNOWN_SIMILARITIES: tuple[str, ...] = (
 #: Execution backend names accepted by :class:`RecommenderConfig`
 #: (mirrors :data:`repro.exec.BACKEND_NAMES` without importing it —
 #: config must stay import-light).
-KNOWN_EXEC_BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+KNOWN_EXEC_BACKENDS: tuple[str, ...] = ("serial", "thread", "process", "pool")
+
+#: Pool state-sync strategies accepted by :class:`RecommenderConfig`
+#: (mirrors :data:`repro.exec.POOL_SYNC_MODES`).
+KNOWN_POOL_SYNCS: tuple[str, ...] = ("full", "delta")
 
 
 def resolve_positive(value: int | None, default: int, name: str) -> int:
@@ -111,13 +115,20 @@ class RecommenderConfig:
         :meth:`repro.serving.RecommendationService.recommend_many`;
         ``1`` serves batches sequentially.
     exec_backend:
-        Default execution backend (``"serial"``, ``"thread"`` or
-        ``"process"``) used by the compute layers (MapReduce engine,
-        index builds, batch serving, eval grids).  All backends produce
-        bit-identical results; this is purely a performance knob.
+        Default execution backend (``"serial"``, ``"thread"``,
+        ``"process"`` or ``"pool"``) used by the compute layers
+        (MapReduce engine, index builds, batch serving, eval grids).
+        All backends produce bit-identical results; this is purely a
+        performance knob.
     exec_workers:
         Worker count for the execution backend; ``0`` selects the
         number of available CPUs.
+    pool_sync:
+        How the long-lived ``"pool"`` backend refreshes stale worker
+        state after an update: ``"delta"`` replays a log of rating /
+        profile mutations into the resident workers, ``"full"``
+        restarts the pool and re-ships the whole state.  Ignored by
+        the other backends.
     index_shards:
         Number of shards the serving layer's neighbour index is hash-
         partitioned into.  ``1`` keeps the single flat index; more
@@ -141,6 +152,7 @@ class RecommenderConfig:
     serve_workers: int = 1
     exec_backend: str = "serial"
     exec_workers: int = 0
+    pool_sync: str = "delta"
     index_shards: int = 1
 
     def __post_init__(self) -> None:
@@ -192,6 +204,11 @@ class RecommenderConfig:
             )
         if self.exec_workers < 0:
             raise ConfigurationError("exec_workers must be >= 0 (0 = auto)")
+        if self.pool_sync not in KNOWN_POOL_SYNCS:
+            raise ConfigurationError(
+                f"unknown pool_sync {self.pool_sync!r}; "
+                f"expected one of {KNOWN_POOL_SYNCS}"
+            )
         if self.index_shards <= 0:
             raise ConfigurationError("index_shards must be positive")
 
@@ -230,6 +247,7 @@ class RecommenderConfig:
             "serve_workers": self.serve_workers,
             "exec_backend": self.exec_backend,
             "exec_workers": self.exec_workers,
+            "pool_sync": self.pool_sync,
             "index_shards": self.index_shards,
         }
 

@@ -1,10 +1,12 @@
 """repro.exec — the execution substrate shared by every compute layer.
 
 One abstraction (:class:`~repro.exec.backends.ExecutionBackend`) with
-three implementations — serial, thread, process — used by the MapReduce
-engine, the similarity batch builds, the neighbour index, the serving
-batch API and the evaluation grids.  All backends produce bit-identical
-results; they differ only in wall-clock.
+four implementations — serial, thread, process, pool — used by the
+MapReduce engine, the similarity batch builds, the neighbour index, the
+serving batch API and the evaluation grids.  All backends produce
+bit-identical results; they differ only in wall-clock and in how state
+reaches the workers (:mod:`repro.exec.pool` documents the long-lived
+pool's epoch-based sync protocol).
 """
 
 from .backends import (
@@ -16,19 +18,25 @@ from .backends import (
     backend_scope,
     chunk_evenly,
     default_workers,
+    ensure_picklable,
     get_backend,
     resolve_backend,
 )
+from .pool import DEFAULT_MAX_DELTA_LOG, POOL_SYNC_MODES, PoolBackend
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_MAX_DELTA_LOG",
     "ExecutionBackend",
+    "POOL_SYNC_MODES",
+    "PoolBackend",
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
     "backend_scope",
     "chunk_evenly",
     "default_workers",
+    "ensure_picklable",
     "get_backend",
     "resolve_backend",
 ]

@@ -1,4 +1,4 @@
-"""Pluggable execution backends (serial / thread / process).
+"""Pluggable execution backends (serial / thread / process / pool).
 
 The paper frames the recommender as three MapReduce jobs precisely
 because peer-set and relevance computation dominate at scale — yet the
@@ -12,8 +12,16 @@ module is the single substrate they all share:
 * :class:`ProcessBackend` — a process pool created per call, for the
   CPU-bound workloads (Pearson over co-rated items) where threads are
   GIL-bound.  Task functions and arguments must be picklable; per-call
-  pools mean workers always observe the parent's *current* state, so an
-  in-place data update can never leave a pool serving stale data.
+  pools mean workers observe the parent's state *as of each call*, so
+  an in-place data update between calls can never leave this backend
+  serving stale data.  The freshness is paid for on every call (fork +
+  state re-ship), even when nothing changed.
+* :class:`~repro.exec.pool.PoolBackend` — a *long-lived* process pool
+  whose workers keep resident state between calls and re-sync through
+  an epoch counter (:mod:`repro.exec.pool`).  Steady-state batches ship
+  only task arguments; the freshness guarantee then depends on the
+  state owner reporting every mutation via
+  :meth:`ExecutionBackend.notify_state_change`.
 
 Every backend maps a function over items **in input order** and returns
 a list — results are bit-identical across backends by construction,
@@ -37,7 +45,27 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Backend names accepted by :func:`get_backend` (and the CLI/config).
-BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process")
+BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process", "pool")
+
+
+def ensure_picklable(fn: Callable[..., Any]) -> None:
+    """Fail fast, with a useful message, before crossing a process boundary.
+
+    Only the task function is checked: module-level functions pickle by
+    reference (cheap), while closures/lambdas fail here with a readable
+    error instead of a cryptic pool crash.  Initializer arguments are
+    deliberately not pre-pickled — under the fork start method they are
+    inherited, never serialised, and eagerly dumping a large dataset per
+    call would double the dispatch cost.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        raise ExecutionError(
+            f"process backend requires picklable tasks; cannot pickle "
+            f"{fn!r}: {exc}. Use a module-level function and plain-data "
+            f"arguments (see repro.exec)."
+        ) from exc
 
 
 def default_workers() -> int:
@@ -129,6 +157,20 @@ class ExecutionBackend(ABC):
             fn, partitions, initializer=initializer, initargs=initargs
         )
 
+    def notify_state_change(self, delta: Any = None) -> int:
+        """Report that per-worker state mutated since the last dispatch.
+
+        Backends without resident worker state (serial, thread, and the
+        per-call process pool) re-read the parent's state on every call,
+        so this is a no-op for them.  The long-lived
+        :class:`~repro.exec.pool.PoolBackend` overrides it to bump its
+        sync epoch (and, when ``delta`` is given, log the mutation for
+        replay).  State owners should call it unconditionally after
+        every mutation — it is how the backend family keeps the
+        bit-identity contract under updates.
+        """
+        return 0
+
     def close(self) -> None:
         """Release any pooled workers (idempotent)."""
 
@@ -214,10 +256,14 @@ class ProcessBackend(ExecutionBackend):
     (module-level function + plain-data chunks, per-worker state shipped
     once through ``initializer``/``initargs``), not a closure.
 
-    A fresh pool per call costs a few milliseconds of fork overhead and
-    buys a crucial property: workers always see the parent's state *at
-    call time*, so an ``ingest_rating`` between two batches can never be
-    served stale from a long-lived worker.
+    A fresh pool per call costs fork overhead plus a full state re-ship
+    on *every* call, and buys a structural property: workers see the
+    parent's state **as of each call** (pinned by regression test), so
+    an ``ingest_rating`` between two batches can never be served stale.
+    :class:`~repro.exec.pool.PoolBackend` deliberately trades that
+    always-fresh-by-construction property for resident workers plus an
+    explicit epoch protocol — same freshness, provided every mutation
+    is reported through :meth:`ExecutionBackend.notify_state_change`.
     """
 
     name = "process"
@@ -254,31 +300,20 @@ class ProcessBackend(ExecutionBackend):
         ) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
 
-    @staticmethod
-    def _check_picklable(fn: Callable[..., Any]) -> None:
-        """Fail fast, with a useful message, before forking workers.
-
-        Only the task function is checked: module-level functions pickle
-        by reference (cheap), while closures/lambdas fail here with a
-        readable error instead of a cryptic pool crash.  Initializer
-        arguments are deliberately not pre-pickled — under the fork
-        start method they are inherited, never serialised, and eagerly
-        dumping a large dataset per call would double the dispatch cost.
-        """
-        try:
-            pickle.dumps(fn)
-        except Exception as exc:
-            raise ExecutionError(
-                f"process backend requires picklable tasks; cannot pickle "
-                f"{fn!r}: {exc}. Use a module-level function and plain-data "
-                f"arguments (see repro.exec)."
-            ) from exc
+    _check_picklable = staticmethod(ensure_picklable)
 
 
 def get_backend(
-    name: str | None, workers: int | None = None
+    name: str | None,
+    workers: int | None = None,
+    *,
+    pool_sync: str = "delta",
 ) -> ExecutionBackend:
-    """Instantiate a backend by name (``None`` means serial)."""
+    """Instantiate a backend by name (``None`` means serial).
+
+    ``pool_sync`` selects the :class:`~repro.exec.pool.PoolBackend`
+    state-sync strategy and is ignored by the other backends.
+    """
     if name is None:
         name = "serial"
     if name == "serial":
@@ -287,13 +322,20 @@ def get_backend(
         return ThreadBackend(workers)
     if name == "process":
         return ProcessBackend(workers)
+    if name == "pool":
+        from .pool import PoolBackend
+
+        return PoolBackend(workers, sync=pool_sync)
     raise ConfigurationError(
         f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
     )
 
 
 def resolve_backend(
-    backend: "ExecutionBackend | str | None", workers: int | None = None
+    backend: "ExecutionBackend | str | None",
+    workers: int | None = None,
+    *,
+    pool_sync: str = "delta",
 ) -> ExecutionBackend:
     """Coerce a backend spec (instance, name or ``None``) to an instance.
 
@@ -304,7 +346,7 @@ def resolve_backend(
         return SerialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
-    return get_backend(backend, workers)
+    return get_backend(backend, workers, pool_sync=pool_sync)
 
 
 @contextmanager

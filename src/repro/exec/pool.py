@@ -1,0 +1,371 @@
+"""A long-lived worker pool with epoch-based state synchronisation.
+
+:class:`~repro.exec.backends.ProcessBackend` buys staleness-freedom by
+building a fresh pool per ``map_items`` call — every batch pays fork and
+state-shipping overhead even when nothing changed between batches.
+:class:`PoolBackend` keeps the workers alive instead and makes the
+staleness hazard explicit:
+
+* each worker holds a **resident copy** of the per-call state (built by
+  the ``initializer`` when the pool starts);
+* the owner of the state (e.g. a
+  :class:`~repro.serving.RecommendationService`) reports every mutation
+  through :meth:`PoolBackend.notify_state_change`, which bumps an
+  **epoch counter**;
+* every task ships the current epoch; a worker whose resident state is
+  older re-syncs *before* running the task — either by replaying a
+  **delta log** of mutations (``sync="delta"``) or, when no delta is
+  available, by a full pool restart that re-ships the state
+  (``sync="full"``);
+* in steady state (no mutations between batches) tasks ship nothing but
+  their own arguments — this is the whole point.  After a mutation the
+  pending delta suffix rides along with each dispatch (a worker only
+  syncs when a task reaches it, so the parent cannot know when the last
+  straggler caught up); once that has happened
+  :data:`PROMOTE_AFTER_STALE_DISPATCHES` times the pool restarts to
+  return to truly-bare dispatches.
+
+The epoch protocol keeps the backend family's core contract intact:
+results are bit-identical to the serial backend, because a worker never
+runs a task against state older than the parent's at dispatch time.
+Skipping :meth:`notify_state_change` after a mutation breaks that
+guarantee — the regression tests pin the resulting staleness as the
+documented counterexample.
+
+Delta entries are opaque to the backend.  The state owner registers a
+module-level **applier** via :meth:`bind_delta_applier`; workers call it
+once per unseen delta, in epoch order.  Appliers must be deterministic:
+replaying the same deltas over the same resident state must reproduce
+the parent's state exactly, or bit-identity silently breaks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, TypeVar
+
+from ..exceptions import ConfigurationError, ExecutionError
+from .backends import ExecutionBackend, ensure_picklable
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Sync strategies accepted by :class:`PoolBackend` (and the config's
+#: ``pool_sync`` knob).
+POOL_SYNC_MODES: tuple[str, ...] = ("full", "delta")
+
+#: Delta-log length beyond which replaying mutations costs more than a
+#: pool restart; the backend re-ships the full state instead.
+DEFAULT_MAX_DELTA_LOG = 256
+
+#: Number of consecutive delta-shipping dispatches after which the pool
+#: restarts anyway.  There is no cheap way to learn that *every* worker
+#: has replayed the log (a worker only syncs when a task happens to
+#: reach it), so the pending suffix rides along with each dispatch; the
+#: bound stops a single mutation from taxing every batch forever.
+PROMOTE_AFTER_STALE_DISPATCHES = 32
+
+
+def _same_elements(a: tuple[Any, ...], b: tuple[Any, ...]) -> bool:
+    """Element-wise identity of two initarg tuples.
+
+    Identity (not equality): comparing a large dataset by value per
+    dispatch would cost more than the dispatch, and the resident-state
+    contract is about *which objects* the workers were built from.
+    Call sites that want pool reuse must pass a stable initargs tuple
+    (the serving layer caches its per-service tuple for exactly this
+    reason).
+    """
+    return len(a) == len(b) and all(x is y for x, y in zip(a, b))
+
+
+# -- worker-side resident state ---------------------------------------------
+#
+# One copy per worker process.  ``_EPOCH`` is the age of the resident
+# state; tasks carry the parent's epoch plus the delta-log suffix a
+# stale worker needs to catch up.
+
+_EPOCH: int = -1
+_APPLIER: Callable[[Any], None] | None = None
+
+
+def _boot_worker(
+    initializer: Callable[..., None] | None,
+    initargs: tuple[Any, ...],
+    epoch: int,
+    applier: Callable[[Any], None] | None,
+) -> None:
+    """Build the resident state in a fresh worker process."""
+    global _EPOCH, _APPLIER
+    if initializer is not None:
+        initializer(*initargs)
+    _EPOCH = epoch
+    _APPLIER = applier
+
+
+def _run_task(spec: tuple[Callable[[Any], Any], Any, int, tuple]) -> Any:
+    """Sync the resident state if stale, then run one task."""
+    global _EPOCH
+    fn, item, epoch, deltas = spec
+    if epoch > _EPOCH:
+        if _APPLIER is None:
+            raise ExecutionError(
+                f"pool worker state is stale (resident epoch {_EPOCH}, "
+                f"task epoch {epoch}) and no delta applier is bound; "
+                f"the parent should have restarted the pool"
+            )
+        for delta_epoch, delta in deltas:
+            if delta_epoch > _EPOCH:
+                _APPLIER(delta)
+        _EPOCH = epoch
+    return fn(item)
+
+
+class PoolBackend(ExecutionBackend):
+    """A persistent process pool whose workers hold resident state.
+
+    Parameters
+    ----------
+    workers:
+        Pool width, as for every backend.
+    sync:
+        ``"delta"`` (default) replays logged mutations into stale
+        workers; ``"full"`` restarts the pool (re-shipping the state
+        through the initializer) after any mutation.  Both are exactly
+        as fresh as :class:`~repro.exec.backends.ProcessBackend`; they
+        differ only in how much crosses the process boundary.
+    max_delta_log:
+        Pending-delta count beyond which a delta sync falls back to a
+        full restart (replaying a long history into every worker costs
+        more than one re-ship).
+
+    The resident state is bound by the first ``map_items`` call's
+    ``initializer``.  A later call with a *different* initializer
+    rebinds: the pool restarts with the new state (so one backend can
+    serve the index build and the batch-serve path in turn; only the
+    steady, repeated call site gets the resident-state speedup).
+    """
+
+    name = "pool"
+    requires_pickling = True
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        sync: str = "delta",
+        max_delta_log: int = DEFAULT_MAX_DELTA_LOG,
+    ) -> None:
+        super().__init__(workers)
+        if sync not in POOL_SYNC_MODES:
+            raise ConfigurationError(
+                f"unknown pool sync mode {sync!r}; "
+                f"expected one of {POOL_SYNC_MODES}"
+            )
+        if max_delta_log < 0:
+            raise ConfigurationError("max_delta_log must be >= 0")
+        self.sync = sync
+        self.max_delta_log = max_delta_log
+        methods = multiprocessing.get_all_start_methods()
+        # fork keeps pool (re)starts cheap: the initializer arguments
+        # are inherited through the fork snapshot, never pickled.
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._lock = threading.RLock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._bound_init: Callable[..., None] | None = None
+        self._bound_initargs: tuple[Any, ...] = ()
+        self._applier: Callable[[Any], None] | None = None
+        self._applier_init: Callable[..., None] | None = None
+        self._epoch = 0
+        self._pool_epoch = -1
+        self._deltas: list[tuple[int, Any]] = []
+        self._log_complete = True
+        self._restarts = 0
+        self._delta_syncs = 0
+        self._stale_dispatches = 0
+
+    # -- state registration ----------------------------------------------------
+
+    def bind_delta_applier(
+        self,
+        applier: Callable[[Any], None],
+        initializer: Callable[..., None],
+    ) -> None:
+        """Register the worker-side mutation applier for delta sync.
+
+        ``applier`` must be a module-level (picklable) function that
+        applies one delta payload to the resident state built by
+        ``initializer``.  Deltas are only replayed while the pool is
+        bound to that same initializer; any other resident state falls
+        back to a full restart.
+        """
+        with self._lock:
+            self._applier = applier
+            self._applier_init = initializer
+
+    def notify_state_change(self, delta: Any = None) -> int:
+        """Record one mutation of the state behind the resident copies.
+
+        ``delta`` is an opaque, picklable description of the mutation
+        (replayed by the bound applier).  ``None`` means the change
+        cannot be described as a delta — the next dispatch re-ships the
+        full state.  Returns the new epoch.
+        """
+        with self._lock:
+            self._epoch += 1
+            if delta is not None and self.sync == "delta":
+                self._deltas.append((self._epoch, delta))
+            else:
+                # An undescribed mutation poisons the log: replaying
+                # the surviving entries would skip this change.
+                self._deltas.clear()
+                self._log_complete = False
+            return self._epoch
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The parent-side state epoch (mutations seen so far)."""
+        with self._lock:
+            return self._epoch
+
+    @property
+    def resident_epoch(self) -> int:
+        """Epoch the pool was booted at (-1 before the first dispatch)."""
+        with self._lock:
+            return self._pool_epoch
+
+    @property
+    def restarts(self) -> int:
+        """Number of pool (re)starts, the full-re-ship counter."""
+        with self._lock:
+            return self._restarts
+
+    @property
+    def pending_deltas(self) -> int:
+        """Delta-log entries newer than the pool's boot epoch."""
+        with self._lock:
+            return len(self._pending())
+
+    def pool_stats(self) -> dict[str, Any]:
+        """Operational counters for service/CLI statistics output."""
+        with self._lock:
+            return {
+                "sync": self.sync,
+                "epoch": self._epoch,
+                "resident_epoch": self._pool_epoch,
+                "restarts": self._restarts,
+                "delta_syncs": self._delta_syncs,
+                "pending_deltas": len(self._pending()),
+            }
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _pending(self) -> list[tuple[int, Any]]:
+        return [entry for entry in self._deltas if entry[0] > self._pool_epoch]
+
+    def _can_delta_sync(self, initializer: Callable[..., None] | None) -> bool:
+        if self.sync != "delta" or not self._log_complete:
+            return False
+        if self._applier is None or initializer is not self._applier_init:
+            return False
+        return len(self._pending()) <= self.max_delta_log
+
+    def _ensure_pool(
+        self,
+        initializer: Callable[..., None] | None,
+        initargs: tuple[Any, ...],
+    ) -> tuple[ProcessPoolExecutor, int, tuple[tuple[int, Any], ...]]:
+        """Start/refresh the pool; returns (pool, epoch, delta suffix).
+
+        Must be called under :attr:`_lock`.  After this returns, either
+        the pool's boot epoch equals the current epoch (fresh fork) or
+        the returned delta suffix brings any stale worker up to date.
+        """
+        rebind = (
+            self._pool is None
+            or initializer is not self._bound_init
+            or not _same_elements(initargs, self._bound_initargs)
+        )
+        stale = self._epoch > self._pool_epoch
+        promote = stale and self._stale_dispatches >= PROMOTE_AFTER_STALE_DISPATCHES
+        if rebind or promote or (stale and not self._can_delta_sync(initializer)):
+            self._shutdown_pool()
+            applier = (
+                self._applier
+                if initializer is self._applier_init
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._context,
+                initializer=_boot_worker,
+                initargs=(initializer, initargs, self._epoch, applier),
+            )
+            self._bound_init = initializer
+            self._bound_initargs = initargs
+            self._pool_epoch = self._epoch
+            self._deltas.clear()
+            self._log_complete = True
+            self._restarts += 1
+            self._stale_dispatches = 0
+            return self._pool, self._epoch, ()
+        # Drop log entries every worker is guaranteed to have (they were
+        # booted at _pool_epoch or later).
+        self._deltas = self._pending()
+        if self._epoch > self._pool_epoch:
+            self._delta_syncs += 1
+            self._stale_dispatches += 1
+            return self._pool, self._epoch, tuple(self._deltas)
+        return self._pool, self._pool_epoch, ()
+
+    def map_items(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        ensure_picklable(fn)
+        with self._lock:
+            pool, epoch, deltas = self._ensure_pool(initializer, initargs)
+        specs = [(fn, item, epoch, deltas) for item in items]
+        chunksize = max(1, len(specs) // (self.workers * 4))
+        try:
+            return list(pool.map(_run_task, specs, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            with self._lock:
+                self._shutdown_pool()
+            raise ExecutionError(
+                f"pool worker process died while mapping {fn!r}: {exc}"
+            ) from exc
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._bound_init = None
+            self._bound_initargs = ()
+            self._pool_epoch = -1
+
+    def close(self) -> None:
+        """Shut the resident workers down (idempotent)."""
+        with self._lock:
+            self._shutdown_pool()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PoolBackend(workers={self.workers}, sync={self.sync!r}, "
+            f"epoch={self._epoch})"
+        )

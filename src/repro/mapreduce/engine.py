@@ -28,9 +28,9 @@ phases over whole partitions.  Partitions therefore buy real
 parallelism under the thread/process backends instead of merely
 simulating a cluster — and because chunks and partitions are processed
 in a fixed order, the output (pairs *and* counters) is bit-identical
-across backends.  The process backend additionally requires the job's
-mapper/combiner/reducer to be picklable (module-level functions, not
-closures).
+across backends.  The process and pool backends additionally require
+the job's mapper/combiner/reducer to be picklable (module-level
+functions, not closures).
 """
 
 from __future__ import annotations

@@ -81,6 +81,7 @@ class NeighborIndex:
         self._rows: dict[str, list[Peer]] = {}
         self._reverse: dict[str, set[str]] = {}
         self._lock = threading.RLock()
+        self._version = 0
 
     # -- construction --------------------------------------------------------
 
@@ -107,6 +108,7 @@ class NeighborIndex:
         self._rows[user_id] = row
         for peer in row:
             self._reverse.setdefault(peer.user_id, set()).add(user_id)
+        self._version += 1
 
     def build(
         self,
@@ -206,6 +208,18 @@ class NeighborIndex:
         """Number of users currently indexed."""
         return len(self._rows)
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter over the stored rows.
+
+        Bumped whenever a row is stored, dropped or cleared.  Equal
+        versions guarantee unchanged content, which is what the
+        incremental per-shard snapshot save keys on; the converse does
+        not hold (a rebuild to identical rows still bumps it).
+        """
+        with self._lock:
+            return self._version
+
     def is_built(self, user_id: str) -> bool:
         """Whether ``user_id`` is currently indexed."""
         with self._lock:
@@ -287,10 +301,13 @@ class NeighborIndex:
             if row is not None:
                 for peer in row:
                     self._reverse.get(peer.user_id, set()).discard(user_id)
+                self._version += 1
 
     def clear(self) -> None:
         """Drop every row."""
         with self._lock:
+            if self._rows:
+                self._version += 1
             self._rows.clear()
             self._reverse.clear()
 
@@ -308,6 +325,12 @@ class NeighborIndex:
         number of rows loaded.
         """
         with self._lock:
+            if self._rows:
+                # Dropping the previous rows is a content change even
+                # when ``rows`` is empty — the version must move or an
+                # incremental snapshot save would consider the shard
+                # clean and keep the pre-load rows on disk.
+                self._version += 1
             self._rows.clear()
             self._reverse.clear()
             for user_id, row in rows.items():

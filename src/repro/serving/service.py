@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -47,6 +48,7 @@ from ..core.relevance import ScoredItem, predict_table, rank_items
 from ..data.datasets import HealthDataset
 from ..data.groups import Group
 from ..data.users import User
+from ..exceptions import ExecutionError
 from ..exec import (
     ExecutionBackend,
     SerialBackend,
@@ -60,8 +62,11 @@ from .cache import CachedSimilarity, ScoreCache
 from .index import NeighborIndex
 from .sharding import ShardedNeighborIndex
 from .snapshot import (
+    is_sharded_snapshot_path,
     load_index_snapshot,
+    load_sharded_snapshot,
     save_index_snapshot,
+    save_sharded_snapshot,
     snapshot_fingerprint,
 )
 
@@ -107,12 +112,16 @@ class _ReadWriteLock:
                 self._condition.notify_all()
 
 
-# -- process-backend worker state ------------------------------------------
+# -- process/pool-backend worker state --------------------------------------
 #
-# ``recommend_many`` under the process backend builds one service per
-# worker (shipped the dataset/config once via the backend initializer)
-# and answers group requests from it.  The warm/cold bit-identity
-# invariant makes the worker's answers equal to the parent's.
+# ``recommend_many`` under the process and pool backends builds one
+# service per worker (shipped the dataset/config once via the backend
+# initializer) and answers group requests from it.  The warm/cold
+# bit-identity invariant makes the worker's answers equal to the
+# parent's.  Under the long-lived pool backend the worker service stays
+# resident between batches; ``_apply_serve_delta`` replays the parent's
+# rating/profile mutations into it so an epoch-stale worker converges
+# on exactly the parent's state.
 
 _SERVE_WORKER: "RecommendationService | None" = None
 
@@ -135,6 +144,36 @@ def _serve_group_task(
     group, z = spec
     assert _SERVE_WORKER is not None
     return _SERVE_WORKER.recommend_group(group, z=z)
+
+
+def _apply_serve_delta(delta: tuple) -> None:
+    """Replay one parent-side mutation into the resident worker service.
+
+    The delta payloads are produced by :meth:`RecommendationService.
+    ingest_rating` / :meth:`RecommendationService.update_profile`.
+    Replaying goes through the worker service's own update path, so the
+    worker performs the same matrix mutation and the same targeted
+    invalidation the parent did — deterministic, hence bit-identical.
+    """
+    assert _SERVE_WORKER is not None
+    kind = delta[0]
+    if kind == "rating":
+        _, user_id, item_id, value = delta
+        _SERVE_WORKER.ingest_rating(user_id, item_id, value)
+    elif kind == "profile":
+        _, user_id, payload = delta
+        fresh = User.from_dict(payload)
+
+        def _overwrite(user: User) -> None:
+            user.name = fresh.name
+            user.age = fresh.age
+            user.gender = fresh.gender
+            user.record = fresh.record
+            user.attributes = dict(fresh.attributes)
+
+        _SERVE_WORKER.update_profile(user_id, _overwrite)
+    else:  # pragma: no cover - guards future delta kinds
+        raise ExecutionError(f"unknown serve delta kind {kind!r}")
 
 
 class RecommendationService:
@@ -178,8 +217,16 @@ class RecommendationService:
             self.backend = backend
         else:
             self.backend = get_backend(
-                backend or config.exec_backend, config.exec_workers or None
+                backend or config.exec_backend,
+                config.exec_workers or None,
+                pool_sync=config.pool_sync,
             )
+        # A pool backend keeps a resident worker service between
+        # batches; teach it how to replay this service's mutations so
+        # a stale worker can delta-sync instead of a full re-ship.
+        bind_applier = getattr(self.backend, "bind_delta_applier", None)
+        if bind_applier is not None:
+            bind_applier(_apply_serve_delta, _init_serve_worker)
         base = similarity or build_similarity(dataset, config)
         self.similarity_cache = ScoreCache(
             config.similarity_cache_size, name="similarity"
@@ -206,6 +253,21 @@ class RecommendationService:
         self.selector = build_selector(selector)
         self.aggregation = get_aggregation(config.aggregation)
         self._data_lock = _ReadWriteLock()
+        # Shard versions at the last per-shard save/load, keyed by
+        # resolved snapshot directory — drives incremental saves.
+        self._snapshot_versions: dict[str, list[int]] = {}
+        # One stable initargs tuple per service: pool backends compare
+        # initargs by element identity to decide whether their resident
+        # workers were built from *this* service's state.
+        self._serve_initargs: tuple | None = None
+        # Mutations applied so far, and what each caller-held pool has
+        # seen of them — used to force a re-ship on per-call backends
+        # that missed an update (their epoch counter only hears about
+        # mutations from the service that owns them).
+        self._mutations = 0
+        self._foreign_pools: "weakref.WeakKeyDictionary[ExecutionBackend, int]" = (
+            weakref.WeakKeyDictionary()
+        )
         self._counter_lock = threading.Lock()
         self._counters: dict[str, int] = {
             "group_requests": 0,
@@ -241,10 +303,29 @@ class RecommendationService:
         The per-user row builds fan out on ``backend`` (default: the
         service backend) — rows are bit-identical for every backend.
         """
+        if isinstance(backend, ExecutionBackend):
+            self._sync_foreign_pool(backend)
         with self._data_lock.read():
             return self.index.build(
                 user_ids, backend=backend if backend is not None else self.backend
             )
+
+    def _sync_foreign_pool(self, backend: ExecutionBackend) -> None:
+        """Make a caller-held backend safe to dispatch this service's work.
+
+        The service reports its mutations to ``self.backend`` as they
+        happen; a pool instance handed in per call has missed any that
+        occurred since its last use here, so its resident workers may
+        hold pre-mutation state.  Bumping its epoch (with no delta —
+        this service's deltas were never logged there) forces a full
+        re-ship exactly when a mutation slipped in between its uses,
+        while leaving true steady-state reuse intact.
+        """
+        if backend is self.backend:
+            return
+        if self._foreign_pools.get(backend) != self._mutations:
+            backend.notify_state_change()
+            self._foreign_pools[backend] = self._mutations
 
     # -- snapshots -----------------------------------------------------------
 
@@ -252,25 +333,78 @@ class RecommendationService:
         """Fingerprint binding snapshots to this config/dataset pair."""
         return snapshot_fingerprint(self.config, self.dataset)
 
-    def save_snapshot(self, path: str | Path) -> Path:
-        """Persist the warm neighbour-index rows to ``path`` (JSON)."""
+    def _index_shards(self) -> list[NeighborIndex]:
+        """The underlying flat indexes, in shard order (flat = 1 shard)."""
+        shards = getattr(self.index, "shards", None)
+        return list(shards) if shards else [self.index]
+
+    def save_snapshot(
+        self, path: str | Path, per_shard: bool | None = None
+    ) -> Path:
+        """Persist the warm neighbour-index rows to ``path``.
+
+        ``per_shard=None`` picks the layout from the path: a directory
+        (or a suffix-less path) gets the per-shard manifest layout,
+        anything else the legacy single JSON file.  Per-shard saves are
+        incremental — repeating a save after an update only rewrites
+        the shards whose rows actually changed.
+        """
+        path = Path(path)
+        if per_shard is None:
+            per_shard = is_sharded_snapshot_path(path)
         with self._data_lock.read():
-            rows = self.index.snapshot_rows()
-            return save_index_snapshot(
-                rows,
+            if not per_shard:
+                return save_index_snapshot(
+                    self.index.snapshot_rows(),
+                    path,
+                    self.snapshot_fingerprint(),
+                    num_shards=getattr(self.index, "num_shards", 1),
+                )
+            shards = self._index_shards()
+            versions = [shard.version for shard in shards]
+            key = str(path.resolve())
+            saved = self._snapshot_versions.get(key)
+            dirty = (
+                None
+                if saved is None or len(saved) != len(versions)
+                else [old != new for old, new in zip(saved, versions)]
+            )
+            # Bound methods, not materialised rows: only the shards the
+            # writer decides to rewrite pay for a row copy.
+            result = save_sharded_snapshot(
+                [shard.snapshot_rows for shard in shards],
                 path,
                 self.snapshot_fingerprint(),
-                num_shards=getattr(self.index, "num_shards", 1),
+                self.config.fingerprint(),
+                dirty=dirty,
             )
+            self._snapshot_versions[key] = versions
+            return result
 
     def load_snapshot(self, path: str | Path) -> int:
         """Restore the neighbour index from a snapshot; returns rows loaded.
 
-        Raises :class:`~repro.exceptions.SnapshotError` when the
-        snapshot's fingerprint does not match this service's config
-        semantics and dataset shape — serving from a stale index would
-        silently change recommendations.
+        Accepts both layouts (a per-shard directory is detected by the
+        path being a directory).  Raises
+        :class:`~repro.exceptions.SnapshotError` when the snapshot's
+        fingerprint does not match this service's config semantics and
+        dataset shape — serving from a stale index would silently
+        change recommendations — or when any shard file is missing,
+        corrupt, or out of step with its manifest.
         """
+        path = Path(path)
+        if path.is_dir():
+            rows = load_sharded_snapshot(
+                path, self.snapshot_fingerprint(), self.config.fingerprint()
+            )
+            with self._data_lock.write():
+                loaded = self.index.load_rows(rows)
+                # The directory now mirrors the in-memory rows: a save
+                # back to it before any update can skip every shard.
+                self._snapshot_versions[str(path.resolve())] = [
+                    shard.version for shard in self._index_shards()
+                ]
+                return loaded
         rows = load_index_snapshot(path, self.snapshot_fingerprint())
         with self._data_lock.write():
             return self.index.load_rows(rows)
@@ -455,6 +589,7 @@ class RecommendationService:
         """Pick the batch backend; ``owned`` means close it afterwards."""
         if backend is not None:
             if isinstance(backend, ExecutionBackend):
+                self._sync_foreign_pool(backend)
                 return backend, False
             return resolve_backend(backend, workers), True
         if self.backend.name != "serial":
@@ -467,6 +602,30 @@ class RecommendationService:
         if workers > 1:
             return ThreadBackend(workers), True
         return SerialBackend(), False
+
+    def _worker_initargs(self) -> tuple:
+        """The (cached) initializer arguments for serve worker processes.
+
+        Built once per service and reused for every dispatch: a pool
+        backend decides whether its resident workers still match this
+        service by comparing initargs *identity*, so a fresh tuple per
+        call would force a pointless re-ship per batch, while a stable
+        one both enables steady-state reuse and makes two services
+        sharing a backend restart it on hand-over instead of serving
+        each other's data.  Ships this service's actual measure
+        (unwrapped from its cache) — a custom similarity must survive
+        the process hop or bit-identity silently breaks.
+        """
+        if self._serve_initargs is None:
+            self._serve_initargs = (
+                self.dataset,
+                self.config.with_overrides(
+                    exec_backend="serial", exec_workers=0, serve_workers=1
+                ),
+                self.selector_name,
+                self.similarity.picklable_measure(),
+            )
+        return self._serve_initargs
 
     def _recommend_many_process(
         self,
@@ -492,9 +651,6 @@ class RecommendationService:
                 missing[key] = group
         if not missing:
             return results
-        worker_config = self.config.with_overrides(
-            exec_backend="serial", exec_workers=0, serve_workers=1
-        )
         started = time.perf_counter()
         with self._data_lock.read():
             epoch = self.group_cache.epoch
@@ -502,15 +658,7 @@ class RecommendationService:
                 _serve_group_task,
                 [(group, z) for group in missing.values()],
                 initializer=_init_serve_worker,
-                # Ship this service's actual measure (unwrapped from its
-                # cache) — a custom similarity must survive the process
-                # hop or bit-identity silently breaks.
-                initargs=(
-                    self.dataset,
-                    worker_config,
-                    self.selector_name,
-                    self.similarity.picklable_measure(),
-                ),
+                initargs=self._worker_initargs(),
             )
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         per_group_ms = elapsed_ms / len(missing)
@@ -546,6 +694,10 @@ class RecommendationService:
                 {user_id} | changed | self.index.users_with_neighbor(user_id)
             )
             self._drop_affected(affected)
+            # Resident worker pools must learn about the mutation: bump
+            # the backend's state epoch (and log the replayable delta).
+            self._mutations += 1
+            self.backend.notify_state_change(("rating", user_id, item_id, value))
             with self._counter_lock:
                 self._counters["ingested_ratings"] += 1
             return affected
@@ -580,15 +732,36 @@ class RecommendationService:
                 changed = self.index.refresh_user(user_id)
                 affected = {user_id} | changed
                 self._drop_affected(affected)
+            # Ship the post-mutation profile, not the mutate callable —
+            # closures don't cross process boundaries.  The worker-side
+            # applier overwrites its resident copy of the user and runs
+            # the same update_profile invalidation the parent just did.
+            self._mutations += 1
+            self.backend.notify_state_change(
+                ("profile", user_id, self.dataset.users.get(user_id).to_dict())
+            )
             with self._counter_lock:
                 self._counters["profile_updates"] += 1
             return affected
 
     def _drop_affected(self, affected: set[str]) -> None:
-        """Drop the relevance rows and group results touching ``affected``."""
+        """Drop the relevance rows and group results touching ``affected``.
+
+        A group entry is also dropped when any member's peer row is not
+        built in this service's index: results folded back from worker
+        processes (the process/pool batch path) can be cached before
+        the parent ever builds the supporting rows, and without a row
+        the targeted-invalidation machinery cannot know whether the
+        member depends on the touched user — conservatively treating
+        such members as affected is what keeps worker-computed cache
+        entries from being served stale after an update.
+        """
         self.relevance_cache.invalidate_where(lambda key: key[0] in affected)
         self.group_cache.invalidate_where(
-            lambda key: any(member in affected for member in key[0])
+            lambda key: any(
+                member in affected or not self.index.is_built(member)
+                for member in key[0]
+            )
         )
 
     # -- introspection -------------------------------------------------------
@@ -623,8 +796,15 @@ class RecommendationService:
                 "threshold": self.index.threshold,
                 "shards": getattr(self.index, "num_shards", 1),
             },
-            "backend": {
-                "name": self.backend.name,
-                "workers": self.backend.workers,
-            },
+            "backend": self._backend_stats(),
         }
+
+    def _backend_stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = {
+            "name": self.backend.name,
+            "workers": self.backend.workers,
+        }
+        pool_stats = getattr(self.backend, "pool_stats", None)
+        if pool_stats is not None:
+            stats["pool"] = pool_stats()
+        return stats

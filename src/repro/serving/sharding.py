@@ -148,6 +148,11 @@ class ShardedNeighborIndex:
         """Number of users currently indexed across every shard."""
         return sum(shard.built_rows for shard in self.shards)
 
+    @property
+    def version(self) -> int:
+        """Total mutation count across shards (see NeighborIndex.version)."""
+        return sum(shard.version for shard in self.shards)
+
     def is_built(self, user_id: str) -> bool:
         """Whether ``user_id`` is currently indexed."""
         return self.shard(user_id).is_built(user_id)

@@ -2,8 +2,7 @@
 
 A warm :class:`~repro.serving.RecommendationService` has paid for every
 user's thresholded peer row; a restart should not pay again.  This
-module snapshots those rows to a JSON file (via
-:mod:`repro.data.serialization`) and restores them, with two guards:
+module snapshots those rows and restores them, with two guards:
 
 * a **format/version** header, so a future layout change fails loudly
   instead of deserialising garbage;
@@ -13,6 +12,24 @@ module snapshots those rows to a JSON file (via
   similarity measure or dataset is *stale* and is rejected with
   :class:`~repro.exceptions.SnapshotError` rather than silently served.
 
+Two layouts exist:
+
+* a **single JSON file** (:func:`save_index_snapshot` /
+  :func:`load_index_snapshot`) — simple, rewritten wholesale on every
+  save;
+* a **per-shard directory** (:func:`save_sharded_snapshot` /
+  :func:`load_sharded_snapshot`) — a ``manifest.json`` plus one
+  ``shard-NNNN.json`` per shard.  Saves are *incremental*: a shard
+  whose rows did not change since the last save is not re-serialised
+  or rewritten.  Every shard file carries the fingerprint and the
+  manifest records each shard's content checksum, so a torn save
+  (crash between shard writes and the manifest write), a truncated
+  file, or a missing shard is detected at load time instead of being
+  silently served.  Shard files are written to a temporary name and
+  atomically renamed; the manifest is written **last**, so a crash
+  mid-save leaves the previous manifest either fully consistent or
+  detectably out of step with the shard files.
+
 Scores round-trip bit-identically: ``json`` serialises floats with
 ``repr``, Python's shortest round-trippable representation.
 """
@@ -21,8 +38,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from ..config import RecommenderConfig
 from ..data.datasets import HealthDataset
@@ -33,6 +51,11 @@ from ..similarity.peers import Peer
 #: Identifies the payload layout; bump on incompatible changes.
 SNAPSHOT_FORMAT = "repro.neighbor-index"
 SNAPSHOT_VERSION = 1
+
+#: Layout markers of the per-shard directory snapshot.
+MANIFEST_FORMAT = "repro.neighbor-index-manifest"
+SHARD_FORMAT = "repro.neighbor-index-shard"
+MANIFEST_NAME = "manifest.json"
 
 
 def snapshot_fingerprint(
@@ -57,6 +80,68 @@ def snapshot_fingerprint(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+def _encode_rows(rows: Mapping[str, Any]) -> dict[str, list[list[Any]]]:
+    """Peer rows → the plain-list JSON layout shared by both formats."""
+    return {
+        user_id: [[peer.user_id, peer.similarity] for peer in row]
+        for user_id, row in rows.items()
+    }
+
+
+def _decode_rows(
+    encoded: Mapping[str, Any], path: str | Path
+) -> dict[str, list[Peer]]:
+    """The inverse of :func:`_encode_rows`, with a readable failure."""
+    try:
+        return {
+            user_id: [
+                Peer(user_id=peer_id, similarity=float(score))
+                for peer_id, score in row
+            ]
+            for user_id, row in encoded.items()
+        }
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed snapshot {path}: {exc}") from exc
+
+
+def rows_checksum(encoded_rows: Mapping[str, Any]) -> str:
+    """Content hash of an encoded row mapping (order-independent).
+
+    The manifest records this per shard; a shard file whose recomputed
+    checksum disagrees was torn, truncated after the manifest was
+    written, or belongs to a different save generation.
+    """
+    canonical = json.dumps(
+        encoded_rows, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def shard_file_name(index: int) -> str:
+    """The conventional file name of shard ``index`` inside a snapshot dir."""
+    return f"shard-{index:04d}.json"
+
+
+def is_sharded_snapshot_path(path: str | Path) -> bool:
+    """Whether ``path`` names a per-shard snapshot directory.
+
+    A path that exists as a directory, or a non-existing path without a
+    file suffix, selects the per-shard layout; anything else (the
+    conventional ``*.json``) selects the single-file layout.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return True
+    return not path.exists() and path.suffix == ""
+
+
+def _atomic_save_json(payload: Any, path: Path) -> None:
+    """Write JSON via a temp file + rename so readers never see a tear."""
+    tmp = path.with_name(path.name + ".tmp")
+    save_json(payload, tmp)
+    os.replace(tmp, path)
+
+
 def save_index_snapshot(
     rows: Mapping[str, list[Peer]],
     path: str | Path,
@@ -69,10 +154,7 @@ def save_index_snapshot(
         "version": SNAPSHOT_VERSION,
         "fingerprint": fingerprint,
         "num_shards": num_shards,
-        "rows": {
-            user_id: [[peer.user_id, peer.similarity] for peer in row]
-            for user_id, row in rows.items()
-        },
+        "rows": _encode_rows(rows),
     }
     return save_json(payload, path)
 
@@ -110,13 +192,216 @@ def load_index_snapshot(
             f"match the current config/dataset {fingerprint!r} — rebuild "
             f"the index and re-save"
         )
+    rows = payload.get("rows")
+    if not isinstance(rows, Mapping):
+        raise SnapshotError(f"malformed snapshot {path}: no row mapping")
+    return _decode_rows(rows, path)
+
+
+# -- per-shard directory snapshots -------------------------------------------
+
+
+def save_sharded_snapshot(
+    rows_by_shard: "Sequence[Mapping[str, list[Peer]] | Callable[[], Mapping[str, list[Peer]]]]",
+    directory: str | Path,
+    fingerprint: str,
+    config_fingerprint: str,
+    dirty: Sequence[bool] | None = None,
+) -> Path:
+    """Write one file per shard plus a manifest into ``directory``.
+
+    Each ``rows_by_shard`` entry may be the row mapping itself or a
+    zero-argument callable producing it — callables are only invoked
+    for shards that actually get written, so an incremental save never
+    pays to copy/serialise the clean shards' rows.
+
+    The manifest carries the full ``fingerprint`` (config semantics +
+    dataset shape); the shard files embed only ``config_fingerprint``
+    (the semantics half).  The dataset shape changes on every ingest,
+    and stamping it into each shard would force a full rewrite per
+    re-save — keeping it manifest-only is what makes incremental saves
+    possible while the per-shard check still rejects a shard file built
+    under different recommendation semantics.
+
+    ``dirty`` (optional, one flag per shard) enables *incremental*
+    saves: a shard marked clean is not re-serialised — its manifest
+    entry is carried over from the existing manifest.  The flag is
+    trusted (callers derive it from the index's mutation counters), but
+    only honoured when the existing manifest matches this fingerprint
+    and shard count and the shard file is still on disk; anything else
+    rewrites the shard regardless.  The manifest is written last, via
+    an atomic rename, so a crash mid-save is detectable at load time.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    num_shards = len(rows_by_shard)
+    previous = _reusable_manifest(directory, config_fingerprint, num_shards)
+    entries: list[dict[str, Any]] = []
+    for index, rows in enumerate(rows_by_shard):
+        name = shard_file_name(index)
+        shard_path = directory / name
+        reuse = (
+            dirty is not None
+            and index < len(dirty)
+            and not dirty[index]
+            and previous is not None
+            and shard_path.exists()
+        )
+        if reuse:
+            entries.append(previous[index])
+            continue
+        encoded = _encode_rows(rows() if callable(rows) else rows)
+        checksum = rows_checksum(encoded)
+        _atomic_save_json(
+            {
+                "format": SHARD_FORMAT,
+                "version": SNAPSHOT_VERSION,
+                "fingerprint": config_fingerprint,
+                "shard": index,
+                "num_shards": num_shards,
+                "rows": encoded,
+            },
+            shard_path,
+        )
+        entries.append({"file": name, "rows": len(encoded), "checksum": checksum})
+    _atomic_save_json(
+        {
+            "format": MANIFEST_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "fingerprint": fingerprint,
+            "config_fingerprint": config_fingerprint,
+            "num_shards": num_shards,
+            "shards": entries,
+        },
+        directory / MANIFEST_NAME,
+    )
+    return directory
+
+
+def _reusable_manifest(
+    directory: Path, config_fingerprint: str, num_shards: int
+) -> list[dict[str, Any]] | None:
+    """The existing manifest's shard entries, if they can be carried over.
+
+    Keyed on the *config* fingerprint: the dataset-shape half changes
+    with every ingest and is refreshed in the new manifest anyway, but
+    a semantics change invalidates the shard files themselves.
+    """
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        return None
     try:
-        return {
-            user_id: [
-                Peer(user_id=peer_id, similarity=float(score))
-                for peer_id, score in row
-            ]
-            for user_id, row in payload["rows"].items()
-        }
-    except (AttributeError, KeyError, TypeError, ValueError) as exc:
-        raise SnapshotError(f"malformed snapshot {path}: {exc}") from exc
+        payload = load_json(manifest_path)
+    except SerializationError:
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != MANIFEST_FORMAT
+        or payload.get("version") != SNAPSHOT_VERSION
+        or payload.get("config_fingerprint") != config_fingerprint
+        or payload.get("num_shards") != num_shards
+    ):
+        return None
+    entries = payload.get("shards")
+    if not isinstance(entries, list) or len(entries) != num_shards:
+        return None
+    return entries
+
+
+def load_sharded_snapshot(
+    directory: str | Path, fingerprint: str, config_fingerprint: str
+) -> dict[str, list[Peer]]:
+    """Load and validate a per-shard snapshot directory.
+
+    Every shard is checked independently: the file must exist, parse,
+    carry the shard format and the expected fingerprint, and hash to
+    the checksum the manifest recorded for it.  Any violation raises
+    :class:`SnapshotError` naming the offending file and the repair
+    (re-save from a warm service) — partial state is never returned.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = load_json(manifest_path)
+    except SerializationError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot manifest {manifest_path}: {exc} — "
+            f"re-save the snapshot from a warm service"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+        raise SnapshotError(
+            f"{manifest_path} is not a neighbor-index snapshot manifest "
+            f"(expected format {MANIFEST_FORMAT!r})"
+        )
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot manifest {manifest_path} has version "
+            f"{manifest.get('version')!r}; this build reads version "
+            f"{SNAPSHOT_VERSION}"
+        )
+    found = manifest.get("fingerprint")
+    if found != fingerprint:
+        raise SnapshotError(
+            f"snapshot {directory} is stale: fingerprint {found!r} does "
+            f"not match the current config/dataset {fingerprint!r} — "
+            f"rebuild the index and re-save"
+        )
+    entries = manifest.get("shards")
+    num_shards = manifest.get("num_shards")
+    if not isinstance(entries, list) or len(entries) != num_shards:
+        raise SnapshotError(
+            f"snapshot manifest {manifest_path} is malformed: expected "
+            f"{num_shards!r} shard entries — re-save the snapshot"
+        )
+    rows: dict[str, list[Peer]] = {}
+    for index, entry in enumerate(entries):
+        shard_path = directory / entry.get("file", shard_file_name(index))
+        if not shard_path.exists():
+            raise SnapshotError(
+                f"snapshot shard file {shard_path} is missing — the "
+                f"snapshot directory is incomplete; re-save the snapshot "
+                f"from a warm service"
+            )
+        try:
+            shard = load_json(shard_path)
+        except SerializationError as exc:
+            raise SnapshotError(
+                f"cannot read snapshot shard {shard_path}: {exc} — the "
+                f"file is truncated or corrupt; re-save the snapshot from "
+                f"a warm service"
+            ) from exc
+        if not isinstance(shard, dict) or shard.get("format") != SHARD_FORMAT:
+            raise SnapshotError(
+                f"{shard_path} is not a neighbor-index shard file "
+                f"(expected format {SHARD_FORMAT!r})"
+            )
+        if shard.get("fingerprint") != config_fingerprint:
+            raise SnapshotError(
+                f"snapshot shard {shard_path} is stale: fingerprint "
+                f"{shard.get('fingerprint')!r} does not match the current "
+                f"config semantics {config_fingerprint!r} — rebuild the "
+                f"index and re-save"
+            )
+        if shard.get("shard") != index:
+            raise SnapshotError(
+                f"snapshot shard {shard_path} claims shard index "
+                f"{shard.get('shard')!r} but the manifest lists it as "
+                f"shard {index} — the directory was rearranged; re-save "
+                f"the snapshot"
+            )
+        encoded = shard.get("rows")
+        if not isinstance(encoded, Mapping):
+            raise SnapshotError(
+                f"malformed snapshot shard {shard_path}: no row mapping"
+            )
+        checksum = rows_checksum(encoded)
+        if checksum != entry.get("checksum"):
+            raise SnapshotError(
+                f"snapshot shard {shard_path} does not match its manifest "
+                f"entry (checksum {checksum} != {entry.get('checksum')!r}) "
+                f"— the save was interrupted before the manifest was "
+                f"updated, or the file was modified; re-save the snapshot "
+                f"from a warm service"
+            )
+        rows.update(_decode_rows(encoded, shard_path))
+    return rows

@@ -44,7 +44,7 @@ def _add_offset(x: int) -> int:
     return x + _INIT_STATE["offset"]
 
 
-ALL_BACKENDS = ["serial", "thread", "process"]
+ALL_BACKENDS = ["serial", "thread", "process", "pool"]
 
 
 class TestChunkEvenly:

@@ -1,0 +1,242 @@
+"""The long-lived pool backend and its epoch-based state sync.
+
+Two contracts are pinned here:
+
+* ``ProcessBackend`` (per-call pools): workers see the parent's state
+  **as of each call** — the guarantee its docstring claims, which the
+  exec docs historically stated as "always current"; the regression
+  test makes the claim checkable.
+* ``PoolBackend`` (resident workers): the *same* freshness, but only
+  through the epoch protocol — the staleness counterexample (mutating
+  parent state *without* ``notify_state_change``) is pinned as the
+  documented hazard the per-call backend structurally cannot have.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ExecutionError
+from repro.exec import (
+    BACKEND_NAMES,
+    POOL_SYNC_MODES,
+    PoolBackend,
+    ProcessBackend,
+    get_backend,
+)
+
+# -- module-level worker state (pickled by reference, inherited on fork) ----
+
+_STATE: dict[str, int] = {"value": 0}
+
+
+def _set_state(value: int) -> None:
+    _STATE["value"] = value
+
+
+def _read_state(_: object) -> int:
+    return _STATE["value"]
+
+
+def _apply_delta(delta: int) -> None:
+    _STATE["value"] += delta
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestFactory:
+    def test_pool_is_a_known_backend(self):
+        assert "pool" in BACKEND_NAMES
+        backend = get_backend("pool", workers=2)
+        assert isinstance(backend, PoolBackend)
+        assert backend.name == "pool"
+        assert backend.requires_pickling
+        backend.close()
+
+    def test_pool_sync_knob(self):
+        for mode in POOL_SYNC_MODES:
+            backend = get_backend("pool", workers=1, pool_sync=mode)
+            assert backend.sync == mode
+            backend.close()
+
+    def test_unknown_sync_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="pool sync mode"):
+            PoolBackend(workers=1, sync="telepathy")
+
+    def test_negative_delta_log_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_delta_log"):
+            PoolBackend(workers=1, max_delta_log=-1)
+
+
+class TestResidentState:
+    def test_steady_state_reuses_one_pool(self):
+        with PoolBackend(workers=2) as backend:
+            for _ in range(3):
+                assert backend.map_items(_square, [1, 2, 3]) == [1, 4, 9]
+            assert backend.restarts == 1
+
+    def test_initializer_state_reaches_tasks(self):
+        with PoolBackend(workers=2) as backend:
+            result = backend.map_items(
+                _read_state, [None] * 4, initializer=_set_state, initargs=(7,)
+            )
+            assert result == [7, 7, 7, 7]
+
+    def test_rebinding_initializer_restarts_the_pool(self):
+        with PoolBackend(workers=1) as backend:
+            backend.map_items(_square, [1])
+            backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(1,)
+            )
+            assert backend.restarts == 2
+
+    def test_unpicklable_task_rejected_with_useful_error(self):
+        captured = 3
+        with PoolBackend(workers=1) as backend:
+            with pytest.raises(ExecutionError, match="picklable"):
+                backend.map_items(lambda x: x + captured, [1])
+
+    def test_empty_items_short_circuit(self):
+        with PoolBackend(workers=1) as backend:
+            assert backend.map_items(_square, []) == []
+            assert backend.restarts == 0  # nothing ever forked
+
+    def test_close_is_idempotent(self):
+        backend = PoolBackend(workers=1)
+        backend.map_items(_square, [2])
+        backend.close()
+        backend.close()
+        # A closed pool restarts transparently on the next use.
+        assert backend.map_items(_square, [3]) == [9]
+        backend.close()
+
+
+class TestFreshnessContracts:
+    """The load-bearing staleness semantics, pinned both ways."""
+
+    def test_process_backend_sees_state_at_each_call(self):
+        """Regression: the per-call pool's docstring guarantee holds.
+
+        The exec docs claim process workers observe the parent's state
+        at call time — mutate parent state between two calls and the
+        second call must see the new value without any notification.
+        """
+        backend = ProcessBackend(workers=2)
+        _set_state(10)
+        assert backend.map_items(_read_state, [None, None]) == [10, 10]
+        _set_state(11)  # no notify — the per-call pool needs none
+        assert backend.map_items(_read_state, [None, None]) == [11, 11]
+
+    def test_pool_backend_staleness_counterexample(self):
+        """The hazard the per-call guarantee protects against.
+
+        A resident worker keeps serving its fork-time snapshot when the
+        parent mutates state without ``notify_state_change`` — the
+        counterexample that makes the epoch protocol necessary rather
+        than decorative.
+        """
+        with PoolBackend(workers=1) as backend:
+            _set_state(20)
+            assert backend.map_items(_read_state, [None]) == [20]
+            _set_state(21)  # mutation NOT reported
+            assert backend.map_items(_read_state, [None]) == [20]  # stale!
+
+    def test_notify_restores_freshness_via_full_resync(self):
+        with PoolBackend(workers=1, sync="full") as backend:
+            _set_state(30)
+            assert backend.map_items(_read_state, [None]) == [30]
+            _set_state(31)
+            backend.notify_state_change()
+            assert backend.map_items(_read_state, [None]) == [31]
+            assert backend.restarts == 2  # the resync was a re-ship
+
+    def test_notify_without_delta_in_delta_mode_restarts(self):
+        """An undescribed mutation cannot be replayed — full re-ship."""
+        with PoolBackend(workers=1, sync="delta") as backend:
+            _set_state(40)
+            assert backend.map_items(_read_state, [None]) == [40]
+            _set_state(41)
+            backend.notify_state_change()  # no delta payload
+            assert backend.map_items(_read_state, [None]) == [41]
+            assert backend.restarts == 2
+
+
+class TestDeltaSync:
+    def test_deltas_replay_without_restart(self):
+        with PoolBackend(workers=2, sync="delta") as backend:
+            backend.bind_delta_applier(_apply_delta, _set_state)
+            backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(100,)
+            )
+            backend.notify_state_change(delta=5)
+            backend.notify_state_change(delta=2)
+            result = backend.map_items(
+                _read_state,
+                [None] * 4,
+                initializer=_set_state,
+                initargs=(100,),
+            )
+            assert result == [107, 107, 107, 107]
+            assert backend.restarts == 1  # resident, never re-shipped
+
+    def test_delta_replay_is_idempotent_across_batches(self):
+        """Workers that already applied a delta must not re-apply it."""
+        with PoolBackend(workers=2, sync="delta") as backend:
+            backend.bind_delta_applier(_apply_delta, _set_state)
+            backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(0,)
+            )
+            backend.notify_state_change(delta=3)
+            first = backend.map_items(
+                _read_state, [None] * 3, initializer=_set_state, initargs=(0,)
+            )
+            second = backend.map_items(
+                _read_state, [None] * 3, initializer=_set_state, initargs=(0,)
+            )
+            assert first == second == [3, 3, 3]
+
+    def test_delta_log_overflow_falls_back_to_restart(self):
+        with PoolBackend(workers=1, sync="delta", max_delta_log=2) as backend:
+            backend.bind_delta_applier(_apply_delta, _set_state)
+            backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(0,)
+            )
+            for _ in range(3):  # one past the cap
+                backend.notify_state_change(delta=1)
+            # The next dispatch re-ships instead of replaying: the
+            # fresh fork re-runs the initializer (value 0), whereas a
+            # delta replay would have produced 3.
+            assert backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(0,)
+            ) == [0]
+            assert backend.restarts == 2
+            assert backend.pending_deltas == 0
+
+    def test_deltas_do_not_apply_to_a_different_resident_state(self):
+        """Replaying serve deltas into build-state would corrupt it."""
+        with PoolBackend(workers=1, sync="delta") as backend:
+            backend.bind_delta_applier(_apply_delta, _set_state)
+            # Bind a *different* initializer than the applier's.
+            backend.map_items(_square, [2])
+            backend.notify_state_change(delta=9)
+            backend.map_items(_square, [2])
+            assert backend.restarts == 2  # restart, not a bogus replay
+
+    def test_pool_stats_shape(self):
+        with PoolBackend(workers=1, sync="delta") as backend:
+            backend.bind_delta_applier(_apply_delta, _set_state)
+            backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(0,)
+            )
+            backend.notify_state_change(delta=1)
+            backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(0,)
+            )
+            stats = backend.pool_stats()
+            assert stats["sync"] == "delta"
+            assert stats["epoch"] == 1
+            assert stats["restarts"] == 1
+            assert stats["delta_syncs"] == 1
+            assert stats["pending_deltas"] == 1

@@ -204,7 +204,7 @@ class TestExecutionBackends:
         engine = MapReduceEngine(backend=backend)
         return engine.run(picklable_word_count_job(), self.DOCUMENTS)
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "pool"])
     def test_output_and_counters_match_serial(self, backend):
         baseline = self._run("serial")
         parallel = self._run(backend)

@@ -1,0 +1,213 @@
+"""Randomized cross-backend parity: every backend, bit-identical, always.
+
+The execution layer's load-bearing promise is that the backend is a
+pure performance knob — serial, thread, process and the long-lived pool
+must produce **bit-identical** recommendations on any workload, and the
+sharded index must agree with the flat one.  Long-lived workers make
+that promise fragile in exactly one place: state mutated *between*
+batches.  So the workloads here are seeded random interleavings of
+
+* batch group requests (``recommend_many`` — the fan-out path),
+* single-user requests,
+* ``ingest_rating`` mutations targeting members of already-served
+  groups (the staleness trap for resident workers), and
+* ``update_profile`` mutations,
+
+with the first three operations pinned to ``batch → ingest → batch`` so
+every seed exercises the mutation-between-batches case even before the
+random tail begins.
+
+Each run replays the identical script against a fresh service per
+(backend, shards, sync) configuration and compares full recommendation
+payloads — item ids, the plain top-z, and the float relevance tables —
+against the serial/flat reference with ``==`` (no tolerance).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import RecommenderConfig
+from repro.data.datasets import HealthDataset, generate_dataset
+from repro.data.groups import Group
+from repro.serving import RecommendationService
+
+#: The fixed seed matrix (acceptance: >= 3 seeds).
+SEEDS = (3, 11, 29)
+
+#: Every backend, plus the sharded-index and sync-mode variants.  The
+#: first entry is the reference everything else must equal.
+CONFIGURATIONS = (
+    ("serial", 1, "delta"),
+    ("serial", 3, "delta"),
+    ("thread", 1, "delta"),
+    ("process", 1, "delta"),
+    ("pool", 1, "delta"),
+    ("pool", 3, "delta"),
+    ("pool", 1, "full"),
+)
+
+
+def _build_script(seed: int, user_ids: list[str], item_ids: list[str]) -> list[tuple]:
+    """A deterministic operation script from one seed.
+
+    Groups are drawn from a small member pool so they overlap (shared
+    relevance rows, the realistic caregiver shape) and mutations target
+    users from that same pool, so they hit members of groups that are
+    already cached and already resident in pool workers.
+    """
+    rng = random.Random(seed * 7919)
+    pool = rng.sample(user_ids, min(len(user_ids), 10))
+
+    def random_batch() -> tuple:
+        groups = []
+        for _ in range(rng.randint(2, 3)):
+            groups.append(tuple(sorted(rng.sample(pool, rng.randint(3, 4)))))
+        return ("batch", tuple(groups), rng.randint(3, 5))
+
+    def random_ingest() -> tuple:
+        return (
+            "ingest",
+            rng.choice(pool),
+            rng.choice(item_ids),
+            float(rng.randint(1, 5)),
+        )
+
+    # The pinned staleness scenario, then a random tail.
+    script = [random_batch(), random_ingest(), random_batch()]
+    for _ in range(5):
+        pick = rng.randrange(4)
+        if pick == 0:
+            script.append(random_batch())
+        elif pick == 1:
+            script.append(random_ingest())
+        elif pick == 2:
+            script.append(("user", rng.choice(pool), rng.randint(3, 5)))
+        else:
+            script.append(("profile", rng.choice(pool)))
+    return script
+
+
+def _age_bump(user) -> None:
+    user.age = (user.age or 30) + 1
+
+
+def _run_script(
+    payload: dict,
+    script: list[tuple],
+    backend: str,
+    shards: int,
+    sync: str,
+) -> list:
+    """Replay one script against a fresh service; returns its trace.
+
+    The trace captures every *recommendation* observable: recommended
+    item tuples, the unfair plain top-z, exact float relevance tables
+    and the ranked single-user lists.  Mutations contribute only a
+    marker — their return value (the set of invalidated users) depends
+    by design on how much the parent has cached locally, which differs
+    between a serial parent (computes everything itself) and a
+    process/pool parent (offloads to workers), without ever changing
+    what is recommended.
+    """
+    dataset = HealthDataset.from_dict(payload)
+    config = RecommenderConfig(
+        peer_threshold=0.1,
+        top_k=5,
+        top_z=4,
+        exec_backend=backend,
+        exec_workers=2,
+        pool_sync=sync,
+        index_shards=shards,
+    )
+    service = RecommendationService(dataset, config)
+    trace: list = []
+    try:
+        for op in script:
+            if op[0] == "batch":
+                groups = [
+                    Group(member_ids=list(members), caregiver_id="cg")
+                    for members in op[1]
+                ]
+                results = service.recommend_many(groups, z=op[2])
+                trace.append(
+                    [
+                        (
+                            rec.items,
+                            rec.plain_top_z,
+                            rec.candidates.group_relevance,
+                        )
+                        for rec in results
+                    ]
+                )
+            elif op[0] == "user":
+                scored = service.recommend_user(op[1], k=op[2])
+                trace.append([(item.item_id, item.score) for item in scored])
+            elif op[0] == "ingest":
+                affected = service.ingest_rating(op[1], op[2], op[3])
+                assert op[1] in affected
+                trace.append(("ingested", op[1], op[2]))
+            elif op[0] == "profile":
+                affected = service.update_profile(op[1], _age_bump)
+                assert op[1] in affected
+                trace.append(("profiled", op[1]))
+            else:  # pragma: no cover - script generator bug
+                raise AssertionError(f"unknown op {op[0]!r}")
+    finally:
+        service.close()
+    return trace
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_workload_parity_across_backends_and_sharding(seed):
+    """All four backends (and shard/sync variants) replay one random
+    workload bit-identically, mutations between batches included."""
+    dataset = generate_dataset(
+        num_users=24, num_items=36, ratings_per_user=10, seed=seed
+    )
+    payload = dataset.to_dict()
+    script = _build_script(seed, dataset.users.ids(), dataset.ratings.item_ids())
+    assert script[0][0] == "batch" and script[1][0] == "ingest"
+
+    reference = _run_script(payload, script, *CONFIGURATIONS[0])
+    assert any(isinstance(step, list) and step for step in reference)
+    for backend, shards, sync in CONFIGURATIONS[1:]:
+        trace = _run_script(payload, script, backend, shards, sync)
+        assert trace == reference, (
+            f"backend={backend} shards={shards} sync={sync} diverged "
+            f"from the serial reference on seed {seed}"
+        )
+
+
+def test_mutation_between_batches_changes_results_and_keeps_parity():
+    """The staleness trap, non-vacuously: serve a batch, mutate members'
+    ratings, serve the *same* batch again.  The second answers must
+    differ from the first (so a resident worker serving its fork-time
+    snapshot could not pass by accident) and every backend must agree
+    with the serial reference on both."""
+    dataset = generate_dataset(
+        num_users=24, num_items=36, ratings_per_user=10, seed=5
+    )
+    payload = dataset.to_dict()
+    rng = random.Random(99)
+    pool = rng.sample(dataset.users.ids(), 8)
+    groups = tuple(tuple(sorted(rng.sample(pool, 4))) for _ in range(3))
+    member = groups[0][0]
+    script: list[tuple] = [("batch", groups, 4)]
+    for item_id in dataset.ratings.item_ids()[:3]:
+        script.append(("ingest", member, item_id, 1.0))
+    script.append(("batch", groups, 4))
+
+    reference = _run_script(payload, script, *CONFIGURATIONS[0])
+    assert reference[0] != reference[-1], (
+        "the mutations were supposed to change at least one group's "
+        "recommendations — the staleness scenario is vacuous"
+    )
+    for backend, shards, sync in CONFIGURATIONS[1:]:
+        trace = _run_script(payload, script, backend, shards, sync)
+        assert trace == reference, (
+            f"backend={backend} shards={shards} sync={sync} served stale "
+            f"results after mutations between batches"
+        )

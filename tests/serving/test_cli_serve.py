@@ -177,7 +177,7 @@ class TestServeBackendsAndSnapshots:
         assert code == 0
         return dataset_path
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "pool"])
     def test_serve_with_backend(self, tmp_path, capsys, backend):
         dataset_path = self._dataset(tmp_path)
         capsys.readouterr()
@@ -221,6 +221,47 @@ class TestServeBackendsAndSnapshots:
         first = capsys.readouterr().out
         assert "saved neighbor-index snapshot" in first
         assert snapshot_path.exists()
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "loaded neighbor-index snapshot: 20 rows" in second
+        assert "warmed neighbor index" not in second
+
+    def test_serve_pool_backend_with_sharded_snapshot_dir(
+        self, tmp_path, capsys
+    ):
+        """--backend pool + a directory --snapshot: save per-shard on the
+        first run, restart from the manifest on the second."""
+        from repro.serving.snapshot import MANIFEST_NAME
+
+        dataset_path = self._dataset(tmp_path)
+        snapshot_dir = tmp_path / "index_snapshot"
+        args = [
+            "serve",
+            str(dataset_path),
+            "-",
+            "--synthetic-requests",
+            "6",
+            "--backend",
+            "pool",
+            "--pool-sync",
+            "delta",
+            "--workers",
+            "2",
+            "--shards",
+            "3",
+            "--peer-threshold",
+            "0.0",
+            "--snapshot",
+            str(snapshot_dir),
+            "--quiet",
+        ]
+        capsys.readouterr()
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "saved neighbor-index snapshot" in first
+        assert (snapshot_dir / MANIFEST_NAME).exists()
+        assert len(list(snapshot_dir.glob("shard-*.json"))) == 3
 
         assert main(args) == 0
         second = capsys.readouterr().out

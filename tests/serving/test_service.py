@@ -282,7 +282,7 @@ class TestExecutionBackends:
             for seed in range(count)
         ]
 
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "pool"])
     def test_batch_matches_cold_pipeline(self, mutable_dataset, backend):
         config = CONFIG.with_overrides(exec_backend=backend, exec_workers=2)
         service = RecommendationService(mutable_dataset, config)
@@ -300,7 +300,7 @@ class TestExecutionBackends:
         service = RecommendationService(mutable_dataset, CONFIG)
         groups = self._groups(mutable_dataset)
         baseline = [r.items for r in service.recommend_many(groups)]
-        for backend in ("thread", "process"):
+        for backend in ("thread", "process", "pool"):
             fresh = RecommendationService(mutable_dataset, CONFIG)
             got = [
                 r.items
@@ -343,6 +343,38 @@ class TestExecutionBackends:
         sharded.ingest_rating(user_id, unrated[0], 5.0)
         fresh = sharded.recommend_group(group)
         assert fresh.items == _cold(mutable_dataset, group).items
+
+    def test_pool_backend_warm_then_serve_rebinds_resident_state(
+        self, mutable_dataset
+    ):
+        """warm() binds the pool to the index-build state, the first
+        batch rebinds it to the serve state, and both produce rows and
+        recommendations identical to a serial warm service — including
+        after an ingest that must survive both rebinds."""
+        config = CONFIG.with_overrides(exec_backend="pool", exec_workers=2)
+        reference = RecommendationService(mutable_dataset, CONFIG)
+        reference.warm()
+        groups = self._groups(mutable_dataset, count=3)
+        with RecommendationService(mutable_dataset, config) as service:
+            service.warm()
+            assert (
+                service.index.snapshot_rows() == reference.index.snapshot_rows()
+            )
+            assert service.backend.restarts == 1  # the build pool
+            batch = [r.items for r in service.recommend_many(groups)]
+            assert service.backend.restarts == 2  # rebound to serve state
+            assert batch == [
+                r.items for r in reference.recommend_many(groups)
+            ]
+            user_id = groups[0].member_ids[0]
+            unrated = mutable_dataset.ratings.unrated_items(
+                user_id, mutable_dataset.ratings.item_ids()
+            )
+            service.ingest_rating(user_id, unrated[0], 5.0)
+            reference.ingest_rating(user_id, unrated[0], 5.0)
+            assert [r.items for r in service.recommend_many(groups)] == [
+                r.items for r in reference.recommend_many(groups)
+            ]
 
     def test_stats_report_backend_and_shards(self, mutable_dataset):
         service = RecommendationService(
@@ -423,3 +455,116 @@ class TestBackendLifecycleAndCustomMeasures:
         with service:
             service.recommend_many(groups)
         assert service.backend._pool is None
+
+
+class TestWorkerFoldedCacheInvalidation:
+    """Regression: group results folded back from worker processes.
+
+    ``_recommend_many_process`` caches worker-computed recommendations
+    in the parent's group cache, but the parent may never have built
+    the members' peer rows — so the targeted invalidation (which walks
+    *built* rows) used to miss those entries, and a group whose members
+    merely *depended* on the touched user kept serving its pre-mutation
+    result.  The fix treats members without a built parent row as
+    conservatively affected.
+    """
+
+    def test_folded_results_invalidate_on_ingest(self, mutable_dataset):
+        config = CONFIG.with_overrides(exec_backend="process", exec_workers=2)
+        groups = [
+            random_group(mutable_dataset.users.ids(), 4, seed=s)
+            for s in range(4)
+        ]
+        service = RecommendationService(mutable_dataset, config)
+        service.recommend_many(groups)  # fills the cache from workers
+        # Mutate a user from the *first* group, repeatedly, so peer
+        # scores move enough to change other groups' recommendations.
+        # Those groups' rows were never built in the parent, so only
+        # the conservative invalidation drops their folded entries.
+        touched = groups[0].member_ids[0]
+        for item_id in mutable_dataset.ratings.item_ids()[:4]:
+            service.ingest_rating(touched, item_id, 1.0)
+        after = [r.items for r in service.recommend_many(groups)]
+        service.close()
+
+        cold = RecommendationService(mutable_dataset, CONFIG)
+        expected = [cold.recommend_group(g).items for g in groups]
+        assert after == expected
+
+    def test_pool_backend_folded_results_invalidate_too(self, mutable_dataset):
+        config = CONFIG.with_overrides(exec_backend="pool", exec_workers=2)
+        groups = [
+            random_group(mutable_dataset.users.ids(), 4, seed=s)
+            for s in range(4)
+        ]
+        with RecommendationService(mutable_dataset, config) as service:
+            service.recommend_many(groups)
+            touched = groups[0].member_ids[0]
+            for item_id in mutable_dataset.ratings.item_ids()[:4]:
+                service.ingest_rating(touched, item_id, 1.0)
+            after = [r.items for r in service.recommend_many(groups)]
+
+        cold = RecommendationService(mutable_dataset, CONFIG)
+        expected = [cold.recommend_group(g).items for g in groups]
+        assert after == expected
+
+
+class TestSharedAndForeignPools:
+    """Pool instances that outlive or cross service boundaries."""
+
+    def _groups(self, dataset, count=3):
+        return [
+            random_group(dataset.users.ids(), 4, seed=seed)
+            for seed in range(count)
+        ]
+
+    def test_one_pool_shared_by_two_services_over_different_data(
+        self, mutable_dataset
+    ):
+        """Resident workers built from service A's dataset must not
+        answer service B's requests — the initargs identity check has
+        to force a re-ship on hand-over."""
+        from repro.data.datasets import generate_dataset
+        from repro.exec import PoolBackend
+
+        other = generate_dataset(
+            num_users=30, num_items=40, ratings_per_user=10, seed=77
+        )
+        with PoolBackend(workers=2) as pool:
+            a = RecommendationService(mutable_dataset, CONFIG, backend=pool)
+            b = RecommendationService(other, CONFIG, backend=pool)
+            groups_a = self._groups(mutable_dataset)
+            groups_b = self._groups(other)
+            got_a = [r.items for r in a.recommend_many(groups_a)]
+            got_b = [r.items for r in b.recommend_many(groups_b)]
+        assert got_a == [
+            _cold(mutable_dataset, g).items for g in groups_a
+        ]
+        assert got_b == [_cold(other, g).items for g in groups_b]
+
+    def test_caller_held_pool_passed_per_call_sees_mutations(
+        self, mutable_dataset
+    ):
+        """A pool handed to recommend_many per call missed the epoch
+        bumps; the service must force it to re-ship after a mutation
+        instead of letting it serve its fork-time snapshot."""
+        from repro.exec import PoolBackend
+
+        groups = self._groups(mutable_dataset)
+        service = RecommendationService(mutable_dataset, CONFIG)
+        with PoolBackend(workers=2) as pool:
+            before = [
+                r.items for r in service.recommend_many(groups, backend=pool)
+            ]
+            # Steady state: a second dispatch must not restart the pool.
+            service.recommend_many(groups, backend=pool)
+            restarts_before_mutation = pool.restarts
+            user_id = groups[0].member_ids[0]
+            for item_id in mutable_dataset.ratings.item_ids()[:4]:
+                service.ingest_rating(user_id, item_id, 1.0)
+            after = [
+                r.items for r in service.recommend_many(groups, backend=pool)
+            ]
+            assert pool.restarts > restarts_before_mutation
+        assert before != after  # the mutations really moved results
+        assert after == [_cold(mutable_dataset, g).items for g in groups]
