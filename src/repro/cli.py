@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .config import KNOWN_EXEC_BACKENDS, RecommenderConfig
+from .exec import DEFAULT_IDLE_TTL
 from .core.pipeline import CaregiverPipeline
 from .data.datasets import generate_dataset
 from .data.groups import Group, random_group
@@ -164,8 +165,37 @@ def build_parser() -> argparse.ArgumentParser:
         default="delta",
         help=(
             "with --backend pool: how stale resident workers re-sync after "
-            "an update (replay a mutation delta log, or re-ship the full "
-            "state)"
+            "an update (broadcast a per-epoch mutation packet — one message "
+            "per worker — or re-ship the full state)"
+        ),
+    )
+    serve.add_argument(
+        "--pool-min-workers",
+        type=int,
+        default=0,
+        help=(
+            "with --backend pool: autoscaling floor — idle workers shrink "
+            "to this width after --pool-idle-ttl seconds (0 = pin at the "
+            "--workers width)"
+        ),
+    )
+    serve.add_argument(
+        "--pool-max-workers",
+        type=int,
+        default=0,
+        help=(
+            "with --backend pool: autoscaling ceiling — the pool grows "
+            "toward this width under batch queue depth (0 = pin at the "
+            "--workers width)"
+        ),
+    )
+    serve.add_argument(
+        "--pool-idle-ttl",
+        type=float,
+        default=DEFAULT_IDLE_TTL,
+        help=(
+            "with --backend pool: seconds without a dispatch before the "
+            "pool shrinks back to --pool-min-workers"
         ),
     )
     serve.add_argument(
@@ -354,6 +384,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         # 0 = auto-detect CPUs; an explicit --workers pins the width.
         exec_workers=args.workers or 0,
         pool_sync=args.pool_sync,
+        pool_min_workers=args.pool_min_workers,
+        pool_max_workers=args.pool_max_workers,
+        pool_idle_ttl=args.pool_idle_ttl,
         index_shards=args.shards,
     )
     service = RecommendationService(dataset, config)

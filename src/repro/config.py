@@ -125,10 +125,26 @@ class RecommenderConfig:
         number of available CPUs.
     pool_sync:
         How the long-lived ``"pool"`` backend refreshes stale worker
-        state after an update: ``"delta"`` replays a log of rating /
-        profile mutations into the resident workers, ``"full"``
-        restarts the pool and re-ships the whole state.  Ignored by
-        the other backends.
+        state after an update: ``"delta"`` broadcasts a per-epoch
+        packet of rating / profile mutations to the resident workers
+        (one control message per worker), ``"full"`` restarts the pool
+        and re-ships the whole state.  Ignored by the other backends.
+    pool_min_workers:
+        Autoscaling floor of the ``"pool"`` backend: idle workers are
+        shrunk down to this width.  ``0`` (default) pins the pool at
+        the resolved ``exec_workers`` width (no autoscaling floor of
+        its own).
+    pool_max_workers:
+        Autoscaling ceiling of the ``"pool"`` backend: the pool grows
+        toward this width when a batch's queue depth exceeds the live
+        worker count.  ``0`` (default) pins the ceiling at the
+        resolved ``exec_workers`` width — or at ``pool_min_workers``
+        when that floor is higher (a lone floor implies a covering
+        ceiling, never a contradiction).
+    pool_idle_ttl:
+        Seconds without a dispatch after which an autoscaling pool
+        shrinks back to ``pool_min_workers``.  Only meaningful when
+        the bounds leave room to scale.
     index_shards:
         Number of shards the serving layer's neighbour index is hash-
         partitioned into.  ``1`` keeps the single flat index; more
@@ -153,6 +169,9 @@ class RecommenderConfig:
     exec_backend: str = "serial"
     exec_workers: int = 0
     pool_sync: str = "delta"
+    pool_min_workers: int = 0
+    pool_max_workers: int = 0
+    pool_idle_ttl: float = 30.0
     index_shards: int = 1
 
     def __post_init__(self) -> None:
@@ -209,6 +228,25 @@ class RecommenderConfig:
                 f"unknown pool_sync {self.pool_sync!r}; "
                 f"expected one of {KNOWN_POOL_SYNCS}"
             )
+        if self.pool_min_workers < 0:
+            raise ConfigurationError(
+                "pool_min_workers must be >= 0 (0 = exec_workers width)"
+            )
+        if self.pool_max_workers < 0:
+            raise ConfigurationError(
+                "pool_max_workers must be >= 0 (0 = exec_workers width)"
+            )
+        if (
+            self.pool_min_workers
+            and self.pool_max_workers
+            and self.pool_min_workers > self.pool_max_workers
+        ):
+            raise ConfigurationError(
+                f"pool_min_workers ({self.pool_min_workers}) must not "
+                f"exceed pool_max_workers ({self.pool_max_workers})"
+            )
+        if self.pool_idle_ttl <= 0:
+            raise ConfigurationError("pool_idle_ttl must be positive")
         if self.index_shards <= 0:
             raise ConfigurationError("index_shards must be positive")
 
@@ -248,6 +286,9 @@ class RecommenderConfig:
             "exec_backend": self.exec_backend,
             "exec_workers": self.exec_workers,
             "pool_sync": self.pool_sync,
+            "pool_min_workers": self.pool_min_workers,
+            "pool_max_workers": self.pool_max_workers,
+            "pool_idle_ttl": self.pool_idle_ttl,
             "index_shards": self.index_shards,
         }
 

@@ -204,6 +204,22 @@ def format_serving_stats(stats: Mapping[str, Any]) -> str:
             f"neighbor index: {index['built_rows']}/{index['users']} rows "
             f"(δ={index['threshold']})"
         )
+    backend = stats.get("backend")
+    if backend:
+        lines.append(
+            f"backend: {backend['name']} (workers={backend['workers']})"
+        )
+        pool = backend.get("pool")
+        if pool:
+            lines.append(
+                f"pool: epoch {pool['epoch']} (resident "
+                f"{pool['resident_epoch']}), {pool['live_workers']} live "
+                f"workers [{pool['min_workers']}..{pool['max_workers']}], "
+                f"{pool['restarts']} restarts, {pool['delta_syncs']} "
+                f"broadcasts ({pool['sync_messages']} messages, "
+                f"{pool['sync_bytes']} B), scale +{pool['scale_ups']}/"
+                f"-{pool['scale_downs']}"
+            )
     return "\n".join(lines)
 
 

@@ -6,7 +6,8 @@ MapReduce engine, the similarity batch builds, the neighbour index, the
 serving batch API and the evaluation grids.  All backends produce
 bit-identical results; they differ only in wall-clock and in how state
 reaches the workers (:mod:`repro.exec.pool` documents the long-lived
-pool's epoch-based sync protocol).
+pool's broadcast epoch-sync protocol and autoscaling policy;
+``docs/ARCHITECTURE.md`` has the cross-layer picture).
 """
 
 from .backends import (
@@ -22,10 +23,16 @@ from .backends import (
     get_backend,
     resolve_backend,
 )
-from .pool import DEFAULT_MAX_DELTA_LOG, POOL_SYNC_MODES, PoolBackend
+from .pool import (
+    DEFAULT_IDLE_TTL,
+    DEFAULT_MAX_DELTA_LOG,
+    POOL_SYNC_MODES,
+    PoolBackend,
+)
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_IDLE_TTL",
     "DEFAULT_MAX_DELTA_LOG",
     "ExecutionBackend",
     "POOL_SYNC_MODES",

@@ -16,12 +16,13 @@ module is the single substrate they all share:
   an in-place data update between calls can never leave this backend
   serving stale data.  The freshness is paid for on every call (fork +
   state re-ship), even when nothing changed.
-* :class:`~repro.exec.pool.PoolBackend` — a *long-lived* process pool
-  whose workers keep resident state between calls and re-sync through
-  an epoch counter (:mod:`repro.exec.pool`).  Steady-state batches ship
-  only task arguments; the freshness guarantee then depends on the
-  state owner reporting every mutation via
-  :meth:`ExecutionBackend.notify_state_change`.
+* :class:`~repro.exec.pool.PoolBackend` — a *long-lived*, autoscaling
+  process pool whose workers keep resident state between calls and
+  re-sync through broadcast per-epoch delta packets — one control
+  message per worker, never per task (:mod:`repro.exec.pool`).
+  Steady-state batches ship only task arguments; the freshness
+  guarantee then depends on the state owner reporting every mutation
+  via :meth:`ExecutionBackend.notify_state_change`.
 
 Every backend maps a function over items **in input order** and returns
 a list — results are bit-identical across backends by construction,
@@ -86,6 +87,11 @@ def chunk_evenly(items: Sequence[T], num_chunks: int) -> list[list[T]]:
     Chunk sizes differ by at most one and concatenating the chunks
     reproduces ``items`` exactly — chunked execution therefore cannot
     change result ordering.  Empty chunks are never returned.
+
+    >>> chunk_evenly([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    >>> chunk_evenly([], 3)
+    []
     """
     if num_chunks < 1:
         raise ValueError("num_chunks must be >= 1")
@@ -200,6 +206,11 @@ class SerialBackend(ExecutionBackend):
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
     ) -> list[R]:
+        """A literal ``[fn(item) for item in items]`` — the reference.
+
+        >>> SerialBackend().map_items(abs, [-2, 3])
+        [2, 3]
+        """
         if initializer is not None:
             initializer(*initargs)
         return [fn(item) for item in items]
@@ -235,6 +246,7 @@ class ThreadBackend(ExecutionBackend):
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
     ) -> list[R]:
+        """Map on the (lazily created, reused) thread pool, in order."""
         if initializer is not None:
             initializer(*initargs)
         items = list(items)
@@ -243,6 +255,7 @@ class ThreadBackend(ExecutionBackend):
         return list(self._ensure_pool().map(fn, items))
 
     def close(self) -> None:
+        """Shut the thread pool down (idempotent; recreated on next use)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -286,6 +299,7 @@ class ProcessBackend(ExecutionBackend):
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
     ) -> list[R]:
+        """Map on a fresh process pool; workers see state as of this call."""
         items = list(items)
         if not items:
             return []
@@ -308,11 +322,23 @@ def get_backend(
     workers: int | None = None,
     *,
     pool_sync: str = "delta",
+    pool_min_workers: int | None = None,
+    pool_max_workers: int | None = None,
+    pool_idle_ttl: float | None = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by name (``None`` means serial).
 
-    ``pool_sync`` selects the :class:`~repro.exec.pool.PoolBackend`
-    state-sync strategy and is ignored by the other backends.
+    The ``pool_*`` keywords configure the
+    :class:`~repro.exec.pool.PoolBackend` (state-sync strategy and
+    autoscaling bounds) and are ignored by the other backends.
+
+    >>> get_backend("serial").name
+    'serial'
+    >>> get_backend(None).name
+    'serial'
+    >>> with get_backend("thread", workers=2) as backend:
+    ...     backend.map_items(len, ["ab", "abc"])
+    [2, 3]
     """
     if name is None:
         name = "serial"
@@ -325,7 +351,13 @@ def get_backend(
     if name == "pool":
         from .pool import PoolBackend
 
-        return PoolBackend(workers, sync=pool_sync)
+        return PoolBackend(
+            workers,
+            sync=pool_sync,
+            min_workers=pool_min_workers,
+            max_workers=pool_max_workers,
+            idle_ttl=pool_idle_ttl,
+        )
     raise ConfigurationError(
         f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
     )
@@ -336,17 +368,33 @@ def resolve_backend(
     workers: int | None = None,
     *,
     pool_sync: str = "delta",
+    pool_min_workers: int | None = None,
+    pool_max_workers: int | None = None,
+    pool_idle_ttl: float | None = None,
 ) -> ExecutionBackend:
     """Coerce a backend spec (instance, name or ``None``) to an instance.
 
     ``None`` resolves to the serial backend, keeping every refactored
     call site backward compatible by default.
+
+    >>> resolve_backend(None).name
+    'serial'
+    >>> backend = SerialBackend()
+    >>> resolve_backend(backend) is backend
+    True
     """
     if backend is None:
         return SerialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
-    return get_backend(backend, workers, pool_sync=pool_sync)
+    return get_backend(
+        backend,
+        workers,
+        pool_sync=pool_sync,
+        pool_min_workers=pool_min_workers,
+        pool_max_workers=pool_max_workers,
+        pool_idle_ttl=pool_idle_ttl,
+    )
 
 
 @contextmanager

@@ -1,54 +1,78 @@
-"""A long-lived worker pool with epoch-based state synchronisation.
+"""A long-lived, autoscaling worker pool with broadcast delta sync.
 
 :class:`~repro.exec.backends.ProcessBackend` buys staleness-freedom by
 building a fresh pool per ``map_items`` call — every batch pays fork and
 state-shipping overhead even when nothing changed between batches.
 :class:`PoolBackend` keeps the workers alive instead and makes the
-staleness hazard explicit:
+staleness hazard explicit through a **message-shaped sync protocol**
+(deliberately shaped like a distributed system, so the same protocol can
+later span machines, not just processes):
 
 * each worker holds a **resident copy** of the per-call state (built by
-  the ``initializer`` when the pool starts);
+  the ``initializer`` when the worker boots — under the fork start
+  method the state is inherited, never pickled);
 * the owner of the state (e.g. a
   :class:`~repro.serving.RecommendationService`) reports every mutation
   through :meth:`PoolBackend.notify_state_change`, which bumps an
-  **epoch counter**;
-* every task ships the current epoch; a worker whose resident state is
-  older re-syncs *before* running the task — either by replaying a
-  **delta log** of mutations (``sync="delta"``) or, when no delta is
-  available, by a full pool restart that re-ships the state
-  (``sync="full"``);
-* in steady state (no mutations between batches) tasks ship nothing but
-  their own arguments — this is the whole point.  After a mutation the
-  pending delta suffix rides along with each dispatch (a worker only
-  syncs when a task reaches it, so the parent cannot know when the last
-  straggler caught up); once that has happened
-  :data:`PROMOTE_AFTER_STALE_DISPATCHES` times the pool restarts to
-  return to truly-bare dispatches.
+  **epoch counter** and logs the mutation delta;
+* each worker owns a FIFO **inbox**; the parent talks to workers only
+  through messages (``sync`` / ``tasks`` / ``stop``).  When the parent
+  is ahead of the pool it **broadcasts** one per-epoch *delta packet* —
+  one control message per worker, each carrying the pending mutation
+  log once — instead of attaching the log to every task.  Sync cost per
+  batch is therefore O(workers), never O(tasks);
+* because every inbox is FIFO, a task enqueued after the broadcast can
+  only be seen by a worker that already applied the packet — the parent
+  can advance its view of the pool epoch and clear the log at broadcast
+  time, with no acknowledgements, no barrier, and no delta suffix
+  riding along with later dispatches;
+* when no delta is available (``sync="full"``, an undescribed mutation,
+  or a log grown past ``max_delta_log``) the pool restarts, re-shipping
+  the full state through the initializer;
+* the pool **autoscales**: it grows toward ``max_workers`` under queue
+  depth (each new worker bootstraps from the parent's *current* epoch —
+  a full ship via fork — and then joins delta sync like any other
+  worker) and shrinks idle workers back to ``min_workers`` once
+  ``idle_ttl`` elapses with no dispatch.
 
-The epoch protocol keeps the backend family's core contract intact:
-results are bit-identical to the serial backend, because a worker never
-runs a task against state older than the parent's at dispatch time.
-Skipping :meth:`notify_state_change` after a mutation breaks that
-guarantee — the regression tests pin the resulting staleness as the
-documented counterexample.
+In steady state (no mutations between batches) tasks ship nothing but
+their own arguments — this is the whole point.  The epoch protocol
+keeps the backend family's core contract intact: results are
+bit-identical to the serial backend, because a worker never runs a task
+against state older than the parent's at dispatch time.  Skipping
+:meth:`notify_state_change` after a mutation breaks that guarantee —
+the regression tests pin the resulting staleness as the documented
+counterexample.
 
 Delta entries are opaque to the backend.  The state owner registers a
 module-level **applier** via :meth:`bind_delta_applier`; workers call it
 once per unseen delta, in epoch order.  Appliers must be deterministic:
 replaying the same deltas over the same resident state must reproduce
 the parent's state exactly, or bit-identity silently breaks.
+
+Example — the protocol in miniature (see ``docs/ARCHITECTURE.md`` for
+the full sequence diagram)::
+
+    backend = PoolBackend(workers=2, sync="delta")
+    backend.bind_delta_applier(apply_mutation, build_state)
+    backend.map_items(fn, items, initializer=build_state, initargs=args)
+    backend.notify_state_change(delta=mutation)   # epoch 0 -> 1
+    backend.map_items(fn, items, initializer=build_state, initargs=args)
+    # one sync message per worker, then bare tasks
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import queue as queue_module
 import threading
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+import time
+import traceback
 from typing import Any, Callable, Iterable, TypeVar
 
 from ..exceptions import ConfigurationError, ExecutionError
-from .backends import ExecutionBackend, ensure_picklable
+from .backends import ExecutionBackend, chunk_evenly, ensure_picklable
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -61,12 +85,29 @@ POOL_SYNC_MODES: tuple[str, ...] = ("full", "delta")
 #: pool restart; the backend re-ships the full state instead.
 DEFAULT_MAX_DELTA_LOG = 256
 
-#: Number of consecutive delta-shipping dispatches after which the pool
-#: restarts anyway.  There is no cheap way to learn that *every* worker
-#: has replayed the log (a worker only syncs when a task happens to
-#: reach it), so the pending suffix rides along with each dispatch; the
-#: bound stops a single mutation from taxing every batch forever.
-PROMOTE_AFTER_STALE_DISPATCHES = 32
+#: How long a worker may stay idle (no dispatch reaching the pool)
+#: before an autoscaling pool shrinks it, in seconds.  ``None`` on the
+#: backend disables idle shrinking.
+DEFAULT_IDLE_TTL = 30.0
+
+#: Seconds the parent waits for a result before re-checking worker
+#: liveness (a dead worker turns the wait into an ExecutionError).
+_RESULT_POLL_SECONDS = 0.1
+
+#: Seconds a worker gets to exit after receiving a stop message before
+#: the parent terminates it.
+_JOIN_TIMEOUT_SECONDS = 5.0
+
+#: Inbox chunks dispatched per worker per batch: enough slack to absorb
+#: uneven task costs without making dispatch O(tasks) messages.
+_CHUNKS_PER_WORKER = 4
+
+#: Every inbox message crosses the wire pre-pickled (the parent
+#: serialises in the dispatching thread, so an unpicklable task item
+#: raises a catchable error instead of being dropped by the queue's
+#: feeder thread and hanging the collect loop).  The stop message never
+#: varies, so it is serialised once here.
+_STOP_BLOB: bytes = pickle.dumps(("stop",))
 
 
 def _same_elements(a: tuple[Any, ...], b: tuple[Any, ...]) -> bool:
@@ -85,62 +126,170 @@ def _same_elements(a: tuple[Any, ...], b: tuple[Any, ...]) -> bool:
 # -- worker-side resident state ---------------------------------------------
 #
 # One copy per worker process.  ``_EPOCH`` is the age of the resident
-# state; tasks carry the parent's epoch plus the delta-log suffix a
-# stale worker needs to catch up.
+# state; sync packets arriving through the worker's inbox advance it.
 
 _EPOCH: int = -1
 _APPLIER: Callable[[Any], None] | None = None
 
 
-def _boot_worker(
+def _encode_result(index: int, value: Any) -> bytes:
+    """Pickle one successful task result in the worker's main thread.
+
+    Pickling here (rather than letting the queue's feeder thread do it)
+    turns an unpicklable result into a catchable, reportable error
+    instead of a silently dropped message and a hung parent.
+    """
+    return pickle.dumps(("ok", index, value))
+
+
+def _encode_error(index: int, exc: BaseException) -> bytes:
+    """Pickle one failed task so the parent can re-raise the original."""
+    try:
+        exc_bytes: bytes | None = pickle.dumps(exc)
+    except Exception:
+        exc_bytes = None
+    return pickle.dumps(
+        ("err", index, exc_bytes, repr(exc), traceback.format_exc())
+    )
+
+
+def _apply_sync_packet(target_epoch: int, entries: tuple) -> None:
+    """Replay the unseen suffix of one broadcast delta packet."""
+    global _EPOCH
+    for delta_epoch, delta in entries:
+        if delta_epoch > _EPOCH:
+            if _APPLIER is None:
+                raise ExecutionError(
+                    "pool worker received a sync packet but no delta "
+                    "applier is bound; the parent should have restarted "
+                    "the pool instead of broadcasting"
+                )
+            _APPLIER(delta)
+    _EPOCH = max(_EPOCH, target_epoch)
+
+
+def _worker_loop(
     initializer: Callable[..., None] | None,
     initargs: tuple[Any, ...],
-    epoch: int,
+    boot_epoch: int,
     applier: Callable[[Any], None] | None,
+    inbox: Any,
+    results: Any,
 ) -> None:
-    """Build the resident state in a fresh worker process."""
+    """Message loop of one resident worker process.
+
+    Builds the resident state (a full ship: under fork the initargs are
+    inherited from the parent's *current* memory, so a worker spawned
+    mid-stream boots at the parent's current epoch), then serves its
+    inbox in FIFO order.  The FIFO is the protocol's correctness
+    backbone: a ``sync`` enqueued before a ``task`` is always applied
+    before it.
+    """
     global _EPOCH, _APPLIER
     if initializer is not None:
         initializer(*initargs)
-    _EPOCH = epoch
+    _EPOCH = boot_epoch
     _APPLIER = applier
-
-
-def _run_task(spec: tuple[Callable[[Any], Any], Any, int, tuple]) -> Any:
-    """Sync the resident state if stale, then run one task."""
-    global _EPOCH
-    fn, item, epoch, deltas = spec
-    if epoch > _EPOCH:
-        if _APPLIER is None:
-            raise ExecutionError(
-                f"pool worker state is stale (resident epoch {_EPOCH}, "
-                f"task epoch {epoch}) and no delta applier is bound; "
-                f"the parent should have restarted the pool"
+    while True:
+        message = pickle.loads(inbox.get())
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "sync":
+            _apply_sync_packet(message[1], message[2])
+            continue
+        # ("tasks", fn, ((index, item), ...), epoch)
+        _, fn, pairs, epoch = message
+        if epoch > _EPOCH:
+            # A task may never outrun its sync packet (FIFO): reaching
+            # here means the parent cleared the log without telling
+            # this worker — fail loudly rather than serve stale state.
+            violation = ExecutionError(
+                f"pool sync protocol violation: task epoch {epoch} is "
+                f"ahead of resident epoch {_EPOCH} with no sync packet "
+                f"in the inbox"
             )
-        for delta_epoch, delta in deltas:
-            if delta_epoch > _EPOCH:
-                _APPLIER(delta)
-        _EPOCH = epoch
-    return fn(item)
+            for index, _item in pairs:
+                results.put(_encode_error(index, violation))
+            continue
+        for index, item in pairs:
+            try:
+                payload = _encode_result(index, fn(item))
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                raise
+            except BaseException as exc:
+                payload = _encode_error(index, exc)
+            results.put(payload)
+
+
+class _Worker:
+    """Parent-side handle of one resident worker: process + inbox.
+
+    Lifecycle is fully synchronous: a worker is either in the pool's
+    live list or already stopped and joined — there is no in-between
+    state to reap later.
+    """
+
+    __slots__ = ("worker_id", "process", "inbox")
+
+    def __init__(self, worker_id: int, process: Any, inbox: Any) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.inbox = inbox
+
+    def stop(self) -> None:
+        """Send the targeted stop message, join, release the inbox."""
+        if self.process.is_alive():
+            try:
+                self.inbox.put(_STOP_BLOB)
+            except (ValueError, OSError):  # pragma: no cover - closed
+                pass
+        self.process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join()
+        self.inbox.close()
+        self.inbox.cancel_join_thread()
 
 
 class PoolBackend(ExecutionBackend):
-    """A persistent process pool whose workers hold resident state.
+    """A persistent, autoscaling process pool with broadcast state sync.
 
     Parameters
     ----------
     workers:
-        Pool width, as for every backend.
+        Default pool width, as for every backend.  It seeds both
+        autoscaling bounds, so a plain ``PoolBackend(workers=4)`` is a
+        fixed-size pool of 4.
     sync:
-        ``"delta"`` (default) replays logged mutations into stale
-        workers; ``"full"`` restarts the pool (re-shipping the state
-        through the initializer) after any mutation.  Both are exactly
-        as fresh as :class:`~repro.exec.backends.ProcessBackend`; they
-        differ only in how much crosses the process boundary.
+        ``"delta"`` (default) broadcasts logged mutations to stale
+        workers (one control message per worker); ``"full"`` restarts
+        the pool (re-shipping the state through the initializer) after
+        any mutation.  Both are exactly as fresh as
+        :class:`~repro.exec.backends.ProcessBackend`; they differ only
+        in how much crosses the process boundary.
     max_delta_log:
         Pending-delta count beyond which a delta sync falls back to a
         full restart (replaying a long history into every worker costs
         more than one re-ship).
+    min_workers / max_workers:
+        Autoscaling bounds.  Both default to ``workers`` (fixed size);
+        a lone ``min_workers`` above ``workers`` raises the default
+        ceiling with it (``max(workers, min_workers)``).
+        With ``min_workers < max_workers`` the pool grows toward
+        ``max_workers`` when a dispatch's queue depth exceeds the live
+        width, and shrinks back to ``min_workers`` after ``idle_ttl``
+        seconds without a dispatch.  A newly grown worker bootstraps
+        from the parent's current epoch (full ship via fork) and then
+        participates in delta sync like any resident worker.
+    idle_ttl:
+        Idle seconds before excess workers are shrunk (``None`` — the
+        default — never shrinks).  Shrinking is applied lazily: at the
+        next dispatch, :meth:`autoscale` call, or :meth:`pool_stats`
+        read.
+    clock:
+        Monotonic time source (injectable for tests); defaults to
+        :func:`time.monotonic`.
 
     The resident state is bound by the first ``map_items`` call's
     ``initializer``.  A later call with a *different* initializer
@@ -157,6 +306,10 @@ class PoolBackend(ExecutionBackend):
         workers: int | None = None,
         sync: str = "delta",
         max_delta_log: int = DEFAULT_MAX_DELTA_LOG,
+        min_workers: int | None = None,
+        max_workers: int | None = None,
+        idle_ttl: float | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         super().__init__(workers)
         if sync not in POOL_SYNC_MODES:
@@ -168,25 +321,69 @@ class PoolBackend(ExecutionBackend):
             raise ConfigurationError("max_delta_log must be >= 0")
         self.sync = sync
         self.max_delta_log = max_delta_log
+        if max_workers is not None:
+            self.max_workers = max_workers
+        elif min_workers is not None:
+            # A lone floor implies the ceiling covers it: min_workers=4
+            # with no explicit ceiling means "at least 4", not a
+            # min-above-max contradiction with the default width.
+            self.max_workers = max(self.workers, min_workers)
+        else:
+            self.max_workers = self.workers
+        if self.max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.min_workers = (
+            min_workers
+            if min_workers is not None
+            else min(self.workers, self.max_workers)
+        )
+        if self.min_workers < 1:
+            raise ConfigurationError("min_workers must be >= 1")
+        if self.min_workers > self.max_workers:
+            raise ConfigurationError(
+                f"min_workers ({self.min_workers}) must not exceed "
+                f"max_workers ({self.max_workers})"
+            )
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ConfigurationError("idle_ttl must be positive or None")
+        self.idle_ttl = idle_ttl
+        self._clock = clock or time.monotonic
         methods = multiprocessing.get_all_start_methods()
-        # fork keeps pool (re)starts cheap: the initializer arguments
-        # are inherited through the fork snapshot, never pickled.
+        # fork keeps worker boots cheap: the initializer arguments are
+        # inherited through the fork snapshot, never pickled — which is
+        # also what lets a mid-stream spawn see the current epoch.
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
+        # _lock guards the parent-side protocol state; _dispatch_lock
+        # serializes whole map_items calls (dispatch + collection), so
+        # two threads can never interleave results on the shared queue.
         self._lock = threading.RLock()
-        self._pool: ProcessPoolExecutor | None = None
+        self._dispatch_lock = threading.Lock()
+        self._workers: list[_Worker] = []
+        self._results: Any = None
+        self._next_worker_id = 0
         self._bound_init: Callable[..., None] | None = None
         self._bound_initargs: tuple[Any, ...] = ()
         self._applier: Callable[[Any], None] | None = None
         self._applier_init: Callable[..., None] | None = None
+        # The applier the *live workers* were spawned with.  Broadcast
+        # is only sound while this matches the parent's current
+        # binding — an applier bound (or re-bound) after boot must
+        # force a restart, not a broadcast the workers cannot apply.
+        self._pool_applier: Callable[[Any], None] | None = None
         self._epoch = 0
         self._pool_epoch = -1
         self._deltas: list[tuple[int, Any]] = []
         self._log_complete = True
+        self._booted = False
+        self._last_dispatch = self._clock()
         self._restarts = 0
         self._delta_syncs = 0
-        self._stale_dispatches = 0
+        self._sync_messages = 0
+        self._sync_bytes = 0
+        self._scale_ups = 0
+        self._scale_downs = 0
 
     # -- state registration ----------------------------------------------------
 
@@ -199,7 +396,7 @@ class PoolBackend(ExecutionBackend):
 
         ``applier`` must be a module-level (picklable) function that
         applies one delta payload to the resident state built by
-        ``initializer``.  Deltas are only replayed while the pool is
+        ``initializer``.  Deltas are only broadcast while the pool is
         bound to that same initializer; any other resident state falls
         back to a full restart.
         """
@@ -211,9 +408,10 @@ class PoolBackend(ExecutionBackend):
         """Record one mutation of the state behind the resident copies.
 
         ``delta`` is an opaque, picklable description of the mutation
-        (replayed by the bound applier).  ``None`` means the change
-        cannot be described as a delta — the next dispatch re-ships the
-        full state.  Returns the new epoch.
+        (broadcast to and replayed by every live worker before its next
+        task).  ``None`` means the change cannot be described as a
+        delta — the next dispatch re-ships the full state.  Returns the
+        new epoch.
         """
         with self._lock:
             self._epoch += 1
@@ -236,24 +434,45 @@ class PoolBackend(ExecutionBackend):
 
     @property
     def resident_epoch(self) -> int:
-        """Epoch the pool was booted at (-1 before the first dispatch)."""
+        """Epoch every resident worker is guaranteed to have reached.
+
+        Advances on boot, on restart, and at each broadcast (-1 before
+        the first dispatch).  The FIFO inboxes are what make advancing
+        at broadcast time sound: no worker can run a later task without
+        first consuming the sync packet queued ahead of it.
+        """
         with self._lock:
             return self._pool_epoch
 
     @property
     def restarts(self) -> int:
-        """Number of pool (re)starts, the full-re-ship counter."""
+        """Number of full pool (re)boots, the full-re-ship counter."""
         with self._lock:
             return self._restarts
 
     @property
     def pending_deltas(self) -> int:
-        """Delta-log entries newer than the pool's boot epoch."""
+        """Logged mutations not yet broadcast to the pool."""
         with self._lock:
-            return len(self._pending())
+            return len(self._deltas)
+
+    @property
+    def live_workers(self) -> int:
+        """Resident worker processes currently in the pool."""
+        with self._lock:
+            return len(self._workers)
 
     def pool_stats(self) -> dict[str, Any]:
-        """Operational counters for service/CLI statistics output."""
+        """Operational counters for service/CLI statistics output.
+
+        Keys: ``sync`` mode, ``epoch``/``resident_epoch``, ``restarts``
+        (full re-ships), ``delta_syncs`` (broadcasts), ``sync_messages``
+        and ``sync_bytes`` (control-plane volume — O(workers) per
+        broadcast by construction), ``pending_deltas``, the live width
+        and autoscaling bounds, and ``scale_ups``/``scale_downs``.
+        Reading stats also applies any due idle shrink.
+        """
+        self.autoscale()
         with self._lock:
             return {
                 "sync": self.sync,
@@ -261,68 +480,166 @@ class PoolBackend(ExecutionBackend):
                 "resident_epoch": self._pool_epoch,
                 "restarts": self._restarts,
                 "delta_syncs": self._delta_syncs,
-                "pending_deltas": len(self._pending()),
+                "sync_messages": self._sync_messages,
+                "sync_bytes": self._sync_bytes,
+                "pending_deltas": len(self._deltas),
+                "live_workers": len(self._workers),
+                "min_workers": self.min_workers,
+                "max_workers": self.max_workers,
+                "idle_ttl": self.idle_ttl,
+                "scale_ups": self._scale_ups,
+                "scale_downs": self._scale_downs,
             }
 
-    # -- dispatch --------------------------------------------------------------
+    # -- autoscaling -----------------------------------------------------------
 
-    def _pending(self) -> list[tuple[int, Any]]:
-        return [entry for entry in self._deltas if entry[0] > self._pool_epoch]
+    def autoscale(self) -> int:
+        """Apply the idle-shrink policy now; returns the live width.
+
+        A no-op unless ``idle_ttl`` is set, the pool is over
+        ``min_workers``, and no dispatch has arrived for ``idle_ttl``
+        seconds.  Runs opportunistically: if a dispatch is in flight
+        the shrink is skipped (never stop a worker that may hold queued
+        tasks).
+        """
+        if not self._dispatch_lock.acquire(blocking=False):
+            return len(self._workers)
+        try:
+            with self._lock:
+                if (
+                    self._booted
+                    and self.idle_ttl is not None
+                    and len(self._workers) > self.min_workers
+                    and self._clock() - self._last_dispatch >= self.idle_ttl
+                ):
+                    self._shrink_to(self.min_workers)
+                return len(self._workers)
+        finally:
+            self._dispatch_lock.release()
+
+    def _shrink_to(self, width: int) -> None:
+        """Stop excess workers via targeted stop messages (under _lock)."""
+        stopped, self._workers = self._workers[width:], self._workers[:width]
+        self._scale_downs += len(stopped)
+        for worker in stopped:
+            worker.stop()
+
+    def _spawn_worker(self) -> None:
+        """Fork one worker bootstrapped at the parent's current epoch.
+
+        Every worker of one pool generation gets the generation's
+        applier (:attr:`_pool_applier`), never the parent's possibly
+        newer binding — mixed appliers within one pool would break the
+        broadcast soundness argument.
+        """
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_loop,
+            args=(
+                self._bound_init,
+                self._bound_initargs,
+                self._epoch,
+                self._pool_applier,
+                inbox,
+                self._results,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._workers.append(_Worker(self._next_worker_id, process, inbox))
+        self._next_worker_id += 1
+
+    def _spawn_width(self, queue_depth: int) -> int:
+        """Initial/restart width for a dispatch of ``queue_depth`` tasks."""
+        return min(self.max_workers, max(self.min_workers, queue_depth))
+
+    # -- dispatch --------------------------------------------------------------
 
     def _can_delta_sync(self, initializer: Callable[..., None] | None) -> bool:
         if self.sync != "delta" or not self._log_complete:
             return False
         if self._applier is None or initializer is not self._applier_init:
             return False
-        return len(self._pending()) <= self.max_delta_log
+        if self._applier is not self._pool_applier:
+            # The live workers were spawned before this applier was
+            # bound (or under a different one) — they could not replay
+            # the packet.  Fall back to a restart, which re-captures
+            # the binding.
+            return False
+        return len(self._deltas) <= self.max_delta_log
 
-    def _ensure_pool(
+    def _restart_pool(
         self,
         initializer: Callable[..., None] | None,
         initargs: tuple[Any, ...],
-    ) -> tuple[ProcessPoolExecutor, int, tuple[tuple[int, Any], ...]]:
-        """Start/refresh the pool; returns (pool, epoch, delta suffix).
+        queue_depth: int,
+    ) -> None:
+        """Full re-ship: stop everything, respawn at the current epoch."""
+        self._shutdown_pool()
+        self._bound_init = initializer
+        self._bound_initargs = initargs
+        self._pool_applier = (
+            self._applier
+            if initializer is self._applier_init
+            else None
+        )
+        self._results = self._context.Queue()
+        for _ in range(self._spawn_width(queue_depth)):
+            self._spawn_worker()
+        self._pool_epoch = self._epoch
+        self._deltas.clear()
+        self._log_complete = True
+        self._booted = True
+        self._restarts += 1
 
-        Must be called under :attr:`_lock`.  After this returns, either
-        the pool's boot epoch equals the current epoch (fresh fork) or
-        the returned delta suffix brings any stale worker up to date.
+    def _broadcast_sync(self) -> None:
+        """Fan the pending delta packet out: one message per worker.
+
+        This is the tentpole invariant: sync cost is O(workers) — the
+        packet is serialised once per *worker*, never per task — and
+        after the fan-out the parent may clear the log, because every
+        inbox now holds the packet ahead of any future task.
         """
+        blob = pickle.dumps(("sync", self._epoch, tuple(self._deltas)))
+        for worker in self._workers:
+            worker.inbox.put(blob)
+        self._delta_syncs += 1
+        self._sync_messages += len(self._workers)
+        self._sync_bytes += len(blob) * len(self._workers)
+        self._pool_epoch = self._epoch
+        self._deltas.clear()
+
+    def _prepare_dispatch(
+        self,
+        initializer: Callable[..., None] | None,
+        initargs: tuple[Any, ...],
+        queue_depth: int,
+    ) -> tuple[list[_Worker], int]:
+        """Bring the pool to the current epoch; returns (workers, epoch).
+
+        Must run under :attr:`_lock`.  Order matters: decide restart vs
+        broadcast first (stale workers get the packet), then grow
+        (fresh workers boot at the current epoch and need no packet).
+        """
+        self._last_dispatch = self._clock()
         rebind = (
-            self._pool is None
+            not self._booted
+            or not self._workers
             or initializer is not self._bound_init
             or not _same_elements(initargs, self._bound_initargs)
         )
         stale = self._epoch > self._pool_epoch
-        promote = stale and self._stale_dispatches >= PROMOTE_AFTER_STALE_DISPATCHES
-        if rebind or promote or (stale and not self._can_delta_sync(initializer)):
-            self._shutdown_pool()
-            applier = (
-                self._applier
-                if initializer is self._applier_init
-                else None
-            )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=self._context,
-                initializer=_boot_worker,
-                initargs=(initializer, initargs, self._epoch, applier),
-            )
-            self._bound_init = initializer
-            self._bound_initargs = initargs
-            self._pool_epoch = self._epoch
-            self._deltas.clear()
-            self._log_complete = True
-            self._restarts += 1
-            self._stale_dispatches = 0
-            return self._pool, self._epoch, ()
-        # Drop log entries every worker is guaranteed to have (they were
-        # booted at _pool_epoch or later).
-        self._deltas = self._pending()
-        if self._epoch > self._pool_epoch:
-            self._delta_syncs += 1
-            self._stale_dispatches += 1
-            return self._pool, self._epoch, tuple(self._deltas)
-        return self._pool, self._pool_epoch, ()
+        if rebind or (stale and not self._can_delta_sync(initializer)):
+            self._restart_pool(initializer, initargs, queue_depth)
+        elif stale:
+            self._broadcast_sync()
+        target = min(self.max_workers, max(len(self._workers), queue_depth))
+        grown = target - len(self._workers)
+        for _ in range(grown):
+            self._spawn_worker()
+        if grown > 0:
+            self._scale_ups += grown
+        return list(self._workers), self._pool_epoch
 
     def map_items(
         self,
@@ -332,40 +649,134 @@ class PoolBackend(ExecutionBackend):
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
     ) -> list[R]:
+        """``[fn(item) for item in items]`` on the resident workers.
+
+        Tasks are split into contiguous chunks (a few per worker) and
+        enqueued round-robin into the worker inboxes — O(workers)
+        messages per batch.  Results come back tagged with their input
+        index and are reordered, so output order (and content) is
+        bit-identical to the serial backend.  A task exception is
+        re-raised in the parent for the earliest failing item, after
+        the batch drains.
+        """
         items = list(items)
         if not items:
             return []
         ensure_picklable(fn)
-        with self._lock:
-            pool, epoch, deltas = self._ensure_pool(initializer, initargs)
-        specs = [(fn, item, epoch, deltas) for item in items]
-        chunksize = max(1, len(specs) // (self.workers * 4))
-        try:
-            return list(pool.map(_run_task, specs, chunksize=chunksize))
-        except BrokenProcessPool as exc:
+        with self._dispatch_lock:
             with self._lock:
-                self._shutdown_pool()
+                workers, epoch = self._prepare_dispatch(
+                    initializer, initargs, len(items)
+                )
+            # Serialisation and enqueuing run outside the state lock —
+            # a concurrent notify_state_change only appends to the
+            # delta log (broadcast next dispatch), while _dispatch_lock
+            # keeps the worker list and inbox ordering ours alone.
+            # Every message is serialised *before* any is enqueued: an
+            # unpicklable item surfaces here as an error (nothing
+            # dispatched, pool still consistent) instead of being
+            # dropped by the queue's feeder thread mid-batch.
+            chunks = chunk_evenly(
+                list(enumerate(items)),
+                min(len(items), len(workers) * _CHUNKS_PER_WORKER),
+            )
+            try:
+                blobs = [
+                    pickle.dumps(("tasks", fn, tuple(chunk), epoch))
+                    for chunk in chunks
+                ]
+            except Exception as exc:
+                raise ExecutionError(
+                    f"pool backend requires picklable task items; "
+                    f"cannot serialise a chunk for {fn!r}: {exc}. "
+                    f"Use plain-data arguments (see repro.exec)."
+                ) from exc
+            for position, blob in enumerate(blobs):
+                workers[position % len(workers)].inbox.put(blob)
+            return self._collect(fn, len(items))
+
+    def _collect(self, fn: Callable[..., Any], expected: int) -> list[Any]:
+        """Drain ``expected`` tagged results, reorder, re-raise errors."""
+        values: dict[int, Any] = {}
+        failures: dict[int, tuple[bytes | None, str, str]] = {}
+        while len(values) + len(failures) < expected:
+            try:
+                blob = self._results.get(timeout=_RESULT_POLL_SECONDS)
+            except queue_module.Empty:
+                self._ensure_workers_alive(fn)
+                continue
+            message = pickle.loads(blob)
+            if message[0] == "ok":
+                values[message[1]] = message[2]
+            else:
+                _, index, exc_bytes, summary, tb = message
+                failures[index] = (exc_bytes, summary, tb)
+        if failures:
+            index = min(failures)
+            exc_bytes, summary, tb = failures[index]
+            original: BaseException | None = None
+            if exc_bytes is not None:
+                try:
+                    loaded = pickle.loads(exc_bytes)
+                except Exception:  # pragma: no cover - defensive
+                    loaded = None
+                if isinstance(loaded, BaseException):
+                    original = loaded
+            if original is not None:
+                # Keep the original exception type (callers catch it),
+                # chaining the worker-side stack so the failure's
+                # origin is not lost at the process boundary.
+                raise original from ExecutionError(
+                    f"pool task {fn!r} failed in a worker process; "
+                    f"worker traceback:\n{tb}"
+                )
             raise ExecutionError(
-                f"pool worker process died while mapping {fn!r}: {exc}"
-            ) from exc
+                f"pool task {fn!r} failed with an unpicklable exception "
+                f"{summary}; worker traceback:\n{tb}"
+            )
+        return [values[index] for index in range(expected)]
+
+    def _ensure_workers_alive(self, fn: Callable[..., Any]) -> None:
+        """Turn a silent worker death into a loud ExecutionError."""
+        with self._lock:
+            dead = [
+                worker
+                for worker in self._workers
+                if not worker.process.is_alive()
+            ]
+            if dead:
+                codes = [worker.process.exitcode for worker in dead]
+                self._shutdown_pool()
+                raise ExecutionError(
+                    f"pool worker process died while mapping {fn!r} "
+                    f"(exit codes {codes})"
+                )
 
     # -- lifecycle -------------------------------------------------------------
 
     def _shutdown_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._bound_init = None
-            self._bound_initargs = ()
-            self._pool_epoch = -1
+        """Stop every worker and drop the queues (under _lock)."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.stop()
+        if self._results is not None:
+            self._results.close()
+            self._results.cancel_join_thread()
+            self._results = None
+        self._bound_init = None
+        self._bound_initargs = ()
+        self._booted = False
+        self._pool_epoch = -1
 
     def close(self) -> None:
         """Shut the resident workers down (idempotent)."""
-        with self._lock:
-            self._shutdown_pool()
+        with self._dispatch_lock:
+            with self._lock:
+                self._shutdown_pool()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PoolBackend(workers={self.workers}, sync={self.sync!r}, "
+            f"min_workers={self.min_workers}, max_workers={self.max_workers}, "
             f"epoch={self._epoch})"
         )

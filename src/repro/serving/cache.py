@@ -222,6 +222,7 @@ class CachedSimilarity(UserSimilarity):
         return (user_a, user_b)
 
     def similarity(self, user_a: str, user_b: str) -> float:
+        """One pair score, read through the cache (self-pairs are 1.0)."""
         if user_a == user_b:
             return 1.0
         key = self._key(user_a, user_b)
@@ -235,6 +236,7 @@ class CachedSimilarity(UserSimilarity):
     def similarities(
         self, user_id: str, candidates: Iterable[str]
     ) -> dict[str, float]:
+        """Batched pair scores; only cache misses reach the inner measure."""
         candidate_list = [c for c in candidates if c != user_id]
         scores: dict[str, float] = {}
         missing: list[str] = []
@@ -255,6 +257,7 @@ class CachedSimilarity(UserSimilarity):
 
     @property
     def profile_corpus_sensitive(self) -> bool:  # type: ignore[override]
+        """Whether one profile edit can shift *every* pair score (TF-IDF)."""
         return self.inner.profile_corpus_sensitive
 
     def picklable_measure(self) -> UserSimilarity:

@@ -220,6 +220,9 @@ class RecommendationService:
                 backend or config.exec_backend,
                 config.exec_workers or None,
                 pool_sync=config.pool_sync,
+                pool_min_workers=config.pool_min_workers or None,
+                pool_max_workers=config.pool_max_workers or None,
+                pool_idle_ttl=config.pool_idle_ttl,
             )
         # A pool backend keeps a resident worker service between
         # batches; teach it how to replay this service's mutations so

@@ -10,6 +10,7 @@ from repro.eval.experiments import (
 from repro.eval.reporting import (
     format_metrics,
     format_proposition1,
+    format_serving_stats,
     format_table,
     format_table2,
     format_value_quality,
@@ -58,3 +59,42 @@ class TestExperimentFormatters:
         assert "fairness" in rendered
         assert "1.0000" in rendered
         assert "count" in rendered
+
+    def test_format_serving_stats_renders_pool_counters(self):
+        """The broadcast/autoscale counters reach the serve output."""
+        rendered = format_serving_stats(
+            {
+                "requests": {"group_requests": 2},
+                "backend": {
+                    "name": "pool",
+                    "workers": 1,
+                    "pool": {
+                        "sync": "delta",
+                        "epoch": 5,
+                        "resident_epoch": 5,
+                        "restarts": 2,
+                        "delta_syncs": 5,
+                        "sync_messages": 18,
+                        "sync_bytes": 1188,
+                        "pending_deltas": 0,
+                        "live_workers": 4,
+                        "min_workers": 1,
+                        "max_workers": 4,
+                        "idle_ttl": 30.0,
+                        "scale_ups": 2,
+                        "scale_downs": 0,
+                    },
+                },
+            }
+        )
+        assert "backend: pool (workers=1)" in rendered
+        assert "4 live workers [1..4]" in rendered
+        assert "5 broadcasts (18 messages, 1188 B)" in rendered
+        assert "scale +2/-0" in rendered
+
+    def test_format_serving_stats_without_pool_section(self):
+        rendered = format_serving_stats(
+            {"requests": {}, "backend": {"name": "serial", "workers": 1}}
+        )
+        assert "backend: serial" in rendered
+        assert "pool:" not in rendered

@@ -46,6 +46,10 @@ def _square(x: int) -> int:
     return x * x
 
 
+def _reciprocal(x: int) -> float:
+    return 1 / x
+
+
 class TestFactory:
     def test_pool_is_a_known_backend(self):
         assert "pool" in BACKEND_NAMES
@@ -97,6 +101,29 @@ class TestResidentState:
         with PoolBackend(workers=1) as backend:
             with pytest.raises(ExecutionError, match="picklable"):
                 backend.map_items(lambda x: x + captured, [1])
+
+    def test_unpicklable_item_rejected_not_hung(self):
+        """An unpicklable *item* must raise, not hang the collect loop.
+
+        The messages are serialised in the dispatching thread; leaving
+        that to the queue's feeder thread would silently drop the task
+        message and leave the parent waiting forever.
+        """
+        with PoolBackend(workers=1) as backend:
+            backend.map_items(_square, [1])  # boot the pool
+            with pytest.raises(ExecutionError, match="picklable task items"):
+                backend.map_items(_square, [lambda: None])
+            # The pool survives the rejected dispatch.
+            assert backend.map_items(_square, [3]) == [9]
+
+    def test_worker_exception_chains_the_worker_traceback(self):
+        """The original exception type crosses the boundary with the
+        worker-side stack attached as its cause."""
+        with PoolBackend(workers=1) as backend:
+            with pytest.raises(ZeroDivisionError) as excinfo:
+                backend.map_items(_reciprocal, [1, 0])
+            assert isinstance(excinfo.value.__cause__, ExecutionError)
+            assert "_reciprocal" in str(excinfo.value.__cause__)
 
     def test_empty_items_short_circuit(self):
         with PoolBackend(workers=1) as backend:
@@ -214,6 +241,30 @@ class TestDeltaSync:
             assert backend.restarts == 2
             assert backend.pending_deltas == 0
 
+    def test_applier_bound_after_boot_restarts_instead_of_broadcasting(self):
+        """Workers spawned before the applier was bound cannot replay a
+        packet; the parent must fall back to a restart, not broadcast
+        into workers whose resident applier is still None."""
+        with PoolBackend(workers=1, sync="delta") as backend:
+            backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(50,)
+            )
+            backend.bind_delta_applier(_apply_delta, _set_state)  # late bind
+            backend.notify_state_change(delta=3)
+            # A broadcast here would kill the worker (no resident
+            # applier); the restart re-runs the initializer instead.
+            assert backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(50,)
+            ) == [50]
+            assert backend.restarts == 2
+            # The new generation captured the binding: from now on
+            # deltas broadcast without restarts.
+            backend.notify_state_change(delta=4)
+            assert backend.map_items(
+                _read_state, [None], initializer=_set_state, initargs=(50,)
+            ) == [54]
+            assert backend.restarts == 2
+
     def test_deltas_do_not_apply_to_a_different_resident_state(self):
         """Replaying serve deltas into build-state would corrupt it."""
         with PoolBackend(workers=1, sync="delta") as backend:
@@ -239,4 +290,35 @@ class TestDeltaSync:
             assert stats["epoch"] == 1
             assert stats["restarts"] == 1
             assert stats["delta_syncs"] == 1
-            assert stats["pending_deltas"] == 1
+            # Broadcast sync: the packet reached every inbox at dispatch
+            # time, so the parent cleared the log then and there.
+            assert stats["pending_deltas"] == 0
+            assert stats["resident_epoch"] == 1
+            assert stats["sync_messages"] == 1  # one worker, one message
+            assert stats["sync_bytes"] > 0
+            assert stats["live_workers"] == 1
+            assert stats["min_workers"] == stats["max_workers"] == 1
+
+    def test_broadcast_is_one_message_per_worker_not_per_task(self):
+        """The tentpole invariant: sync cost is O(workers), O(1) in the
+        task count.  A stale dispatch of many tasks over W workers must
+        send exactly W sync messages, and a second (clean) dispatch of
+        the same size must send none."""
+        with PoolBackend(workers=3, sync="delta") as backend:
+            backend.bind_delta_applier(_apply_delta, _set_state)
+            backend.map_items(
+                _read_state, [None] * 30, initializer=_set_state, initargs=(0,)
+            )
+            backend.notify_state_change(delta=5)
+            assert backend.pending_deltas == 1
+            result = backend.map_items(
+                _read_state, [None] * 30, initializer=_set_state, initargs=(0,)
+            )
+            assert result == [5] * 30
+            stats = backend.pool_stats()
+            assert stats["sync_messages"] == 3  # == workers, despite 30 tasks
+            assert stats["pending_deltas"] == 0
+            backend.map_items(
+                _read_state, [None] * 30, initializer=_set_state, initargs=(0,)
+            )
+            assert backend.pool_stats()["sync_messages"] == 3  # unchanged

@@ -37,16 +37,20 @@ from repro.serving import RecommendationService
 #: The fixed seed matrix (acceptance: >= 3 seeds).
 SEEDS = (3, 11, 29)
 
-#: Every backend, plus the sharded-index and sync-mode variants.  The
-#: first entry is the reference everything else must equal.
+#: Every backend, plus the sharded-index, sync-mode and autoscaling
+#: variants, as (backend, shards, sync, autoscale) — ``autoscale``
+#: opens the pool bounds (min 1, max 4) so broadcast sync runs against
+#: a pool whose width shifts between batches.  The first entry is the
+#: reference everything else must equal.
 CONFIGURATIONS = (
-    ("serial", 1, "delta"),
-    ("serial", 3, "delta"),
-    ("thread", 1, "delta"),
-    ("process", 1, "delta"),
-    ("pool", 1, "delta"),
-    ("pool", 3, "delta"),
-    ("pool", 1, "full"),
+    ("serial", 1, "delta", False),
+    ("serial", 3, "delta", False),
+    ("thread", 1, "delta", False),
+    ("process", 1, "delta", False),
+    ("pool", 1, "delta", False),
+    ("pool", 3, "delta", False),
+    ("pool", 1, "full", False),
+    ("pool", 1, "delta", True),
 )
 
 
@@ -100,6 +104,7 @@ def _run_script(
     backend: str,
     shards: int,
     sync: str,
+    autoscale: bool = False,
 ) -> list:
     """Replay one script against a fresh service; returns its trace.
 
@@ -120,6 +125,8 @@ def _run_script(
         exec_backend=backend,
         exec_workers=2,
         pool_sync=sync,
+        pool_min_workers=1 if autoscale else 0,
+        pool_max_workers=4 if autoscale else 0,
         index_shards=shards,
     )
     service = RecommendationService(dataset, config)
@@ -173,11 +180,12 @@ def test_random_workload_parity_across_backends_and_sharding(seed):
 
     reference = _run_script(payload, script, *CONFIGURATIONS[0])
     assert any(isinstance(step, list) and step for step in reference)
-    for backend, shards, sync in CONFIGURATIONS[1:]:
-        trace = _run_script(payload, script, backend, shards, sync)
+    for backend, shards, sync, autoscale in CONFIGURATIONS[1:]:
+        trace = _run_script(payload, script, backend, shards, sync, autoscale)
         assert trace == reference, (
-            f"backend={backend} shards={shards} sync={sync} diverged "
-            f"from the serial reference on seed {seed}"
+            f"backend={backend} shards={shards} sync={sync} "
+            f"autoscale={autoscale} diverged from the serial reference "
+            f"on seed {seed}"
         )
 
 
@@ -205,9 +213,10 @@ def test_mutation_between_batches_changes_results_and_keeps_parity():
         "the mutations were supposed to change at least one group's "
         "recommendations — the staleness scenario is vacuous"
     )
-    for backend, shards, sync in CONFIGURATIONS[1:]:
-        trace = _run_script(payload, script, backend, shards, sync)
+    for backend, shards, sync, autoscale in CONFIGURATIONS[1:]:
+        trace = _run_script(payload, script, backend, shards, sync, autoscale)
         assert trace == reference, (
-            f"backend={backend} shards={shards} sync={sync} served stale "
-            f"results after mutations between batches"
+            f"backend={backend} shards={shards} sync={sync} "
+            f"autoscale={autoscale} served stale results after "
+            f"mutations between batches"
         )

@@ -157,6 +157,9 @@ class TestServeCommand:
         assert args.similarity_cache == 500_000
         assert args.relevance_cache == 10_000
         assert args.no_warm is False
+        assert args.pool_min_workers == 0  # 0 = pin at --workers
+        assert args.pool_max_workers == 0
+        assert args.pool_idle_ttl == 30.0
 
 
 class TestServeBackendsAndSnapshots:
@@ -192,6 +195,36 @@ class TestServeBackendsAndSnapshots:
                 backend,
                 "--workers",
                 "2",
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput:" in out
+
+    def test_serve_autoscaling_pool(self, tmp_path, capsys):
+        """The autoscaling knobs reach the pool backend end-to-end."""
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "8",
+                "--backend",
+                "pool",
+                "--workers",
+                "1",
+                "--pool-min-workers",
+                "1",
+                "--pool-max-workers",
+                "4",
+                "--pool-idle-ttl",
+                "0.5",
                 "--peer-threshold",
                 "0.0",
                 "--quiet",

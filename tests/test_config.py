@@ -97,6 +97,9 @@ class TestExecutionConfig:
         assert config.exec_backend == "serial"
         assert config.exec_workers == 0
         assert config.index_shards == 1
+        assert config.pool_min_workers == 0  # 0 = exec_workers width
+        assert config.pool_max_workers == 0
+        assert config.pool_idle_ttl == 30.0
 
     @pytest.mark.parametrize(
         "overrides",
@@ -104,25 +107,51 @@ class TestExecutionConfig:
             {"exec_backend": "gpu"},
             {"exec_workers": -1},
             {"index_shards": 0},
+            {"pool_min_workers": -1},
+            {"pool_max_workers": -2},
+            {"pool_min_workers": 5, "pool_max_workers": 2},
+            {"pool_idle_ttl": 0},
+            {"pool_idle_ttl": -1.5},
         ],
     )
     def test_invalid_values_rejected(self, overrides):
         with pytest.raises(ConfigurationError):
             RecommenderConfig(**overrides)
 
+    def test_autoscaling_bounds_accepted(self):
+        config = RecommenderConfig(
+            pool_min_workers=1, pool_max_workers=8, pool_idle_ttl=0.5
+        )
+        assert config.pool_min_workers == 1
+        assert config.pool_max_workers == 8
+        assert config.pool_idle_ttl == 0.5
+
     def test_round_trip_includes_new_fields(self):
         config = RecommenderConfig(
-            exec_backend="process", exec_workers=4, index_shards=3
+            exec_backend="process",
+            exec_workers=4,
+            index_shards=3,
+            pool_min_workers=2,
+            pool_max_workers=6,
+            pool_idle_ttl=12.5,
         )
         rebuilt = RecommenderConfig.from_dict(config.to_dict())
         assert rebuilt == config
 
     def test_from_dict_tolerates_old_payloads(self):
         payload = RecommenderConfig().to_dict()
-        for key in ("exec_backend", "exec_workers", "index_shards"):
+        for key in (
+            "exec_backend",
+            "exec_workers",
+            "index_shards",
+            "pool_min_workers",
+            "pool_max_workers",
+            "pool_idle_ttl",
+        ):
             payload.pop(key)
         config = RecommenderConfig.from_dict(payload)
         assert config.exec_backend == "serial"
+        assert config.pool_max_workers == 0
 
 
 class TestFingerprint:
@@ -148,6 +177,9 @@ class TestFingerprint:
             index_shards=4,
             similarity_cache_size=1,
             serve_workers=16,
+            pool_min_workers=1,
+            pool_max_workers=8,
+            pool_idle_ttl=5.0,
         )
         assert base.fingerprint() == tuned.fingerprint()
 

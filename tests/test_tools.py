@@ -1,0 +1,93 @@
+"""The CI gate scripts under ``tools/`` actually gate.
+
+Two properties are pinned for each checker: the live repository passes
+it (so CI stays green), and a synthetic violation fails it (so the
+gate is not vacuously green).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(ROOT / "tools" / script), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestCheckDocstrings:
+    def test_repository_surfaces_pass(self):
+        result = _run("check_docstrings.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_missing_docstring_fails(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            '"""Module doc present."""\n\ndef exported():\n    return 1\n'
+        )
+        result = _run("check_docstrings.py", str(bad))
+        assert result.returncode == 1
+        assert "exported" in result.stdout
+
+    def test_private_names_exempt(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text('"""Module doc."""\n\ndef _internal():\n    return 1\n')
+        result = _run("check_docstrings.py", str(good))
+        assert result.returncode == 0
+
+    def test_undocumented_public_method_fails(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            '"""Module doc."""\n\n'
+            'class Thing:\n'
+            '    """Class doc."""\n\n'
+            '    def act(self):\n'
+            '        return 1\n'
+        )
+        result = _run("check_docstrings.py", str(bad))
+        assert result.returncode == 1
+        assert "Thing.act" in result.stdout
+
+
+class TestCheckDocs:
+    def test_repository_docs_pass(self):
+        result = _run("check_docs.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_broken_relative_link_fails(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Title\n\nSee [missing](no-such-file.md).\n")
+        result = _run("check_docs.py", str(doc))
+        assert result.returncode == 1
+        assert "no-such-file.md" in result.stdout
+
+    def test_broken_anchor_fails(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Only Heading\n\nJump to [gone](#nowhere).\n")
+        result = _run("check_docs.py", str(doc))
+        assert result.returncode == 1
+        assert "#nowhere" in result.stdout
+
+    def test_valid_anchor_and_link_pass(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Target Section\n\ncontent\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Top\n\n[ok](other.md#target-section) and [self](#top).\n"
+        )
+        result = _run("check_docs.py", str(doc), str(other))
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_unclosed_fence_fails(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Title\n\n```bash\necho unclosed\n")
+        result = _run("check_docs.py", str(doc))
+        assert result.returncode == 1
+        assert "fence" in result.stdout

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Markdown lint + link check over the docs set (README + docs/).
+
+Fails — exit code 1, one line per violation — when:
+
+* a relative markdown link points at a file that does not exist;
+* a link anchor (``file.md#section`` or in-page ``#section``) names a
+  heading that is not in the target file (GitHub-style slugs);
+* a fenced code block is left unclosed (odd number of ``` fences);
+* a line carries trailing whitespace or a hard tab (outside fences).
+
+External links (``http(s)://``, ``mailto:``) are not fetched — CI must
+stay offline — but a bare-looking scheme-less absolute URL is flagged.
+Dependency-free by design: the container pins the toolchain, and the
+property we gate on is "stale cross-references fail the build", which
+needs a resolver, not a style engine.
+
+Usage::
+
+    python tools/check_docs.py [FILE_OR_DIR ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: The documents gated by default (relative to the repository root).
+DEFAULT_TARGETS = ("README.md", "docs")
+
+_LINK = re.compile(r"(?<!\!)\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.strip().replace(" ", "-")
+
+
+def _heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        base = _slugify(line.lstrip("#"))
+        seen = counts.get(base, 0)
+        counts[base] = seen + 1
+        slugs.add(base if seen == 0 else f"{base}-{seen}")
+    return slugs
+
+
+def check_document(path: Path, root: Path) -> list[str]:
+    """Return the lint and link violations of one markdown file."""
+    problems: list[str] = []
+    try:
+        rel: Path | str = path.relative_to(root)
+    except ValueError:  # explicit target outside the repo (tests, ad hoc)
+        rel = path
+    lines = path.read_text(encoding="utf-8").splitlines()
+    fence_count = 0
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            fence_count += 1
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        if line.rstrip() != line:
+            problems.append(f"{rel}:{number}: trailing whitespace")
+        if "\t" in line:
+            problems.append(f"{rel}:{number}: hard tab in markdown")
+        for match in _LINK.finditer(line):
+            target = match.group(2)
+            if target.startswith(_EXTERNAL):
+                continue
+            if "://" in target:
+                problems.append(
+                    f"{rel}:{number}: unrecognised link scheme {target!r}"
+                )
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{rel}:{number}: broken link target {target!r} "
+                        f"({file_part} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = path
+            if anchor and resolved.suffix == ".md":
+                if anchor not in _heading_slugs(resolved):
+                    try:
+                        shown: Path | str = resolved.relative_to(root)
+                    except ValueError:
+                        shown = resolved
+                    problems.append(
+                        f"{rel}:{number}: anchor #{anchor} not found in "
+                        f"{shown}"
+                    )
+    if fence_count % 2:
+        problems.append(f"{rel}: unclosed code fence (odd ``` count)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    root = Path(__file__).resolve().parent.parent
+    targets = (argv if argv is not None else sys.argv[1:]) or list(
+        DEFAULT_TARGETS
+    )
+    files: list[Path] = []
+    for target in targets:
+        path = (root / target) if not Path(target).is_absolute() else Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_document(path, root))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(
+            f"\ndocs check FAILED: {len(problems)} problem(s) across "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"docs check OK: {len(files)} file(s), links and lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
