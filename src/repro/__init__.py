@@ -68,6 +68,7 @@ from .data import (
     generate_nutrition_dataset,
 )
 from .exceptions import ReproError
+from .kernels import PackedRatings, get_packed
 from .exec import (
     ExecutionBackend,
     ProcessBackend,
@@ -106,6 +107,7 @@ __all__ = [
     "ItemCatalog",
     "MapReduceEngine",
     "MapReduceGroupRecommender",
+    "PackedRatings",
     "PearsonRatingSimilarity",
     "PersonalHealthRecord",
     "ProcessBackend",
@@ -128,5 +130,6 @@ __all__ = [
     "generate_dataset",
     "generate_nutrition_dataset",
     "get_backend",
+    "get_packed",
     "value",
 ]

@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .config import KNOWN_EXEC_BACKENDS, RecommenderConfig
+from .config import KNOWN_EXEC_BACKENDS, KNOWN_KERNELS, RecommenderConfig
 from .exec import DEFAULT_IDLE_TTL
 from .core.pipeline import CaregiverPipeline
 from .data.datasets import generate_dataset
@@ -139,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--aggregation", choices=["average", "minimum"], default="average"
     )
     serve.add_argument("--peer-threshold", type=float, default=0.2)
+    serve.add_argument(
+        "--kernel",
+        choices=list(KNOWN_KERNELS),
+        default="packed",
+        help=(
+            "similarity/prediction kernel: 'packed' runs the interned "
+            "CSR kernels, 'dict' the dict-of-dicts oracle; scores are "
+            "bit-identical across kernels"
+        ),
+    )
     serve.add_argument(
         "--backend",
         choices=list(KNOWN_EXEC_BACKENDS),
@@ -388,6 +398,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         pool_max_workers=args.pool_max_workers,
         pool_idle_ttl=args.pool_idle_ttl,
         index_shards=args.shards,
+        kernel=args.kernel,
     )
     service = RecommendationService(dataset, config)
     if args.requests == "-":

@@ -47,6 +47,11 @@ KNOWN_EXEC_BACKENDS: tuple[str, ...] = ("serial", "thread", "process", "pool")
 #: (mirrors :data:`repro.exec.POOL_SYNC_MODES`).
 KNOWN_POOL_SYNCS: tuple[str, ...] = ("full", "delta")
 
+#: Similarity/prediction kernel names accepted by
+#: :class:`RecommenderConfig` (mirrors :data:`repro.kernels.KERNEL_NAMES`
+#: without importing it — config must stay import-light).
+KNOWN_KERNELS: tuple[str, ...] = ("packed", "dict")
+
 
 def resolve_positive(value: int | None, default: int, name: str) -> int:
     """Resolve an optional per-call override of a positive config value.
@@ -150,6 +155,13 @@ class RecommenderConfig:
         partitioned into.  ``1`` keeps the single flat index; more
         shards let builds and refreshes proceed independently (and in
         parallel under a non-serial backend).
+    kernel:
+        Which similarity/prediction kernel the compute layers run on:
+        ``"packed"`` (default) uses the integer-interned CSR kernels of
+        :mod:`repro.kernels`, ``"dict"`` the dict-of-dicts oracle path.
+        Scores are bit-identical between the two — this is purely a
+        performance knob (and therefore excluded from
+        :meth:`fingerprint`).
     """
 
     peer_threshold: float = 0.2
@@ -173,6 +185,7 @@ class RecommenderConfig:
     pool_max_workers: int = 0
     pool_idle_ttl: float = 30.0
     index_shards: int = 1
+    kernel: str = "packed"
 
     def __post_init__(self) -> None:
         low, high = self.rating_scale
@@ -249,6 +262,11 @@ class RecommenderConfig:
             raise ConfigurationError("pool_idle_ttl must be positive")
         if self.index_shards <= 0:
             raise ConfigurationError("index_shards must be positive")
+        if self.kernel not in KNOWN_KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {KNOWN_KERNELS}"
+            )
 
     # -- convenience -----------------------------------------------------
 
@@ -290,6 +308,7 @@ class RecommenderConfig:
             "pool_max_workers": self.pool_max_workers,
             "pool_idle_ttl": self.pool_idle_ttl,
             "index_shards": self.index_shards,
+            "kernel": self.kernel,
         }
 
     def fingerprint(self) -> str:

@@ -45,7 +45,7 @@ def build_similarity(
     ``"hybrid"`` → the weighted combination of all three.
     """
     if config.similarity == "ratings":
-        return PearsonRatingSimilarity(dataset.ratings)
+        return PearsonRatingSimilarity(dataset.ratings, kernel=config.kernel)
     if config.similarity == "profile":
         return ProfileSimilarity(dataset.users)
     if config.similarity == "semantic":
@@ -53,7 +53,7 @@ def build_similarity(
     if config.similarity == "hybrid":
         return HybridSimilarity(
             [
-                PearsonRatingSimilarity(dataset.ratings),
+                PearsonRatingSimilarity(dataset.ratings, kernel=config.kernel),
                 ProfileSimilarity(dataset.users),
                 SemanticSimilarity(dataset.users, dataset.ontology),
             ],

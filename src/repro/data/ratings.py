@@ -56,6 +56,9 @@ class RatingMatrix:
         self._scale = (float(low), float(high))
         self._by_user: dict[str, dict[str, float]] = {}
         self._by_item: dict[str, dict[str, float]] = {}
+        self._num_ratings = 0
+        self._version = 0
+        self._removals = 0
         for rating in ratings:
             if isinstance(rating, Rating):
                 self.add(rating.user_id, rating.item_id, rating.value)
@@ -83,7 +86,29 @@ class RatingMatrix:
     @property
     def num_ratings(self) -> int:
         """Total number of stored ratings."""
-        return sum(len(items) for items in self._by_user.values())
+        return self._num_ratings
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by :meth:`add` / :meth:`remove`).
+
+        Derived views (cached means, the packed CSR representation in
+        :mod:`repro.kernels`) compare the version they were built at
+        against the current one to detect staleness in O(1).
+        """
+        return self._version
+
+    @property
+    def removals(self) -> int:
+        """How many :meth:`remove` calls the matrix has seen.
+
+        Removals can delete a user or item outright, which invalidates
+        any interning table built over the matrix (a later re-add lands
+        at the *end* of the insertion order).  The packed representation
+        downgrades from incremental repack to a full rebuild whenever
+        this counter moved.
+        """
+        return self._removals
 
     def density(self) -> float:
         """Fraction of the user × item grid that is filled (0 when empty)."""
@@ -99,8 +124,12 @@ class RatingMatrix:
         low, high = self._scale
         if not low <= value <= high:
             raise InvalidRatingError(value, low, high)
-        self._by_user.setdefault(user_id, {})[item_id] = float(value)
+        row = self._by_user.setdefault(user_id, {})
+        if item_id not in row:
+            self._num_ratings += 1
+        row[item_id] = float(value)
         self._by_item.setdefault(item_id, {})[user_id] = float(value)
+        self._version += 1
 
     def remove(self, user_id: str, item_id: str) -> None:
         """Delete a rating; raise when the user, item or rating is missing."""
@@ -114,6 +143,9 @@ class RatingMatrix:
             del self._by_user[user_id]
         if not self._by_item[item_id]:
             del self._by_item[item_id]
+        self._num_ratings -= 1
+        self._version += 1
+        self._removals += 1
 
     # -- access ----------------------------------------------------------------
 
@@ -157,6 +189,19 @@ class RatingMatrix:
     def item_ids(self) -> list[str]:
         """All item ids with at least one rating, in insertion order."""
         return list(self._by_item.keys())
+
+    def iter_user_ids(self) -> Iterator[str]:
+        """Iterate user ids in insertion order without copying the list."""
+        return iter(self._by_user)
+
+    def iter_item_ids(self) -> Iterator[str]:
+        """Iterate item ids in insertion order without copying the list.
+
+        The packed representation extends its interning tables from a
+        slice of this iterator; :meth:`item_ids` would copy every id on
+        each incremental repack.
+        """
+        return iter(self._by_item)
 
     def mean_rating(self, user_id: str) -> float:
         """``μ_u`` — the mean of the ratings of ``user_id``.

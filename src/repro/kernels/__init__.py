@@ -1,0 +1,44 @@
+"""``repro.kernels`` — packed CSR similarity / prediction kernels.
+
+The layout-first compute layer: :class:`PackedRatings` mirrors a
+:class:`~repro.data.ratings.RatingMatrix` as integer-interned,
+contiguous CSR arrays (sorted rows, precomputed means and centered
+deviations, a packed inverted index), and the kernel functions run the
+paper's hot equations over that layout —
+
+* :func:`pearson_one_vs_many` / :func:`pearson_pair` — Equation 2 via
+  sorted-merge intersection over int ids;
+* :func:`overlap_counts` — candidate co-rating counts through the
+  packed inverted index;
+* :func:`predict_table_packed` — Equation 1 prediction tables for the
+  single-user recommend path.
+
+Everything is pure stdlib and **bit-identical** to the dict-of-dicts
+oracle paths (same summation order within every pair); the
+``kernel="packed"|"dict"`` knob on
+:class:`~repro.config.RecommenderConfig` selects between them, with
+``packed`` the default and ``dict`` retained as the oracle.
+"""
+
+from __future__ import annotations
+
+from .packed import PackedRatings, get_packed
+from .pearson import overlap_counts, pearson_one_vs_many, pearson_pair
+from .relevance import predict_table_packed
+
+#: Kernel implementations selectable via ``RecommenderConfig.kernel``.
+KERNEL_NAMES: tuple[str, ...] = ("packed", "dict")
+
+#: The kernel used when nothing is configured.
+DEFAULT_KERNEL: str = "packed"
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KERNEL_NAMES",
+    "PackedRatings",
+    "get_packed",
+    "overlap_counts",
+    "pearson_one_vs_many",
+    "pearson_pair",
+    "predict_table_packed",
+]

@@ -1,0 +1,173 @@
+"""Packed Pearson kernels (Equation 2 over CSR rows).
+
+Two entry points mirror the dict-path surfaces of
+:class:`~repro.similarity.ratings_sim.PearsonRatingSimilarity`:
+
+* :func:`pearson_pair` — one ``RS(u, u')`` score via a C-speed
+  intersection of the two rows' interned key views;
+* :func:`pearson_one_vs_many` — a batched row against many candidates
+  through a **fused inverted-index sweep**: one walk over the user's
+  rated items accumulates, for *every* co-rater at once, the overlap
+  count, the numerator and both squared-deviation sums.  No per-pair
+  set construction, no per-pair merge, no string hashing — the batch
+  costs O(Σ_{i∈I(u)} |U(i)|) regardless of the candidate count.
+
+Both are **bit-identical** to the dict oracle: packed rows are sorted
+by ascending interned item id, interning follows the matrix's item
+insertion order, and the oracle sums each pair's co-rated terms in
+exactly that order — so every accumulator sees the same floats in the
+same sequence (the sweep hands candidate ``v`` its terms while walking
+``u``'s sorted row, which *is* ascending order over the common items).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .packed import PackedRatings
+
+
+def overlap_counts(packed: PackedRatings, user_int: int) -> list[int]:
+    """Co-rated item counts of one user against *every* user.
+
+    One walk of the inverted index over the user's rated items; entry
+    ``counts[v]`` is ``|I(u) ∩ I(v)|`` (and ``counts[user_int]`` the
+    user's own row length).  Pure integer arithmetic — no float order
+    concerns — and the packed replacement for the dict path's
+    ``iter_raters`` walk.
+    """
+    counts = [0] * packed.num_users
+    inv_users = packed.inv_users
+    for item_int in packed.row_items[user_int]:
+        for rater in inv_users[item_int]:
+            counts[rater] += 1
+    return counts
+
+
+def _pair_score_ints(
+    packed: PackedRatings,
+    a_int: int,
+    b_int: int,
+    min_common_items: int,
+    mean_over_common_only: bool,
+) -> float:
+    """Equation 2 for one interned pair (no self/unknown handling)."""
+    map_a = packed.row_maps[a_int]
+    map_b = packed.row_maps[b_int]
+    common = map_a.keys() & map_b.keys()
+    count = len(common)
+    if count < min_common_items:
+        return 0.0
+    ordered = sorted(common)
+    if mean_over_common_only:
+        mean_a = sum(map_a[i] for i in ordered) / count
+        mean_b = sum(map_b[i] for i in ordered) / count
+    else:
+        mean_a = packed.means[a_int]
+        mean_b = packed.means[b_int]
+    numerator = 0.0
+    sum_sq_a = 0.0
+    sum_sq_b = 0.0
+    for item_int in ordered:
+        deviation_a = map_a[item_int] - mean_a
+        deviation_b = map_b[item_int] - mean_b
+        numerator += deviation_a * deviation_b
+        sum_sq_a += deviation_a * deviation_a
+        sum_sq_b += deviation_b * deviation_b
+    denominator = math.sqrt(sum_sq_a) * math.sqrt(sum_sq_b)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def pearson_pair(
+    packed: PackedRatings,
+    user_a: str,
+    user_b: str,
+    min_common_items: int = 2,
+    mean_over_common_only: bool = False,
+) -> float:
+    """``RS(user_a, user_b)`` over the packed rows.
+
+    Matches the dict path exactly: self-pairs score 1, users unknown to
+    the matrix score 0, pairs under ``min_common_items`` co-rated items
+    score 0, zero-variance overlaps score 0.
+    """
+    if user_a == user_b:
+        return 1.0
+    packed.ensure_current()
+    a_int = packed.user_index.get(user_a)
+    b_int = packed.user_index.get(user_b)
+    if a_int is None or b_int is None:
+        return 0.0
+    return _pair_score_ints(
+        packed, a_int, b_int, min_common_items, mean_over_common_only
+    )
+
+
+def pearson_one_vs_many(
+    packed: PackedRatings,
+    user_id: str,
+    candidates: Iterable[str],
+    min_common_items: int = 2,
+    mean_over_common_only: bool = False,
+) -> dict[str, float]:
+    """Batched ``RS(u, ·)`` against many candidates, packed.
+
+    The paper's variant (full-row means) runs as one fused sweep over
+    the inverted index; the ``mean_over_common_only`` variant needs the
+    overlap known *before* any term can be centered, so it counts
+    overlaps in one sweep and scores the qualifying pairs individually.
+    Candidates equal to ``user_id`` are excluded, everyone else starts
+    at 0.0 — the dict batch contract.
+    """
+    scores = {candidate: 0.0 for candidate in candidates if candidate != user_id}
+    if not scores:
+        return scores
+    packed.ensure_current()
+    user_int = packed.user_index.get(user_id)
+    if user_int is None:
+        return scores
+    user_index = packed.user_index
+    if mean_over_common_only:
+        counts = overlap_counts(packed, user_int)
+        for candidate in scores:
+            candidate_int = user_index.get(candidate)
+            if (
+                candidate_int is not None
+                and counts[candidate_int] >= min_common_items
+            ):
+                scores[candidate] = _pair_score_ints(
+                    packed, user_int, candidate_int, min_common_items, True
+                )
+        return scores
+    num_users = packed.num_users
+    counts = [0] * num_users
+    numerators = [0.0] * num_users
+    sums_sq_a = [0.0] * num_users
+    sums_sq_b = [0.0] * num_users
+    means = packed.means
+    inv_users = packed.inv_users
+    inv_values = packed.inv_values
+    for item_int, deviation_a in zip(
+        packed.row_items[user_int], packed.row_devs[user_int]
+    ):
+        deviation_a_sq = deviation_a * deviation_a
+        for rater, value in zip(inv_users[item_int], inv_values[item_int]):
+            deviation_b = value - means[rater]
+            numerators[rater] += deviation_a * deviation_b
+            sums_sq_a[rater] += deviation_a_sq
+            sums_sq_b[rater] += deviation_b * deviation_b
+            counts[rater] += 1
+    sqrt = math.sqrt
+    for candidate in scores:
+        candidate_int = user_index.get(candidate)
+        if candidate_int is None or counts[candidate_int] < min_common_items:
+            continue
+        denominator = sqrt(sums_sq_a[candidate_int]) * sqrt(
+            sums_sq_b[candidate_int]
+        )
+        if denominator != 0.0:
+            scores[candidate] = numerators[candidate_int] / denominator
+    return scores

@@ -1,0 +1,89 @@
+"""Packed prediction-table kernel (Equation 1 over the inverted index).
+
+:func:`predict_table_packed` is the layout-first replacement for
+:func:`repro.core.relevance.predict_table` on the serving layer's
+single-user path: instead of copying a ``{user: rating}`` dict per
+candidate item (``matrix.users_of``) and hashing peer-id *strings*
+against it, the kernel stamps the item's raters into a reusable
+per-user scratch array and walks the peer list as interned ints.
+
+Bit-identity with the dict path holds because the accumulation order is
+the *peer* order (the dict path iterates ``peer_similarities`` and
+probes each peer's rating; so does the kernel), and stamping only
+changes how the probe is answered, not which floats are summed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .packed import PackedRatings
+
+
+def predict_table_packed(
+    packed: PackedRatings,
+    user_id: str,
+    peer_similarities: Mapping[str, float],
+    candidate_items: Sequence[str],
+    default_score: float | None = None,
+) -> dict[str, float]:
+    """Equation 1 over many candidate items for a fixed peer set, packed.
+
+    Same contract as :func:`repro.core.relevance.predict_table`: items
+    the user already rated keep their actual rating, items whose
+    prediction is undefined (no peer rated them, or zero similarity
+    mass) are omitted unless ``default_score`` is given.
+    """
+    packed.ensure_current()
+    user_int = packed.user_index.get(user_id)
+    own_ratings: dict[int, float] = (
+        packed.row_maps[user_int] if user_int is not None else {}
+    )
+    # Resolve the peers to ints once, keeping the mapping's iteration
+    # order — that order is the dict path's accumulation order.  Peers
+    # unknown to the matrix never rated anything, so dropping them up
+    # front skips probes the dict path would answer with None anyway.
+    user_index = packed.user_index
+    peer_ints: list[tuple[int, float]] = []
+    for peer_id, similarity in peer_similarities.items():
+        peer_int = user_index.get(peer_id)
+        if peer_int is not None:
+            peer_ints.append((peer_int, similarity))
+    item_index = packed.item_index
+    inv_users = packed.inv_users
+    inv_values = packed.inv_values
+    # Stamp scratch, allocated per call: the serving layer runs batch
+    # requests as concurrent readers (thread backend), so this state
+    # must not be shared — a second caller's token would invalidate a
+    # first caller's stamps mid-item.  Per *item* the token trick still
+    # avoids O(users) clearing.
+    stamp = [0] * packed.num_users
+    value = [0.0] * packed.num_users
+    token = 0
+    predictions: dict[str, float] = {}
+    for item_id in candidate_items:
+        item_int = item_index.get(item_id)
+        if item_int is not None:
+            existing = own_ratings.get(item_int)
+            if existing is not None:
+                predictions[item_id] = existing
+                continue
+            token += 1
+            raters = inv_users[item_int]
+            ratings = inv_values[item_int]
+            for position, rater in enumerate(raters):
+                stamp[rater] = token
+                value[rater] = ratings[position]
+            numerator = 0.0
+            denominator = 0.0
+            for peer_int, similarity in peer_ints:
+                if stamp[peer_int] == token:
+                    numerator += similarity * value[peer_int]
+                    denominator += similarity
+            if denominator != 0.0:
+                predictions[item_id] = numerator / denominator
+                continue
+        # Unknown item, or an undefined prediction.
+        if default_score is not None:
+            predictions[item_id] = default_score
+    return predictions

@@ -56,6 +56,7 @@ from ..exec import (
     get_backend,
     resolve_backend,
 )
+from ..kernels import get_packed, predict_table_packed
 from ..similarity.base import UserSimilarity
 from ..similarity.peers import peers_as_mapping
 from .cache import CachedSimilarity, ScoreCache
@@ -231,6 +232,12 @@ class RecommendationService:
         if bind_applier is not None:
             bind_applier(_apply_serve_delta, _init_serve_worker)
         base = similarity or build_similarity(dataset, config)
+        # The packed CSR view behind the kernels: shared per matrix, so
+        # the Pearson measure, the neighbour index and the prediction-
+        # table path all read (and dirty-mark) the same arrays.  The
+        # mutation paths repack incrementally; pool workers never see
+        # packed blobs — they repack from their own replayed deltas.
+        self._packed = get_packed(self.matrix) if config.kernel == "packed" else None
         self.similarity_cache = ScoreCache(
             config.similarity_cache_size, name="similarity"
         )
@@ -458,6 +465,10 @@ class RecommendationService:
         candidate_items = self.matrix.unrated_items(
             user_id, self.matrix.item_ids()
         )
+        if self._packed is not None:
+            return predict_table_packed(
+                self._packed, user_id, peer_similarities, candidate_items
+            )
         return predict_table(
             self.matrix, user_id, peer_similarities, candidate_items
         )
@@ -689,6 +700,12 @@ class RecommendationService:
         """
         with self._data_lock.write():
             self.matrix.add(user_id, item_id, value)
+            # The packed view repacks exactly this user's row (plus the
+            # touched inverted-index entries) on its next kernel call —
+            # marked here so the repack happens even when the active
+            # measure is not ratings-backed.
+            if self._packed is not None:
+                self._packed.mark_dirty(user_id)
             # Ratings-only invalidation: profile/semantic components
             # keep their state, a TF-IDF corpus refit is not triggered.
             self.similarity.invalidate_user_ratings(user_id)

@@ -6,6 +6,20 @@ then we can say that they are similar, since they share the same
 interests."  This module implements that measure plus two common
 alternatives (cosine over raw ratings and Jaccard over rated-item sets)
 used by the similarity ablation benchmark.
+
+Pearson runs on one of two interchangeable kernels (the ``kernel``
+argument, mirrored by :attr:`repro.config.RecommenderConfig.kernel`):
+
+* ``"packed"`` (default) — the CSR kernels of :mod:`repro.kernels`:
+  integer-interned ids, sorted-merge intersections, precomputed means
+  and deviations, an inverted index for candidate overlap counting;
+* ``"dict"`` — the oracle: straight dict-of-dicts arithmetic over the
+  :class:`~repro.data.ratings.RatingMatrix`.
+
+Both kernels sum each pair's co-rated terms in the same **canonical
+order** — the matrix's item insertion order, which is also the packed
+interning order — so their scores are bit-identical (asserted by the
+cross-kernel parity suite), not merely close.
 """
 
 from __future__ import annotations
@@ -14,6 +28,13 @@ import math
 from typing import Iterable
 
 from ..data.ratings import RatingMatrix
+from ..kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_NAMES,
+    get_packed,
+    pearson_one_vs_many,
+    pearson_pair,
+)
 from .base import UserSimilarity
 
 
@@ -36,6 +57,11 @@ class PearsonRatingSimilarity(UserSimilarity):
         over *all* of the user's ratings.  Setting this flag computes the
         mean over the co-rated subset only (the other textbook variant);
         the default follows the paper.
+    kernel:
+        ``"packed"`` (default) computes through the CSR kernels of
+        :mod:`repro.kernels`; ``"dict"`` keeps the dict-of-dicts oracle
+        path.  Scores are bit-identical either way — this is purely a
+        performance knob.
     """
 
     name = "ratings"
@@ -45,33 +71,92 @@ class PearsonRatingSimilarity(UserSimilarity):
         matrix: RatingMatrix,
         min_common_items: int = 2,
         mean_over_common_only: bool = False,
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         if min_common_items < 1:
             raise ValueError("min_common_items must be at least 1")
+        if kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}"
+            )
         self.matrix = matrix
         self.min_common_items = min_common_items
         self.mean_over_common_only = mean_over_common_only
+        self.kernel = kernel
         self._mean_cache: dict[str, float] = {}
+        self._packed = None
+        self._item_rank: dict[str, int] = {}
+        self._item_rank_version = -1
 
     def _mean(self, user_id: str) -> float:
         if user_id not in self._mean_cache:
             self._mean_cache[user_id] = self.matrix.mean_rating(user_id)
         return self._mean_cache[user_id]
 
+    def _packed_view(self):
+        if self._packed is None:
+            self._packed = get_packed(self.matrix)
+        return self._packed
+
+    def __getstate__(self) -> dict:
+        # The packed view and the oracle's rank map rebuild lazily on
+        # the far side of a process hop (pool workers repack from
+        # their own replayed matrix), so neither the CSR arrays nor an
+        # O(items) derivable dict ever cross the boundary.
+        state = self.__dict__.copy()
+        state["_packed"] = None
+        state["_item_rank"] = {}
+        state["_item_rank_version"] = -1
+        return state
+
+    def _canonical_common(
+        self, ratings_a: dict[str, float], ratings_b: dict[str, float]
+    ) -> list[str]:
+        """The co-rated items in canonical (item insertion) order.
+
+        The canonical order makes the per-pair float summation
+        deterministic — independent of set/hash iteration order — and
+        equal to the packed kernel's ascending interned-id merge order,
+        which is what makes the two kernels bit-identical.
+        """
+        common = set(ratings_a) & set(ratings_b)
+        if len(common) <= 1:
+            return list(common)
+        version = self.matrix.version
+        if self._item_rank_version != version:
+            self._item_rank = {
+                item_id: rank
+                for rank, item_id in enumerate(self.matrix.iter_item_ids())
+            }
+            self._item_rank_version = version
+        return sorted(common, key=self._item_rank.__getitem__)
+
     def invalidate_cache(self) -> None:
-        """Drop cached user means (call after mutating the matrix)."""
+        """Drop all cached per-user state (call after mutating the matrix)."""
         self._mean_cache.clear()
+        if self._packed is not None:
+            self._packed.mark_all_dirty()
 
     def invalidate_user(self, user_id: str) -> None:
-        """Drop the cached mean of one user (after a rating change)."""
+        """Drop the cached state of one user (after a rating change)."""
         self._mean_cache.pop(user_id, None)
+        if self._packed is not None:
+            self._packed.mark_dirty(user_id)
 
     def similarity(self, user_a: str, user_b: str) -> float:
         if user_a == user_b:
             return 1.0
+        if self.kernel == "packed":
+            return pearson_pair(
+                self._packed_view(),
+                user_a,
+                user_b,
+                self.min_common_items,
+                self.mean_over_common_only,
+            )
         ratings_a = self.matrix.items_of(user_a)
         ratings_b = self.matrix.items_of(user_b)
-        common = set(ratings_a) & set(ratings_b)
+        common = self._canonical_common(ratings_a, ratings_b)
         if len(common) < self.min_common_items:
             return 0.0
         if self.mean_over_common_only:
@@ -99,20 +184,35 @@ class PearsonRatingSimilarity(UserSimilarity):
     ) -> dict[str, float]:
         """Batched ``RS(u, ·)`` against many candidates.
 
-        The default implementation performs a full set intersection per
-        candidate, which makes building a neighbour index quadratic in
-        dict lookups.  This override walks the inverted index of the
-        user's rated items *once*, counting co-rated items per
-        candidate, and only evaluates the Pearson formula for the
-        candidates that reach ``min_common_items``.  Scores are
-        bit-identical to :meth:`similarity` because qualifying pairs go
-        through the same code path.
+        On the packed kernel this is
+        :func:`repro.kernels.pearson_one_vs_many` — one inverted-index
+        walk over interned ints, then sorted-merge scoring of the
+        qualifying pairs.  The dict path keeps the same shape over the
+        string-keyed matrix: walk the inverted index of the user's
+        rated items once, count co-rated items per candidate, and only
+        evaluate the Pearson formula for the candidates that reach
+        ``min_common_items``.  Scores are bit-identical between the
+        kernels and to :meth:`similarity`.
         """
+        if self.kernel == "packed":
+            return pearson_one_vs_many(
+                self._packed_view(),
+                user_id,
+                candidates,
+                self.min_common_items,
+                self.mean_over_common_only,
+            )
+        ratings_a = self.matrix.items_of(user_id)
+        if not ratings_a:
+            # Empty-profile users score 0 against everyone; skip the
+            # overlap walk (and its bookkeeping allocations) entirely.
+            return {
+                candidate: 0.0 for candidate in candidates if candidate != user_id
+            }
         scores = {
             candidate: 0.0 for candidate in candidates if candidate != user_id
         }
-        ratings_a = self.matrix.items_of(user_id)
-        if not ratings_a or not scores:
+        if not scores:
             return scores
         overlap: dict[str, int] = {}
         for item_id in ratings_a:
@@ -129,7 +229,10 @@ class CosineRatingSimilarity(UserSimilarity):
     """Cosine similarity over the users' raw rating vectors.
 
     Scores lie in ``[0, 1]`` for non-negative rating scales.  Included
-    as an ablation alternative to the paper's Pearson choice.
+    as an ablation alternative to the paper's Pearson choice.  Per-user
+    vector norms are cached (they only depend on the user's own row)
+    and dropped through the same ``invalidate_user`` hooks Pearson's
+    mean cache uses.
     """
 
     name = "ratings-cosine"
@@ -139,6 +242,23 @@ class CosineRatingSimilarity(UserSimilarity):
             raise ValueError("min_common_items must be at least 1")
         self.matrix = matrix
         self.min_common_items = min_common_items
+        self._norm_cache: dict[str, float] = {}
+
+    def _norm(self, user_id: str) -> float:
+        norm = self._norm_cache.get(user_id)
+        if norm is None:
+            ratings = self.matrix.items_of(user_id)
+            norm = math.sqrt(sum(v * v for v in ratings.values()))
+            self._norm_cache[user_id] = norm
+        return norm
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached norm (call after mutating the matrix)."""
+        self._norm_cache.clear()
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Drop the cached norm of one user (after a rating change)."""
+        self._norm_cache.pop(user_id, None)
 
     def similarity(self, user_a: str, user_b: str) -> float:
         if user_a == user_b:
@@ -149,8 +269,8 @@ class CosineRatingSimilarity(UserSimilarity):
         if len(common) < self.min_common_items:
             return 0.0
         numerator = sum(ratings_a[i] * ratings_b[i] for i in common)
-        norm_a = math.sqrt(sum(v * v for v in ratings_a.values()))
-        norm_b = math.sqrt(sum(v * v for v in ratings_b.values()))
+        norm_a = self._norm(user_a)
+        norm_b = self._norm(user_b)
         if norm_a == 0.0 or norm_b == 0.0:
             return 0.0
         return numerator / (norm_a * norm_b)

@@ -138,3 +138,52 @@ class TestIterationAndSerialization:
         first = next(iter(tiny_matrix))
         assert isinstance(first, Rating)
         assert first.as_triple() == (first.user_id, first.item_id, first.value)
+
+
+class TestMutationCounters:
+    """version / removals / num_ratings bookkeeping (PR 5).
+
+    The packed kernel layer and the canonical-order Pearson oracle key
+    their staleness checks on these counters, so their exact semantics
+    are pinned here.
+    """
+
+    def test_version_bumps_on_add_and_overwrite(self):
+        matrix = RatingMatrix()
+        assert matrix.version == 0
+        matrix.add("a", "x", 3.0)
+        after_add = matrix.version
+        assert after_add > 0
+        matrix.add("a", "x", 4.0)  # overwrite is a mutation too
+        assert matrix.version > after_add
+
+    def test_version_and_removals_bump_on_remove(self):
+        matrix = RatingMatrix([("a", "x", 3.0), ("a", "y", 2.0)])
+        version = matrix.version
+        assert matrix.removals == 0
+        matrix.remove("a", "x")
+        assert matrix.version > version
+        assert matrix.removals == 1
+
+    def test_num_ratings_counter_tracks_overwrites_and_removals(self):
+        matrix = RatingMatrix()
+        matrix.add("a", "x", 3.0)
+        matrix.add("a", "x", 5.0)  # overwrite: still one rating
+        matrix.add("b", "x", 2.0)
+        assert matrix.num_ratings == 2
+        matrix.remove("a", "x")
+        assert matrix.num_ratings == 1
+        assert len(matrix) == 1
+
+    def test_iter_ids_match_list_accessors(self):
+        matrix = RatingMatrix([("b", "y", 1.0), ("a", "x", 2.0)])
+        assert list(matrix.iter_user_ids()) == matrix.user_ids()
+        assert list(matrix.iter_item_ids()) == matrix.item_ids()
+
+    def test_copy_resets_nothing_observable(self):
+        matrix = RatingMatrix([("a", "x", 3.0)])
+        matrix.remove("a", "x")
+        clone = matrix.copy()
+        # A copy replays the surviving triples; its counters restart.
+        assert clone.num_ratings == matrix.num_ratings
+        assert clone.removals == 0

@@ -1,0 +1,132 @@
+"""Packed prediction-table kernel vs predict_table: bit-identical."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.relevance import predict_table
+from repro.data.ratings import RatingMatrix
+from repro.kernels import PackedRatings, predict_table_packed
+
+
+def random_matrix(seed: int, users: int = 14, items: int = 18) -> RatingMatrix:
+    rng = random.Random(seed)
+    matrix = RatingMatrix()
+    for u in range(users):
+        for i in rng.sample(range(items), rng.randint(1, items - 1)):
+            matrix.add(f"u{u}", f"i{i}", float(rng.randint(1, 5)))
+    return matrix
+
+
+def random_peers(matrix: RatingMatrix, seed: int) -> dict[str, float]:
+    rng = random.Random(seed)
+    peers = rng.sample(matrix.user_ids(), 6)
+    # Include negative similarities (possible under Pearson) and an
+    # unknown peer the dict path would probe and miss.
+    table = {peer: rng.uniform(-0.5, 1.0) for peer in peers}
+    table["ghost-peer"] = 0.9
+    return table
+
+
+@pytest.mark.parametrize("seed", [1, 12, 33])
+@pytest.mark.parametrize("default_score", [None, 0.0, 2.5])
+def test_bit_identical_to_dict_path(seed, default_score):
+    matrix = random_matrix(seed)
+    peers = random_peers(matrix, seed * 3)
+    packed = PackedRatings(matrix)
+    user_id = matrix.user_ids()[0]
+    candidates = matrix.item_ids() + ["unknown-item"]
+    expected = predict_table(
+        matrix, user_id, peers, candidates, default_score=default_score
+    )
+    got = predict_table_packed(
+        packed, user_id, peers, candidates, default_score=default_score
+    )
+    assert got == expected
+
+
+def test_rated_items_keep_their_actual_rating():
+    matrix = RatingMatrix([("a", "x", 4.0), ("b", "x", 1.0), ("b", "y", 5.0)])
+    packed = PackedRatings(matrix)
+    table = predict_table_packed(packed, "a", {"b": 1.0}, ["x", "y"])
+    assert table["x"] == 4.0          # a's own rating, not b's
+    assert table["y"] == 5.0          # predicted from b
+
+
+def test_zero_similarity_mass_is_omitted():
+    matrix = RatingMatrix([("a", "x", 4.0), ("b", "y", 2.0), ("c", "y", 3.0)])
+    packed = PackedRatings(matrix)
+    # +1 and -1 peers cancel exactly: the prediction is undefined.
+    table = predict_table_packed(packed, "a", {"b": 1.0, "c": -1.0}, ["y"])
+    assert table == predict_table(matrix, "a", {"b": 1.0, "c": -1.0}, ["y"])
+    assert "y" not in table
+
+
+def test_unknown_requesting_user_matches_dict_path():
+    matrix = random_matrix(5)
+    packed = PackedRatings(matrix)
+    peers = random_peers(matrix, 9)
+    candidates = matrix.item_ids()
+    assert predict_table_packed(
+        packed, "nobody", peers, candidates
+    ) == predict_table(matrix, "nobody", peers, candidates)
+
+
+def test_parity_after_incremental_repack():
+    matrix = random_matrix(8)
+    packed = PackedRatings(matrix)
+    user_id = matrix.user_ids()[0]
+    peers = random_peers(matrix, 4)
+    rng = random.Random(21)
+    for _ in range(8):
+        mutated = f"u{rng.randrange(14)}"
+        matrix.add(mutated, f"i{rng.randrange(20)}", float(rng.randint(1, 5)))
+        packed.mark_dirty(mutated)
+        candidates = matrix.item_ids()
+        assert predict_table_packed(
+            packed, user_id, peers, candidates
+        ) == predict_table(matrix, user_id, peers, candidates)
+
+
+def test_concurrent_calls_match_serial_results():
+    """Batch serving runs prediction tables from many reader threads;
+    shared scratch state would let one thread's stamps clobber
+    another's mid-item (regression: the scratch is now per call)."""
+    import threading
+
+    matrix = random_matrix(19, users=40, items=30)
+    packed = PackedRatings(matrix)
+    users = matrix.user_ids()
+    candidates = matrix.item_ids()
+    peer_table = {
+        user_id: random_peers(matrix, seed)
+        for seed, user_id in enumerate(users)
+    }
+    expected = {
+        user_id: predict_table_packed(
+            packed, user_id, peer_table[user_id], candidates
+        )
+        for user_id in users
+    }
+    results: dict[str, list] = {user_id: [] for user_id in users}
+    barrier = threading.Barrier(8)
+
+    def worker(offset: int) -> None:
+        barrier.wait()
+        for index in range(len(users) * 3):
+            user_id = users[(offset + index) % len(users)]
+            results[user_id].append(
+                predict_table_packed(
+                    packed, user_id, peer_table[user_id], candidates
+                )
+            )
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for user_id, rows in results.items():
+        assert all(row == expected[user_id] for row in rows)

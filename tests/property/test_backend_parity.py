@@ -37,20 +37,24 @@ from repro.serving import RecommendationService
 #: The fixed seed matrix (acceptance: >= 3 seeds).
 SEEDS = (3, 11, 29)
 
-#: Every backend, plus the sharded-index, sync-mode and autoscaling
-#: variants, as (backend, shards, sync, autoscale) — ``autoscale``
-#: opens the pool bounds (min 1, max 4) so broadcast sync runs against
-#: a pool whose width shifts between batches.  The first entry is the
-#: reference everything else must equal.
+#: Every backend, plus the sharded-index, sync-mode, autoscaling and
+#: kernel variants, as (backend, shards, sync, autoscale, kernel) —
+#: ``autoscale`` opens the pool bounds (min 1, max 4) so broadcast sync
+#: runs against a pool whose width shifts between batches; ``kernel``
+#: crosses the packed CSR kernels against the dict oracle (PR 5).  The
+#: first entry — serial, flat, dict oracle — is the reference
+#: everything else must equal bit-for-bit.
 CONFIGURATIONS = (
-    ("serial", 1, "delta", False),
-    ("serial", 3, "delta", False),
-    ("thread", 1, "delta", False),
-    ("process", 1, "delta", False),
-    ("pool", 1, "delta", False),
-    ("pool", 3, "delta", False),
-    ("pool", 1, "full", False),
-    ("pool", 1, "delta", True),
+    ("serial", 1, "delta", False, "dict"),
+    ("serial", 1, "delta", False, "packed"),
+    ("serial", 3, "delta", False, "packed"),
+    ("thread", 1, "delta", False, "packed"),
+    ("process", 1, "delta", False, "packed"),
+    ("pool", 1, "delta", False, "packed"),
+    ("pool", 3, "delta", False, "packed"),
+    ("pool", 1, "full", False, "packed"),
+    ("pool", 1, "delta", True, "packed"),
+    ("pool", 3, "delta", False, "dict"),
 )
 
 
@@ -105,6 +109,7 @@ def _run_script(
     shards: int,
     sync: str,
     autoscale: bool = False,
+    kernel: str = "packed",
 ) -> list:
     """Replay one script against a fresh service; returns its trace.
 
@@ -128,6 +133,7 @@ def _run_script(
         pool_min_workers=1 if autoscale else 0,
         pool_max_workers=4 if autoscale else 0,
         index_shards=shards,
+        kernel=kernel,
     )
     service = RecommendationService(dataset, config)
     trace: list = []
@@ -180,12 +186,14 @@ def test_random_workload_parity_across_backends_and_sharding(seed):
 
     reference = _run_script(payload, script, *CONFIGURATIONS[0])
     assert any(isinstance(step, list) and step for step in reference)
-    for backend, shards, sync, autoscale in CONFIGURATIONS[1:]:
-        trace = _run_script(payload, script, backend, shards, sync, autoscale)
+    for backend, shards, sync, autoscale, kernel in CONFIGURATIONS[1:]:
+        trace = _run_script(
+            payload, script, backend, shards, sync, autoscale, kernel
+        )
         assert trace == reference, (
             f"backend={backend} shards={shards} sync={sync} "
-            f"autoscale={autoscale} diverged from the serial reference "
-            f"on seed {seed}"
+            f"autoscale={autoscale} kernel={kernel} diverged from the "
+            f"serial dict-oracle reference on seed {seed}"
         )
 
 
@@ -213,10 +221,12 @@ def test_mutation_between_batches_changes_results_and_keeps_parity():
         "the mutations were supposed to change at least one group's "
         "recommendations — the staleness scenario is vacuous"
     )
-    for backend, shards, sync, autoscale in CONFIGURATIONS[1:]:
-        trace = _run_script(payload, script, backend, shards, sync, autoscale)
+    for backend, shards, sync, autoscale, kernel in CONFIGURATIONS[1:]:
+        trace = _run_script(
+            payload, script, backend, shards, sync, autoscale, kernel
+        )
         assert trace == reference, (
             f"backend={backend} shards={shards} sync={sync} "
-            f"autoscale={autoscale} served stale results after "
-            f"mutations between batches"
+            f"autoscale={autoscale} kernel={kernel} served stale "
+            f"results after mutations between batches"
         )

@@ -152,6 +152,7 @@ class TestServeCommand:
         args = build_parser().parse_args(["serve", "data.json", "reqs.jsonl"])
         assert args.workers is None  # auto: one per CPU for thread/process
         assert args.backend == "serial"
+        assert args.kernel == "packed"
         assert args.shards == 1
         assert args.snapshot is None
         assert args.similarity_cache == 500_000
@@ -195,6 +196,29 @@ class TestServeBackendsAndSnapshots:
                 backend,
                 "--workers",
                 "2",
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput:" in out
+
+    @pytest.mark.parametrize("kernel", ["packed", "dict"])
+    def test_serve_with_kernel(self, tmp_path, capsys, kernel):
+        """--kernel reaches the service end-to-end on both kernels."""
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "6",
+                "--kernel",
+                kernel,
                 "--peer-threshold",
                 "0.0",
                 "--quiet",

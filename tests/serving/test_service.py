@@ -568,3 +568,127 @@ class TestSharedAndForeignPools:
             assert pool.restarts > restarts_before_mutation
         assert before != after  # the mutations really moved results
         assert after == [_cold(mutable_dataset, g).items for g in groups]
+
+
+class TestKernelStateInvalidation:
+    """Mutation paths must drop every kernel-side per-user cache.
+
+    A stale Pearson mean (or a stale packed row) after ``ingest_rating``
+    silently skews every later score instead of failing loudly, so both
+    are pinned here against the service's mutation paths.
+    """
+
+    def _dict_service(self, dataset) -> RecommendationService:
+        return RecommendationService(
+            dataset, CONFIG.with_overrides(kernel="dict")
+        )
+
+    def test_ingest_rating_invalidates_pearson_mean_cache(
+        self, mutable_dataset
+    ):
+        service = self._dict_service(mutable_dataset)
+        pearson = service.similarity.inner
+        user_id = mutable_dataset.users.ids()[0]
+        service.recommend_user(user_id)
+        assert user_id in pearson._mean_cache
+        stale_mean = pearson._mean_cache[user_id]
+        unrated = mutable_dataset.ratings.unrated_items(
+            user_id, mutable_dataset.ratings.item_ids()
+        )
+        service.ingest_rating(user_id, unrated[0], 1.0)
+        # refresh_user may legitimately have re-cached the mean already;
+        # what matters is that it is the *post-ingest* mean, not the
+        # stale one.
+        fresh_mean = mutable_dataset.ratings.mean_rating(user_id)
+        assert stale_mean != fresh_mean
+        assert pearson._mean(user_id) == fresh_mean
+
+    def test_update_profile_invalidates_pearson_mean_cache(
+        self, mutable_dataset, monkeypatch
+    ):
+        service = self._dict_service(mutable_dataset)
+        pearson = service.similarity.inner
+        user_id = mutable_dataset.users.ids()[0]
+        service.recommend_user(user_id)
+        assert user_id in pearson._mean_cache
+        dropped: list[str] = []
+        original = type(pearson).invalidate_user
+
+        def spy(self, uid):
+            dropped.append(uid)
+            return original(self, uid)
+
+        monkeypatch.setattr(type(pearson), "invalidate_user", spy)
+        service.update_profile(user_id)
+        assert user_id in dropped
+
+    def test_stale_mean_would_skew_scores(self, mutable_dataset):
+        """Non-vacuousness: with the invalidation hook bypassed, the
+        served similarity really would diverge — so the passing tests
+        above are load-bearing."""
+        service = self._dict_service(mutable_dataset)
+        pearson = service.similarity.inner
+        users = mutable_dataset.users.ids()
+        user_id = users[0]
+        service.recommend_user(user_id)
+        stale_mean = pearson._mean(user_id)
+        unrated = mutable_dataset.ratings.unrated_items(
+            user_id, mutable_dataset.ratings.item_ids()
+        )
+        service.ingest_rating(user_id, unrated[0], 1.0)
+        assert stale_mean != mutable_dataset.ratings.mean_rating(user_id)
+
+    def test_ingest_marks_packed_rows_dirty_even_without_ratings_measure(
+        self, mutable_dataset
+    ):
+        """With a profile measure the Pearson invalidation hooks never
+        run; the service itself must keep the packed view current for
+        the prediction-table kernel."""
+        config = CONFIG.with_overrides(kernel="packed", similarity="profile")
+        service = RecommendationService(mutable_dataset, config)
+        user_id = mutable_dataset.users.ids()[0]
+        before_row = service.relevance_row(user_id)
+        predicted_item = next(iter(before_row))
+        service.ingest_rating(user_id, predicted_item, 1.0)
+        after_row = service.relevance_row(user_id)
+        # The freshly-rated item left the candidate set, and the rest of
+        # the row still matches the cold pipeline on the mutated data.
+        assert predicted_item not in after_row
+        assert service.recommend_user(user_id) == CaregiverPipeline(
+            mutable_dataset, config
+        ).recommend_for_user(user_id)
+
+    def test_packed_service_repack_lifecycle_matches_dict_service(
+        self, mutable_dataset
+    ):
+        """mutate → incremental repack → serve, repeatedly, against a
+        dict-kernel twin on identical data: the packed service's answers
+        must stay bit-identical through the whole lifecycle."""
+        from repro.data.datasets import HealthDataset
+
+        twin = HealthDataset.from_dict(mutable_dataset.to_dict())
+        packed_service = RecommendationService(
+            mutable_dataset, CONFIG.with_overrides(kernel="packed")
+        )
+        dict_service = RecommendationService(
+            twin, CONFIG.with_overrides(kernel="dict")
+        )
+        users = mutable_dataset.users.ids()
+        items = mutable_dataset.ratings.item_ids()
+        group = random_group(users, 4, seed=3)
+        for step in range(4):
+            user_id = users[step % len(users)]
+            item_id = items[(step * 7) % len(items)]
+            value = float(1 + (step % 5))
+            packed_service.ingest_rating(user_id, item_id, value)
+            dict_service.ingest_rating(user_id, item_id, value)
+            assert packed_service.recommend_user(user_id) == (
+                dict_service.recommend_user(user_id)
+            )
+            packed_rec = packed_service.recommend_group(group)
+            dict_rec = dict_service.recommend_group(group)
+            assert packed_rec.items == dict_rec.items
+            assert (
+                packed_rec.candidates.group_relevance
+                == dict_rec.candidates.group_relevance
+            )

@@ -190,7 +190,9 @@ class TestBatchedPearson:
         assert scores == {"alice": 0.0, "bob": 0.0}
 
     def test_invalidate_user_drops_only_their_mean(self, tiny_matrix):
-        similarity = PearsonRatingSimilarity(tiny_matrix)
+        # The mean cache backs the dict path; the packed kernel keeps
+        # its means in the packed rows instead.
+        similarity = PearsonRatingSimilarity(tiny_matrix, kernel="dict")
         similarity.similarity("alice", "bob")
         assert "alice" in similarity._mean_cache
         similarity.invalidate_user("alice")
@@ -209,3 +211,105 @@ class TestSimilaritiesMany:
             uid: measure.similarities(uid, users) for uid in users
         }
         assert measure.similarities_many(users, users, backend=backend) == expected
+
+
+class TestCosineNormCache:
+    """Per-user norms are cached and dropped via the invalidate hooks."""
+
+    def test_norms_cached_after_first_use(self, tiny_matrix):
+        similarity = CosineRatingSimilarity(tiny_matrix)
+        similarity("alice", "bob")
+        assert set(similarity._norm_cache) == {"alice", "bob"}
+
+    def test_cached_norm_is_reused_not_recomputed(self, tiny_matrix, monkeypatch):
+        similarity = CosineRatingSimilarity(tiny_matrix)
+        similarity("alice", "bob")
+        calls = []
+        original = tiny_matrix.items_of
+        monkeypatch.setattr(
+            tiny_matrix,
+            "items_of",
+            lambda uid: calls.append(uid) or original(uid),
+        )
+        similarity("alice", "bob")
+        # The pair re-reads the two rows for the intersection but never
+        # re-derives the norms (no third/fourth items_of calls).
+        assert calls.count("alice") == 1
+        assert calls.count("bob") == 1
+
+    def test_invalidate_user_drops_only_their_norm(self, tiny_matrix):
+        similarity = CosineRatingSimilarity(tiny_matrix)
+        similarity("alice", "bob")
+        similarity.invalidate_user("alice")
+        assert "alice" not in similarity._norm_cache
+        assert "bob" in similarity._norm_cache
+
+    def test_invalidate_cache_drops_everything(self, tiny_matrix):
+        similarity = CosineRatingSimilarity(tiny_matrix)
+        similarity("alice", "bob")
+        similarity.invalidate_cache()
+        assert similarity._norm_cache == {}
+
+    def test_scores_track_mutations_through_invalidation(self, tiny_matrix):
+        similarity = CosineRatingSimilarity(tiny_matrix)
+        before = similarity("alice", "bob")
+        tiny_matrix.add("alice", "i1", 1.0)   # was 5.0
+        similarity.invalidate_user("alice")
+        after = similarity("alice", "bob")
+        assert after != before
+        fresh = CosineRatingSimilarity(tiny_matrix)
+        assert after == fresh("alice", "bob")
+
+    def test_zero_norm_user_cached_and_scores_zero(self):
+        matrix = RatingMatrix(scale=(0.0, 5.0))
+        matrix.add("zero", "i1", 0.0)
+        matrix.add("other", "i1", 3.0)
+        similarity = CosineRatingSimilarity(matrix)
+        assert similarity("zero", "other") == 0.0
+        assert similarity._norm_cache["zero"] == 0.0
+        # The cached 0.0 must be honoured, not mistaken for a miss.
+        assert similarity("zero", "other") == 0.0
+
+
+class TestEmptyProfileFastPath:
+    """The batched Pearson path short-circuits empty-profile users."""
+
+    @pytest.mark.parametrize("kernel", ["dict", "packed"])
+    def test_empty_user_gets_zero_row_without_overlap_walk(
+        self, tiny_matrix, kernel
+    ):
+        similarity = PearsonRatingSimilarity(tiny_matrix, kernel=kernel)
+        scores = similarity.similarities("ghost", ["alice", "bob", "ghost"])
+        assert scores == {"alice": 0.0, "bob": 0.0}
+
+    def test_dict_path_skips_row_fetch_for_empty_candidates(
+        self, tiny_matrix, monkeypatch
+    ):
+        similarity = PearsonRatingSimilarity(tiny_matrix, kernel="dict")
+        walks = []
+        monkeypatch.setattr(
+            tiny_matrix,
+            "iter_raters",
+            lambda item_id: walks.append(item_id) or iter(()),
+        )
+        assert similarity.similarities("ghost", ["alice"]) == {"alice": 0.0}
+        assert similarity.similarities("alice", []) == {}
+        assert walks == []  # neither case walked the inverted index
+
+
+class TestKernelEquivalenceOnFixture:
+    """packed and dict kernels agree bit-for-bit on the shared fixture."""
+
+    @pytest.mark.parametrize("common_mean", [False, True])
+    def test_all_pairs_agree(self, tiny_matrix, common_mean):
+        dict_measure = PearsonRatingSimilarity(
+            tiny_matrix, mean_over_common_only=common_mean, kernel="dict"
+        )
+        packed_measure = PearsonRatingSimilarity(
+            tiny_matrix, mean_over_common_only=common_mean, kernel="packed"
+        )
+        users = tiny_matrix.user_ids()
+        for user_a in users:
+            assert packed_measure.similarities(
+                user_a, users
+            ) == dict_measure.similarities(user_a, users)

@@ -180,8 +180,32 @@ class TestFingerprint:
             pool_min_workers=1,
             pool_max_workers=8,
             pool_idle_ttl=5.0,
+            kernel="dict",
         )
         assert base.fingerprint() == tuned.fingerprint()
+
+
+class TestKernelConfig:
+    """The similarity/prediction kernel knob (PR 5)."""
+
+    def test_default_is_packed(self):
+        assert RecommenderConfig().kernel == "packed"
+
+    def test_dict_oracle_accepted(self):
+        assert RecommenderConfig(kernel="dict").kernel == "dict"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecommenderConfig(kernel="simd")
+
+    def test_round_trips_through_dict(self):
+        config = RecommenderConfig(kernel="dict")
+        assert RecommenderConfig.from_dict(config.to_dict()) == config
+
+    def test_old_payloads_default_to_packed(self):
+        payload = RecommenderConfig().to_dict()
+        payload.pop("kernel")
+        assert RecommenderConfig.from_dict(payload).kernel == "packed"
 
 
 class TestResolvePositive:

@@ -41,6 +41,7 @@ class TestTopLevelExports:
             "repro.ontology",
             "repro.similarity",
             "repro.core",
+            "repro.kernels",
             "repro.mapreduce",
             "repro.eval",
             "repro.cli",

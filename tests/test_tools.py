@@ -91,3 +91,60 @@ class TestCheckDocs:
         result = _run("check_docs.py", str(doc))
         assert result.returncode == 1
         assert "fence" in result.stdout
+
+
+class TestCheckKernelRegression:
+    def _result(self, build=4.0, warm=5.0, identical=True) -> dict:
+        return {
+            "benchmark": "kernels",
+            "identical_results": identical,
+            "build_speedup": build,
+            "warm_batch_speedup": warm,
+        }
+
+    def _write(self, path: Path, payload: dict) -> Path:
+        import json
+
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_committed_baseline_parses(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", self._result())
+        result = _run(
+            "check_kernel_regression.py",
+            str(ROOT / "BENCH_kernels.json"),
+            str(fresh),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_within_threshold_passes_quietly(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result(4.0, 5.0))
+        fresh = self._write(tmp_path / "fresh.json", self._result(3.5, 4.5))
+        result = _run("check_kernel_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 0
+        assert "::warning::" not in result.stdout
+        assert "kernel perf OK" in result.stdout
+
+    def test_regression_warns_but_does_not_fail(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result(4.0, 5.0))
+        fresh = self._write(tmp_path / "fresh.json", self._result(2.0, 5.0))
+        result = _run("check_kernel_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 0  # advisory: warn, never fail
+        assert "::warning::" in result.stdout
+        assert "build_speedup" in result.stdout
+
+    def test_parity_failure_is_fatal(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result())
+        fresh = self._write(
+            tmp_path / "fresh.json", self._result(identical=False)
+        )
+        result = _run("check_kernel_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 1
+        assert "bit-identical" in result.stderr
+
+    def test_corrupt_payload_is_fatal(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result())
+        broken = tmp_path / "fresh.json"
+        broken.write_text("{not json")
+        result = _run("check_kernel_regression.py", str(baseline), str(broken))
+        assert result.returncode != 0

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Docstring-coverage gate for the public surfaces of this library.
 
-Walks the given source trees (default: ``repro.exec`` and
-``repro.serving``) and fails — exit code 1, one line per violation —
+Walks the given source trees (default: ``repro.exec``, ``repro.serving``
+and ``repro.kernels``) and fails — exit code 1, one line per violation —
 when any of these lacks a docstring:
 
 * a module;
@@ -27,7 +27,7 @@ import sys
 from pathlib import Path
 
 #: The packages whose public surfaces are gated by default.
-DEFAULT_TARGETS = ("src/repro/exec", "src/repro/serving")
+DEFAULT_TARGETS = ("src/repro/exec", "src/repro/serving", "src/repro/kernels")
 
 FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
 
