@@ -1,0 +1,220 @@
+"""Observability overhead: instrumented serving vs bare serving.
+
+The ``repro.obs`` instrumentation (request/kernel histograms, cache
+counters, trace spans) rides the serving hot path, so it must be close
+to free — the acceptance bar is **< 5% wall-clock overhead** on a
+repeated-group serving workload, with bit-identical recommendations
+either way (metrics may never change results).
+
+The comparison replays the same workload twice per repeat:
+
+* **bare** — ``repro.obs.set_enabled(False)``: every record path
+  reduces to one flag check;
+* **instrumented** — the default: counters bump, histograms observe,
+  spans record.
+
+Timing takes the best of ``--repeats`` interleaved runs per mode so a
+one-off scheduler hiccup cannot brand the instrumentation slow.  Run
+directly (``python benchmarks/bench_obs_overhead.py [--quick]
+[--output PATH]``) to (re)write ``BENCH_obs.json``; ``--quick`` shrinks
+the workload to a correctness-only smoke for CI.  The committed
+``BENCH_obs.json`` is the baseline ``tools/check_obs_overhead.py``
+reads in the advisory CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import RecommenderConfig  # noqa: E402
+from repro.data.datasets import generate_dataset  # noqa: E402
+from repro.eval.timing import stopwatch  # noqa: E402
+from repro.obs import is_enabled, reset_registry, set_enabled  # noqa: E402
+from repro.serving import RecommendationService, synthetic_workload  # noqa: E402
+
+#: Accepted instrumentation cost on the serving workload.
+OVERHEAD_CEILING_PCT = 5.0
+
+
+@dataclass
+class OverheadResult:
+    """Wall-clock comparison of one instrumented-vs-bare replay."""
+
+    requests: int
+    distinct_groups: int
+    repeats: int
+    bare_runs_ms: list[float]
+    instrumented_runs_ms: list[float]
+    identical_results: bool
+
+    @property
+    def bare_ms(self) -> float:
+        """Best bare replay (minimum over repeats)."""
+        return min(self.bare_runs_ms)
+
+    @property
+    def instrumented_ms(self) -> float:
+        """Best instrumented replay (minimum over repeats)."""
+        return min(self.instrumented_runs_ms)
+
+    @property
+    def overhead_pct(self) -> float:
+        """Instrumented-over-bare cost as a percentage of bare."""
+        if self.bare_ms == 0.0:
+            return 0.0
+        return (self.instrumented_ms - self.bare_ms) / self.bare_ms * 100.0
+
+    def as_dict(self) -> dict:
+        """The ``BENCH_obs.json`` payload."""
+        return {
+            "benchmark": "obs_overhead",
+            "workload": {
+                "requests": self.requests,
+                "distinct_groups": self.distinct_groups,
+                "repeats": self.repeats,
+            },
+            "identical_results": self.identical_results,
+            "bare_ms": self.bare_ms,
+            "instrumented_ms": self.instrumented_ms,
+            "overhead_pct": self.overhead_pct,
+            "overhead_ceiling_pct": OVERHEAD_CEILING_PCT,
+            "timings": [
+                {"mode": "bare", "runs_ms": self.bare_runs_ms},
+                {"mode": "instrumented", "runs_ms": self.instrumented_runs_ms},
+            ],
+        }
+
+
+def _replay(dataset, config, groups, enabled: bool) -> tuple[float, list]:
+    """One fresh-service replay; returns (elapsed_ms, recommended items)."""
+    set_enabled(enabled)
+    reset_registry()
+    service = RecommendationService(dataset, config)
+    service.warm()
+    with stopwatch() as elapsed:
+        results = [service.recommend_group(group) for group in groups]
+        run_ms = elapsed()
+    return run_ms, [tuple(result.items) for result in results]
+
+
+def run_overhead_comparison(
+    num_users: int = 120,
+    num_items: int = 200,
+    ratings_per_user: int = 25,
+    num_requests: int = 600,
+    distinct_groups: int = 12,
+    group_size: int = 5,
+    repeats: int = 5,
+    seed: int = 42,
+) -> OverheadResult:
+    """Replay the same workload bare and instrumented, interleaved.
+
+    The service (caches, index, registry) is rebuilt per run so each
+    replay does identical work; only the instrumentation flag differs.
+    The global enabled flag is restored afterwards no matter what.
+    """
+    dataset = generate_dataset(
+        num_users=num_users,
+        num_items=num_items,
+        ratings_per_user=ratings_per_user,
+        seed=seed,
+    )
+    config = RecommenderConfig(peer_threshold=0.1, top_z=10)
+    workload = synthetic_workload(
+        dataset.users.ids(),
+        num_requests=num_requests,
+        group_size=group_size,
+        distinct_groups=distinct_groups,
+        seed=seed,
+    )
+    groups = [request.group() for request in workload if request.kind == "group"]
+
+    was_enabled = is_enabled()
+    bare_runs: list[float] = []
+    instrumented_runs: list[float] = []
+    bare_items: list | None = None
+    instrumented_items: list | None = None
+    try:
+        for _ in range(repeats):
+            run_ms, items = _replay(dataset, config, groups, enabled=False)
+            bare_runs.append(run_ms)
+            bare_items = items if bare_items is None else bare_items
+            run_ms, items = _replay(dataset, config, groups, enabled=True)
+            instrumented_runs.append(run_ms)
+            instrumented_items = (
+                items if instrumented_items is None else instrumented_items
+            )
+    finally:
+        set_enabled(was_enabled)
+        reset_registry()
+    return OverheadResult(
+        requests=len(groups),
+        distinct_groups=distinct_groups,
+        repeats=repeats,
+        bare_runs_ms=bare_runs,
+        instrumented_runs_ms=instrumented_runs,
+        identical_results=bare_items == instrumented_items,
+    )
+
+
+def test_obs_bit_identity():
+    """Instrumentation may never change results — quick workload, hard gate."""
+    result = run_overhead_comparison(
+        num_users=60, num_items=80, num_requests=30, repeats=1
+    )
+    assert result.identical_results, (
+        "recommendations diverged between instrumented and bare serving"
+    )
+
+
+def test_obs_overhead_under_ceiling():
+    """Instrumented serving stays within the overhead ceiling (advisory job)."""
+    result = run_overhead_comparison()
+    assert result.identical_results
+    assert result.overhead_pct < OVERHEAD_CEILING_PCT, (
+        f"instrumentation costs {result.overhead_pct:.1f}% "
+        f"(bare {result.bare_ms:.0f} ms vs instrumented "
+        f"{result.instrumented_ms:.0f} ms, ceiling {OVERHEAD_CEILING_PCT}%)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write the overhead payload; exit 1 only on a bit-identity break."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    output = Path("BENCH_obs.json")
+    if "--output" in args:
+        output = Path(args[args.index("--output") + 1])
+    if quick:
+        result = run_overhead_comparison(
+            num_users=60, num_items=80, num_requests=30, repeats=1
+        )
+    else:
+        result = run_overhead_comparison()
+    payload = result.as_dict()
+    output.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    print(
+        f"obs overhead: {result.overhead_pct:+.2f}% "
+        f"(bare {result.bare_ms:.1f} ms, instrumented "
+        f"{result.instrumented_ms:.1f} ms, ceiling "
+        f"{OVERHEAD_CEILING_PCT:.0f}%, quick={quick}) -> {output}"
+    )
+    if not result.identical_results:
+        print(
+            "error: instrumented and bare replays disagree on the "
+            "recommended items",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,9 @@ without writing any Python:
   ablations;
 * ``serve`` — load a dataset into a warm
   :class:`~repro.serving.RecommendationService` and answer a stream of
-  JSONL requests, printing latency and cache statistics.
+  JSONL requests, printing latency and cache statistics;
+* ``stats`` — replay a request stream quietly and print the metrics
+  registry (text, JSON, or Prometheus exposition format).
 """
 
 from __future__ import annotations
@@ -44,6 +46,63 @@ from .eval.reporting import (
     format_table2,
     format_value_quality,
 )
+
+
+def _add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+    """Arguments shared by the ``serve`` and ``stats`` request replays."""
+    sub.add_argument("dataset", help="path of a dataset JSON (or '-' to generate)")
+    sub.add_argument(
+        "requests",
+        help="path of a JSONL request file (or '-' for a synthetic workload)",
+    )
+    sub.add_argument(
+        "--synthetic-requests",
+        type=int,
+        default=100,
+        help="size of the synthetic workload when requests is '-'",
+    )
+    sub.add_argument("--group-size", type=int, default=5)
+    sub.add_argument("--z", type=int, default=10)
+    sub.add_argument("--top-k", type=int, default=10)
+    sub.add_argument(
+        "--similarity",
+        choices=["ratings", "profile", "semantic", "hybrid"],
+        default="ratings",
+    )
+    sub.add_argument(
+        "--aggregation", choices=["average", "minimum"], default="average"
+    )
+    sub.add_argument("--peer-threshold", type=float, default=0.2)
+    sub.add_argument(
+        "--kernel",
+        choices=list(KNOWN_KERNELS),
+        default="packed",
+        help=(
+            "similarity/prediction kernel: 'packed' runs the interned "
+            "CSR kernels, 'dict' the dict-of-dicts oracle; scores are "
+            "bit-identical across kernels"
+        ),
+    )
+    sub.add_argument(
+        "--backend",
+        choices=list(KNOWN_EXEC_BACKENDS),
+        default="serial",
+        help=(
+            "execution backend for the index build and batch requests; "
+            "results are bit-identical across backends"
+        ),
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker count for the chosen backend (default: one CPU per "
+            "worker for thread/process); with --backend serial, >1 falls "
+            "back to a thread pool over runs of consecutive group requests"
+        ),
+    )
+    sub.add_argument("--seed", type=int, default=7)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,59 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="answer a stream of requests from a warm service"
     )
-    serve.add_argument("dataset", help="path of a dataset JSON (or '-' to generate)")
-    serve.add_argument(
-        "requests",
-        help="path of a JSONL request file (or '-' for a synthetic workload)",
-    )
-    serve.add_argument(
-        "--synthetic-requests",
-        type=int,
-        default=100,
-        help="size of the synthetic workload when requests is '-'",
-    )
-    serve.add_argument("--group-size", type=int, default=5)
-    serve.add_argument("--z", type=int, default=10)
-    serve.add_argument("--top-k", type=int, default=10)
-    serve.add_argument(
-        "--similarity",
-        choices=["ratings", "profile", "semantic", "hybrid"],
-        default="ratings",
-    )
-    serve.add_argument(
-        "--aggregation", choices=["average", "minimum"], default="average"
-    )
-    serve.add_argument("--peer-threshold", type=float, default=0.2)
-    serve.add_argument(
-        "--kernel",
-        choices=list(KNOWN_KERNELS),
-        default="packed",
-        help=(
-            "similarity/prediction kernel: 'packed' runs the interned "
-            "CSR kernels, 'dict' the dict-of-dicts oracle; scores are "
-            "bit-identical across kernels"
-        ),
-    )
-    serve.add_argument(
-        "--backend",
-        choices=list(KNOWN_EXEC_BACKENDS),
-        default="serial",
-        help=(
-            "execution backend for the index build and batch requests; "
-            "results are bit-identical across backends"
-        ),
-    )
-    serve.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help=(
-            "worker count for the chosen backend (default: one CPU per "
-            "worker for thread/process); with --backend serial, >1 falls "
-            "back to a thread pool over runs of consecutive group requests "
-            "(latency is then reported per batch-average)"
-        ),
-    )
+    _add_workload_arguments(serve)
     serve.add_argument(
         "--pool-sync",
         choices=["delta", "full"],
@@ -209,6 +216,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--pool-target-p99-ms",
+        type=float,
+        default=0.0,
+        help=(
+            "with --backend pool: latency-target autoscaling — grow one "
+            "worker while the windowed batch p99 exceeds this many ms, "
+            "shrink one after it recovers below half the target "
+            "(0 = queue-depth scaling only)"
+        ),
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -239,7 +257,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request output lines"
     )
-    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "after the stream, dump the full metrics registry as "
+            "Prometheus exposition text plus a JSON snapshot"
+        ),
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="replay a request stream quietly and print the metrics registry",
+    )
+    _add_workload_arguments(stats)
+    stats.add_argument(
+        "--format",
+        choices=["text", "json", "prometheus"],
+        default="text",
+        help=(
+            "text renders the latency/cache tables, json dumps the "
+            "registry snapshot, prometheus emits exposition text"
+        ),
+    )
 
     return parser
 
@@ -372,44 +412,123 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(args: argparse.Namespace) -> int:
-    from .eval.reporting import format_latency, format_serving_stats
-    from .eval.timing import stopwatch
-    from .serving import RecommendationService, load_requests, synthetic_workload
-
-    if args.dataset == "-":
-        dataset = generate_dataset(seed=args.seed)
-    else:
-        dataset = load_dataset(args.dataset)
-    config = RecommenderConfig(
+def _workload_config(args: argparse.Namespace, **overrides) -> RecommenderConfig:
+    """Build the service config shared by ``serve`` and ``stats``."""
+    return RecommenderConfig(
         top_k=args.top_k,
         top_z=args.z,
         similarity=args.similarity,
         aggregation=args.aggregation,
         peer_threshold=args.peer_threshold,
-        similarity_cache_size=args.similarity_cache,
-        relevance_cache_size=args.relevance_cache,
         serve_workers=args.workers or 1,
         exec_backend=args.backend,
         # 0 = auto-detect CPUs; an explicit --workers pins the width.
         exec_workers=args.workers or 0,
-        pool_sync=args.pool_sync,
-        pool_min_workers=args.pool_min_workers,
-        pool_max_workers=args.pool_max_workers,
-        pool_idle_ttl=args.pool_idle_ttl,
-        index_shards=args.shards,
         kernel=args.kernel,
+        **overrides,
     )
-    service = RecommendationService(dataset, config)
+
+
+def _load_workload(args: argparse.Namespace, dataset):
     if args.requests == "-":
-        requests = synthetic_workload(
+        from .serving import synthetic_workload
+
+        return synthetic_workload(
             dataset.users.ids(),
             num_requests=args.synthetic_requests,
             group_size=args.group_size,
             seed=args.seed,
         )
+    from .serving import load_requests
+
+    return load_requests(args.requests)
+
+
+def _replay_requests(service, requests, args, emit) -> int:
+    """Stream ``requests`` through ``service``; returns requests answered.
+
+    Consecutive group requests form one batch so --workers can fan them
+    out; user/rate requests are natural batch boundaries (a rate must
+    invalidate before the next read).  With workers=1 and a serial
+    backend the batch path degenerates to the sequential loop.  Latency
+    is not timed here: every request path observes its own ``request_ms``
+    histogram inside the service, one observation per request — the
+    caller reads the distribution back from the registry.
+    """
+    from .obs import request_context
+
+    number = 0
+    pending: list = []
+
+    def _flush() -> None:
+        nonlocal number
+        if not pending:
+            return
+        # One request id per batch: the recommend_many/exec_dispatch
+        # spans of every request in the batch share it.
+        with request_context(f"batch@{number + 1}"):
+            results = service.recommend_many(
+                [request.group() for request in pending],
+                z=pending[0].z,
+                workers=args.workers,
+            )
+        for request, recommendation in zip(pending, results):
+            number += 1
+            emit(number, request, recommendation)
+        pending.clear()
+
+    batching = (args.workers or 1) > 1 or args.backend != "serial"
+    for request in requests:
+        if request.kind == "group" and batching:
+            # recommend_many takes one z for the whole batch; a z
+            # change closes the current batch.
+            if pending and pending[0].z != request.z:
+                _flush()
+            pending.append(request)
+            continue
+        _flush()
+        number += 1
+        with request_context(f"req-{number}"):
+            if request.kind == "group":
+                result = service.recommend_group(request.group(), z=request.z)
+            elif request.kind == "user":
+                result = service.recommend_user(request.user_id, k=request.k)
+            else:
+                service.ingest_rating(
+                    request.user_id, request.item_id, request.value
+                )
+                result = None
+        emit(number, request, result)
+    _flush()
+    return number
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .eval.reporting import format_latency_histogram, format_serving_stats
+    from .eval.timing import stopwatch
+    from .obs import render_json, render_prometheus, reset_registry
+    from .serving import RecommendationService
+
+    # A fresh process-wide registry per invocation: kernel and service
+    # metrics from an earlier command never bleed into this report.
+    registry = reset_registry()
+    if args.dataset == "-":
+        dataset = generate_dataset(seed=args.seed)
     else:
-        requests = load_requests(args.requests)
+        dataset = load_dataset(args.dataset)
+    config = _workload_config(
+        args,
+        similarity_cache_size=args.similarity_cache,
+        relevance_cache_size=args.relevance_cache,
+        pool_sync=args.pool_sync,
+        pool_min_workers=args.pool_min_workers,
+        pool_max_workers=args.pool_max_workers,
+        pool_idle_ttl=args.pool_idle_ttl,
+        pool_target_p99_ms=args.pool_target_p99_ms,
+        index_shards=args.shards,
+    )
+    service = RecommendationService(dataset, config, metrics=registry)
+    requests = _load_workload(args, dataset)
 
     from .serving.snapshot import MANIFEST_NAME, is_sharded_snapshot_path
 
@@ -447,85 +566,73 @@ def _command_serve(args: argparse.Namespace) -> int:
             service.save_snapshot(snapshot_path)
             print(f"saved neighbor-index snapshot to {snapshot_path}")
 
-    def _group_line(request, recommendation) -> str:
-        return (
-            f"group [{', '.join(request.members)}] -> "
-            f"{', '.join(recommendation.items)} "
-            f"(fairness={recommendation.report.fairness:.3f})"
-        )
+    def _emit(number: int, request, result) -> None:
+        if args.quiet:
+            return
+        if request.kind == "group":
+            line = (
+                f"group [{', '.join(request.members)}] -> "
+                f"{', '.join(result.items)} "
+                f"(fairness={result.report.fairness:.3f})"
+            )
+        elif request.kind == "user":
+            line = (
+                f"user {request.user_id} -> "
+                f"{', '.join(item.item_id for item in result)}"
+            )
+        else:
+            line = (
+                f"rate {request.user_id} {request.item_id} "
+                f"= {request.value:g} (caches invalidated)"
+            )
+        print(f"[{number:4d}] {line}")
 
-    def _emit(number: int, line: str) -> None:
-        if not args.quiet:
-            print(f"[{number:4d}] {line}")
-
-    # Consecutive group requests form one batch so --workers can fan
-    # them out; user/rate requests are natural batch boundaries (a rate
-    # must invalidate before the next read).  With workers=1 the batch
-    # path degenerates to the sequential loop.
-    samples_ms: list[float] = []
-    number = 0
     with stopwatch() as total_elapsed:
-        pending: list = []
-
-        def _flush() -> None:
-            nonlocal number
-            if not pending:
-                return
-            with stopwatch() as batch_elapsed:
-                results = service.recommend_many(
-                    [request.group() for request in pending],
-                    z=pending[0].z,
-                    workers=args.workers,
-                )
-                batch_ms = batch_elapsed()
-            samples_ms.extend([batch_ms / len(pending)] * len(pending))
-            for request, recommendation in zip(pending, results):
-                number += 1
-                _emit(number, _group_line(request, recommendation))
-            pending.clear()
-
-        batching = (args.workers or 1) > 1 or args.backend != "serial"
-        for request in requests:
-            if request.kind == "group" and batching:
-                # recommend_many takes one z for the whole batch; a z
-                # change closes the current batch.
-                if pending and pending[0].z != request.z:
-                    _flush()
-                pending.append(request)
-                continue
-            _flush()
-            number += 1
-            with stopwatch() as request_elapsed:
-                if request.kind == "group":
-                    recommendation = service.recommend_group(
-                        request.group(), z=request.z
-                    )
-                    line = _group_line(request, recommendation)
-                elif request.kind == "user":
-                    scored = service.recommend_user(request.user_id, k=request.k)
-                    line = (
-                        f"user {request.user_id} -> "
-                        f"{', '.join(item.item_id for item in scored)}"
-                    )
-                else:
-                    service.ingest_rating(
-                        request.user_id, request.item_id, request.value
-                    )
-                    line = (
-                        f"rate {request.user_id} {request.item_id} "
-                        f"= {request.value:g} (caches invalidated)"
-                    )
-            samples_ms.append(request_elapsed())
-            _emit(number, line)
-        _flush()
+        answered = _replay_requests(service, requests, args, _emit)
         total_ms = total_elapsed()
 
-    throughput = len(samples_ms) / (total_ms / 1000.0) if total_ms > 0 else 0.0
+    throughput = answered / (total_ms / 1000.0) if total_ms > 0 else 0.0
     print()
-    print(format_latency(samples_ms))
+    # The latency table is the registry's own per-request histogram
+    # (merged over the group/user/ingest kinds) — batched requests are
+    # observed one at a time inside the service, not as batch averages.
+    print(format_latency_histogram(registry.merged_histogram("request_ms", exclude_labels=("worker",))))
     print(f"throughput: {throughput:.1f} requests/s")
     print()
     print(format_serving_stats(service.stats()))
+    if args.metrics:
+        print()
+        print("== metrics (prometheus) ==")
+        print(render_prometheus(registry), end="")
+        print()
+        print("== metrics (json) ==")
+        print(render_json(registry, indent=2))
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from .eval.reporting import format_latency_histogram, format_serving_stats
+    from .obs import render_json, render_prometheus, reset_registry
+    from .serving import RecommendationService
+
+    registry = reset_registry()
+    if args.dataset == "-":
+        dataset = generate_dataset(seed=args.seed)
+    else:
+        dataset = load_dataset(args.dataset)
+    config = _workload_config(args)
+    requests = _load_workload(args, dataset)
+    with RecommendationService(dataset, config, metrics=registry) as service:
+        service.warm()
+        _replay_requests(service, requests, args, lambda *unused: None)
+        if args.format == "prometheus":
+            print(render_prometheus(registry), end="")
+        elif args.format == "json":
+            print(render_json(registry, indent=2))
+        else:
+            print(format_latency_histogram(registry.merged_histogram("request_ms", exclude_labels=("worker",))))
+            print()
+            print(format_serving_stats(service.stats()))
     return 0
 
 
@@ -537,6 +644,7 @@ _COMMANDS = {
     "ablation": _command_ablation,
     "evaluate": _command_evaluate,
     "serve": _command_serve,
+    "stats": _command_stats,
 }
 
 

@@ -150,6 +150,13 @@ class RecommenderConfig:
         Seconds without a dispatch after which an autoscaling pool
         shrinks back to ``pool_min_workers``.  Only meaningful when
         the bounds leave room to scale.
+    pool_target_p99_ms:
+        Latency target for the ``"pool"`` backend's p99-driven
+        autoscaling: while the windowed p99 of batch latency breaches
+        this many milliseconds the pool grows toward
+        ``pool_max_workers``, shrinking again once p99 recovers below
+        half the target.  ``0.0`` (default) disables the policy
+        (queue-depth growth and idle-TTL shrinking still apply).
     index_shards:
         Number of shards the serving layer's neighbour index is hash-
         partitioned into.  ``1`` keeps the single flat index; more
@@ -184,6 +191,7 @@ class RecommenderConfig:
     pool_min_workers: int = 0
     pool_max_workers: int = 0
     pool_idle_ttl: float = 30.0
+    pool_target_p99_ms: float = 0.0
     index_shards: int = 1
     kernel: str = "packed"
 
@@ -260,6 +268,10 @@ class RecommenderConfig:
             )
         if self.pool_idle_ttl <= 0:
             raise ConfigurationError("pool_idle_ttl must be positive")
+        if self.pool_target_p99_ms < 0:
+            raise ConfigurationError(
+                "pool_target_p99_ms must be >= 0 (0 = disabled)"
+            )
         if self.index_shards <= 0:
             raise ConfigurationError("index_shards must be positive")
         if self.kernel not in KNOWN_KERNELS:
@@ -307,6 +319,7 @@ class RecommenderConfig:
             "pool_min_workers": self.pool_min_workers,
             "pool_max_workers": self.pool_max_workers,
             "pool_idle_ttl": self.pool_idle_ttl,
+            "pool_target_p99_ms": self.pool_target_p99_ms,
             "index_shards": self.index_shards,
             "kernel": self.kernel,
         }

@@ -8,8 +8,10 @@ reads well in a terminal and in the EXPERIMENTS.md log.
 
 from __future__ import annotations
 
-import statistics
+import threading
 from typing import Any, Mapping, Sequence
+
+from ..obs import Histogram
 
 from .experiments import (
     AggregationAblationRow,
@@ -153,27 +155,82 @@ def format_value_quality(rows: Sequence[ValueQualityRow]) -> str:
     return format_table(headers, table_rows, float_format="{:.3f}")
 
 
+#: Latency table columns shared by :func:`format_latency` and
+#: :func:`format_latency_histogram` — every surface that prints a
+#: latency distribution prints these.
+_LATENCY_COLUMNS = ("count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms")
+
+
+def _latency_row(summary: Mapping[str, float]) -> list[Any]:
+    return [
+        "latency",
+        summary["count"],
+        summary["mean"],
+        summary["p50"],
+        summary["p95"],
+        summary["p99"],
+        summary["max"],
+    ]
+
+
 def format_latency(samples_ms: Sequence[float], label: str = "request") -> str:
-    """Render a latency distribution (mean / median / p95 / max) as a table."""
+    """Render a latency distribution (mean / p50 / p95 / p99 / max).
+
+    The samples are routed through the shared
+    :class:`~repro.obs.Histogram` type, so CLI serve output, benchmarks
+    and registry-backed stats views all report *identical* percentile
+    math (nearest-rank over log-spaced buckets, clamped to the observed
+    range).
+    """
     if not samples_ms:
         return format_table([label, "count"], [["-", 0]])
-    ordered = sorted(samples_ms)
-    p95_index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
-    headers = [label, "count", "mean ms", "median ms", "p95 ms", "max ms"]
-    row = [
-        "latency",
-        len(ordered),
-        sum(ordered) / len(ordered),
-        statistics.median(ordered),
-        ordered[p95_index],
-        ordered[-1],
-    ]
-    return format_table(headers, [row], float_format="{:.3f}")
+    histogram = Histogram("latency", (), threading.RLock())
+    for sample in samples_ms:
+        # The unconditional record path: a report renders whatever it
+        # was handed even while live instrumentation is disabled.
+        histogram._observe(sample)
+    return format_latency_histogram(histogram, label)
+
+
+def format_latency_histogram(
+    histogram: Histogram | None, label: str = "request"
+) -> str:
+    """Render one (possibly merged) registry histogram as a latency table.
+
+    ``None`` (no such histogram in the registry yet) renders the same
+    empty table as a histogram with zero observations.
+    """
+    if histogram is None:
+        return format_table([label, "count"], [["-", 0]])
+    summary = histogram.as_dict()
+    if not summary["count"]:
+        return format_table([label, "count"], [["-", 0]])
+    headers = [label, *_LATENCY_COLUMNS]
+    return format_table(headers, [_latency_row(summary)], float_format="{:.3f}")
 
 
 def format_serving_stats(stats: Mapping[str, Any]) -> str:
-    """Render :meth:`RecommendationService.stats` output for the terminal."""
+    """Render :meth:`RecommendationService.stats` output for the terminal.
+
+    The stats dict is the service's registry view; alongside the
+    request counters, cache table, index and backend lines this renders
+    the per-kind ``latency`` percentiles when any were recorded.
+    """
     lines = [format_metrics(stats.get("requests", {}))]
+    latency_rows = [
+        [kind, *_latency_row(summary)[1:]]
+        for kind, summary in (stats.get("latency") or {}).items()
+        if summary.get("count")
+    ]
+    if latency_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["kind", *_LATENCY_COLUMNS],
+                latency_rows,
+                float_format="{:.3f}",
+            )
+        )
     cache_rows = []
     for name in ("similarity_cache", "relevance_cache", "group_cache"):
         cache = stats.get(name)
@@ -220,6 +277,14 @@ def format_serving_stats(stats: Mapping[str, Any]) -> str:
                 f"{pool['sync_bytes']} B), scale +{pool['scale_ups']}/"
                 f"-{pool['scale_downs']}"
             )
+            if pool.get("target_p99_ms"):
+                observed = pool.get("batch_p99_ms")
+                lines.append(
+                    f"pool p99 target: {pool['target_p99_ms']:.1f} ms "
+                    f"(windowed batch p99: "
+                    + (f"{observed:.3f} ms" if observed is not None else "n/a")
+                    + ")"
+                )
     return "\n".join(lines)
 
 

@@ -325,12 +325,16 @@ def get_backend(
     pool_min_workers: int | None = None,
     pool_max_workers: int | None = None,
     pool_idle_ttl: float | None = None,
+    pool_target_p99_ms: float | None = None,
+    metrics: Any = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by name (``None`` means serial).
 
     The ``pool_*`` keywords configure the
-    :class:`~repro.exec.pool.PoolBackend` (state-sync strategy and
-    autoscaling bounds) and are ignored by the other backends.
+    :class:`~repro.exec.pool.PoolBackend` (state-sync strategy,
+    autoscaling bounds and the p99 latency target) and ``metrics`` is
+    the :class:`~repro.obs.MetricsRegistry` the pool reports into; all
+    are ignored by the other backends.
 
     >>> get_backend("serial").name
     'serial'
@@ -357,6 +361,8 @@ def get_backend(
             min_workers=pool_min_workers,
             max_workers=pool_max_workers,
             idle_ttl=pool_idle_ttl,
+            target_p99_ms=pool_target_p99_ms,
+            metrics=metrics,
         )
     raise ConfigurationError(
         f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
@@ -371,6 +377,8 @@ def resolve_backend(
     pool_min_workers: int | None = None,
     pool_max_workers: int | None = None,
     pool_idle_ttl: float | None = None,
+    pool_target_p99_ms: float | None = None,
+    metrics: Any = None,
 ) -> ExecutionBackend:
     """Coerce a backend spec (instance, name or ``None``) to an instance.
 
@@ -394,6 +402,8 @@ def resolve_backend(
         pool_min_workers=pool_min_workers,
         pool_max_workers=pool_max_workers,
         pool_idle_ttl=pool_idle_ttl,
+        pool_target_p99_ms=pool_target_p99_ms,
+        metrics=metrics,
     )
 
 

@@ -72,10 +72,17 @@ import traceback
 from typing import Any, Callable, Iterable, TypeVar
 
 from ..exceptions import ConfigurationError, ExecutionError
+from ..obs import MetricsRegistry, get_registry
 from .backends import ExecutionBackend, chunk_evenly, ensure_picklable
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Sliding-window length (seconds) of the batch-latency histogram the
+#: p99 autoscaling policy reads.  A window — not the cumulative
+#: histogram — is what lets the pool scale back *down*: observations
+#: from a past latency spike age out instead of pinning p99 forever.
+P99_WINDOW_SECONDS = 30.0
 
 #: Sync strategies accepted by :class:`PoolBackend` (and the config's
 #: ``pool_sync`` knob).
@@ -132,30 +139,54 @@ _EPOCH: int = -1
 _APPLIER: Callable[[Any], None] | None = None
 
 
-def _encode_result(index: int, value: Any) -> bytes:
+def _encode_result(index: int, value: Any, delta: Any = None) -> bytes:
     """Pickle one successful task result in the worker's main thread.
 
     Pickling here (rather than letting the queue's feeder thread do it)
     turns an unpicklable result into a catchable, reportable error
-    instead of a silently dropped message and a hung parent.
+    instead of a silently dropped message and a hung parent.  ``delta``
+    is the optional piggybacked metrics payload,
+    ``(worker_id, drained_delta)`` — attached to the last result of
+    each task chunk so worker-side telemetry reaches the parent with
+    zero extra messages.
     """
-    return pickle.dumps(("ok", index, value))
+    return pickle.dumps(("ok", index, value, delta))
 
 
-def _encode_error(index: int, exc: BaseException) -> bytes:
+def _encode_error(index: int, exc: BaseException, delta: Any = None) -> bytes:
     """Pickle one failed task so the parent can re-raise the original."""
     try:
         exc_bytes: bytes | None = pickle.dumps(exc)
     except Exception:
         exc_bytes = None
     return pickle.dumps(
-        ("err", index, exc_bytes, repr(exc), traceback.format_exc())
+        ("err", index, exc_bytes, repr(exc), traceback.format_exc(), delta)
     )
 
 
+def _drain_worker_delta(worker_id: int) -> Any:
+    """This worker's metrics increments since the last drain (or None).
+
+    The worker's registry is the fork-copied process-default registry;
+    an initial drain at boot baselines away everything inherited from
+    the parent, so only worker-side increments ever travel.
+    """
+    delta = get_registry().drain_delta()
+    if delta is None:
+        return None
+    return (worker_id, delta)
+
+
 def _apply_sync_packet(target_epoch: int, entries: tuple) -> None:
-    """Replay the unseen suffix of one broadcast delta packet."""
+    """Replay the unseen suffix of one broadcast delta packet.
+
+    Timed into the worker's registry (``worker_sync_ms`` /
+    ``worker_syncs`` / ``worker_deltas_applied``) — the parent surfaces
+    these per worker once the next result message carries them home.
+    """
     global _EPOCH
+    started = time.perf_counter()
+    applied = 0
     for delta_epoch, delta in entries:
         if delta_epoch > _EPOCH:
             if _APPLIER is None:
@@ -165,10 +196,19 @@ def _apply_sync_packet(target_epoch: int, entries: tuple) -> None:
                     "the pool instead of broadcasting"
                 )
             _APPLIER(delta)
+            applied += 1
     _EPOCH = max(_EPOCH, target_epoch)
+    registry = get_registry()
+    registry.observe(
+        "worker_sync_ms", (time.perf_counter() - started) * 1000.0
+    )
+    registry.inc("worker_syncs")
+    if applied:
+        registry.inc("worker_deltas_applied", applied)
 
 
 def _worker_loop(
+    worker_id: int,
     initializer: Callable[..., None] | None,
     initargs: tuple[Any, ...],
     boot_epoch: int,
@@ -184,12 +224,21 @@ def _worker_loop(
     inbox in FIFO order.  The FIFO is the protocol's correctness
     backbone: a ``sync`` enqueued before a ``task`` is always applied
     before it.
+
+    Telemetry recorded in the worker (kernel timings, repacks, sync
+    replay costs) accumulates in the fork-copied default registry; the
+    last result of each task chunk carries the drained increments back
+    to the parent (see :func:`_drain_worker_delta`).
     """
     global _EPOCH, _APPLIER
     if initializer is not None:
         initializer(*initargs)
     _EPOCH = boot_epoch
     _APPLIER = applier
+    # Baseline the fork-copied registry: anything recorded by the
+    # parent (or the initializer replaying parent history) is already
+    # counted parent-side and must not ship back as worker activity.
+    get_registry().drain_delta()
     while True:
         message = pickle.loads(inbox.get())
         kind = message[0]
@@ -209,16 +258,25 @@ def _worker_loop(
                 f"ahead of resident epoch {_EPOCH} with no sync packet "
                 f"in the inbox"
             )
-            for index, _item in pairs:
-                results.put(_encode_error(index, violation))
+            for position, (index, _item) in enumerate(pairs):
+                delta = (
+                    _drain_worker_delta(worker_id)
+                    if position == len(pairs) - 1
+                    else None
+                )
+                results.put(_encode_error(index, violation, delta))
             continue
-        for index, item in pairs:
+        for position, (index, item) in enumerate(pairs):
+            last = position == len(pairs) - 1
             try:
-                payload = _encode_result(index, fn(item))
+                value = fn(item)
+                delta = _drain_worker_delta(worker_id) if last else None
+                payload = _encode_result(index, value, delta)
             except KeyboardInterrupt:  # pragma: no cover - interactive
                 raise
             except BaseException as exc:
-                payload = _encode_error(index, exc)
+                delta = _drain_worker_delta(worker_id) if last else None
+                payload = _encode_error(index, exc, delta)
             results.put(payload)
 
 
@@ -287,9 +345,23 @@ class PoolBackend(ExecutionBackend):
         default — never shrinks).  Shrinking is applied lazily: at the
         next dispatch, :meth:`autoscale` call, or :meth:`pool_stats`
         read.
+    target_p99_ms:
+        Latency-targeted autoscaling: when set, the pool reads the p99
+        of its batch-latency histogram over a sliding
+        :data:`P99_WINDOW_SECONDS` window and grows one worker per
+        dispatch while p99 breaches the target (up to ``max_workers``),
+        shrinking one worker once p99 recovers below half the target
+        (down to ``min_workers``).  Queue-depth growth and idle-TTL
+        shrinking stay active as fallbacks.  ``None`` (default)
+        disables the policy.
     clock:
         Monotonic time source (injectable for tests); defaults to
-        :func:`time.monotonic`.
+        :func:`time.monotonic`.  Also drives the latency window.
+    metrics:
+        Registry the pool's counters and histograms live in (restarts,
+        sync volume, scale events, ``pool_batch_ms``, merged worker
+        deltas).  Defaults to a fresh registry; the serving layer
+        passes its own so pool telemetry joins the unified view.
 
     The resident state is bound by the first ``map_items`` call's
     ``initializer``.  A later call with a *different* initializer
@@ -309,7 +381,9 @@ class PoolBackend(ExecutionBackend):
         min_workers: int | None = None,
         max_workers: int | None = None,
         idle_ttl: float | None = None,
+        target_p99_ms: float | None = None,
         clock: Callable[[], float] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(workers)
         if sync not in POOL_SYNC_MODES:
@@ -347,6 +421,9 @@ class PoolBackend(ExecutionBackend):
         if idle_ttl is not None and idle_ttl <= 0:
             raise ConfigurationError("idle_ttl must be positive or None")
         self.idle_ttl = idle_ttl
+        if target_p99_ms is not None and target_p99_ms <= 0:
+            raise ConfigurationError("target_p99_ms must be positive or None")
+        self.target_p99_ms = target_p99_ms
         self._clock = clock or time.monotonic
         methods = multiprocessing.get_all_start_methods()
         # fork keeps worker boots cheap: the initializer arguments are
@@ -378,12 +455,18 @@ class PoolBackend(ExecutionBackend):
         self._log_complete = True
         self._booted = False
         self._last_dispatch = self._clock()
-        self._restarts = 0
-        self._delta_syncs = 0
-        self._sync_messages = 0
-        self._sync_bytes = 0
-        self._scale_ups = 0
-        self._scale_downs = 0
+        # Operational counters live in the registry; pool_stats() and
+        # the introspection properties are views over these.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._restarts = self.metrics.counter("pool_restarts")
+        self._delta_syncs = self.metrics.counter("pool_delta_syncs")
+        self._sync_messages = self.metrics.counter("pool_sync_messages")
+        self._sync_bytes = self.metrics.counter("pool_sync_bytes")
+        self._scale_ups = self.metrics.counter("pool_scale_ups")
+        self._scale_downs = self.metrics.counter("pool_scale_downs")
+        self._batch_latency = self.metrics.histogram(
+            "pool_batch_ms", window_s=P99_WINDOW_SECONDS, clock=self._clock
+        )
 
     # -- state registration ----------------------------------------------------
 
@@ -447,8 +530,7 @@ class PoolBackend(ExecutionBackend):
     @property
     def restarts(self) -> int:
         """Number of full pool (re)boots, the full-re-ship counter."""
-        with self._lock:
-            return self._restarts
+        return int(self._restarts.value)
 
     @property
     def pending_deltas(self) -> int:
@@ -469,8 +551,11 @@ class PoolBackend(ExecutionBackend):
         (full re-ships), ``delta_syncs`` (broadcasts), ``sync_messages``
         and ``sync_bytes`` (control-plane volume — O(workers) per
         broadcast by construction), ``pending_deltas``, the live width
-        and autoscaling bounds, and ``scale_ups``/``scale_downs``.
-        Reading stats also applies any due idle shrink.
+        and autoscaling bounds, ``scale_ups``/``scale_downs``, plus the
+        latency policy: ``target_p99_ms`` and the windowed
+        ``batch_p99_ms`` it reads (``None`` while the window is empty).
+        The dict is a view over the pool's metrics registry; reading
+        stats also applies any due autoscaling.
         """
         self.autoscale()
         with self._lock:
@@ -478,29 +563,37 @@ class PoolBackend(ExecutionBackend):
                 "sync": self.sync,
                 "epoch": self._epoch,
                 "resident_epoch": self._pool_epoch,
-                "restarts": self._restarts,
-                "delta_syncs": self._delta_syncs,
-                "sync_messages": self._sync_messages,
-                "sync_bytes": self._sync_bytes,
+                "restarts": int(self._restarts.value),
+                "delta_syncs": int(self._delta_syncs.value),
+                "sync_messages": int(self._sync_messages.value),
+                "sync_bytes": int(self._sync_bytes.value),
                 "pending_deltas": len(self._deltas),
                 "live_workers": len(self._workers),
                 "min_workers": self.min_workers,
                 "max_workers": self.max_workers,
                 "idle_ttl": self.idle_ttl,
-                "scale_ups": self._scale_ups,
-                "scale_downs": self._scale_downs,
+                "scale_ups": int(self._scale_ups.value),
+                "scale_downs": int(self._scale_downs.value),
+                "target_p99_ms": self.target_p99_ms,
+                "batch_p99_ms": self._batch_latency.windowed_quantile(0.99),
             }
 
     # -- autoscaling -----------------------------------------------------------
 
     def autoscale(self) -> int:
-        """Apply the idle-shrink policy now; returns the live width.
+        """Apply the scaling policies now; returns the live width.
 
-        A no-op unless ``idle_ttl`` is set, the pool is over
-        ``min_workers``, and no dispatch has arrived for ``idle_ttl``
-        seconds.  Runs opportunistically: if a dispatch is in flight
-        the shrink is skipped (never stop a worker that may hold queued
-        tasks).
+        Two policies run, both opportunistically (skipped while a
+        dispatch is in flight — never stop a worker that may hold
+        queued tasks):
+
+        * **idle shrink** — with ``idle_ttl`` set, a pool over
+          ``min_workers`` that saw no dispatch for ``idle_ttl`` seconds
+          shrinks back to ``min_workers``;
+        * **p99 policy** — with ``target_p99_ms`` set, the windowed
+          batch-latency p99 grows the pool by one worker while
+          breached and shrinks by one once it recovers below half the
+          target (see :meth:`_apply_p99_policy`).
         """
         if not self._dispatch_lock.acquire(blocking=False):
             return len(self._workers)
@@ -513,14 +606,43 @@ class PoolBackend(ExecutionBackend):
                     and self._clock() - self._last_dispatch >= self.idle_ttl
                 ):
                     self._shrink_to(self.min_workers)
+                self._apply_p99_policy(allow_shrink=True)
                 return len(self._workers)
         finally:
             self._dispatch_lock.release()
 
+    def _apply_p99_policy(self, allow_shrink: bool) -> None:
+        """One p99-driven scaling step (under ``_lock``; booted pools only).
+
+        Reads the sliding-window p99 of ``pool_batch_ms``: above
+        ``target_p99_ms`` the pool grows one worker toward
+        ``max_workers``; at or below half the target (the hysteresis
+        band that keeps grow/shrink from oscillating) it shrinks one
+        worker toward ``min_workers``.  An empty window — no recent
+        batches — takes no action.  Shrinking is suppressed on the
+        dispatch path (``allow_shrink=False``): a dispatch wants
+        capacity now, reclaiming it is :meth:`autoscale`'s job.
+        """
+        if self.target_p99_ms is None or not self._booted or not self._workers:
+            return
+        p99 = self._batch_latency.windowed_quantile(0.99)
+        if p99 is None:
+            return
+        if p99 > self.target_p99_ms and len(self._workers) < self.max_workers:
+            self._spawn_worker()
+            self._scale_ups.inc()
+        elif (
+            allow_shrink
+            and p99 <= self.target_p99_ms * 0.5
+            and len(self._workers) > self.min_workers
+        ):
+            self._shrink_to(len(self._workers) - 1)
+
     def _shrink_to(self, width: int) -> None:
         """Stop excess workers via targeted stop messages (under _lock)."""
         stopped, self._workers = self._workers[width:], self._workers[:width]
-        self._scale_downs += len(stopped)
+        if stopped:
+            self._scale_downs.inc(len(stopped))
         for worker in stopped:
             worker.stop()
 
@@ -536,6 +658,7 @@ class PoolBackend(ExecutionBackend):
         process = self._context.Process(
             target=_worker_loop,
             args=(
+                self._next_worker_id,
                 self._bound_init,
                 self._bound_initargs,
                 self._epoch,
@@ -590,7 +713,7 @@ class PoolBackend(ExecutionBackend):
         self._deltas.clear()
         self._log_complete = True
         self._booted = True
-        self._restarts += 1
+        self._restarts.inc()
 
     def _broadcast_sync(self) -> None:
         """Fan the pending delta packet out: one message per worker.
@@ -603,9 +726,9 @@ class PoolBackend(ExecutionBackend):
         blob = pickle.dumps(("sync", self._epoch, tuple(self._deltas)))
         for worker in self._workers:
             worker.inbox.put(blob)
-        self._delta_syncs += 1
-        self._sync_messages += len(self._workers)
-        self._sync_bytes += len(blob) * len(self._workers)
+        self._delta_syncs.inc()
+        self._sync_messages.inc(len(self._workers))
+        self._sync_bytes.inc(len(blob) * len(self._workers))
         self._pool_epoch = self._epoch
         self._deltas.clear()
 
@@ -638,7 +761,11 @@ class PoolBackend(ExecutionBackend):
         for _ in range(grown):
             self._spawn_worker()
         if grown > 0:
-            self._scale_ups += grown
+            self._scale_ups.inc(grown)
+        # Latency-targeted growth on top of queue depth: a breached
+        # windowed p99 adds one more worker per dispatch (shrinking is
+        # autoscale()'s job — a dispatch wants capacity, not less).
+        self._apply_p99_policy(allow_shrink=False)
         return list(self._workers), self._pool_epoch
 
     def map_items(
@@ -663,6 +790,7 @@ class PoolBackend(ExecutionBackend):
         if not items:
             return []
         ensure_picklable(fn)
+        batch_started = self._clock()
         with self._dispatch_lock:
             with self._lock:
                 workers, epoch = self._prepare_dispatch(
@@ -693,10 +821,25 @@ class PoolBackend(ExecutionBackend):
                 ) from exc
             for position, blob in enumerate(blobs):
                 workers[position % len(workers)].inbox.put(blob)
-            return self._collect(fn, len(items))
+            try:
+                return self._collect(fn, len(items))
+            finally:
+                # One observation per batch (dispatch + drain), against
+                # the injectable clock — this histogram's windowed p99
+                # is what the latency-targeted autoscaler reads.
+                self._batch_latency.observe(
+                    (self._clock() - batch_started) * 1000.0
+                )
 
     def _collect(self, fn: Callable[..., Any], expected: int) -> list[Any]:
-        """Drain ``expected`` tagged results, reorder, re-raise errors."""
+        """Drain ``expected`` tagged results, reorder, re-raise errors.
+
+        Result messages may carry a piggybacked worker metrics delta
+        (see :func:`_drain_worker_delta`); each is merged into the
+        pool's registry under a ``worker="N"`` label before the batch
+        returns — a worker that dies mid-batch loses only its final
+        undelivered delta, never corrupts the parent's counts.
+        """
         values: dict[int, Any] = {}
         failures: dict[int, tuple[bytes | None, str, str]] = {}
         while len(values) + len(failures) < expected:
@@ -707,10 +850,16 @@ class PoolBackend(ExecutionBackend):
                 continue
             message = pickle.loads(blob)
             if message[0] == "ok":
-                values[message[1]] = message[2]
+                _, index, value, delta = message
+                values[index] = value
             else:
-                _, index, exc_bytes, summary, tb = message
+                _, index, exc_bytes, summary, tb, delta = message
                 failures[index] = (exc_bytes, summary, tb)
+            if delta is not None:
+                worker_id, payload = delta
+                self.metrics.merge_delta(
+                    payload, extra_labels={"worker": str(worker_id)}
+                )
         if failures:
             index = min(failures)
             exc_bytes, summary, tb = failures[index]

@@ -41,11 +41,29 @@ overwriting a rating of user A directly while only marking user B.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from array import array
 from itertools import islice
 
 from ..data.ratings import RatingMatrix
+from ..obs import get_registry, is_enabled
+
+
+def _observe_repack(kind: str, started: float) -> None:
+    """Record one hot-path repack into the default metrics registry.
+
+    ``packed_repacks{kind=full|incremental}`` counts the events and
+    ``repack_ms{kind=...}`` times them; the constructor's initial build
+    is deliberately not counted — it is a build, not a re-pack.
+    """
+    if not is_enabled():
+        return
+    registry = get_registry()
+    registry.observe(
+        "repack_ms", (time.perf_counter() - started) * 1000.0, kind=kind
+    )
+    registry.inc("packed_repacks", kind=kind)
 
 #: Shared packed views, one per live matrix (keyed by matrix identity).
 #: Both sides are weak — the value holds the matrix strongly, so a
@@ -209,9 +227,13 @@ class PackedRatings:
                 or matrix.removals != self._removals
                 or not self._dirty
             ):
+                started = time.perf_counter()
                 self.rebuild()
+                _observe_repack("full", started)
                 return
+            started = time.perf_counter()
             self._repack_dirty()
+            _observe_repack("incremental", started)
 
     def _repack_dirty(self) -> None:
         matrix = self.matrix

@@ -23,8 +23,10 @@ same sequence (the sweep hands candidate ``v`` its terms while walking
 from __future__ import annotations
 
 import math
+import time
 from typing import Iterable
 
+from ..obs import is_enabled, observe_kernel
 from .packed import PackedRatings
 
 
@@ -121,7 +123,31 @@ def pearson_one_vs_many(
     overlaps in one sweep and scores the qualifying pairs individually.
     Candidates equal to ``user_id`` are excluded, everyone else starts
     at 0.0 — the dict batch contract.
+
+    Each call is timed into the default metrics registry as
+    ``kernel_ms{kernel="pearson_one_vs_many"}``.
     """
+    if not is_enabled():
+        return _one_vs_many(
+            packed, user_id, candidates, min_common_items, mean_over_common_only
+        )
+    started = time.perf_counter()
+    try:
+        return _one_vs_many(
+            packed, user_id, candidates, min_common_items, mean_over_common_only
+        )
+    finally:
+        observe_kernel("pearson_one_vs_many", started)
+
+
+def _one_vs_many(
+    packed: PackedRatings,
+    user_id: str,
+    candidates: Iterable[str],
+    min_common_items: int,
+    mean_over_common_only: bool,
+) -> dict[str, float]:
+    """The uninstrumented body of :func:`pearson_one_vs_many`."""
     scores = {candidate: 0.0 for candidate in candidates if candidate != user_id}
     if not scores:
         return scores

@@ -15,8 +15,10 @@ changes how the probe is answered, not which floats are summed.
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Sequence
 
+from ..obs import is_enabled, observe_kernel
 from .packed import PackedRatings
 
 
@@ -33,7 +35,31 @@ def predict_table_packed(
     the user already rated keep their actual rating, items whose
     prediction is undefined (no peer rated them, or zero similarity
     mass) are omitted unless ``default_score`` is given.
+
+    Each call is timed into the default metrics registry as
+    ``kernel_ms{kernel="predict_table_packed"}``.
     """
+    if not is_enabled():
+        return _predict_table(
+            packed, user_id, peer_similarities, candidate_items, default_score
+        )
+    started = time.perf_counter()
+    try:
+        return _predict_table(
+            packed, user_id, peer_similarities, candidate_items, default_score
+        )
+    finally:
+        observe_kernel("predict_table_packed", started)
+
+
+def _predict_table(
+    packed: PackedRatings,
+    user_id: str,
+    peer_similarities: Mapping[str, float],
+    candidate_items: Sequence[str],
+    default_score: float | None,
+) -> dict[str, float]:
+    """The uninstrumented body of :func:`predict_table_packed`."""
     packed.ensure_current()
     user_int = packed.user_index.get(user_id)
     own_ratings: dict[int, float] = (

@@ -1,0 +1,81 @@
+"""``repro.obs`` — the unified observability layer.
+
+One substrate for every stat this library emits: counters, gauges and
+fixed-bucket histograms in a :class:`MetricsRegistry`
+(:mod:`repro.obs.metrics`), timed trace spans with request-id
+propagation (:mod:`repro.obs.trace`) and Prometheus/JSON exporters
+(:mod:`repro.obs.export`).
+
+Layering:
+
+* **kernels** record into the process-wide default registry
+  (:func:`get_registry`) — module-level code has no instance to hang
+  state on;
+* **services and pool backends** own their registry (per-instance
+  stats), defaulting to a fresh one;
+* **pool workers** reuse the fork-copied default registry as a child
+  registry, baselined by an initial drain; each result message
+  piggybacks :meth:`MetricsRegistry.drain_delta` and the parent merges
+  it under a ``worker="N"`` label;
+* **the CLI** resets the default registry per invocation and threads
+  it through every layer so ``repro serve --metrics`` and
+  ``repro stats`` print one coherent picture.
+
+Instrumentation is near-zero cost when off: :func:`set_enabled(False)
+<set_enabled>` reduces every record path to a flag check, which is how
+``benchmarks/bench_obs_overhead.py`` measures the <5% overhead budget.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS_MS,
+    SPAN_RING_SIZE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    is_enabled,
+    reset_registry,
+    set_enabled,
+)
+from .trace import SpanRecord, current_request_id, request_context, span
+from .export import render_json, render_prometheus
+
+import time
+
+__all__ = [
+    "DEFAULT_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SPAN_RING_SIZE",
+    "SpanRecord",
+    "current_request_id",
+    "get_registry",
+    "is_enabled",
+    "observe_kernel",
+    "render_json",
+    "render_prometheus",
+    "request_context",
+    "reset_registry",
+    "set_enabled",
+    "span",
+]
+
+
+def observe_kernel(name: str, started: float) -> None:
+    """Record one kernel invocation into the default registry.
+
+    ``started`` is a ``time.perf_counter()`` reading taken before the
+    kernel body ran; this bumps ``kernel_calls{kernel=name}`` and
+    observes the elapsed milliseconds into ``kernel_ms{kernel=name}``.
+    Kept as one helper so every kernel pays an identical (and
+    benchmarked) instrumentation cost.
+    """
+    if not is_enabled():
+        return
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    registry = get_registry()
+    registry.observe("kernel_ms", elapsed_ms, kernel=name)
+    registry.inc("kernel_calls", kernel=name)

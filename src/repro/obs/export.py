@@ -1,0 +1,115 @@
+"""Registry exporters: Prometheus text exposition and JSON dumps.
+
+Two render paths over one :class:`~repro.obs.MetricsRegistry` snapshot:
+
+* :func:`render_prometheus` — the Prometheus text format scraped by a
+  ``/metrics`` endpoint or printed by ``repro serve --metrics``.
+  Counters render as ``# TYPE counter`` with a ``_total`` suffix,
+  gauges as ``# TYPE gauge``, histograms as ``# TYPE summary`` with
+  ``quantile="0.5"/"0.95"/"0.99"`` sample lines plus ``_sum`` /
+  ``_count`` — the summary form keeps the output compact while
+  preserving exactly the percentiles the registry computes.
+* :func:`render_json` — the registry snapshot as one JSON object,
+  suitable for the serve command's machine-readable dump line.
+
+Metric names are namespaced (``repro_`` by default) and sanitised to
+the Prometheus grammar; label values are escaped per the exposition
+format rules.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from .metrics import Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles every exported histogram reports.
+EXPORT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _sanitize_name(name: str) -> str:
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: list[tuple[str, str]] | None = None) -> str:
+    pairs = list(labels) + (extra or [])
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_sanitize_name(key)}="{_escape_label_value(value)}"'
+        for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Render every metric in ``registry`` as Prometheus text format.
+
+    Output is deterministic (metrics sorted by name, then labels) and
+    ends with a trailing newline as the exposition format requires.
+    """
+    by_name: dict[str, list[tuple[tuple[tuple[str, str], ...], Any]]] = {}
+    for name, labels, metric in registry.metrics():
+        by_name.setdefault(name, []).append((labels, metric))
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        kind = registry.kind_of(name)
+        metric_name = f"{_sanitize_name(namespace)}_{_sanitize_name(name)}"
+        if kind == "counter":
+            metric_name += "_total"
+            lines.append(f"# TYPE {metric_name} counter")
+            for labels, metric in by_name[name]:
+                lines.append(
+                    f"{metric_name}{_format_labels(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric_name} gauge")
+            for labels, metric in by_name[name]:
+                lines.append(
+                    f"{metric_name}{_format_labels(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+        else:
+            lines.append(f"# TYPE {metric_name} summary")
+            for labels, metric in by_name[name]:
+                assert isinstance(metric, Histogram)
+                for q in EXPORT_QUANTILES:
+                    value = metric.quantile(q)
+                    lines.append(
+                        f"{metric_name}"
+                        f"{_format_labels(labels, [('quantile', str(q))])} "
+                        f"{_format_value(value if value is not None else 0.0)}"
+                    )
+                lines.append(
+                    f"{metric_name}_sum{_format_labels(labels)} "
+                    f"{_format_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{metric_name}_count{_format_labels(labels)} "
+                    f"{_format_value(metric.count)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(registry: MetricsRegistry, indent: int | None = None) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)

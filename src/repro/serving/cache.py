@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable
 
+from ..obs import MetricsRegistry
 from ..similarity.base import UserSimilarity
 
 #: Sentinel distinguishing "not cached" from a cached ``None``/0 value.
@@ -27,7 +28,14 @@ _MISS = object()
 
 @dataclass
 class CacheStats:
-    """Counters describing how a :class:`ScoreCache` is performing."""
+    """Counters describing how a :class:`ScoreCache` is performing.
+
+    A plain-value snapshot; the live counts reside in the cache's
+    :class:`~repro.obs.MetricsRegistry` (``cache_hits``,
+    ``cache_misses``, ``cache_evictions``, ``cache_invalidations``,
+    labelled ``cache=<name>``) and this view is rebuilt from them on
+    every :attr:`ScoreCache.stats` read.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -67,17 +75,33 @@ class ScoreCache:
         evicted when the bound is exceeded.  ``0`` disables caching
         (every lookup misses, nothing is stored).
     name:
-        Label used in reports.
+        Label used in reports and as the ``cache=`` metric label.
+    metrics:
+        Registry the hit/miss/eviction/invalidation counters live in.
+        Defaults to a private registry so standalone caches keep
+        per-instance stats; the serving layer passes its own registry
+        so cache counters appear in the service's unified view.
     """
 
-    def __init__(self, capacity: int, name: str = "cache") -> None:
+    def __init__(
+        self,
+        capacity: int,
+        name: str = "cache",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.RLock()
-        self._stats = CacheStats()
+        self._hits = self.metrics.counter("cache_hits", cache=name)
+        self._misses = self.metrics.counter("cache_misses", cache=name)
+        self._evictions = self.metrics.counter("cache_evictions", cache=name)
+        self._invalidations = self.metrics.counter(
+            "cache_invalidations", cache=name
+        )
         self._epoch = 0
 
     def __len__(self) -> int:
@@ -103,24 +127,23 @@ class ScoreCache:
 
     @property
     def stats(self) -> CacheStats:
-        """A snapshot of the cache counters."""
-        with self._lock:
-            return CacheStats(
-                hits=self._stats.hits,
-                misses=self._stats.misses,
-                evictions=self._stats.evictions,
-                invalidations=self._stats.invalidations,
-            )
+        """A snapshot of the cache counters, read from the registry."""
+        return CacheStats(
+            hits=int(self._hits.value),
+            misses=int(self._misses.value),
+            evictions=int(self._evictions.value),
+            invalidations=int(self._invalidations.value),
+        )
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (marking it recently used) or ``default``."""
         with self._lock:
             value = self._entries.get(key, _MISS)
             if value is _MISS:
-                self._stats.misses += 1
+                self._misses.inc()
                 return default
             self._entries.move_to_end(key)
-            self._stats.hits += 1
+            self._hits.inc()
             return value
 
     def put(self, key: Hashable, value: Any, epoch: int | None = None) -> None:
@@ -139,7 +162,7 @@ class ScoreCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self._stats.evictions += 1
+                self._evictions.inc()
 
     def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Cached value for ``key``, computing and storing it on a miss.
@@ -152,9 +175,9 @@ class ScoreCache:
             value = self._entries.get(key, _MISS)
             if value is not _MISS:
                 self._entries.move_to_end(key)
-                self._stats.hits += 1
+                self._hits.inc()
                 return value
-            self._stats.misses += 1
+            self._misses.inc()
             observed_epoch = self._epoch
         computed = factory()
         self.put(key, computed, epoch=observed_epoch)
@@ -166,7 +189,7 @@ class ScoreCache:
             self._epoch += 1
             if key in self._entries:
                 del self._entries[key]
-                self._stats.invalidations += 1
+                self._invalidations.inc()
                 return True
             return False
 
@@ -183,7 +206,8 @@ class ScoreCache:
             doomed = [key for key in self._entries if predicate(key)]
             for key in doomed:
                 del self._entries[key]
-            self._stats.invalidations += len(doomed)
+            if doomed:
+                self._invalidations.inc(len(doomed))
             return len(doomed)
 
     def clear(self) -> int:
@@ -192,7 +216,8 @@ class ScoreCache:
             self._epoch += 1
             count = len(self._entries)
             self._entries.clear()
-            self._stats.invalidations += count
+            if count:
+                self._invalidations.inc(count)
             return count
 
 

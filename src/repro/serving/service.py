@@ -57,6 +57,7 @@ from ..exec import (
     resolve_backend,
 )
 from ..kernels import get_packed, predict_table_packed
+from ..obs import MetricsRegistry, get_registry, span
 from ..similarity.base import UserSimilarity
 from ..similarity.peers import peers_as_mapping
 from .cache import CachedSimilarity, ScoreCache
@@ -134,8 +135,16 @@ def _init_serve_worker(
     similarity: UserSimilarity,
 ) -> None:
     global _SERVE_WORKER
+    # The worker service records into the process-default registry —
+    # the same one the kernels use — so one drained delta carries the
+    # worker's whole telemetry (requests, caches, kernels, repacks)
+    # back to the parent.
     _SERVE_WORKER = RecommendationService(
-        dataset, config, selector=selector, similarity=similarity
+        dataset,
+        config,
+        selector=selector,
+        similarity=similarity,
+        metrics=get_registry(),
     )
 
 
@@ -198,6 +207,12 @@ class RecommendationService:
     backend:
         Execution backend (instance or name) for index builds and batch
         requests; defaults to the config's ``exec_backend``.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` every service-side
+        counter, cache statistic, latency histogram and span records
+        into.  Defaults to a fresh per-service registry (stats stay
+        per-instance); the CLI passes the process-default registry so
+        service, pool and kernel telemetry form one view.
     """
 
     def __init__(
@@ -207,10 +222,12 @@ class RecommendationService:
         selector: str = "greedy",
         similarity: UserSimilarity | None = None,
         backend: ExecutionBackend | str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.dataset = dataset
         self.config = config
         self.matrix = dataset.ratings
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         # A backend instance stays the caller's to close; one the
         # service instantiates from a name/config is owned (see close()).
         self._owns_backend = not isinstance(backend, ExecutionBackend)
@@ -224,6 +241,8 @@ class RecommendationService:
                 pool_min_workers=config.pool_min_workers or None,
                 pool_max_workers=config.pool_max_workers or None,
                 pool_idle_ttl=config.pool_idle_ttl,
+                pool_target_p99_ms=config.pool_target_p99_ms or None,
+                metrics=self.metrics,
             )
         # A pool backend keeps a resident worker service between
         # batches; teach it how to replay this service's mutations so
@@ -239,7 +258,7 @@ class RecommendationService:
         # packed blobs — they repack from their own replayed deltas.
         self._packed = get_packed(self.matrix) if config.kernel == "packed" else None
         self.similarity_cache = ScoreCache(
-            config.similarity_cache_size, name="similarity"
+            config.similarity_cache_size, name="similarity", metrics=self.metrics
         )
         self.similarity = CachedSimilarity(base, self.similarity_cache)
         if config.index_shards > 1:
@@ -256,9 +275,11 @@ class RecommendationService:
                 self.matrix, self.similarity, threshold=config.peer_threshold
             )
         self.relevance_cache = ScoreCache(
-            config.relevance_cache_size, name="relevance"
+            config.relevance_cache_size, name="relevance", metrics=self.metrics
         )
-        self.group_cache = ScoreCache(config.group_cache_size, name="group")
+        self.group_cache = ScoreCache(
+            config.group_cache_size, name="group", metrics=self.metrics
+        )
         self.selector_name = selector
         self.selector = build_selector(selector)
         self.aggregation = get_aggregation(config.aggregation)
@@ -278,15 +299,24 @@ class RecommendationService:
         self._foreign_pools: "weakref.WeakKeyDictionary[ExecutionBackend, int]" = (
             weakref.WeakKeyDictionary()
         )
-        self._counter_lock = threading.Lock()
-        self._counters: dict[str, int] = {
-            "group_requests": 0,
-            "user_requests": 0,
-            "batch_requests": 0,
-            "ingested_ratings": 0,
-            "profile_updates": 0,
+        # Request counters and latency histograms live in the registry;
+        # stats() is a view over them.  The counter handles are cached
+        # so the request paths pay one attribute load, not a registry
+        # lookup, per bump.
+        self._request_counters = {
+            name: self.metrics.counter(name)
+            for name in (
+                "group_requests",
+                "user_requests",
+                "batch_requests",
+                "ingested_ratings",
+                "profile_updates",
+            )
         }
-        self._elapsed_ms: dict[str, float] = {"group": 0.0, "user": 0.0}
+        self._request_ms = {
+            kind: self.metrics.histogram("request_ms", kind=kind)
+            for kind in ("group", "user", "ingest")
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -316,9 +346,11 @@ class RecommendationService:
         if isinstance(backend, ExecutionBackend):
             self._sync_foreign_pool(backend)
         with self._data_lock.read():
-            return self.index.build(
-                user_ids, backend=backend if backend is not None else self.backend
-            )
+            with span("warm_index", self.metrics):
+                return self.index.build(
+                    user_ids,
+                    backend=backend if backend is not None else self.backend,
+                )
 
     def _sync_foreign_pool(self, backend: ExecutionBackend) -> None:
         """Make a caller-held backend safe to dispatch this service's work.
@@ -568,28 +600,37 @@ class RecommendationService:
           into this service's group cache.
         """
         z_value = resolve_positive(z, self.config.top_z, "z")
-        with self._counter_lock:
-            self._counters["batch_requests"] += 1
+        self._request_counters["batch_requests"].inc()
         distinct: dict[tuple[str, ...], Group] = {}
         for group in groups:
             distinct.setdefault(tuple(group.member_ids), group)
         resolved, owned = self._batch_backend(workers, backend)
         try:
-            if len(distinct) <= 1 or resolved.name == "serial":
-                results = {
-                    key: self.recommend_group(group, z_value)
-                    for key, group in distinct.items()
-                }
-            elif resolved.requires_pickling:
-                results = self._recommend_many_process(
-                    distinct, z_value, resolved
-                )
-            else:
-                recommendations = resolved.map_items(
-                    lambda group: self.recommend_group(group, z_value),
-                    list(distinct.values()),
-                )
-                results = dict(zip(distinct.keys(), recommendations))
+            with span(
+                "recommend_many",
+                self.metrics,
+                groups=len(groups),
+                distinct=len(distinct),
+                backend=resolved.name,
+            ):
+                if len(distinct) <= 1 or resolved.name == "serial":
+                    results = {
+                        key: self.recommend_group(group, z_value)
+                        for key, group in distinct.items()
+                    }
+                elif resolved.requires_pickling:
+                    results = self._recommend_many_process(
+                        distinct, z_value, resolved
+                    )
+                else:
+                    with span(
+                        "exec_dispatch", self.metrics, backend=resolved.name
+                    ):
+                        recommendations = resolved.map_items(
+                            lambda group: self.recommend_group(group, z_value),
+                            list(distinct.values()),
+                        )
+                    results = dict(zip(distinct.keys(), recommendations))
         finally:
             if owned:
                 resolved.close()
@@ -655,11 +696,11 @@ class RecommendationService:
         """
         results: dict[tuple[str, ...], CaregiverRecommendation] = {}
         missing: dict[tuple[str, ...], Group] = {}
+        group_requests = self._request_counters["group_requests"]
         for key, group in distinct.items():
             cached = self.group_cache.get((key, z))
             if cached is not None:
-                with self._counter_lock:
-                    self._counters["group_requests"] += 1
+                group_requests.inc()
                 results[key] = cached
             else:
                 missing[key] = group
@@ -668,19 +709,23 @@ class RecommendationService:
         started = time.perf_counter()
         with self._data_lock.read():
             epoch = self.group_cache.epoch
-            recommendations = backend.map_items(
-                _serve_group_task,
-                [(group, z) for group in missing.values()],
-                initializer=_init_serve_worker,
-                initargs=self._worker_initargs(),
-            )
+            with span(
+                "exec_dispatch", self.metrics,
+                backend=backend.name, tasks=len(missing),
+            ):
+                recommendations = backend.map_items(
+                    _serve_group_task,
+                    [(group, z) for group in missing.values()],
+                    initializer=_init_serve_worker,
+                    initargs=self._worker_initargs(),
+                )
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         per_group_ms = elapsed_ms / len(missing)
+        group_hist = self._request_ms["group"]
         for key, recommendation in zip(missing.keys(), recommendations):
             self.group_cache.put((key, z), recommendation, epoch=epoch)
-            with self._counter_lock:
-                self._counters["group_requests"] += 1
-                self._elapsed_ms["group"] += per_group_ms
+            group_requests.inc()
+            group_hist.observe(per_group_ms)
             results[key] = recommendation
         return results
 
@@ -698,6 +743,7 @@ class RecommendationService:
         counts the touched user as a peer (their Equation 1 inputs
         changed even if their peer list did not).
         """
+        started = time.perf_counter()
         with self._data_lock.write():
             self.matrix.add(user_id, item_id, value)
             # The packed view repacks exactly this user's row (plus the
@@ -718,8 +764,7 @@ class RecommendationService:
             # the backend's state epoch (and log the replayable delta).
             self._mutations += 1
             self.backend.notify_state_change(("rating", user_id, item_id, value))
-            with self._counter_lock:
-                self._counters["ingested_ratings"] += 1
+            self._record("ingest", started, "ingested_ratings")
             return affected
 
     def update_profile(
@@ -760,8 +805,7 @@ class RecommendationService:
             self.backend.notify_state_change(
                 ("profile", user_id, self.dataset.users.get(user_id).to_dict())
             )
-            with self._counter_lock:
-                self._counters["profile_updates"] += 1
+            self._request_counters["profile_updates"].inc()
             return affected
 
     def _drop_affected(self, affected: set[str]) -> None:
@@ -787,26 +831,32 @@ class RecommendationService:
     # -- introspection -------------------------------------------------------
 
     def _record(self, kind: str, started: float, counter: str) -> None:
+        """Bump one request counter and observe its latency histogram."""
         elapsed_ms = (time.perf_counter() - started) * 1000.0
-        with self._counter_lock:
-            self._counters[counter] += 1
-            self._elapsed_ms[kind] += elapsed_ms
+        self._request_counters[counter].inc()
+        self._request_ms[kind].observe(elapsed_ms)
 
     def stats(self) -> dict[str, Any]:
-        """Operational counters: requests, latency sums, caches, index."""
-        with self._counter_lock:
-            counters = dict(self._counters)
-            elapsed = dict(self._elapsed_ms)
-        group_requests = counters["group_requests"]
-        user_requests = counters["user_requests"]
+        """Operational statistics, as a view over the metrics registry.
+
+        The dict shape is backward compatible (``requests``,
+        ``mean_group_ms``/``mean_user_ms``, the three cache dicts,
+        ``index`` and ``backend``) with one addition: ``latency`` maps
+        each request kind to the shared histogram's
+        count/mean/p50/p95/p99 readout.
+        """
+        counters = {
+            name: int(counter.value)
+            for name, counter in self._request_counters.items()
+        }
         return {
             "requests": counters,
-            "mean_group_ms": (
-                elapsed["group"] / group_requests if group_requests else 0.0
-            ),
-            "mean_user_ms": (
-                elapsed["user"] / user_requests if user_requests else 0.0
-            ),
+            "mean_group_ms": self._request_ms["group"].mean,
+            "mean_user_ms": self._request_ms["user"].mean,
+            "latency": {
+                kind: histogram.as_dict()
+                for kind, histogram in self._request_ms.items()
+            },
             "similarity_cache": self.similarity_cache.stats.as_dict(),
             "relevance_cache": self.relevance_cache.stats.as_dict(),
             "group_cache": self.group_cache.stats.as_dict(),

@@ -223,3 +223,97 @@ class TestBootstrapMidMutationStream:
             )
             assert result == [7] * 9
             assert backend.pool_stats()["sync_messages"] == 3
+
+
+class TestP99Autoscaling:
+    """Latency-target scaling: grow on a windowed-p99 breach, shrink on
+    recovery, and never act on an empty window."""
+
+    def _booted_backend(self, clock, **kwargs):
+        backend = PoolBackend(
+            workers=1, min_workers=1, max_workers=4,
+            target_p99_ms=50.0, clock=clock, **kwargs,
+        )
+        assert backend.map_items(_square, [2]) == [4]  # boot one worker
+        return backend
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="target_p99_ms"):
+            PoolBackend(workers=2, target_p99_ms=0.0)
+        with pytest.raises(ConfigurationError, match="target_p99_ms"):
+            PoolBackend(workers=2, target_p99_ms=-1.0)
+
+    def test_pool_stats_exposes_the_latency_target(self):
+        clock = FakeClock()
+        with self._booted_backend(clock) as backend:
+            stats = backend.pool_stats()
+            assert stats["target_p99_ms"] == 50.0
+            # The boot batch was observed, so the window is non-empty.
+            assert stats["batch_p99_ms"] is not None
+
+    def test_grow_one_worker_per_breached_autoscale(self):
+        clock = FakeClock()
+        with self._booted_backend(clock) as backend:
+            for _ in range(10):
+                backend._batch_latency.observe(200.0)  # 4x the target
+            assert backend.autoscale() == 2
+            assert backend.autoscale() == 3
+            assert backend.autoscale() == 4
+            assert backend.autoscale() == 4  # ceiling holds
+            assert backend.pool_stats()["scale_ups"] >= 3
+
+    def test_dispatch_grows_under_breach_without_shrinking(self):
+        clock = FakeClock()
+        with self._booted_backend(clock) as backend:
+            for _ in range(10):
+                backend._batch_latency.observe(200.0)
+            assert backend.map_items(_square, [3]) == [9]
+            assert backend.live_workers == 2  # grew on the dispatch path
+
+    def test_shrink_after_recovery_below_half_target(self):
+        clock = FakeClock()
+        with self._booted_backend(clock) as backend:
+            for _ in range(10):
+                backend._batch_latency.observe(200.0)
+            while backend.autoscale() < 4:
+                pass
+            # Age the breach out of the 30 s window, then observe a
+            # healthy p99 at <= half the target.
+            clock.advance(60.0)
+            for _ in range(10):
+                backend._batch_latency.observe(10.0)
+            assert backend.autoscale() == 3
+            assert backend.autoscale() == 2
+            assert backend.autoscale() == 1  # floor holds
+            assert backend.autoscale() == 1
+            assert backend.pool_stats()["scale_downs"] >= 3
+
+    def test_empty_window_takes_no_action(self):
+        clock = FakeClock()
+        with self._booted_backend(clock) as backend:
+            for _ in range(10):
+                backend._batch_latency.observe(200.0)
+            assert backend.autoscale() == 2
+            # Everything ages out: no evidence either way, hold width.
+            clock.advance(120.0)
+            assert backend.autoscale() == 2
+
+    def test_between_half_and_full_target_holds_width(self):
+        clock = FakeClock()
+        with self._booted_backend(clock) as backend:
+            for _ in range(10):
+                backend._batch_latency.observe(200.0)
+            assert backend.autoscale() == 2
+            clock.advance(60.0)
+            for _ in range(10):
+                backend._batch_latency.observe(40.0)  # < target, > half
+            assert backend.autoscale() == 2
+
+    def test_scaling_never_changes_results(self):
+        clock = FakeClock()
+        with self._booted_backend(clock) as backend:
+            for _ in range(10):
+                backend._batch_latency.observe(200.0)
+            backend.autoscale()
+            burst = list(range(40))
+            assert backend.map_items(_square, burst) == [x * x for x in burst]

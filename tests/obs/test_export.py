@@ -1,0 +1,77 @@
+"""Prometheus/JSON exposition of a registry."""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs import MetricsRegistry, render_json, render_prometheus
+
+#: One exposition line: a ``# TYPE`` comment or ``name{labels} value``.
+_LINE = re.compile(
+    r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+-]+(inf)?)$"
+)
+
+
+def _loaded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("cache_hits", 3, cache="similarity")
+    registry.inc("cache_hits", 1, cache="relevance")
+    registry.set_gauge("live_workers", 2)
+    for sample in (0.4, 1.2, 80.0):
+        registry.observe("request_ms", sample, kind="group")
+    return registry
+
+
+class TestPrometheus:
+    def test_every_line_is_valid_exposition_format(self):
+        text = render_prometheus(_loaded_registry())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            assert _LINE.match(line), f"invalid exposition line: {line!r}"
+
+    def test_counters_get_the_total_suffix(self):
+        text = render_prometheus(_loaded_registry())
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert 'repro_cache_hits_total{cache="similarity"} 3' in text
+
+    def test_histograms_render_as_summaries_with_quantiles(self):
+        text = render_prometheus(_loaded_registry())
+        assert "# TYPE repro_request_ms summary" in text
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'quantile="{quantile}"' in text
+        assert 'repro_request_ms_count{kind="group"} 3' in text
+        assert "repro_request_ms_sum" in text
+
+    def test_gauges_render_plain(self):
+        assert "repro_live_workers 2" in render_prometheus(_loaded_registry())
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("odd", cache='a"b\\c\nd')
+        text = render_prometheus(registry)
+        assert '{cache="a\\"b\\\\c\\nd"}' in text
+
+    def test_output_is_deterministic(self):
+        assert render_prometheus(_loaded_registry()) == render_prometheus(
+            _loaded_registry()
+        )
+
+    def test_namespace_prefixes_every_metric(self):
+        text = render_prometheus(_loaded_registry(), namespace="acme")
+        for line in text.rstrip("\n").split("\n"):
+            name = line.split()[2] if line.startswith("#") else line
+            assert name.startswith("acme_")
+
+
+class TestJson:
+    def test_snapshot_roundtrips_through_json(self):
+        payload = json.loads(render_json(_loaded_registry()))
+        assert payload["cache_hits"] == [
+            {"labels": {"cache": "relevance"}, "value": 1.0},
+            {"labels": {"cache": "similarity"}, "value": 3.0},
+        ]
+        (request_ms,) = payload["request_ms"]
+        assert request_ms["labels"] == {"kind": "group"}
+        assert request_ms["count"] == 3

@@ -1,0 +1,248 @@
+"""Unit tests of the metrics substrate: math, windows, drain/merge."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    is_enabled,
+    reset_registry,
+    set_enabled,
+)
+
+
+class FakeClock:
+    """Deterministic clock for windowed-histogram tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_and_labels_partition(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        registry.inc("hits", cache="similarity")
+        assert registry.value("hits") == 5
+        assert registry.value("hits", cache="similarity") == 1
+        assert registry.total("hits") == 6
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("live_workers", 3)
+        registry.set_gauge("live_workers", 1)
+        assert registry.value("live_workers") == 1
+
+    def test_name_binds_one_kind(self):
+        registry = MetricsRegistry()
+        registry.inc("used_as_counter")
+        with pytest.raises(ValueError, match="used_as_counter"):
+            registry.observe("used_as_counter", 1.0)
+
+    def test_missing_metric_value_reads_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+
+class TestHistogramMath:
+    def _loaded(self, samples):
+        histogram = Histogram("h", (), threading.RLock())
+        for sample in samples:
+            histogram._observe(sample)
+        return histogram
+
+    def test_count_sum_mean_min_max_are_exact(self):
+        histogram = self._loaded([1.0, 2.0, 3.0, 10.0])
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(16.0)
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 10.0
+
+    def test_quantiles_are_nearest_rank_clamped_to_observed_range(self):
+        # 100 samples at 1ms and one huge outlier: p50 must stay in the
+        # 1ms bucket, p100-ish answers clamp to the observed max.
+        histogram = self._loaded([1.0] * 100 + [900.0])
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 900.0
+
+    def test_single_sample_every_quantile_is_that_sample(self):
+        histogram = self._loaded([7.3])
+        for q in (0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(7.3)
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        histogram = self._loaded([1.0])
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_overflow_bucket_catches_beyond_last_bound(self):
+        histogram = self._loaded([DEFAULT_BUCKETS_MS[-1] * 10])
+        assert histogram.count == 1
+        assert histogram.quantile(0.5) == DEFAULT_BUCKETS_MS[-1] * 10
+
+    def test_as_dict_shape(self):
+        summary = self._loaded([2.0, 4.0]).as_dict()
+        assert set(summary) == {
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99"
+        }
+        assert summary["count"] == 2
+
+
+class TestWindowedQuantile:
+    def test_breach_ages_out_of_the_window(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", window_s=30.0, clock=clock)
+        for _ in range(10):
+            histogram.observe(500.0)
+        assert histogram.windowed_quantile(0.99) == pytest.approx(500.0)
+        clock.advance(60.0)
+        # Window empty: no evidence, not zero.
+        assert histogram.windowed_quantile(0.99) is None
+        for _ in range(10):
+            histogram.observe(5.0)
+        assert histogram.windowed_quantile(0.99) == pytest.approx(5.0)
+        # The cumulative view still remembers everything.
+        assert histogram.count == 20
+
+    def test_partial_rotation_keeps_recent_slices(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", window_s=40.0, clock=clock)
+        histogram.observe(100.0)
+        clock.advance(15.0)  # 1.5 slices later: first slice still in window
+        histogram.observe(1.0)
+        quantile = histogram.windowed_quantile(0.99)
+        assert quantile is not None and quantile >= 100.0
+
+    def test_windowless_histogram_has_no_windowed_quantile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("plain")
+        histogram.observe(1.0)
+        assert histogram.windowed_quantile(0.99) is None
+
+
+class TestEnabledFlag:
+    def test_disabled_record_paths_are_noops(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        set_enabled(False)
+        try:
+            counter.inc()
+            registry.inc("c", 5)
+            histogram.observe(1.0)
+            registry.set_gauge("g", 3)
+        finally:
+            set_enabled(True)
+        assert counter.value == 0
+        assert histogram.count == 0
+        assert registry.value("g") == 0
+        assert is_enabled()
+
+    def test_merge_delta_applies_even_while_disabled(self):
+        source = MetricsRegistry()
+        source.inc("moved", 3)
+        delta = source.drain_delta()
+        target = MetricsRegistry()
+        set_enabled(False)
+        try:
+            target.merge_delta(delta)
+        finally:
+            set_enabled(True)
+        assert target.value("moved") == 3
+
+
+class TestDrainMerge:
+    def test_drain_is_a_baseline_diff(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.observe("h", 5.0)
+        first = registry.drain_delta()
+        assert first is not None
+        assert registry.drain_delta() is None  # nothing moved since
+        registry.inc("c")
+        second = registry.drain_delta()
+        assert second is not None
+        assert second["counters"] == [("c", (), 1)]
+
+    def test_merge_roundtrip_preserves_histogram_stats(self):
+        source = MetricsRegistry()
+        for sample in (1.0, 4.0, 9.0):
+            source.observe("h", sample)
+        target = MetricsRegistry()
+        target.merge_delta(source.drain_delta())
+        merged = target.merged_histogram("h")
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(14.0)
+        assert merged.min == 1.0
+        assert merged.max == 9.0
+
+    def test_merge_with_extra_labels_partitions_per_worker(self):
+        source = MetricsRegistry()
+        source.inc("tasks", 4)
+        delta = source.drain_delta()
+        target = MetricsRegistry()
+        target.merge_delta(delta, extra_labels={"worker": "0"})
+        source.inc("tasks", 2)
+        target.merge_delta(source.drain_delta(), extra_labels={"worker": "1"})
+        assert target.value("tasks", worker="0") == 4
+        assert target.value("tasks", worker="1") == 2
+        assert target.total("tasks") == 6
+
+    def test_gauges_travel_as_last_value(self):
+        source = MetricsRegistry()
+        source.set_gauge("depth", 2)
+        source.set_gauge("depth", 7)
+        target = MetricsRegistry()
+        target.merge_delta(source.drain_delta())
+        assert target.value("depth") == 7
+
+
+class TestMergedHistogram:
+    def test_merges_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.observe("ms", 1.0, kind="a")
+        registry.observe("ms", 9.0, kind="b")
+        merged = registry.merged_histogram("ms")
+        assert merged.count == 2
+        assert merged.max == 9.0
+
+    def test_exclude_labels_skips_worker_copies(self):
+        registry = MetricsRegistry()
+        registry.observe("ms", 1.0, kind="a")
+        registry.observe("ms", 9.0, kind="a", worker="3")
+        merged = registry.merged_histogram("ms", exclude_labels=("worker",))
+        assert merged.count == 1
+        assert merged.max == 1.0
+
+    def test_no_such_histogram_is_none(self):
+        assert MetricsRegistry().merged_histogram("nope") is None
+
+
+class TestGlobalRegistry:
+    def test_reset_installs_a_fresh_instance(self):
+        before = get_registry()
+        before.inc("leftover")
+        after = reset_registry()
+        try:
+            assert after is get_registry()
+            assert after is not before
+            assert after.kind_of("leftover") is None
+        finally:
+            reset_registry()

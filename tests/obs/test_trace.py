@@ -1,0 +1,94 @@
+"""Trace spans and request-id propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    current_request_id,
+    request_context,
+    set_enabled,
+    span,
+)
+
+
+class StepClock:
+    """perf_counter stand-in advancing a fixed step per call."""
+
+    def __init__(self, step_s: float = 0.010) -> None:
+        self.now = 0.0
+        self.step_s = step_s
+
+    def __call__(self) -> float:
+        self.now += self.step_s
+        return self.now
+
+
+class TestRequestContext:
+    def test_no_context_means_no_id(self):
+        assert current_request_id() is None
+
+    def test_context_binds_and_restores(self):
+        with request_context("req-1"):
+            assert current_request_id() == "req-1"
+            with request_context("req-2"):
+                assert current_request_id() == "req-2"
+            assert current_request_id() == "req-1"
+        assert current_request_id() is None
+
+
+class TestSpan:
+    def test_span_observes_duration_and_counts(self):
+        registry = MetricsRegistry()
+        clock = StepClock(0.010)
+        with span("work", registry, clock=clock):
+            pass
+        assert registry.value("spans_total", span="work") == 1
+        histogram = registry.merged_histogram("span_ms")
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(10.0)
+
+    def test_span_records_request_id_and_attrs(self):
+        registry = MetricsRegistry()
+        with request_context("req-9"):
+            with span("recommend_many", registry, groups=3) as active:
+                active.set(backend="pool")
+        records = registry.spans
+        assert len(records) == 1
+        record = records[0]
+        assert record.name == "recommend_many"
+        assert record.request_id == "req-9"
+        assert record.attrs["groups"] == 3
+        assert record.attrs["backend"] == "pool"
+
+    def test_span_records_even_when_the_body_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("doomed", registry):
+                raise RuntimeError("boom")
+        assert registry.value("spans_total", span="doomed") == 1
+        assert registry.spans[0].name == "doomed"
+
+    def test_disabled_span_is_a_shared_noop(self):
+        registry = MetricsRegistry()
+        set_enabled(False)
+        try:
+            with span("quiet", registry) as active:
+                active.set(ignored=True)  # must not explode
+        finally:
+            set_enabled(True)
+        assert registry.value("spans_total", span="quiet") == 0
+        assert registry.spans == []
+
+    def test_span_ring_is_bounded(self):
+        from repro.obs import SPAN_RING_SIZE
+
+        registry = MetricsRegistry()
+        for index in range(SPAN_RING_SIZE + 10):
+            with span(f"s{index}", registry):
+                pass
+        records = registry.spans
+        assert len(records) == SPAN_RING_SIZE
+        # Oldest entries fell off the ring; the newest survives.
+        assert records[-1].name == f"s{SPAN_RING_SIZE + 9}"

@@ -403,3 +403,159 @@ class TestRequestValidation:
     def test_missing_z_k_still_default(self):
         request = parse_request({"type": "group", "members": ["u1", "u2"]})
         assert request.z is None
+
+
+class TestMetricsSurfaces:
+    """``serve --metrics`` and the ``stats`` command."""
+
+    def _dataset(self, tmp_path):
+        dataset_path = tmp_path / "data.json"
+        assert main(
+            [
+                "generate",
+                str(dataset_path),
+                "--users",
+                "20",
+                "--items",
+                "30",
+                "--ratings-per-user",
+                "10",
+            ]
+        ) == 0
+        return dataset_path
+
+    def test_serve_metrics_dumps_prometheus_and_json(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "5",
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+                "--metrics",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== metrics (prometheus) ==" in out
+        assert "== metrics (json) ==" in out
+        # Request latency quantiles, cache counters, kernel timings.
+        assert 'repro_request_ms{kind="group",quantile="0.99"}' in out
+        assert 'repro_cache_hits_total{cache="similarity"}' in out
+        assert 'repro_kernel_calls_total{kernel="pearson_one_vs_many"}' in out
+
+    def test_serve_without_metrics_keeps_the_dump_out(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "3",
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== metrics" not in out
+
+    def test_stats_text_format(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "stats",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "5",
+                "--peer-threshold",
+                "0.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "latency" in out
+        assert "group_requests" in out
+        assert "hit rate" in out
+        # A quiet replay: no per-request lines.
+        assert "group [" not in out
+
+    def test_stats_json_format_is_valid_json(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "stats",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "4",
+                "--peer-threshold",
+                "0.0",
+                "--format",
+                "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert "group_requests" in payload
+        assert "request_ms" in payload
+
+    def test_stats_prometheus_format(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "stats",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "4",
+                "--peer-threshold",
+                "0.0",
+                "--format",
+                "prometheus",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_group_requests_total counter" in out
+        assert "# TYPE repro_request_ms summary" in out
+
+    def test_serve_pool_target_p99_reaches_the_backend(self, tmp_path, capsys):
+        dataset_path = self._dataset(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                str(dataset_path),
+                "-",
+                "--synthetic-requests",
+                "6",
+                "--backend",
+                "pool",
+                "--workers",
+                "2",
+                "--pool-max-workers",
+                "3",
+                "--pool-target-p99-ms",
+                "250",
+                "--peer-threshold",
+                "0.0",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pool p99 target: 250.0 ms" in out

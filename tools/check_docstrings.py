@@ -27,7 +27,12 @@ import sys
 from pathlib import Path
 
 #: The packages whose public surfaces are gated by default.
-DEFAULT_TARGETS = ("src/repro/exec", "src/repro/serving", "src/repro/kernels")
+DEFAULT_TARGETS = (
+    "src/repro/exec",
+    "src/repro/serving",
+    "src/repro/kernels",
+    "src/repro/obs",
+)
 
 FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
 
