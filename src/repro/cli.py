@@ -244,6 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--packed-spill",
+        default=None,
+        metavar="DIR",
+        help=(
+            "with --kernel packed: spill the packed CSR arrays to DIR and "
+            "mmap them back, so pool workers bootstrap from the shared "
+            "page cache instead of a full state ship (the directory also "
+            "holds the dataset snapshot and mutation journal workers "
+            "replay on boot)"
+        ),
+    )
+    serve.add_argument(
         "--similarity-cache", type=int, default=500_000, help="pair-score LRU capacity"
     )
     serve.add_argument(
@@ -526,6 +538,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         pool_idle_ttl=args.pool_idle_ttl,
         pool_target_p99_ms=args.pool_target_p99_ms,
         index_shards=args.shards,
+        packed_spill=args.packed_spill or "",
     )
     service = RecommendationService(dataset, config, metrics=registry)
     requests = _load_workload(args, dataset)

@@ -169,6 +169,23 @@ class RecommenderConfig:
         Scores are bit-identical between the two — this is purely a
         performance knob (and therefore excluded from
         :meth:`fingerprint`).
+    packed_scan:
+        With ``kernel="packed"``: run the group candidate scan
+        (``items_unrated_by_all``) over the packed inverted rows instead
+        of the dict matrix.  Bit-identical either way; purely a
+        performance knob (excluded from :meth:`fingerprint`).
+    packed_topk:
+        With ``kernel="packed"``: rank uncached single-user rows through
+        the bounded-heap top-k kernel instead of materialising the full
+        score dict.  Bit-identical either way; purely a performance knob
+        (excluded from :meth:`fingerprint`).
+    packed_spill:
+        Optional directory the packed CSR arrays are spilled to
+        (:meth:`repro.kernels.PackedRatings.save`).  When set, the
+        serving layer keeps the spill current and pool workers bootstrap
+        by ``mmap``-ing the arrays read-only instead of receiving a full
+        state ship.  ``""`` (default) disables spilling.  Purely
+        operational (excluded from :meth:`fingerprint`).
     """
 
     peer_threshold: float = 0.2
@@ -194,6 +211,9 @@ class RecommenderConfig:
     pool_target_p99_ms: float = 0.0
     index_shards: int = 1
     kernel: str = "packed"
+    packed_scan: bool = True
+    packed_topk: bool = True
+    packed_spill: str = ""
 
     def __post_init__(self) -> None:
         low, high = self.rating_scale
@@ -279,6 +299,10 @@ class RecommenderConfig:
                 f"unknown kernel {self.kernel!r}; "
                 f"expected one of {KNOWN_KERNELS}"
             )
+        if not isinstance(self.packed_spill, str):
+            raise ConfigurationError(
+                "packed_spill must be a directory path string ('' = off)"
+            )
 
     # -- convenience -----------------------------------------------------
 
@@ -322,6 +346,9 @@ class RecommenderConfig:
             "pool_target_p99_ms": self.pool_target_p99_ms,
             "index_shards": self.index_shards,
             "kernel": self.kernel,
+            "packed_scan": self.packed_scan,
+            "packed_topk": self.packed_topk,
+            "packed_spill": self.packed_spill,
         }
 
     def fingerprint(self) -> str:

@@ -51,9 +51,11 @@ class GroupCandidates:
     group_relevance: dict[str, float]
     top_k: int
     _user_rankings: dict[str, list[ScoredItem]] = field(
-        default_factory=dict, repr=False
+        default_factory=dict, repr=False, compare=False
     )
-    _user_top_sets: dict[str, set[str]] = field(default_factory=dict, repr=False)
+    _user_top_sets: dict[str, set[str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.top_k <= 0:
@@ -63,13 +65,17 @@ class GroupCandidates:
             raise ValueError(
                 f"relevance table misses group members: {missing}"
             )
-        self._user_rankings = {
-            user_id: rank_items(self.relevance[user_id])
-            for user_id in self.group
-        }
+        # The fairness sets A_u only need the top-k prefix, which the
+        # bounded-heap rank_items path selects without sorting the whole
+        # table; the full per-member rankings build lazily on first
+        # user_ranking() access.
+        self._user_rankings = {}
         self._user_top_sets = {
-            user_id: {item.item_id for item in ranking[: self.top_k]}
-            for user_id, ranking in self._user_rankings.items()
+            user_id: {
+                item.item_id
+                for item in rank_items(self.relevance[user_id], self.top_k)
+            }
+            for user_id in self.group
         }
 
     # -- construction ----------------------------------------------------------
@@ -149,7 +155,11 @@ class GroupCandidates:
 
     def user_ranking(self, user_id: str) -> list[ScoredItem]:
         """``A_u`` as a full ranking (most relevant candidate first)."""
-        return list(self._user_rankings[user_id])
+        ranking = self._user_rankings.get(user_id)
+        if ranking is None:
+            ranking = rank_items(self.relevance[user_id])
+            self._user_rankings[user_id] = ranking
+        return list(ranking)
 
     def user_top_items(self, user_id: str) -> set[str]:
         """The top-``k`` candidate set of ``user_id`` (fairness test set)."""

@@ -143,6 +143,7 @@ class CaregiverPipeline:
             peer_threshold=config.peer_threshold,
             max_peers=config.max_peers,
             top_k=config.top_k,
+            kernel=config.kernel,
         )
 
     def build_candidates(self, group: Group) -> GroupCandidates:

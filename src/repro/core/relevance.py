@@ -16,6 +16,7 @@ selection (Algorithm 1) consume.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -97,14 +98,39 @@ def predict_table(
     return predictions
 
 
+#: ``rank_items`` switches from a full sort to bounded-heap selection
+#: when ``k`` is smaller than this fraction of the score table.  Below
+#: the ratio, ``heapq.nsmallest`` does O(n log k) comparisons instead of
+#: O(n log n); above it, timsort's galloping wins.
+RANK_HEAP_RATIO: int = 8
+
+
+def rank_key(pair: tuple[str, float]) -> tuple[float, str]:
+    """The pinned ranking order of an ``(item_id, score)`` pair.
+
+    Score descending, ties broken by item id ascending.  Every ranking
+    path in the library — the full sort, the bounded heap, and the
+    packed top-k kernel — orders by exactly this key, which is what
+    makes their outputs interchangeable bit for bit.
+    """
+    return (-pair[1], pair[0])
+
+
 def rank_items(scores: Mapping[str, float], k: int | None = None) -> list[ScoredItem]:
     """Sort ``{item: score}`` by descending score (ties by item id).
 
     ``k`` limits the result to the top-k items; ``None`` keeps all.
+    When ``k`` is small relative to the table (< ``len(scores) //
+    RANK_HEAP_RATIO``) the selection runs on a bounded heap instead of a
+    full sort; ``heapq.nsmallest`` is stable under its key, so the two
+    paths return identical lists, ties included.
     """
-    ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
-    if k is not None:
-        ranked = ranked[:k]
+    if k is not None and 0 <= k < len(scores) // RANK_HEAP_RATIO:
+        ranked = heapq.nsmallest(k, scores.items(), key=rank_key)
+    else:
+        ranked = sorted(scores.items(), key=rank_key)
+        if k is not None:
+            ranked = ranked[:k]
     return [ScoredItem(item_id=item_id, score=score) for item_id, score in ranked]
 
 

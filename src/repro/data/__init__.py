@@ -25,6 +25,7 @@ from .nutrition import (
     Recipe,
     generate_nutrition_dataset,
 )
+from .scale import ScaleConfig, generate_scale_dataset, sample_scale_groups
 from .serialization import (
     load_dataset,
     load_json,
@@ -51,17 +52,20 @@ __all__ = [
     "Rating",
     "RatingMatrix",
     "Recipe",
+    "ScaleConfig",
     "SyntheticHealthDataSource",
     "User",
     "UserRegistry",
     "diverse_group",
     "generate_dataset",
     "generate_nutrition_dataset",
+    "generate_scale_dataset",
     "load_dataset",
     "load_json",
     "load_ratings_csv",
     "paper_example_users",
     "random_group",
+    "sample_scale_groups",
     "save_dataset",
     "save_json",
     "save_ratings_csv",

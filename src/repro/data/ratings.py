@@ -228,13 +228,18 @@ class RatingMatrix:
 
         This is the candidate set of Definition 2 (``∀u ∈ G,
         ∄rating(u, i)``) and of MapReduce Job 1.
+
+        **Ordering contract**: the result is in matrix item-insertion
+        order (the order of :meth:`item_ids`), which is also the packed
+        intern order of :class:`~repro.kernels.PackedRatings`.  Ranking
+        tie-breaks downstream consume this order, and the packed
+        candidate scan (:func:`~repro.kernels.items_unrated_by_all_packed`)
+        is bit-identical to this method by construction.
         """
-        group = list(user_ids)
-        result = []
-        for item_id in self._by_item:
-            if not any(self.has_rating(user_id, item_id) for user_id in group):
-                result.append(item_id)
-        return result
+        rated: set[str] = set()
+        for user_id in user_ids:
+            rated.update(self._by_user.get(user_id, ()))
+        return [item_id for item_id in self._by_item if item_id not in rated]
 
     # -- iteration -----------------------------------------------------------------
 
@@ -267,11 +272,30 @@ class RatingMatrix:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RatingMatrix":
-        """Rebuild a matrix from :meth:`to_dict` output."""
+        """Rebuild a matrix from :meth:`to_dict` output.
+
+        The payload may carry optional ``user_order`` / ``item_order``
+        id lists (the packed-spill publisher adds them): replaying the
+        user-grouped triples reproduces the user insertion order but
+        not the *item* first-occurrence order, and the packed interning
+        tables — hence the mmap'd spill validation — are defined by
+        both.  When present, the dicts are pre-seeded in those orders
+        so insertion order survives the JSON round-trip bit-for-bit.
+        """
         scale = tuple(payload.get("scale", (1.0, 5.0)))
         matrix = cls(scale=scale)  # type: ignore[arg-type]
+        for user_id in payload.get("user_order", ()):
+            matrix._by_user.setdefault(user_id, {})
+        for item_id in payload.get("item_order", ()):
+            matrix._by_item.setdefault(item_id, {})
         for user_id, item_id, value in payload.get("ratings", []):
             matrix.add(user_id, item_id, value)
+        # Drop any seeded entry the ratings never filled (a stale order
+        # list must not fabricate empty users/items).
+        for user_id in [u for u, row in matrix._by_user.items() if not row]:
+            del matrix._by_user[user_id]
+        for item_id in [i for i, col in matrix._by_item.items() if not col]:
+            del matrix._by_item[item_id]
         return matrix
 
     def copy(self) -> "RatingMatrix":

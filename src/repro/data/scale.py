@@ -1,0 +1,212 @@
+"""Million-user synthetic workload generator for the scale benchmarks.
+
+The topic-preference generator of :mod:`repro.data.datasets` builds a
+full PHR, ontology links and document bodies per entity — faithful, but
+far too slow past ~10⁴ users.  The scale benchmarks only need the
+*shape* of a large deployment:
+
+* **Zipf item popularity** — a handful of documents absorb most of the
+  ratings (the head every real catalogue has), which is what stresses
+  the inverted-index walks of the similarity kernels;
+* **power-law group sizes** — most caregiver groups are small, a few
+  are large, drawn from a discrete power law over
+  ``[min_group_size, max_group_size]``;
+* **determinism** — one ``random.Random(seed)`` drives everything, so
+  a given :class:`ScaleConfig` always produces the same dataset and
+  the benchmark numbers are reproducible.
+
+Users carry no PHR and documents no text: the recommender's hot paths
+(similarity, candidate scan, top-k) never read them, and skipping them
+keeps generation at roughly a second per 10⁵ users.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from ..ontology.ontology import HealthOntology
+from .datasets import DatasetConfig, HealthDataset
+from .groups import Group
+from .items import HealthDocument, ItemCatalog
+from .ratings import RatingMatrix
+from .users import User, UserRegistry
+
+
+@dataclass
+class ScaleConfig:
+    """Parameters of the scale-workload generator.
+
+    Parameters
+    ----------
+    num_users:
+        Number of users (the axis the scale proof sweeps, 10⁵–10⁶).
+    num_items:
+        Catalogue size; kept small relative to the user count so the
+        popular items accumulate realistic ``U(i)`` fan-in.
+    ratings_per_user:
+        Distinct items each user rates (sampled from the Zipf head).
+    zipf_exponent:
+        Exponent ``s`` of the item-popularity law ``p(rank) ∝ rank^-s``.
+    group_size_exponent:
+        Exponent of the discrete power law the group sizes are drawn
+        from (larger → small groups dominate harder).
+    min_group_size / max_group_size:
+        Inclusive bounds of a sampled caregiver group.
+    seed:
+        Seed of the deterministic generator.
+    """
+
+    num_users: int = 100_000
+    num_items: int = 2_000
+    ratings_per_user: int = 20
+    zipf_exponent: float = 1.05
+    group_size_exponent: float = 2.5
+    min_group_size: int = 2
+    max_group_size: int = 10
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if self.num_items <= 0:
+            raise ValueError("num_items must be positive")
+        if not 0 < self.ratings_per_user <= self.num_items:
+            raise ValueError(
+                "ratings_per_user must be in 1..num_items "
+                f"(got {self.ratings_per_user} of {self.num_items})"
+            )
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        if self.group_size_exponent <= 0:
+            raise ValueError("group_size_exponent must be positive")
+        if not 1 <= self.min_group_size <= self.max_group_size:
+            raise ValueError(
+                f"invalid group size bounds "
+                f"[{self.min_group_size}, {self.max_group_size}]"
+            )
+
+
+def _zipf_cum_weights(count: int, exponent: float) -> list[float]:
+    """Cumulative Zipf weights for ``random.Random.choices``."""
+    return list(
+        itertools.accumulate(
+            (rank + 1) ** -exponent for rank in range(count)
+        )
+    )
+
+
+def generate_scale_dataset(
+    config: ScaleConfig | None = None,
+    **overrides: object,
+) -> HealthDataset:
+    """Generate a lean :class:`HealthDataset` at benchmark scale.
+
+    Keyword ``overrides`` update a default :class:`ScaleConfig` (or the
+    one passed in), mirroring :func:`repro.data.datasets.generate_dataset`.
+    Ratings follow a signed-taste model: each item belongs to one
+    latent genre, each user draws a taste in ``[-1.5, 1.5]`` per genre,
+    and ``value ≈ 3 + taste(genre) + noise`` rounded to the 1..5 scale.
+    Users who agree on genres correlate positively and users with
+    opposite tastes *anti*-correlate, so the Pearson spread is wide and
+    a peer threshold actually selects — a shared per-item quality term
+    would instead correlate everyone with everyone.
+    """
+    base = config or ScaleConfig()
+    if overrides:
+        merged = dict(base.__dict__)
+        merged.update(overrides)  # type: ignore[arg-type]
+        base = ScaleConfig(**merged)  # type: ignore[arg-type]
+    rng = random.Random(base.seed)
+
+    users = UserRegistry()
+    id_width = len(str(base.num_users - 1))
+    user_ids = [f"user-{index:0{id_width}d}" for index in range(base.num_users)]
+    for user_id in user_ids:
+        users.add(User(user_id))
+
+    num_genres = 8
+    items = ItemCatalog()
+    item_ids = [f"item-{index:05d}" for index in range(base.num_items)]
+    item_genre = []
+    for item_id in item_ids:
+        genre = rng.randrange(num_genres)
+        item_genre.append(genre)
+        items.add(
+            HealthDocument(
+                item_id,
+                topics=[f"genre-{genre}"],
+                quality=rng.random(),
+            )
+        )
+
+    cum_weights = _zipf_cum_weights(base.num_items, base.zipf_exponent)
+    matrix = RatingMatrix()
+    # Oversample by 2x then dedupe: with the Zipf head a straight
+    # k-sample collides often, and per-user rejection loops are slow.
+    draw = max(base.ratings_per_user * 2, base.ratings_per_user + 4)
+    indices = range(base.num_items)
+    for user_id in user_ids:
+        taste = [rng.uniform(-1.5, 1.5) for _ in range(num_genres)]
+        picked = rng.choices(indices, cum_weights=cum_weights, k=draw)
+        seen: set[int] = set()
+        for item_index in picked:
+            if item_index in seen:
+                continue
+            seen.add(item_index)
+            value = 3.0 + taste[item_genre[item_index]] + rng.uniform(-0.75, 0.75)
+            matrix.add(
+                user_id,
+                item_ids[item_index],
+                float(min(5.0, max(1.0, round(value)))),
+            )
+            if len(seen) >= base.ratings_per_user:
+                break
+
+    dataset_config = DatasetConfig(
+        num_users=base.num_users,
+        num_items=base.num_items,
+        ratings_per_user=base.ratings_per_user,
+        seed=base.seed,
+    )
+    return HealthDataset(
+        users=users,
+        items=items,
+        ratings=matrix,
+        ontology=HealthOntology(),
+        config=dataset_config,
+    )
+
+
+def sample_scale_groups(
+    user_ids: list[str],
+    num_groups: int,
+    config: ScaleConfig | None = None,
+    seed: int | None = None,
+) -> list[Group]:
+    """Sample ``num_groups`` caregiver groups with power-law sizes.
+
+    Sizes are drawn from ``p(size) ∝ size^-group_size_exponent`` over
+    the configured bounds; members are sampled uniformly without
+    replacement.  ``seed`` defaults to the config seed so a benchmark
+    can vary the request mix independently of the dataset.
+    """
+    base = config or ScaleConfig()
+    rng = random.Random(base.seed if seed is None else seed)
+    low, high = base.min_group_size, base.max_group_size
+    high = min(high, len(user_ids))
+    if high < low:
+        raise ValueError(
+            f"not enough users ({len(user_ids)}) for groups of >= {low}"
+        )
+    sizes = list(range(low, high + 1))
+    cum_weights = list(
+        itertools.accumulate(size ** -base.group_size_exponent for size in sizes)
+    )
+    groups = []
+    for index in range(num_groups):
+        size = rng.choices(sizes, cum_weights=cum_weights, k=1)[0]
+        members = rng.sample(user_ids, size)
+        groups.append(Group(members, name=f"scale-group-{index}"))
+    return groups

@@ -464,6 +464,10 @@ class PoolBackend(ExecutionBackend):
         self._sync_bytes = self.metrics.counter("pool_sync_bytes")
         self._scale_ups = self.metrics.counter("pool_scale_ups")
         self._scale_downs = self.metrics.counter("pool_scale_downs")
+        self._bootstrap_bytes = self.metrics.counter("pool_bootstrap_bytes")
+        # Pickled size of the current initargs binding, cached per
+        # binding identity (the tuple is rebound wholesale on restart).
+        self._initargs_size_cache: tuple[tuple[Any, ...], int] | None = None
         self._batch_latency = self.metrics.histogram(
             "pool_batch_ms", window_s=P99_WINDOW_SECONDS, clock=self._clock
         )
@@ -550,7 +554,9 @@ class PoolBackend(ExecutionBackend):
         Keys: ``sync`` mode, ``epoch``/``resident_epoch``, ``restarts``
         (full re-ships), ``delta_syncs`` (broadcasts), ``sync_messages``
         and ``sync_bytes`` (control-plane volume — O(workers) per
-        broadcast by construction), ``pending_deltas``, the live width
+        broadcast by construction), ``bootstrap_bytes`` (cumulative
+        pickled initargs size over worker spawns — the state-ship cost
+        the mmap'd packed spill collapses), ``pending_deltas``, the live width
         and autoscaling bounds, ``scale_ups``/``scale_downs``, plus the
         latency policy: ``target_p99_ms`` and the windowed
         ``batch_p99_ms`` it reads (``None`` while the window is empty).
@@ -567,6 +573,7 @@ class PoolBackend(ExecutionBackend):
                 "delta_syncs": int(self._delta_syncs.value),
                 "sync_messages": int(self._sync_messages.value),
                 "sync_bytes": int(self._sync_bytes.value),
+                "bootstrap_bytes": int(self._bootstrap_bytes.value),
                 "pending_deltas": len(self._deltas),
                 "live_workers": len(self._workers),
                 "min_workers": self.min_workers,
@@ -654,6 +661,7 @@ class PoolBackend(ExecutionBackend):
         newer binding — mixed appliers within one pool would break the
         broadcast soundness argument.
         """
+        self._bootstrap_bytes.inc(self._initargs_bytes())
         inbox = self._context.Queue()
         process = self._context.Process(
             target=_worker_loop,
@@ -671,6 +679,25 @@ class PoolBackend(ExecutionBackend):
         process.start()
         self._workers.append(_Worker(self._next_worker_id, process, inbox))
         self._next_worker_id += 1
+
+    def _initargs_bytes(self) -> int:
+        """Pickled size of the bound initargs — the per-worker ship cost.
+
+        The pool forks, so the state is inherited rather than pickled;
+        this models what each spawn *would* ship under a spawn/remote
+        start method, which is the number the mmap'd-spill bootstrap
+        (tiny initargs, state mapped from disk) is measured against.
+        Unpicklable initargs count as 0.
+        """
+        cached = self._initargs_size_cache
+        if cached is not None and _same_elements(cached[0], self._bound_initargs):
+            return cached[1]
+        try:
+            size = len(pickle.dumps(self._bound_initargs))
+        except Exception:
+            size = 0
+        self._initargs_size_cache = (self._bound_initargs, size)
+        return size
 
     def _spawn_width(self, queue_depth: int) -> int:
         """Initial/restart width for a dispatch of ``queue_depth`` tasks."""

@@ -10,8 +10,16 @@ paper's hot equations over that layout —
   sorted-merge intersection over int ids;
 * :func:`overlap_counts` — candidate co-rating counts through the
   packed inverted index;
-* :func:`predict_table_packed` — Equation 1 prediction tables for the
-  single-user recommend path.
+* :func:`predict_table_packed` / :func:`predict_row_packed` /
+  :func:`predict_topk_packed` — Equation 1 prediction tables (full,
+  per-row, and bounded-heap top-k) for the recommend paths;
+* :func:`items_unrated_by_all_packed` /
+  :func:`candidate_ints_unrated_by_all` — the group candidate scan
+  (Definition 2) as a set subtract in intern space;
+* :meth:`PackedRatings.save` / :meth:`PackedRatings.open_mmap` /
+  :func:`attach_spill` — the mmap'd on-disk spill of the CSR arrays
+  (:mod:`repro.kernels.spill`), letting pool workers bootstrap by
+  opening files instead of receiving a full state ship.
 
 Everything is pure stdlib and **bit-identical** to the dict-of-dicts
 oracle paths (same summation order within every pair); the
@@ -22,9 +30,11 @@ oracle paths (same summation order within every pair); the
 
 from __future__ import annotations
 
-from .packed import PackedRatings, get_packed
+from .packed import PackedRatings, attach_spill, get_packed
 from .pearson import overlap_counts, pearson_one_vs_many, pearson_pair
-from .relevance import predict_table_packed
+from .relevance import predict_row_packed, predict_table_packed, predict_topk_packed
+from .scan import candidate_ints_unrated_by_all, items_unrated_by_all_packed
+from .spill import SPILL_MANIFEST_NAME, SpillError
 
 #: Kernel implementations selectable via ``RecommenderConfig.kernel``.
 KERNEL_NAMES: tuple[str, ...] = ("packed", "dict")
@@ -36,9 +46,16 @@ __all__ = [
     "DEFAULT_KERNEL",
     "KERNEL_NAMES",
     "PackedRatings",
+    "SPILL_MANIFEST_NAME",
+    "SpillError",
+    "attach_spill",
+    "candidate_ints_unrated_by_all",
     "get_packed",
+    "items_unrated_by_all_packed",
     "overlap_counts",
     "pearson_one_vs_many",
     "pearson_pair",
+    "predict_row_packed",
     "predict_table_packed",
+    "predict_topk_packed",
 ]

@@ -91,6 +91,32 @@ def get_packed(matrix: RatingMatrix) -> "PackedRatings":
     return packed
 
 
+def attach_spill(matrix: RatingMatrix, directory) -> "PackedRatings":
+    """Bind ``matrix``'s shared packed view to the spill at ``directory``.
+
+    Tries :meth:`PackedRatings.open_mmap` and registers the mmap-backed
+    view as the matrix's shared view, so every later
+    :func:`get_packed` caller (the similarity measure, the serving
+    layer) reads the mapped arrays.  Any :class:`SpillError` or OS
+    failure falls back to the ordinary in-memory rebuild recipe —
+    correctness never depends on a spill being present.  The outcome is
+    counted as ``packed_spill_opens{outcome="mmap"|"fallback"}``.
+    """
+    from .spill import SpillError
+
+    try:
+        packed = PackedRatings.open_mmap(directory, matrix)
+        outcome = "mmap"
+    except (SpillError, OSError):
+        packed = get_packed(matrix)
+        outcome = "fallback"
+    else:
+        _REGISTRY[matrix] = weakref.ref(packed)
+    if is_enabled():
+        get_registry().inc("packed_spill_opens", outcome=outcome)
+    return packed
+
+
 class PackedRatings:
     """Flat CSR mirror of one :class:`RatingMatrix` (see module docs).
 
@@ -107,6 +133,8 @@ class PackedRatings:
         self.matrix = matrix
         self._dirty: set[str] = set()
         self._stale = True  # force the initial full build
+        self._spill_backed = False
+        self._spill_dir: str | None = None
         # Serialises repacks: batch serving runs kernel calls as
         # concurrent readers, and two threads racing ensure_current()
         # after a mutation would both extend the interning tables.
@@ -152,6 +180,9 @@ class PackedRatings:
         self._removals = matrix.removals
         self._dirty.clear()
         self._stale = False
+        # A full rebuild always yields ordinary in-memory arrays, so a
+        # spill-backed view that rebuilt is no longer mmap-backed.
+        self._spill_backed = False
 
     def _packed_row(self, user_id: str) -> tuple[array, array, array, float]:
         """One user's row as (items, values, devs, mean), sorted by item int.
@@ -231,9 +262,36 @@ class PackedRatings:
                 self.rebuild()
                 _observe_repack("full", started)
                 return
+            if self._spill_backed:
+                # Mutating an mmap-backed view: downgrade to writable
+                # in-memory arrays first, then repack incrementally as
+                # usual.  The spill on disk is untouched (and now
+                # stale); re-save to refresh it.
+                self._materialize()
             started = time.perf_counter()
             self._repack_dirty()
             _observe_repack("incremental", started)
+
+    def _materialize(self) -> None:
+        """Copy every mmap-backed structure into writable arrays.
+
+        The "dirty-repack downgrade" of a spill-backed view: after this
+        the instance is indistinguishable from one built in memory.
+        Timed as ``repack_ms{kind="downgrade"}``.
+        """
+        started = time.perf_counter()
+        self.row_items = [array("l", row) for row in self.row_items]
+        self.row_values = [array("d", row) for row in self.row_values]
+        self.row_devs = [array("d", row) for row in self.row_devs]
+        self.row_maps = [
+            dict(zip(items, values))
+            for items, values in zip(self.row_items, self.row_values)
+        ]
+        self.means = list(self.means)
+        self.inv_users = [array("l", row) for row in self.inv_users]
+        self.inv_values = [array("d", row) for row in self.inv_values]
+        self._spill_backed = False
+        _observe_repack("downgrade", started)
 
     def _repack_dirty(self) -> None:
         matrix = self.matrix
@@ -301,6 +359,67 @@ class PackedRatings:
             )
             self.inv_values[item_int] = array("d", raters.values())
         return len(new_map) - len(old_map)
+
+    # -- spill ---------------------------------------------------------------
+
+    @property
+    def spill_backed(self) -> bool:
+        """True while the packed arrays are read-only ``mmap`` views."""
+        return self._spill_backed
+
+    def save(self, directory) -> str:
+        """Spill the packed CSR arrays to ``directory``; returns the fingerprint.
+
+        Brings the view current first, then writes the
+        :mod:`repro.kernels.spill` layout (atomic per-file writes,
+        manifest last).  A no-op when the on-disk spill already carries
+        the fingerprint of this state.
+        """
+        from .spill import write_spill
+
+        with self._repack_lock:
+            self.ensure_current()
+            return write_spill(self, directory)
+
+    @classmethod
+    def open_mmap(cls, directory, matrix: RatingMatrix) -> "PackedRatings":
+        """Open the spill at ``directory`` as an mmap-backed view of ``matrix``.
+
+        The returned view shares the operating system's page-cache copy
+        of the arrays with every other process that opened the same
+        spill; nothing is deserialised beyond the interning tables.
+        Raises :class:`~repro.kernels.spill.SpillError` when the spill
+        is missing, torn, or disagrees with ``matrix`` — callers fall
+        back to the in-memory rebuild recipe then (:func:`attach_spill`
+        automates that).
+        """
+        from .spill import open_spill
+
+        state = open_spill(directory, matrix)
+        packed = cls.__new__(cls)
+        packed.matrix = matrix
+        packed._dirty = set()
+        packed._stale = False
+        packed._repack_lock = threading.RLock()
+        packed.user_ids = state["user_ids"]
+        packed.user_index = state["user_index"]
+        packed.item_ids = state["item_ids"]
+        packed.item_index = state["item_index"]
+        packed.row_items = state["row_items"]
+        packed.row_values = state["row_values"]
+        packed.row_devs = state["row_devs"]
+        packed.row_maps = state["row_maps"]
+        packed.means = state["means"]
+        packed.inv_users = state["inv_users"]
+        packed.inv_values = state["inv_values"]
+        packed._num_ratings = state["num_ratings"]
+        packed._version = matrix.version
+        packed._removals = matrix.removals
+        packed._spill_backed = True
+        # Remembered so sibling views (per-shard measures) can map the
+        # same spill instead of packing their own private copy.
+        packed._spill_dir = str(directory)
+        return packed
 
     # -- pickling ------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Packed prediction-table kernel (Equation 1 over the inverted index).
+"""Packed prediction kernels (Equation 1 over the inverted index).
 
 :func:`predict_table_packed` is the layout-first replacement for
 :func:`repro.core.relevance.predict_table` on the serving layer's
@@ -7,14 +7,36 @@ candidate item (``matrix.users_of``) and hashing peer-id *strings*
 against it, the kernel stamps the item's raters into a reusable
 per-user scratch array and walks the peer list as interned ints.
 
+Two variants avoid ever *decoding* the candidate set:
+
+* :func:`predict_row_packed` — the full unrated row of one user, with
+  candidates enumerated directly in intern space (no string candidate
+  list in, one decode per emitted score out).  This is the serving
+  layer's relevance-row kernel; it removed a latent double decode where
+  candidate ids were rendered to strings only for the prediction call
+  to re-intern them.
+* :func:`predict_topk_packed` — the same row, emitted straight into a
+  bounded heap of size ``k`` instead of materialising the full score
+  dict; the heap orders by the pinned score-desc/item-asc tie-break, so
+  its output equals ``rank_items(predict_row_packed(...), k)``.
+
+Each kernel picks between two inner-loop strategies per call (see
+:func:`_probe_beats_stamp`): stamping the item's raters into a scratch
+array, or probing each peer's own row map.  Stamping amortises when the
+peer set is huge; probing is immune to item popularity, which matters
+once a bounded ``max_peers`` peer set meets a Zipf-headed catalogue at
+10⁵+ users.
+
 Bit-identity with the dict path holds because the accumulation order is
 the *peer* order (the dict path iterates ``peer_similarities`` and
-probes each peer's rating; so does the kernel), and stamping only
-changes how the probe is answered, not which floats are summed.
+probes each peer's rating; so do the kernels), and stamping/probing only
+changes how "did this peer rate it?" is answered, not which floats are
+summed.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Mapping, Sequence
 
@@ -76,15 +98,20 @@ def _predict_table(
         if peer_int is not None:
             peer_ints.append((peer_int, similarity))
     item_index = packed.item_index
-    inv_users = packed.inv_users
-    inv_values = packed.inv_values
-    # Stamp scratch, allocated per call: the serving layer runs batch
-    # requests as concurrent readers (thread backend), so this state
-    # must not be shared — a second caller's token would invalidate a
-    # first caller's stamps mid-item.  Per *item* the token trick still
-    # avoids O(users) clearing.
-    stamp = [0] * packed.num_users
-    value = [0.0] * packed.num_users
+    probe = _probe_beats_stamp(packed, len(peer_ints), len(candidate_items))
+    if probe:
+        row_maps = packed.row_maps
+        peer_rows = [(sim, row_maps[peer_int]) for peer_int, sim in peer_ints]
+    else:
+        inv_users = packed.inv_users
+        inv_values = packed.inv_values
+        # Stamp scratch, allocated per call: the serving layer runs batch
+        # requests as concurrent readers (thread backend), so this state
+        # must not be shared — a second caller's token would invalidate a
+        # first caller's stamps mid-item.  Per *item* the token trick
+        # still avoids O(users) clearing.
+        stamp = [0] * packed.num_users
+        value = [0.0] * packed.num_users
     token = 0
     predictions: dict[str, float] = {}
     for item_id in candidate_items:
@@ -94,18 +121,25 @@ def _predict_table(
             if existing is not None:
                 predictions[item_id] = existing
                 continue
-            token += 1
-            raters = inv_users[item_int]
-            ratings = inv_values[item_int]
-            for position, rater in enumerate(raters):
-                stamp[rater] = token
-                value[rater] = ratings[position]
             numerator = 0.0
             denominator = 0.0
-            for peer_int, similarity in peer_ints:
-                if stamp[peer_int] == token:
-                    numerator += similarity * value[peer_int]
-                    denominator += similarity
+            if probe:
+                for similarity, peer_row in peer_rows:
+                    rating = peer_row.get(item_int)
+                    if rating is not None:
+                        numerator += similarity * rating
+                        denominator += similarity
+            else:
+                token += 1
+                raters = inv_users[item_int]
+                ratings = inv_values[item_int]
+                for position, rater in enumerate(raters):
+                    stamp[rater] = token
+                    value[rater] = ratings[position]
+                for peer_int, similarity in peer_ints:
+                    if stamp[peer_int] == token:
+                        numerator += similarity * value[peer_int]
+                        denominator += similarity
             if denominator != 0.0:
                 predictions[item_id] = numerator / denominator
                 continue
@@ -113,3 +147,220 @@ def _predict_table(
         if default_score is not None:
             predictions[item_id] = default_score
     return predictions
+
+
+def _probe_beats_stamp(
+    packed: PackedRatings, num_peers: int, num_candidates: int
+) -> bool:
+    """Pick the Equation-1 inner-loop strategy for one prediction call.
+
+    Two bit-identical ways to answer "did this peer rate this item?"
+    exist (both accumulate in peer order, so the float sums match):
+
+    * **stamp** — mark every rater of the item in a scratch array,
+      then read the peers' marks: O(Σ|U(i)|) stamping over the
+      candidate items plus O(peers) reads per item.  Wins when the
+      peer set is a large fraction of the user base.
+    * **probe** — look each item up in every peer's own (int-keyed)
+      row map: O(peers) dict probes per item, independent of item
+      popularity.  Wins when a bounded peer set (``max_peers``) meets
+      a Zipf-headed catalogue, where stamping degenerates to touching
+      nearly every rating in the matrix per row.
+
+    The stamping total over a full row is about ``num_ratings``; a
+    probe costs roughly two array reads.  Hence: probe when
+    ``2 · peers · candidates < num_ratings``.
+    """
+    return 2 * num_peers * num_candidates < packed._num_ratings
+
+
+def _resolve_peers(
+    packed: PackedRatings, peer_similarities: Mapping[str, float]
+) -> list[tuple[int, float]]:
+    """Peer ids interned once, preserving the mapping's iteration order.
+
+    That order is the dict path's accumulation order; peers unknown to
+    the matrix never rated anything, so dropping them up front skips
+    probes the dict path would answer with ``None`` anyway.
+    """
+    user_index = packed.user_index
+    peer_ints: list[tuple[int, float]] = []
+    for peer_id, similarity in peer_similarities.items():
+        peer_int = user_index.get(peer_id)
+        if peer_int is not None:
+            peer_ints.append((peer_int, similarity))
+    return peer_ints
+
+
+def predict_row_packed(
+    packed: PackedRatings,
+    user_id: str,
+    peer_similarities: Mapping[str, float],
+    default_score: float | None = None,
+) -> dict[str, float]:
+    """Equation 1 over *every* item the user has not rated, packed.
+
+    Equivalent to ``predict_table_packed(packed, user_id,
+    peer_similarities, matrix.unrated_items(user_id,
+    matrix.item_ids()))`` — the serving layer's relevance-row shape —
+    but the candidate set is enumerated directly in intern space, so no
+    string candidate list is built and each emitted item id is decoded
+    exactly once.  Timed as ``kernel_ms{kernel="predict_row_packed"}``.
+    """
+    started = time.perf_counter()
+    packed.ensure_current()
+    user_int = packed.user_index.get(user_id)
+    own_ratings: dict[int, float] = (
+        packed.row_maps[user_int] if user_int is not None else {}
+    )
+    peer_ints = _resolve_peers(packed, peer_similarities)
+    item_ids = packed.item_ids
+    predictions: dict[str, float] = {}
+    if _probe_beats_stamp(packed, len(peer_ints), packed.num_items):
+        row_maps = packed.row_maps
+        peer_rows = [(sim, row_maps[peer_int]) for peer_int, sim in peer_ints]
+        for item_int in range(packed.num_items):
+            if item_int in own_ratings:
+                continue
+            numerator = 0.0
+            denominator = 0.0
+            for similarity, peer_row in peer_rows:
+                rating = peer_row.get(item_int)
+                if rating is not None:
+                    numerator += similarity * rating
+                    denominator += similarity
+            if denominator != 0.0:
+                predictions[item_ids[item_int]] = numerator / denominator
+            elif default_score is not None:
+                predictions[item_ids[item_int]] = default_score
+        observe_kernel("predict_row_packed", started)
+        return predictions
+    inv_users = packed.inv_users
+    inv_values = packed.inv_values
+    stamp = [0] * packed.num_users
+    value = [0.0] * packed.num_users
+    token = 0
+    for item_int in range(packed.num_items):
+        if item_int in own_ratings:
+            continue
+        token += 1
+        raters = inv_users[item_int]
+        ratings = inv_values[item_int]
+        for position, rater in enumerate(raters):
+            stamp[rater] = token
+            value[rater] = ratings[position]
+        numerator = 0.0
+        denominator = 0.0
+        for peer_int, similarity in peer_ints:
+            if stamp[peer_int] == token:
+                numerator += similarity * value[peer_int]
+                denominator += similarity
+        if denominator != 0.0:
+            predictions[item_ids[item_int]] = numerator / denominator
+        elif default_score is not None:
+            predictions[item_ids[item_int]] = default_score
+    observe_kernel("predict_row_packed", started)
+    return predictions
+
+
+class _HeapEntry:
+    """A candidate in the bounded top-k heap.
+
+    ``heapq`` keeps the *smallest* entry at the root, so "smallest"
+    must mean "worst under the pinned ranking": lower score first, and
+    among equal scores the lexicographically larger item id (ascending
+    item id wins ties in the ranking, so the larger id is worse).
+    """
+
+    __slots__ = ("score", "item_id")
+
+    def __init__(self, score: float, item_id: str) -> None:
+        self.score = score
+        self.item_id = item_id
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        if self.score != other.score:
+            return self.score < other.score
+        return self.item_id > other.item_id
+
+
+def predict_topk_packed(
+    packed: PackedRatings,
+    user_id: str,
+    peer_similarities: Mapping[str, float],
+    k: int,
+    default_score: float | None = None,
+) -> list[tuple[str, float]]:
+    """Top-``k`` of the user's unrated row, emitted straight into a heap.
+
+    Returns ``(item_id, score)`` pairs in ranking order — exactly
+    ``[(s.item_id, s.score) for s in
+    rank_items(predict_row_packed(...), k)]`` — without materialising
+    the full score dict: each candidate either displaces the heap root
+    or is dropped on the spot.  Item ids are unique, so the pinned
+    (score desc, item asc) ranking is a total order and heap selection
+    is trivially equal to sort-then-slice, ties included.  Timed as
+    ``kernel_ms{kernel="predict_topk_packed"}``.
+    """
+    started = time.perf_counter()
+    packed.ensure_current()
+    if k <= 0:
+        observe_kernel("predict_topk_packed", started)
+        return []
+    user_int = packed.user_index.get(user_id)
+    own_ratings: dict[int, float] = (
+        packed.row_maps[user_int] if user_int is not None else {}
+    )
+    peer_ints = _resolve_peers(packed, peer_similarities)
+    item_ids = packed.item_ids
+    probe = _probe_beats_stamp(packed, len(peer_ints), packed.num_items)
+    if probe:
+        row_maps = packed.row_maps
+        peer_rows = [(sim, row_maps[peer_int]) for peer_int, sim in peer_ints]
+    else:
+        inv_users = packed.inv_users
+        inv_values = packed.inv_values
+        stamp = [0] * packed.num_users
+        value = [0.0] * packed.num_users
+    token = 0
+    heap: list[_HeapEntry] = []
+    for item_int in range(packed.num_items):
+        if item_int in own_ratings:
+            continue
+        numerator = 0.0
+        denominator = 0.0
+        if probe:
+            for similarity, peer_row in peer_rows:
+                rating = peer_row.get(item_int)
+                if rating is not None:
+                    numerator += similarity * rating
+                    denominator += similarity
+        else:
+            token += 1
+            raters = inv_users[item_int]
+            ratings = inv_values[item_int]
+            for position, rater in enumerate(raters):
+                stamp[rater] = token
+                value[rater] = ratings[position]
+            for peer_int, similarity in peer_ints:
+                if stamp[peer_int] == token:
+                    numerator += similarity * value[peer_int]
+                    denominator += similarity
+        if denominator != 0.0:
+            score = numerator / denominator
+        elif default_score is not None:
+            score = default_score
+        else:
+            continue
+        if len(heap) < k:
+            heapq.heappush(heap, _HeapEntry(score, item_ids[item_int]))
+        else:
+            root = heap[0]
+            item_id = item_ids[item_int]
+            if score > root.score or (
+                score == root.score and item_id < root.item_id
+            ):
+                heapq.heapreplace(heap, _HeapEntry(score, item_id))
+    ranked = sorted(heap, key=lambda entry: (-entry.score, entry.item_id))
+    observe_kernel("predict_topk_packed", started)
+    return [(entry.item_id, entry.score) for entry in ranked]

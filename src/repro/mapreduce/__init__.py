@@ -13,6 +13,8 @@ from .jobs import (
     make_job1,
     make_job2,
     make_job3,
+    make_packed_similarity_job,
+    packed_similarity_input,
     ratings_to_item_pairs,
     similarity_table,
     split_job1_output,
@@ -35,7 +37,9 @@ __all__ = [
     "make_job2",
     "make_job3",
     "make_local_topk_job",
+    "make_packed_similarity_job",
     "mapreduce_topk",
+    "packed_similarity_input",
     "ratings_to_item_pairs",
     "similarity_table",
     "split_job1_output",

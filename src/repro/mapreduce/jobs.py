@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..core.aggregation import AggregationStrategy
+from ..data.ratings import RatingMatrix
+from ..kernels import get_packed, pearson_one_vs_many
 from .engine import MapReduceJob, Pair
 
 #: Tag prefixes used to separate the two logical outputs of Job 1.
@@ -65,8 +67,17 @@ def make_job1(
     group_members: Sequence[str],
     user_means: Mapping[str, float],
     num_partitions: int = 1,
+    emit_partials: bool = True,
 ) -> MapReduceJob:
-    """Build Job 1 for ``group_members`` with precomputed user means."""
+    """Build Job 1 for ``group_members`` with precomputed user means.
+
+    ``emit_partials=False`` keeps only the candidate-item output: the
+    runner sets it when Job 2 runs on the packed similarity kernel
+    (:func:`make_packed_similarity_job`), which recomputes the pair
+    scores from the CSR arrays and has no use for per-item partial
+    components.  The map phase is unchanged either way, so the job's
+    ``map_input_records`` counter still equals the number of ratings.
+    """
     members = set(group_members)
 
     def mapper(item_id: Any, user_rating: Any) -> Iterable[Pair]:
@@ -81,6 +92,8 @@ def make_job1(
             # recommendation; re-emit the ratings unchanged.
             for user_id, value in sorted(ratings.items()):
                 yield ((CANDIDATE_TAG, item_id), (user_id, value))
+            return
+        if not emit_partials:
             return
         # Output 2: partial similarity components for every
         # (member, non-member) pair that co-rated this item.
@@ -174,6 +187,65 @@ def make_job2(
         combiner=combiner,
         num_partitions=num_partitions,
     )
+
+
+def make_packed_similarity_job(
+    matrix: RatingMatrix,
+    group_members: Sequence[str],
+    threshold: float,
+    min_common_items: int = 2,
+    num_partitions: int = 1,
+) -> MapReduceJob:
+    """Job 2 on the packed kernel: score members against all non-members.
+
+    The pair-partial route of :func:`make_job1` + :func:`make_job2`
+    shuffles one :class:`PartialSimilarity` per (member, peer, co-rated
+    item) — the dominant cost of the Figure 2 pipeline.  This variant
+    keys the job by *member* and lets each reducer call run one
+    :func:`repro.kernels.pearson_one_vs_many` sweep over the shared
+    :class:`~repro.kernels.PackedRatings` view, so the whole similarity
+    phase shuffles ``|G|`` records instead of the co-rating volume.
+
+    The input pairs are ``(member_id, None)`` — one per group member
+    (see :func:`packed_similarity_input`).  The output is the Job 2
+    contract, ``((member, peer), simU)`` with ``simU >= threshold``;
+    scores differ from the partial-sum route by summation order only
+    (last-ulp), and when ``threshold <= 0`` the table may carry 0.0
+    scores for pairs the partial route never formed — those add 0 to
+    both sums of Equation 1, so Job 3's output is unaffected.
+
+    The mapper/reducer closures capture ``matrix``; as with the other
+    jobs, run them on the serial or thread backend.
+    """
+    members = set(group_members)
+
+    def mapper(member_id: Any, payload: Any) -> Iterable[Pair]:
+        yield (member_id, payload)
+
+    def reducer(member_id: Any, _payloads: Sequence[Any]) -> Iterable[Pair]:
+        packed = get_packed(matrix)
+        candidates = [
+            user_id for user_id in matrix.user_ids() if user_id not in members
+        ]
+        scores = pearson_one_vs_many(
+            packed, member_id, candidates, min_common_items
+        )
+        for peer_id in candidates:
+            similarity = scores[peer_id]
+            if similarity >= threshold:
+                yield ((member_id, peer_id), similarity)
+
+    return MapReduceJob(
+        name="job2-similarity-packed",
+        mapper=mapper,
+        reducer=reducer,
+        num_partitions=num_partitions,
+    )
+
+
+def packed_similarity_input(group_members: Sequence[str]) -> list[Pair]:
+    """The ``(member_id, None)`` input pairs of the packed Job 2."""
+    return [(member_id, None) for member_id in group_members]
 
 
 def similarity_table(output: Iterable[Pair]) -> dict[str, dict[str, float]]:

@@ -17,12 +17,23 @@ whole dataset.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Iterable, Sequence
 
 from .engine import MapReduceEngine, MapReduceJob, Pair
 
 #: Single key under which the global merge happens.
 _GLOBAL_KEY = "__topk__"
+
+
+def _bounded_topk(scored: Sequence[Any], k: int) -> list[Any]:
+    """The k best ``(score, item_id)`` records, best first.
+
+    Bounded-heap selection under the pinned (score desc, item asc)
+    order; ``heapq.nsmallest`` is stable under its key, so the result
+    equals ``sorted(scored, key=...)[:k]`` exactly, ties included.
+    """
+    return heapq.nsmallest(k, scored, key=lambda pair: (-pair[0], pair[1]))
 
 
 def make_local_topk_job(
@@ -44,8 +55,7 @@ def make_local_topk_job(
         yield ((f"local-{bucket}"), (float(score), str(item_id)))
 
     def reducer(bucket_key: Any, scored: Sequence[Any]) -> Iterable[Pair]:
-        best = sorted(scored, key=lambda pair: (-pair[0], pair[1]))[:k]
-        for score, item_id in best:
+        for score, item_id in _bounded_topk(scored, k):
             yield (_GLOBAL_KEY, (score, item_id))
 
     return MapReduceJob(
@@ -66,8 +76,7 @@ def make_global_topk_job(k: int) -> MapReduceJob:
 
     def reducer(key: Any, scored: Sequence[Any]) -> Iterable[Pair]:
         # Emit in rank order: best first; ties broken by item id ascending.
-        best = sorted(scored, key=lambda pair: (-pair[0], pair[1]))[:k]
-        for rank, (score, item_id) in enumerate(best):
+        for rank, (score, item_id) in enumerate(_bounded_topk(scored, k)):
             yield (rank, (item_id, score))
 
     return MapReduceJob(

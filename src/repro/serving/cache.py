@@ -250,6 +250,8 @@ class CachedSimilarity(UserSimilarity):
         """One pair score, read through the cache (self-pairs are 1.0)."""
         if user_a == user_b:
             return 1.0
+        if self.cache.capacity == 0:
+            return self.inner.similarity(user_a, user_b)
         key = self._key(user_a, user_b)
         epoch = self.cache.epoch
         score = self.cache.get(key, _MISS)
@@ -261,8 +263,17 @@ class CachedSimilarity(UserSimilarity):
     def similarities(
         self, user_id: str, candidates: Iterable[str]
     ) -> dict[str, float]:
-        """Batched pair scores; only cache misses reach the inner measure."""
+        """Batched pair scores; only cache misses reach the inner measure.
+
+        A zero-capacity cache is bypassed outright: every probe would
+        miss and every put would be dropped, yet at scale the per-pair
+        lock/lookup round trips cost as much as the packed kernel
+        itself.  The inner batch returns scores in candidate order, so
+        the bypass is bit-identical to the probing path.
+        """
         candidate_list = [c for c in candidates if c != user_id]
+        if self.cache.capacity == 0:
+            return self.inner.similarities(user_id, candidate_list)
         scores: dict[str, float] = {}
         missing: list[str] = []
         epoch = self.cache.epoch
@@ -293,6 +304,24 @@ class CachedSimilarity(UserSimilarity):
         contract.
         """
         return self.inner.picklable_measure()
+
+    def with_private_packed(self) -> "CachedSimilarity":
+        """A per-shard variant sharing this pair cache.
+
+        Forwards to the inner measure's ``with_private_packed`` (see
+        :meth:`repro.similarity.ratings_sim.PearsonRatingSimilarity.with_private_packed`)
+        and wraps the private clone around the *same* :class:`ScoreCache`,
+        so shards keep one unified pair cache while owning independent
+        packed state.  Returns ``self`` when the inner measure has no
+        packed state to privatise.
+        """
+        maker = getattr(self.inner, "with_private_packed", None)
+        if not callable(maker):
+            return self
+        inner_clone = maker()
+        if inner_clone is self.inner:
+            return self
+        return CachedSimilarity(inner_clone, self.cache)
 
     def invalidate_user(self, user_id: str) -> None:
         """Drop every cached pair involving ``user_id`` and inner state."""

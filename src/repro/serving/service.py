@@ -29,6 +29,8 @@ same peer ordering and the same Equation 1 inner loop
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 import weakref
@@ -56,7 +58,13 @@ from ..exec import (
     get_backend,
     resolve_backend,
 )
-from ..kernels import get_packed, predict_table_packed
+from ..kernels import (
+    attach_spill,
+    get_packed,
+    items_unrated_by_all_packed,
+    predict_row_packed,
+    predict_topk_packed,
+)
 from ..obs import MetricsRegistry, get_registry, span
 from ..similarity.base import UserSimilarity
 from ..similarity.peers import peers_as_mapping
@@ -127,14 +135,64 @@ class _ReadWriteLock:
 
 _SERVE_WORKER: "RecommendationService | None" = None
 
+#: Companion files of a packed spill directory (``config.packed_spill``):
+#: the JSON dataset the workers bootstrap their matrix from, and the
+#: append-only mutation journal replayed on top of it.
+SPILL_DATASET_NAME = "dataset.json"
+SPILL_JOURNAL_NAME = "journal.jsonl"
+
+
+def _load_spill_dataset(directory: str | Path) -> HealthDataset:
+    """Rebuild the dataset a spill directory was published from.
+
+    The ratings payload carries the parent matrix's ``user_order`` /
+    ``item_order`` interning orders (see
+    :meth:`~repro.data.ratings.RatingMatrix.from_dict`), so the rebuilt
+    matrix validates bit-for-bit against the mmap'd CSR arrays.
+    """
+    path = Path(directory) / SPILL_DATASET_NAME
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return HealthDataset.from_dict(payload)
+
+
+def _replay_spill_journal(directory: str | Path) -> int:
+    """Replay the spill journal into the resident worker service.
+
+    Each line is one delta tuple as logged by the parent's mutation
+    paths; replaying goes through :func:`_apply_serve_delta`, the exact
+    code path the pool's broadcast sync uses.  Replays are idempotent
+    (a rating re-add overwrites, a profile payload overwrites), so a
+    delta that also arrives through a later sync packet is harmless.
+    Returns the number of deltas applied.
+    """
+    path = Path(directory) / SPILL_JOURNAL_NAME
+    if not path.exists():
+        return 0
+    applied = 0
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        _apply_serve_delta(tuple(json.loads(line)))
+        applied += 1
+    return applied
+
 
 def _init_serve_worker(
-    dataset: HealthDataset,
+    dataset: HealthDataset | None,
     config: RecommenderConfig,
     selector: str,
-    similarity: UserSimilarity,
+    similarity: UserSimilarity | None,
 ) -> None:
     global _SERVE_WORKER
+    # ``dataset=None`` is the spill-bootstrap sentinel: instead of a
+    # pickled dataset/measure pair, the worker loads the published
+    # dataset JSON, attaches the mmap'd packed arrays (inside the
+    # service constructor, via ``config.packed_spill``) and replays the
+    # mutation journal — worker bootstrap cost stops scaling with the
+    # rating volume.
+    from_spill = dataset is None
+    if from_spill:
+        dataset = _load_spill_dataset(config.packed_spill)
     # The worker service records into the process-default registry —
     # the same one the kernels use — so one drained delta carries the
     # worker's whole telemetry (requests, caches, kernels, repacks)
@@ -145,7 +203,10 @@ def _init_serve_worker(
         selector=selector,
         similarity=similarity,
         metrics=get_registry(),
+        spill_writer=False,
     )
+    if from_spill:
+        _replay_spill_journal(config.packed_spill)
 
 
 def _serve_group_task(
@@ -213,6 +274,13 @@ class RecommendationService:
         into.  Defaults to a fresh per-service registry (stats stay
         per-instance); the CLI passes the process-default registry so
         service, pool and kernel telemetry form one view.
+    spill_writer:
+        Whether this instance may *publish* to ``config.packed_spill``
+        (write the CSR spill, the dataset JSON and a fresh journal) and
+        append mutations to the journal.  ``True`` (default) for the
+        parent service that owns the authoritative matrix;
+        :func:`_init_serve_worker` passes ``False`` so resident workers
+        only ever read the spill.
     """
 
     def __init__(
@@ -223,6 +291,7 @@ class RecommendationService:
         similarity: UserSimilarity | None = None,
         backend: ExecutionBackend | str | None = None,
         metrics: MetricsRegistry | None = None,
+        spill_writer: bool = True,
     ) -> None:
         self.dataset = dataset
         self.config = config
@@ -255,8 +324,22 @@ class RecommendationService:
         # the Pearson measure, the neighbour index and the prediction-
         # table path all read (and dirty-mark) the same arrays.  The
         # mutation paths repack incrementally; pool workers never see
-        # packed blobs — they repack from their own replayed deltas.
-        self._packed = get_packed(self.matrix) if config.kernel == "packed" else None
+        # packed blobs — with a spill directory configured they mmap
+        # the published arrays, otherwise they repack from their own
+        # replayed deltas.
+        self._spill_writer = spill_writer
+        if config.kernel != "packed":
+            self._packed = None
+        elif config.packed_spill:
+            # Reuse the on-disk spill when it matches this matrix
+            # (service restart, worker bootstrap); any mismatch falls
+            # back to an in-memory pack, which the publish below then
+            # rewrites to disk.
+            self._packed = attach_spill(self.matrix, config.packed_spill)
+            if spill_writer:
+                self._publish_spill()
+        else:
+            self._packed = get_packed(self.matrix)
         self.similarity_cache = ScoreCache(
             config.similarity_cache_size, name="similarity", metrics=self.metrics
         )
@@ -368,6 +451,47 @@ class RecommendationService:
         if self._foreign_pools.get(backend) != self._mutations:
             backend.notify_state_change()
             self._foreign_pools[backend] = self._mutations
+
+    # -- packed spill --------------------------------------------------------
+
+    def _publish_spill(self) -> None:
+        """Publish this service's state to ``config.packed_spill``.
+
+        Three artefacts, enough for a worker to boot without a pickled
+        dataset: the packed CSR spill (:meth:`PackedRatings.save` — a
+        no-op when the on-disk fingerprint already matches), the
+        dataset JSON augmented with the matrix's interning orders, and
+        an empty mutation journal (the published state *is* the
+        journal's base).  Files are written atomically (tmp +
+        ``os.replace``), so a worker opening mid-publish sees the old
+        complete file, never a torn one.
+        """
+        directory = Path(self.config.packed_spill)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._packed.save(directory)
+        payload = self.dataset.to_dict()
+        payload["ratings"]["user_order"] = self.matrix.user_ids()
+        payload["ratings"]["item_order"] = self.matrix.item_ids()
+        tmp = directory / f"{SPILL_DATASET_NAME}.tmp-{os.getpid()}"
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, directory / SPILL_DATASET_NAME)
+        tmp = directory / f"{SPILL_JOURNAL_NAME}.tmp-{os.getpid()}"
+        tmp.write_text("", encoding="utf-8")
+        os.replace(tmp, directory / SPILL_JOURNAL_NAME)
+
+    def _journal_delta(self, delta: tuple) -> None:
+        """Append one mutation delta to the spill journal (writer only).
+
+        Runs under the data write lock, *before* the backend epoch bump
+        — a worker spawned later either finds the delta in the journal
+        or receives it through a sync packet (or both; replay is
+        idempotent), never neither.
+        """
+        if not (self._spill_writer and self.config.packed_spill):
+            return
+        path = Path(self.config.packed_spill) / SPILL_JOURNAL_NAME
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(list(delta)) + "\n")
 
     # -- snapshots -----------------------------------------------------------
 
@@ -494,13 +618,14 @@ class RecommendationService:
             user_id, exclude, max_peers=self.config.max_peers
         )
         peer_similarities = peers_as_mapping(peers)
+        if self._packed is not None:
+            # One pass over the packed row in intern space: the unrated
+            # set is derived from the CSR row itself (no string-keyed
+            # unrated_items scan, no candidate-list decode/re-encode).
+            return predict_row_packed(self._packed, user_id, peer_similarities)
         candidate_items = self.matrix.unrated_items(
             user_id, self.matrix.item_ids()
         )
-        if self._packed is not None:
-            return predict_table_packed(
-                self._packed, user_id, peer_similarities, candidate_items
-            )
         return predict_table(
             self.matrix, user_id, peer_similarities, candidate_items
         )
@@ -515,6 +640,28 @@ class RecommendationService:
         """
         k = resolve_positive(k, self.config.top_k, "k")
         started = time.perf_counter()
+        if (
+            self._packed is not None
+            and self.config.packed_topk
+            and self.config.relevance_cache_size == 0
+        ):
+            # Streaming top-k: with no relevance cache to warm there is
+            # no reason to materialise the full row — the packed kernel
+            # feeds a bounded heap directly.  Output is bit-identical
+            # to rank_items over the full row (same pinned tie-break).
+            with self._data_lock.read():
+                peers = self.index.peers_excluding(
+                    user_id, (), max_peers=self.config.max_peers
+                )
+                pairs = predict_topk_packed(
+                    self._packed, user_id, peers_as_mapping(peers), k
+                )
+            result = [
+                ScoredItem(item_id=item_id, score=score)
+                for item_id, score in pairs
+            ]
+            self._record("user", started, "user_requests")
+            return result
         with self._data_lock.read():
             row = self._relevance_row(user_id)
         result = rank_items(row, k)
@@ -545,7 +692,18 @@ class RecommendationService:
             self._record("group", started, "group_requests")
             return cached
         with self._data_lock.read():
-            candidate_items = self.matrix.items_unrated_by_all(group.member_ids)
+            if self._packed is not None and self.config.packed_scan:
+                # Packed candidate scan: one bytearray mask over the
+                # member rows, decoded to strings once at the end —
+                # same items, same (matrix insertion) order as the
+                # dict-path scan below.
+                candidate_items = items_unrated_by_all_packed(
+                    self._packed, group.member_ids
+                )
+            else:
+                candidate_items = self.matrix.items_unrated_by_all(
+                    group.member_ids
+                )
             table: dict[str, dict[str, float]] = {}
             for member_id in group:
                 others = [uid for uid in group.member_ids if uid != member_id]
@@ -670,15 +828,29 @@ class RecommendationService:
         each other's data.  Ships this service's actual measure
         (unwrapped from its cache) — a custom similarity must survive
         the process hop or bit-identity silently breaks.
+
+        With a packed spill published (``config.packed_spill`` on the
+        packed kernel) the dataset and measure are replaced by ``None``
+        sentinels: workers bootstrap from the spill directory (mmap'd
+        CSR arrays + dataset JSON + journal) and rebuild the
+        config-selected measure locally, so the initargs stop carrying
+        the rating volume.  A custom ``similarity`` instance is not
+        forwarded on this path — combine the two only with
+        config-constructible measures.
         """
         if self._serve_initargs is None:
+            spill_boot = (
+                bool(self.config.packed_spill)
+                and self.config.kernel == "packed"
+                and self._spill_writer
+            )
             self._serve_initargs = (
-                self.dataset,
+                None if spill_boot else self.dataset,
                 self.config.with_overrides(
                     exec_backend="serial", exec_workers=0, serve_workers=1
                 ),
                 self.selector_name,
-                self.similarity.picklable_measure(),
+                None if spill_boot else self.similarity.picklable_measure(),
             )
         return self._serve_initargs
 
@@ -762,8 +934,12 @@ class RecommendationService:
             self._drop_affected(affected)
             # Resident worker pools must learn about the mutation: bump
             # the backend's state epoch (and log the replayable delta).
+            # The spill journal entry lands first, so a worker spawned
+            # from the spill can never miss a delta (see _journal_delta).
+            delta = ("rating", user_id, item_id, value)
             self._mutations += 1
-            self.backend.notify_state_change(("rating", user_id, item_id, value))
+            self._journal_delta(delta)
+            self.backend.notify_state_change(delta)
             self._record("ingest", started, "ingested_ratings")
             return affected
 
@@ -801,10 +977,12 @@ class RecommendationService:
             # closures don't cross process boundaries.  The worker-side
             # applier overwrites its resident copy of the user and runs
             # the same update_profile invalidation the parent just did.
-            self._mutations += 1
-            self.backend.notify_state_change(
-                ("profile", user_id, self.dataset.users.get(user_id).to_dict())
+            delta = (
+                "profile", user_id, self.dataset.users.get(user_id).to_dict()
             )
+            self._mutations += 1
+            self._journal_delta(delta)
+            self.backend.notify_state_change(delta)
             self._request_counters["profile_updates"].inc()
             return affected
 

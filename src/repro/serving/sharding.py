@@ -42,7 +42,11 @@ class ShardedNeighborIndex:
     Parameters
     ----------
     matrix, similarity, threshold:
-        As for :class:`NeighborIndex`; every shard shares them.
+        As for :class:`NeighborIndex`.  When the measure supports
+        ``with_private_packed`` (the packed Pearson kernel) and there
+        is more than one shard, each shard gets a private sub-view of
+        the packed state so shard builds and refreshes never serialise
+        on one repack lock; otherwise every shard shares the measure.
     num_shards:
         Number of hash partitions (>= 1).
     """
@@ -60,9 +64,19 @@ class ShardedNeighborIndex:
         self.similarity = similarity
         self.threshold = threshold
         self.num_shards = num_shards
+        # Measures that can privatise their packed view (the Pearson
+        # kernel, possibly under a CachedSimilarity wrapper) give each
+        # shard its own sub-view, so parallel shard builds never
+        # serialise on one global repack lock.  A single shard reads
+        # the shared view — there is no contention to avoid.
+        maker = getattr(similarity, "with_private_packed", None)
+        if num_shards > 1 and callable(maker):
+            measures = [maker() for _ in range(num_shards)]
+        else:
+            measures = [similarity] * num_shards
         self.shards = [
-            NeighborIndex(matrix, similarity, threshold)
-            for _ in range(num_shards)
+            NeighborIndex(matrix, measures[index], threshold)
+            for index in range(num_shards)
         ]
 
     # -- routing ---------------------------------------------------------------

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.relevance import (
+    RANK_HEAP_RATIO,
     ScoredItem,
     SingleUserRecommender,
     predict_relevance,
@@ -48,6 +51,35 @@ class TestRankItems:
 
     def test_empty_scores(self):
         assert rank_items({}) == []
+
+    def test_bounded_heap_matches_full_sort_on_ties(self):
+        """Regression pin: the small-k bounded-heap path must return the
+        exact list the full sort returns, heavy ties included.  The
+        table is large enough (k < len // RANK_HEAP_RATIO) to force the
+        heap branch, with every score duplicated so the id tie-break
+        carries the whole order."""
+        rng = random.Random(17)
+        scores = {f"item-{i:03d}": float(rng.randint(1, 5)) for i in range(200)}
+        for k in (1, 3, 10, 24):
+            assert k < len(scores) // RANK_HEAP_RATIO
+            heap_ranked = rank_items(scores, k=k)
+            full_sorted = sorted(
+                scores.items(), key=lambda pair: (-pair[1], pair[0])
+            )[:k]
+            assert [
+                (item.item_id, item.score) for item in heap_ranked
+            ] == full_sorted
+
+    def test_heap_and_sort_paths_agree_across_the_threshold(self):
+        """Same scores, every k from 0 to the table size: the heap/sort
+        branch switch at ``len // RANK_HEAP_RATIO`` must be invisible."""
+        rng = random.Random(23)
+        scores = {f"i{i}": float(rng.choice([1.0, 2.5, 2.5, 4.0])) for i in range(64)}
+        reference = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        for k in range(len(scores) + 1):
+            assert [
+                (item.item_id, item.score) for item in rank_items(scores, k=k)
+            ] == reference[:k]
 
 
 class TestSingleUserRecommender:

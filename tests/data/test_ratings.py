@@ -100,6 +100,22 @@ class TestAccessPaths:
         assert tiny_matrix.items_unrated_by_all(["alice", "bob"]) == ["i6"]
         assert tiny_matrix.items_unrated_by_all(["carol"]) == []
 
+    def test_items_unrated_by_all_pins_item_insertion_order(self):
+        """Ordering-contract pin: the candidate set comes back in matrix
+        item-*insertion* order (== packed intern order), not sorted and
+        not per-user rating order.  Downstream ranking tie-breaks and
+        the packed candidate scan both consume exactly this order."""
+        matrix = RatingMatrix()
+        # Insertion order deliberately disagrees with lexicographic order.
+        matrix.add("u1", "i-zz", 3.0)
+        matrix.add("u1", "i-aa", 4.0)
+        matrix.add("u2", "i-mm", 2.0)
+        matrix.add("u2", "i-bb", 5.0)
+        matrix.add("u3", "i-zz", 1.0)
+        assert matrix.items_unrated_by_all(["u3"]) == ["i-aa", "i-mm", "i-bb"]
+        assert matrix.items_unrated_by_all(["nobody"]) == matrix.item_ids()
+        assert matrix.items_unrated_by_all([]) == matrix.item_ids()
+
     def test_contains_pair(self, tiny_matrix):
         assert ("alice", "i1") in tiny_matrix
         assert ("alice", "i6") not in tiny_matrix

@@ -1,0 +1,109 @@
+"""The scale-workload generator: determinism, shape and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    ScaleConfig,
+    generate_scale_dataset,
+    sample_scale_groups,
+)
+
+
+class TestScaleConfig:
+    def test_defaults_target_benchmark_scale(self):
+        config = ScaleConfig()
+        assert config.num_users == 100_000
+        assert config.min_group_size <= config.max_group_size
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_users": 0},
+            {"num_items": -1},
+            {"ratings_per_user": 0},
+            {"ratings_per_user": 50, "num_items": 10},
+            {"zipf_exponent": 0.0},
+            {"group_size_exponent": -1.0},
+            {"min_group_size": 5, "max_group_size": 3},
+            {"min_group_size": 0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, overrides):
+        with pytest.raises(ValueError):
+            ScaleConfig(**{**{"num_users": 10, "num_items": 20}, **overrides})
+
+
+class TestGenerateScaleDataset:
+    def test_shape_matches_config(self):
+        dataset = generate_scale_dataset(
+            num_users=120, num_items=60, ratings_per_user=8, seed=3
+        )
+        assert dataset.num_users == 120
+        assert dataset.num_items == 60
+        # The oversample + dedupe loop targets ratings_per_user distinct
+        # items; Zipf collisions may leave a user slightly short, never over.
+        counts = [
+            len(dataset.ratings.items_of(user_id))
+            for user_id in dataset.users.ids()
+        ]
+        assert max(counts) <= 8
+        assert min(counts) >= 1
+        assert sum(counts) / len(counts) >= 6
+
+    def test_deterministic_per_seed(self):
+        first = generate_scale_dataset(num_users=80, num_items=40, seed=11)
+        second = generate_scale_dataset(num_users=80, num_items=40, seed=11)
+        other = generate_scale_dataset(num_users=80, num_items=40, seed=12)
+        assert first.ratings.triples() == second.ratings.triples()
+        assert first.ratings.triples() != other.ratings.triples()
+
+    def test_ratings_stay_on_the_paper_scale(self):
+        dataset = generate_scale_dataset(num_users=60, num_items=40, seed=5)
+        values = {rating.value for rating in dataset.ratings}
+        assert values <= {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_zipf_head_absorbs_more_ratings_than_the_tail(self):
+        dataset = generate_scale_dataset(
+            num_users=400, num_items=100, ratings_per_user=10, seed=9
+        )
+        counts = [
+            len(dataset.ratings.users_of(item_id))
+            for item_id in dataset.ratings.item_ids()
+        ]
+        head = sum(sorted(counts, reverse=True)[:10])
+        tail = sum(sorted(counts)[:10])
+        assert head > 3 * max(tail, 1)
+
+    def test_config_object_with_overrides(self):
+        base = ScaleConfig(num_users=50, num_items=30, ratings_per_user=5)
+        dataset = generate_scale_dataset(base, seed=21)
+        assert dataset.num_users == 50
+        assert dataset.config.seed == 21
+
+
+class TestSampleScaleGroups:
+    def test_sizes_stay_in_bounds_and_members_are_distinct(self):
+        dataset = generate_scale_dataset(num_users=60, num_items=30, seed=2)
+        groups = sample_scale_groups(dataset.users.ids(), 25, seed=4)
+        assert len(groups) == 25
+        for group in groups:
+            assert 2 <= len(group.member_ids) <= 10
+            assert len(set(group.member_ids)) == len(group.member_ids)
+
+    def test_deterministic_per_seed(self):
+        user_ids = [f"u{i}" for i in range(40)]
+        first = sample_scale_groups(user_ids, 10, seed=6)
+        second = sample_scale_groups(user_ids, 10, seed=6)
+        assert [g.member_ids for g in first] == [g.member_ids for g in second]
+
+    def test_small_groups_dominate(self):
+        user_ids = [f"u{i}" for i in range(200)]
+        groups = sample_scale_groups(user_ids, 200, seed=8)
+        small = sum(1 for g in groups if len(g.member_ids) <= 3)
+        assert small > len(groups) / 2
+
+    def test_too_few_users_raise(self):
+        with pytest.raises(ValueError):
+            sample_scale_groups(["only-one"], 3, seed=1)

@@ -26,6 +26,8 @@ against the serial/flat reference with ``==`` (no tolerance).
 from __future__ import annotations
 
 import random
+import shutil
+import tempfile
 
 import pytest
 
@@ -38,23 +40,31 @@ from repro.serving import RecommendationService
 SEEDS = (3, 11, 29)
 
 #: Every backend, plus the sharded-index, sync-mode, autoscaling and
-#: kernel variants, as (backend, shards, sync, autoscale, kernel) —
-#: ``autoscale`` opens the pool bounds (min 1, max 4) so broadcast sync
-#: runs against a pool whose width shifts between batches; ``kernel``
-#: crosses the packed CSR kernels against the dict oracle (PR 5).  The
-#: first entry — serial, flat, dict oracle — is the reference
-#: everything else must equal bit-for-bit.
+#: kernel variants, as (backend, shards, sync, autoscale, kernel,
+#: extras) — ``autoscale`` opens the pool bounds (min 1, max 4) so
+#: broadcast sync runs against a pool whose width shifts between
+#: batches; ``kernel`` crosses the packed CSR kernels against the dict
+#: oracle (PR 5).  ``extras`` overrides further config knobs: the
+#: packed kernel with candidate scan + top-k *disabled* (the packed
+#: predictors over dict-produced candidates), and ``spill=True``
+#: variants where pool workers bootstrap from the mmap'd packed spill
+#: directory instead of pickled initargs (PR 7).  The first entry —
+#: serial, flat, dict oracle — is the reference everything else must
+#: equal bit-for-bit.
 CONFIGURATIONS = (
-    ("serial", 1, "delta", False, "dict"),
-    ("serial", 1, "delta", False, "packed"),
-    ("serial", 3, "delta", False, "packed"),
-    ("thread", 1, "delta", False, "packed"),
-    ("process", 1, "delta", False, "packed"),
-    ("pool", 1, "delta", False, "packed"),
-    ("pool", 3, "delta", False, "packed"),
-    ("pool", 1, "full", False, "packed"),
-    ("pool", 1, "delta", True, "packed"),
-    ("pool", 3, "delta", False, "dict"),
+    ("serial", 1, "delta", False, "dict", {}),
+    ("serial", 1, "delta", False, "packed", {}),
+    ("serial", 1, "delta", False, "packed", {"packed_scan": False, "packed_topk": False}),
+    ("serial", 3, "delta", False, "packed", {}),
+    ("thread", 1, "delta", False, "packed", {}),
+    ("process", 1, "delta", False, "packed", {}),
+    ("pool", 1, "delta", False, "packed", {}),
+    ("pool", 3, "delta", False, "packed", {}),
+    ("pool", 1, "full", False, "packed", {}),
+    ("pool", 1, "delta", True, "packed", {}),
+    ("pool", 1, "delta", False, "packed", {"spill": True}),
+    ("pool", 3, "full", False, "packed", {"spill": True}),
+    ("pool", 3, "delta", False, "dict", {}),
 )
 
 
@@ -110,6 +120,7 @@ def _run_script(
     sync: str,
     autoscale: bool = False,
     kernel: str = "packed",
+    extras: dict | None = None,
 ) -> list:
     """Replay one script against a fresh service; returns its trace.
 
@@ -123,6 +134,11 @@ def _run_script(
     what is recommended.
     """
     dataset = HealthDataset.from_dict(payload)
+    overrides = dict(extras or {})
+    spill_dir = None
+    if overrides.pop("spill", False):
+        spill_dir = tempfile.mkdtemp(prefix="parity-spill-")
+        overrides["packed_spill"] = spill_dir
     config = RecommenderConfig(
         peer_threshold=0.1,
         top_k=5,
@@ -134,6 +150,7 @@ def _run_script(
         pool_max_workers=4 if autoscale else 0,
         index_shards=shards,
         kernel=kernel,
+        **overrides,
     )
     service = RecommendationService(dataset, config)
     trace: list = []
@@ -170,6 +187,8 @@ def _run_script(
                 raise AssertionError(f"unknown op {op[0]!r}")
     finally:
         service.close()
+        if spill_dir is not None:
+            shutil.rmtree(spill_dir, ignore_errors=True)
     return trace
 
 
@@ -186,14 +205,14 @@ def test_random_workload_parity_across_backends_and_sharding(seed):
 
     reference = _run_script(payload, script, *CONFIGURATIONS[0])
     assert any(isinstance(step, list) and step for step in reference)
-    for backend, shards, sync, autoscale, kernel in CONFIGURATIONS[1:]:
+    for backend, shards, sync, autoscale, kernel, extras in CONFIGURATIONS[1:]:
         trace = _run_script(
-            payload, script, backend, shards, sync, autoscale, kernel
+            payload, script, backend, shards, sync, autoscale, kernel, extras
         )
         assert trace == reference, (
             f"backend={backend} shards={shards} sync={sync} "
-            f"autoscale={autoscale} kernel={kernel} diverged from the "
-            f"serial dict-oracle reference on seed {seed}"
+            f"autoscale={autoscale} kernel={kernel} extras={extras} "
+            f"diverged from the serial dict-oracle reference on seed {seed}"
         )
 
 
@@ -221,12 +240,12 @@ def test_mutation_between_batches_changes_results_and_keeps_parity():
         "the mutations were supposed to change at least one group's "
         "recommendations — the staleness scenario is vacuous"
     )
-    for backend, shards, sync, autoscale, kernel in CONFIGURATIONS[1:]:
+    for backend, shards, sync, autoscale, kernel, extras in CONFIGURATIONS[1:]:
         trace = _run_script(
-            payload, script, backend, shards, sync, autoscale, kernel
+            payload, script, backend, shards, sync, autoscale, kernel, extras
         )
         assert trace == reference, (
             f"backend={backend} shards={shards} sync={sync} "
-            f"autoscale={autoscale} kernel={kernel} served stale "
-            f"results after mutations between batches"
+            f"autoscale={autoscale} kernel={kernel} extras={extras} "
+            f"served stale results after mutations between batches"
         )

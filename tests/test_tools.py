@@ -148,3 +148,90 @@ class TestCheckKernelRegression:
         broken.write_text("{not json")
         result = _run("check_kernel_regression.py", str(baseline), str(broken))
         assert result.returncode != 0
+
+
+class TestCheckScaleRegression:
+    def _result(
+        self,
+        warm=5.9,
+        cold=1.5,
+        ratio=150000.0,
+        identical=True,
+        spill=1322.0,
+        full=235645768.0,
+    ) -> dict:
+        return {
+            "benchmark": "scale",
+            "identical_results": identical,
+            "warm_serve_speedup": warm,
+            "cold_serve_speedup": cold,
+            "bootstrap_ratio": ratio,
+            "bootstrap_bytes": {"spill": spill, "full_ship": full},
+        }
+
+    def _write(self, path: Path, payload: dict) -> Path:
+        import json
+
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_committed_baseline_parses(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", self._result())
+        result = _run(
+            "check_scale_regression.py",
+            str(ROOT / "BENCH_scale.json"),
+            str(fresh),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_within_threshold_passes_quietly(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result(warm=5.0))
+        fresh = self._write(tmp_path / "fresh.json", self._result(warm=4.5))
+        result = _run("check_scale_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 0
+        assert "::warning::" not in result.stdout
+        assert "scale perf OK" in result.stdout
+
+    def test_regression_warns_but_does_not_fail(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result(warm=6.0))
+        fresh = self._write(tmp_path / "fresh.json", self._result(warm=2.0))
+        result = _run("check_scale_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 0  # advisory: warn, never fail
+        assert "::warning::" in result.stdout
+        assert "warm_serve_speedup" in result.stdout
+
+    def test_missing_bootstrap_ratio_is_tolerated(self, tmp_path):
+        # Quick CI runs may skip phases; absent keys are not regressions.
+        baseline = self._write(tmp_path / "base.json", self._result())
+        payload = self._result()
+        del payload["bootstrap_ratio"]
+        del payload["bootstrap_bytes"]
+        fresh = self._write(tmp_path / "fresh.json", payload)
+        result = _run("check_scale_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 0
+
+    def test_parity_failure_is_fatal(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result())
+        fresh = self._write(
+            tmp_path / "fresh.json", self._result(identical=False)
+        )
+        result = _run("check_scale_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 1
+        assert "bit-identical" in result.stderr
+
+    def test_spill_not_smaller_than_ship_is_fatal(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result())
+        fresh = self._write(
+            tmp_path / "fresh.json",
+            self._result(spill=500.0, full=400.0),
+        )
+        result = _run("check_scale_regression.py", str(baseline), str(fresh))
+        assert result.returncode == 1
+        assert "spill" in result.stderr
+
+    def test_corrupt_payload_is_fatal(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", self._result())
+        broken = tmp_path / "fresh.json"
+        broken.write_text("{not json")
+        result = _run("check_scale_regression.py", str(baseline), str(broken))
+        assert result.returncode != 0

@@ -32,6 +32,8 @@ DEFAULT_TARGETS = (
     "src/repro/serving",
     "src/repro/kernels",
     "src/repro/obs",
+    "src/repro/mapreduce",
+    "src/repro/data/scale.py",
 )
 
 FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
