@@ -67,7 +67,7 @@ from .data import (
     generate_dataset,
     generate_nutrition_dataset,
 )
-from .exceptions import ReproError
+from .exceptions import ReproError, ValidationError
 from .kernels import PackedRatings, get_packed
 from .exec import (
     ExecutionBackend,
@@ -85,6 +85,7 @@ from .similarity import (
     ProfileSimilarity,
     SemanticSimilarity,
 )
+from .validation import Violation, validate_dataset, validate_groups
 
 __version__ = "1.1.0"
 
@@ -124,6 +125,8 @@ __all__ = [
     "ThreadBackend",
     "User",
     "UserRegistry",
+    "ValidationError",
+    "Violation",
     "__version__",
     "build_snomed_like_ontology",
     "fairness",
@@ -131,5 +134,7 @@ __all__ = [
     "generate_nutrition_dataset",
     "get_backend",
     "get_packed",
+    "validate_dataset",
+    "validate_groups",
     "value",
 ]

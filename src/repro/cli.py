@@ -13,9 +13,13 @@ without writing any Python:
   ablations;
 * ``serve`` — load a dataset into a warm
   :class:`~repro.serving.RecommendationService` and answer a stream of
-  JSONL requests, printing latency and cache statistics;
+  JSONL requests, printing latency and cache statistics (``--strict``
+  validates every response against the declared shapes);
 * ``stats`` — replay a request stream quietly and print the metrics
-  registry (text, JSON, or Prometheus exposition format).
+  registry (text, JSON, or Prometheus exposition format);
+* ``validate`` — check a dataset JSON (and optional group file) against
+  the declared shapes of :mod:`repro.validation`, printing one
+  actionable line per violation.
 """
 
 from __future__ import annotations
@@ -277,6 +281,38 @@ def build_parser() -> argparse.ArgumentParser:
             "Prometheus exposition text plus a JSON snapshot"
         ),
     )
+    serve.add_argument(
+        "--validation",
+        choices=["strict", "log", "off"],
+        default="off",
+        help=(
+            "response-shape enforcement: 'strict' fails a request whose "
+            "answer violates the declared shapes, 'log' only counts "
+            "violations (validation_failures{shape=...} in --metrics "
+            "output), 'off' skips the checks"
+        ),
+    )
+    serve.add_argument(
+        "--strict",
+        action="store_true",
+        help="shorthand for --validation strict",
+    )
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="check a dataset (and optional group file) against the declared shapes",
+    )
+    validate.add_argument("dataset", help="path of a dataset JSON to check")
+    validate.add_argument(
+        "--groups",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also check a JSON group file (a list of group objects, or "
+            '{"groups": [...]}) including membership referential '
+            "integrity against the dataset's user registry"
+        ),
+    )
 
     stats = subparsers.add_parser(
         "stats",
@@ -424,6 +460,50 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_validate(args: argparse.Namespace) -> int:
+    """Check a dataset (and optional group file) against the shapes."""
+    import json
+
+    from .validation import validate_dataset_payload, validate_groups_payload
+
+    def _read_json(path: str):
+        try:
+            return json.loads(Path(path).read_text(encoding="utf-8")), None
+        except (OSError, json.JSONDecodeError) as exc:
+            return None, f"error: cannot read {path}: {exc}"
+
+    payload, problem = _read_json(args.dataset)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    violations = validate_dataset_payload(payload)
+    checked = [f"dataset {args.dataset}"]
+    if args.groups:
+        groups_payload, problem = _read_json(args.groups)
+        if problem:
+            print(problem, file=sys.stderr)
+            return 2
+        users = payload.get("users") if isinstance(payload, dict) else None
+        known_ids = [
+            entry.get("user_id")
+            for entry in (users or {}).get("users", [])
+            if isinstance(entry, dict) and isinstance(entry.get("user_id"), str)
+        ]
+        violations.extend(validate_groups_payload(groups_payload, known_ids))
+        checked.append(f"groups {args.groups}")
+    if violations:
+        for violation in violations:
+            print(violation)
+        print(
+            f"\nvalidation FAILED: {len(violations)} violation(s) across "
+            f"{' + '.join(checked)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"validation OK: {' + '.join(checked)} matched the declared shapes")
+    return 0
+
+
 def _workload_config(args: argparse.Namespace, **overrides) -> RecommenderConfig:
     """Build the service config shared by ``serve`` and ``stats``."""
     return RecommenderConfig(
@@ -539,6 +619,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         pool_target_p99_ms=args.pool_target_p99_ms,
         index_shards=args.shards,
         packed_spill=args.packed_spill or "",
+        validation="strict" if args.strict else args.validation,
     )
     service = RecommendationService(dataset, config, metrics=registry)
     requests = _load_workload(args, dataset)
@@ -658,6 +739,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "serve": _command_serve,
     "stats": _command_stats,
+    "validate": _command_validate,
 }
 
 

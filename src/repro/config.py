@@ -52,6 +52,11 @@ KNOWN_POOL_SYNCS: tuple[str, ...] = ("full", "delta")
 #: without importing it — config must stay import-light).
 KNOWN_KERNELS: tuple[str, ...] = ("packed", "dict")
 
+#: Response-validation modes accepted by :class:`RecommenderConfig`
+#: (mirrors :data:`repro.validation.VALIDATION_MODES` without importing
+#: it — config must stay import-light).
+KNOWN_VALIDATION_MODES: tuple[str, ...] = ("strict", "log", "off")
+
 
 def resolve_positive(value: int | None, default: int, name: str) -> int:
     """Resolve an optional per-call override of a positive config value.
@@ -186,6 +191,15 @@ class RecommenderConfig:
         by ``mmap``-ing the arrays read-only instead of receiving a full
         state ship.  ``""`` (default) disables spilling.  Purely
         operational (excluded from :meth:`fingerprint`).
+    validation:
+        Response-shape enforcement at the serving boundary
+        (:mod:`repro.validation`): ``"strict"`` checks every served
+        answer against the declared shapes and raises
+        :class:`~repro.exceptions.ValidationError` on a violation,
+        ``"log"`` only counts violations in the metrics registry
+        (``validation_failures{shape=...}``), ``"off"`` (default) skips
+        the checks.  Validation never changes a valid response, so this
+        is operational (excluded from :meth:`fingerprint`).
     """
 
     peer_threshold: float = 0.2
@@ -214,6 +228,7 @@ class RecommenderConfig:
     packed_scan: bool = True
     packed_topk: bool = True
     packed_spill: str = ""
+    validation: str = "off"
 
     def __post_init__(self) -> None:
         low, high = self.rating_scale
@@ -303,6 +318,11 @@ class RecommenderConfig:
             raise ConfigurationError(
                 "packed_spill must be a directory path string ('' = off)"
             )
+        if self.validation not in KNOWN_VALIDATION_MODES:
+            raise ConfigurationError(
+                f"unknown validation mode {self.validation!r}; "
+                f"expected one of {KNOWN_VALIDATION_MODES}"
+            )
 
     # -- convenience -----------------------------------------------------
 
@@ -349,6 +369,7 @@ class RecommenderConfig:
             "packed_scan": self.packed_scan,
             "packed_topk": self.packed_topk,
             "packed_spill": self.packed_spill,
+            "validation": self.validation,
         }
 
     def fingerprint(self) -> str:

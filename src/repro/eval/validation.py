@@ -55,7 +55,11 @@ def holdout_split(
 
     Users with fewer than ``min_train_ratings + 1`` ratings keep all of
     them in the training set (there is nothing meaningful to hide).  The
-    split is deterministic for a fixed seed.
+    split is deterministic for a fixed seed — and independent of
+    ``PYTHONHASHSEED``: users iterate in matrix insertion order and each
+    user's ratings are **sorted before** the shuffle, so no set/dict
+    iteration order ever feeds the RNG (pinned by the hash-seed matrix
+    test in ``tests/property``).
     """
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
@@ -111,8 +115,14 @@ def evaluate_predictions(
     absolute_errors: list[float] = []
     squared_errors: list[float] = []
     skipped = 0
+    # Hoisted out of the loop: rebuilding this set per held-out triple
+    # made the metric pass quadratic in the rating volume.  Membership
+    # tests against a set cannot depend on iteration order, so the
+    # result is unchanged (and PYTHONHASHSEED-independent either way —
+    # pinned by the hash-seed matrix test in tests/property).
+    train_users = set(split.train.user_ids())
     for user_id, item_id, actual in split.test.triples():
-        if user_id not in set(split.train.user_ids()):
+        if user_id not in train_users:
             skipped += 1
             continue
         predicted = recommender.relevance(user_id, item_id)

@@ -94,6 +94,26 @@ class ExecutionError(ReproError, RuntimeError):
     """
 
 
+class ValidationError(ReproError, ValueError):
+    """Raised when data or a served response violates a declared shape.
+
+    Carries the individual :class:`~repro.validation.Violation` records
+    so callers (and tests) can inspect exactly which shapes failed.  The
+    serving layer raises it in ``validation="strict"`` mode; the
+    ``repro validate`` CLI renders the same violations as exit-code-1
+    diagnostics instead.
+    """
+
+    def __init__(self, summary: str, violations: tuple = ()) -> None:
+        self.violations = tuple(violations)
+        details = "; ".join(
+            f"[{getattr(v, 'shape', '?')}] {getattr(v, 'message', v)}"
+            for v in self.violations
+        )
+        message = f"{summary}: {details}" if details else summary
+        super().__init__(message)
+
+
 class SnapshotError(SerializationError):
     """Raised when an index snapshot cannot be loaded.
 

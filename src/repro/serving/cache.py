@@ -72,8 +72,11 @@ class ScoreCache:
     ----------
     capacity:
         Maximum number of entries; the least recently used entry is
-        evicted when the bound is exceeded.  ``0`` disables caching
-        (every lookup misses, nothing is stored).
+        evicted when the bound is exceeded.  Zero *or negative*
+        disables caching outright: every lookup misses, nothing is
+        stored, and the probe/store paths skip their lock round trips
+        entirely (a disabled cache must cost nothing, not thrash the
+        eviction loop).
     name:
         Label used in reports and as the ``cache=`` metric label.
     metrics:
@@ -89,8 +92,10 @@ class ScoreCache:
         name: str = "cache",
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        if capacity < 0:
-            raise ValueError("capacity must be >= 0")
+        # Negative capacities are accepted and mean "disabled", exactly
+        # like 0 — a computed size that goes negative must degrade to a
+        # bypassed cache, not to an eviction loop that can never drain
+        # (``len > capacity`` holds forever when capacity < 0).
         self.capacity = capacity
         self.name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -137,6 +142,9 @@ class ScoreCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (marking it recently used) or ``default``."""
+        if self.capacity <= 0:
+            self._misses.inc()
+            return default
         with self._lock:
             value = self._entries.get(key, _MISS)
             if value is _MISS:
@@ -153,7 +161,7 @@ class ScoreCache:
         invalidation happened since that epoch was read — see
         :attr:`epoch`.
         """
-        if self.capacity == 0:
+        if self.capacity <= 0:
             return
         with self._lock:
             if epoch is not None and epoch != self._epoch:
@@ -169,8 +177,13 @@ class ScoreCache:
 
         The factory runs outside the lock (concurrent misses may
         compute in parallel); the result is only stored if no
-        invalidation happened while it was being computed.
+        invalidation happened while it was being computed.  A disabled
+        cache (capacity <= 0) skips the probe and the store and goes
+        straight to the factory.
         """
+        if self.capacity <= 0:
+            self._misses.inc()
+            return factory()
         with self._lock:
             value = self._entries.get(key, _MISS)
             if value is not _MISS:
@@ -250,7 +263,7 @@ class CachedSimilarity(UserSimilarity):
         """One pair score, read through the cache (self-pairs are 1.0)."""
         if user_a == user_b:
             return 1.0
-        if self.cache.capacity == 0:
+        if self.cache.capacity <= 0:
             return self.inner.similarity(user_a, user_b)
         key = self._key(user_a, user_b)
         epoch = self.cache.epoch
@@ -272,7 +285,7 @@ class CachedSimilarity(UserSimilarity):
         the bypass is bit-identical to the probing path.
         """
         candidate_list = [c for c in candidates if c != user_id]
-        if self.cache.capacity == 0:
+        if self.cache.capacity <= 0:
             return self.inner.similarities(user_id, candidate_list)
         scores: dict[str, float] = {}
         missing: list[str] = []

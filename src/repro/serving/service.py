@@ -50,7 +50,7 @@ from ..core.relevance import ScoredItem, predict_table, rank_items
 from ..data.datasets import HealthDataset
 from ..data.groups import Group
 from ..data.users import User
-from ..exceptions import ExecutionError
+from ..exceptions import ExecutionError, ValidationError
 from ..exec import (
     ExecutionBackend,
     SerialBackend,
@@ -59,6 +59,7 @@ from ..exec import (
     resolve_backend,
 )
 from ..kernels import (
+    SpillError,
     attach_spill,
     get_packed,
     items_unrated_by_all_packed,
@@ -67,6 +68,7 @@ from ..kernels import (
 )
 from ..obs import MetricsRegistry, get_registry, span
 from ..similarity.base import UserSimilarity
+from ..validation import validate_group_response, validate_user_response
 from ..similarity.peers import peers_as_mapping
 from .cache import CachedSimilarity, ScoreCache
 from .index import NeighborIndex
@@ -148,11 +150,26 @@ def _load_spill_dataset(directory: str | Path) -> HealthDataset:
     The ratings payload carries the parent matrix's ``user_order`` /
     ``item_order`` interning orders (see
     :meth:`~repro.data.ratings.RatingMatrix.from_dict`), so the rebuilt
-    matrix validates bit-for-bit against the mmap'd CSR arrays.
+    matrix validates bit-for-bit against the mmap'd CSR arrays.  A
+    truncated or otherwise unparsable dataset file raises a typed
+    :class:`~repro.kernels.SpillError` instead of a bare JSON decode
+    error — a worker must never boot from a torn publish.
     """
     path = Path(directory) / SPILL_DATASET_NAME
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SpillError(
+            f"spill dataset {path} is not valid JSON ({exc}); the spill "
+            f"publish was interrupted or the file was truncated — delete "
+            f"the spill directory and restart the owning service to "
+            f"republish it"
+        ) from exc
     return HealthDataset.from_dict(payload)
+
+
+#: Expected journal-delta arity per kind (see ``_apply_serve_delta``).
+_JOURNAL_DELTA_ARITY = {"rating": 4, "profile": 3}
 
 
 def _replay_spill_journal(directory: str | Path) -> int:
@@ -164,16 +181,53 @@ def _replay_spill_journal(directory: str | Path) -> int:
     (a rating re-add overwrites, a profile payload overwrites), so a
     delta that also arrives through a later sync packet is harmless.
     Returns the number of deltas applied.
+
+    A journal whose final line lacks its trailing newline is a *torn
+    append* — the writer died mid-``write``.  The torn tail is safe to
+    drop (the parent journals **before** bumping the backend epoch, so
+    a torn delta was never acknowledged anywhere) but never silent: the
+    skip is counted as ``spill_journal_torn_tail`` in the process
+    registry.  Any other malformed line — bad JSON on an interior line,
+    a delta of the wrong shape — means the journal itself is corrupt
+    and raises a typed :class:`~repro.kernels.SpillError` rather than
+    replaying a half-understood mutation.
     """
     path = Path(directory) / SPILL_JOURNAL_NAME
     if not path.exists():
         return 0
+    raw = path.read_text(encoding="utf-8")
+    lines = raw.split("\n")
+    # A complete journal ends with a newline, leaving a final empty
+    # element; a non-empty final element is the torn append.
+    torn_tail = lines[-1] if lines[-1] else None
     applied = 0
-    for line in path.read_text(encoding="utf-8").splitlines():
+    for number, line in enumerate(lines[:-1], start=1):
         if not line.strip():
             continue
-        _apply_serve_delta(tuple(json.loads(line)))
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SpillError(
+                f"spill journal {path} line {number} is not valid JSON "
+                f"({exc}); the journal is corrupt — delete the spill "
+                f"directory and restart the owning service to republish"
+            ) from exc
+        delta = tuple(payload) if isinstance(payload, list) else ()
+        kind = delta[0] if delta else None
+        if _JOURNAL_DELTA_ARITY.get(kind) != len(delta):
+            raise SpillError(
+                f"spill journal {path} line {number} holds a malformed "
+                f"delta {payload!r}; expected a [kind, ...] list with "
+                f"arities {_JOURNAL_DELTA_ARITY} — the journal is corrupt, "
+                f"delete the spill directory and republish"
+            )
+        _apply_serve_delta(delta)
         applied += 1
+    if torn_tail is not None:
+        # Loud but non-fatal: the delta never committed (journal write
+        # precedes the epoch bump), so skipping reproduces the parent's
+        # last acknowledged state.
+        get_registry().counter("spill_journal_torn_tail").inc()
     return applied
 
 
@@ -400,6 +454,112 @@ class RecommendationService:
             kind: self.metrics.histogram("request_ms", kind=kind)
             for kind in ("group", "user", "ingest")
         }
+        # Response-shape enforcement (repro.validation): "off" skips,
+        # "log" counts violations as validation_failures{shape=...},
+        # "strict" additionally fails the request with a typed error.
+        # Counter handles are created lazily per shape and cached.
+        self._validation = config.validation
+        self._validation_counters: dict[str, Any] = {}
+        # Per-answer validation memo: id(answer) -> (weakref, epoch at
+        # which it fully validated).  A cache hit whose entry object and
+        # epoch both match was already checked against this exact matrix
+        # state — re-deriving the same invariants per dashboard refresh
+        # would put an O(members × z) tax on every hit.  The weakref
+        # guards id() reuse: a recycled id cannot satisfy the identity
+        # check through a dead reference.
+        self._validated_answers: dict[int, tuple[Any, int]] = {}
+
+    # -- response validation -------------------------------------------------
+
+    def _flag_violations(self, violations: list) -> None:
+        """Count (and in strict mode raise) response-shape violations."""
+        if not violations:
+            return
+        for violation in violations:
+            counter = self._validation_counters.get(violation.shape)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "validation_failures", shape=violation.shape
+                )
+                self._validation_counters[violation.shape] = counter
+            counter.inc()
+        if self._validation == "strict":
+            raise ValidationError(
+                "response violates declared shapes", tuple(violations)
+            )
+
+    def _validate_group(
+        self,
+        recommendation: CaregiverRecommendation,
+        z: int,
+        observed_epoch: int,
+        locked: bool = False,
+    ) -> None:
+        """Validate one group answer against the declared shapes.
+
+        ``observed_epoch`` is the group-cache epoch read before the
+        answer was computed (or fetched).  Every mutation path bumps
+        that epoch, so an unchanged epoch proves the live matrix still
+        matches the answer and the already-rated shape can run; a
+        changed epoch degrades to the matrix-independent shapes instead
+        of flagging a legitimately-computed answer as stale.
+        ``locked`` says the caller already holds the data read lock.
+
+        Answers that fully validated once are memoised per epoch: a
+        cache hit serving the *same object* under the *same epoch* is
+        bit-identical to the answer already checked, so re-checking it
+        buys nothing.  Any mutation bumps the epoch and forces one
+        fresh full validation; a replaced (poisoned) entry is a new
+        object and never matches the memo.
+        """
+        if self._validation == "off":
+            return
+        memo = self._validated_answers.get(id(recommendation))
+        if (
+            memo is not None
+            and memo[0]() is recommendation
+            and memo[1] == observed_epoch
+        ):
+            return
+        if locked:
+            matrix = (
+                self.matrix
+                if self.group_cache.epoch == observed_epoch
+                else None
+            )
+            violations = validate_group_response(
+                recommendation,
+                z=z,
+                matrix=matrix,
+                selector=self.selector_name,
+            )
+        else:
+            with self._data_lock.read():
+                matrix = (
+                    self.matrix
+                    if self.group_cache.epoch == observed_epoch
+                    else None
+                )
+                violations = validate_group_response(
+                    recommendation,
+                    z=z,
+                    matrix=matrix,
+                    selector=self.selector_name,
+                )
+        self._flag_violations(violations)
+        if matrix is not None:
+            # Only a full (matrix-backed) pass is worth memoising; the
+            # degraded pass re-runs until an epoch-stable one lands.
+            if len(self._validated_answers) > 4096:
+                self._validated_answers = {
+                    key: entry
+                    for key, entry in self._validated_answers.items()
+                    if entry[0]() is not None
+                }
+            self._validated_answers[id(recommendation)] = (
+                weakref.ref(recommendation),
+                observed_epoch,
+            )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -656,17 +816,36 @@ class RecommendationService:
                 pairs = predict_topk_packed(
                     self._packed, user_id, peers_as_mapping(peers), k
                 )
-            result = [
-                ScoredItem(item_id=item_id, score=score)
-                for item_id, score in pairs
-            ]
+                result = [
+                    ScoredItem(item_id=item_id, score=score)
+                    for item_id, score in pairs
+                ]
+                # Validated under the same read lock the answer was
+                # computed under, so the already-rated shape compares
+                # against exactly the matrix state that produced it.
+                # The dict matrix is the independent source here — this
+                # cross-checks the packed decode against it.
+                self._validate_user(result, user_id, k)
             self._record("user", started, "user_requests")
             return result
         with self._data_lock.read():
             row = self._relevance_row(user_id)
-        result = rank_items(row, k)
+            result = rank_items(row, k)
+            self._validate_user(result, user_id, k)
         self._record("user", started, "user_requests")
         return result
+
+    def _validate_user(
+        self, result: list[ScoredItem], user_id: str, k: int
+    ) -> None:
+        """Validate one user answer (caller holds the data read lock)."""
+        if self._validation == "off":
+            return
+        self._flag_violations(
+            validate_user_response(
+                result, user_id=user_id, k=k, matrix=self.matrix
+            )
+        )
 
     # -- group requests ------------------------------------------------------
 
@@ -689,6 +868,9 @@ class RecommendationService:
         group_epoch = self.group_cache.epoch
         cached = self.group_cache.get(cache_key)
         if cached is not None:
+            # Cache hits are served responses too — strict mode must
+            # catch a corrupted cache entry, not just a fresh compute.
+            self._validate_group(cached, z, group_epoch)
             self._record("group", started, "group_requests")
             return cached
         with self._data_lock.read():
@@ -728,6 +910,7 @@ class RecommendationService:
             plain_top_z=plain,
             candidates=candidates,
         )
+        self._validate_group(recommendation, z, group_epoch)
         self.group_cache.put(cache_key, recommendation, epoch=group_epoch)
         self._record("group", started, "group_requests")
         return recommendation
@@ -846,8 +1029,15 @@ class RecommendationService:
             )
             self._serve_initargs = (
                 None if spill_boot else self.dataset,
+                # Workers skip response validation: the parent validates
+                # every folded-back answer at its own boundary, so a
+                # worker-side re-check would double the cost without
+                # adding coverage.
                 self.config.with_overrides(
-                    exec_backend="serial", exec_workers=0, serve_workers=1
+                    exec_backend="serial",
+                    exec_workers=0,
+                    serve_workers=1,
+                    validation="off",
                 ),
                 self.selector_name,
                 None if spill_boot else self.similarity.picklable_measure(),
@@ -869,9 +1059,11 @@ class RecommendationService:
         results: dict[tuple[str, ...], CaregiverRecommendation] = {}
         missing: dict[tuple[str, ...], Group] = {}
         group_requests = self._request_counters["group_requests"]
+        observed_epoch = self.group_cache.epoch
         for key, group in distinct.items():
             cached = self.group_cache.get((key, z))
             if cached is not None:
+                self._validate_group(cached, z, observed_epoch)
                 group_requests.inc()
                 results[key] = cached
             else:
@@ -891,6 +1083,12 @@ class RecommendationService:
                     initializer=_init_serve_worker,
                     initargs=self._worker_initargs(),
                 )
+            # Worker-computed answers cross the service boundary here:
+            # validate them before they are folded into the cache and
+            # returned.  Still under the read lock, so the matrix is
+            # exactly the state the workers computed from.
+            for recommendation in recommendations:
+                self._validate_group(recommendation, z, epoch, locked=True)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         per_group_ms = elapsed_ms / len(missing)
         group_hist = self._request_ms["group"]

@@ -1,0 +1,49 @@
+"""Declarative shape/constraint layer for datasets and served responses.
+
+The paper's group recommender makes hard promises per response —
+exactly ``z`` items, none already rated by any group member, Prop-1
+fairness bounds, scores monotone non-increasing — but the pipeline only
+*implies* those invariants; nothing re-checks them at the serving
+boundary, so a regression would ship silently.  This package makes the
+promises explicit and checkable:
+
+* **dataset shapes** (:mod:`repro.validation.shapes`) — id types,
+  rating ranges, group-membership referential integrity, checked over
+  raw JSON payloads (``repro validate``) or built objects;
+* **response shapes** (:mod:`repro.validation.response`) — every
+  :class:`~repro.serving.RecommendationService` answer checkable
+  against the paper's invariants, wired into the service through the
+  ``validation="strict"|"log"|"off"`` config knob (violations are
+  counted in the metrics registry as ``validation_failures{shape=...}``
+  and strict mode fails the request with a
+  :class:`~repro.exceptions.ValidationError`).
+
+Every check returns a list of :class:`Violation` records with
+actionable messages rather than raising at the first problem, so one
+pass reports everything that is wrong.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ValidationError
+from .response import validate_group_response, validate_user_response
+from .shapes import (
+    VALIDATION_MODES,
+    Violation,
+    validate_dataset,
+    validate_dataset_payload,
+    validate_groups,
+    validate_groups_payload,
+)
+
+__all__ = [
+    "VALIDATION_MODES",
+    "ValidationError",
+    "Violation",
+    "validate_dataset",
+    "validate_dataset_payload",
+    "validate_group_response",
+    "validate_groups",
+    "validate_groups_payload",
+    "validate_user_response",
+]

@@ -1,0 +1,217 @@
+"""Response shapes: the paper's per-response invariants, re-checked.
+
+Every check re-derives its invariant from primary data (the rating
+matrix, the candidate bundle) instead of trusting the pipeline's own
+bookkeeping — that independence is what lets the layer catch a
+regression like PR 7's double-decode before it reaches a user:
+
+* ``item_count`` — a group answer holds exactly ``z`` items (fewer only
+  when the candidate pool is genuinely exhausted), a user answer at
+  most ``k``;
+* ``duplicate_item`` — decoded item ids are unique within a list (the
+  shape that breaks when intern-table decoding goes wrong);
+* ``already_rated`` — no recommended item was already rated by the
+  target user / any group member (Section III's candidate contract);
+* ``score_order`` — scored lists are monotone non-increasing;
+* ``fairness_report`` — the served fairness number equals Definition 3
+  recomputed from the candidate bundle;
+* ``prop1`` — Proposition 1: under the greedy selector with
+  ``z >= |G|`` (and every member owning a non-empty top-k set) the
+  selection's fairness is exactly 1.0.
+
+Checks needing the rating matrix accept ``matrix=None`` and skip — the
+service passes ``None`` when a concurrent mutation made the live matrix
+incomparable with the already-computed response (the same race the
+epoch-guarded cache put handles).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.fairness import fairness
+from ..core.pipeline import CaregiverRecommendation
+from ..core.relevance import ScoredItem
+from ..data.ratings import RatingMatrix
+from .shapes import Violation
+
+
+def _check_unique(
+    item_ids: Sequence[str], what: str, out: list[Violation]
+) -> None:
+    seen: set[str] = set()
+    for item_id in item_ids:
+        if item_id in seen:
+            out.append(
+                Violation(
+                    "duplicate_item",
+                    f"{what} contains item {item_id!r} more than once; "
+                    f"decoded item ids must be unique",
+                )
+            )
+        seen.add(item_id)
+
+
+def _check_monotone(
+    scored: Sequence[ScoredItem], what: str, out: list[Violation]
+) -> None:
+    for previous, current in zip(scored, scored[1:]):
+        if current.score > previous.score:
+            out.append(
+                Violation(
+                    "score_order",
+                    f"{what} scores must be non-increasing, but "
+                    f"{current.item_id!r} ({current.score!r}) outranks "
+                    f"{previous.item_id!r} ({previous.score!r})",
+                )
+            )
+            return
+
+
+def _check_unrated(
+    item_ids: Sequence[str],
+    member_ids: Sequence[str],
+    matrix: RatingMatrix,
+    what: str,
+    out: list[Violation],
+) -> None:
+    for member in member_ids:
+        for item_id in item_ids:
+            if matrix.has_rating(member, item_id):
+                out.append(
+                    Violation(
+                        "already_rated",
+                        f"{what} recommends item {item_id!r} which "
+                        f"{member!r} has already rated; candidates must be "
+                        f"unrated by every target user",
+                    )
+                )
+
+
+def validate_user_response(
+    items: Sequence[ScoredItem],
+    *,
+    user_id: str,
+    k: int,
+    matrix: RatingMatrix | None,
+) -> list[Violation]:
+    """Check one single-user answer against the declared shapes.
+
+    ``matrix=None`` skips the already-rated check (concurrent-mutation
+    escape hatch); the count/uniqueness/monotonicity shapes always run.
+    """
+    out: list[Violation] = []
+    if len(items) > k:
+        out.append(
+            Violation(
+                "item_count",
+                f"user answer for {user_id!r} holds {len(items)} items but "
+                f"k={k}; a top-k list must never exceed k",
+            )
+        )
+    item_ids = [item.item_id for item in items]
+    _check_unique(item_ids, f"user answer for {user_id!r}", out)
+    _check_monotone(items, f"user answer for {user_id!r}", out)
+    if matrix is not None:
+        _check_unrated(
+            item_ids, [user_id], matrix, f"user answer for {user_id!r}", out
+        )
+    return out
+
+
+def validate_group_response(
+    recommendation: CaregiverRecommendation,
+    *,
+    z: int,
+    matrix: RatingMatrix | None = None,
+    selector: str | None = None,
+) -> list[Violation]:
+    """Check one group answer against the declared shapes.
+
+    ``selector`` names the selection algorithm that produced the answer
+    — the Prop-1 bound is only declared for ``"greedy"`` (the paper
+    proves it for Algorithm 1).  ``matrix=None`` skips the
+    already-rated check, as in :func:`validate_user_response`.
+    """
+    out: list[Violation] = []
+    group = recommendation.group
+    candidates = recommendation.candidates
+    selected = list(recommendation.selection.items)
+    members = list(group.member_ids)
+
+    # Exactly z items; fewer is legitimate only when the usable pool
+    # (the union of member candidate sets — no selector can use more
+    # than the full pool, none may return less than the top-k union
+    # covers) ran out first.
+    usable: set[str] = set()
+    for member in members:
+        usable.update(candidates.user_top_items(member))
+    if len(selected) > z:
+        out.append(
+            Violation(
+                "item_count",
+                f"group answer holds {len(selected)} items but z={z}; a "
+                f"selection must never exceed z",
+            )
+        )
+    elif len(selected) < z and len(selected) < min(z, len(usable)):
+        out.append(
+            Violation(
+                "item_count",
+                f"group answer holds {len(selected)} items but z={z} and "
+                f"{len(usable)} usable candidates exist; the selection "
+                f"stopped early",
+            )
+        )
+
+    _check_unique(selected, "group selection", out)
+    plain = list(recommendation.plain_top_z)
+    _check_unique([item.item_id for item in plain], "plain top-z", out)
+    _check_monotone(plain, "plain top-z", out)
+    if matrix is not None:
+        _check_unrated(selected, members, matrix, "group selection", out)
+        _check_unrated(
+            [item.item_id for item in plain],
+            members,
+            matrix,
+            "plain top-z",
+            out,
+        )
+
+    # The served fairness number must equal Definition 3 recomputed
+    # from the candidate bundle — a stale or tampered report is as
+    # wrong as a bad selection.
+    recomputed = fairness(candidates, selected)
+    reported = recommendation.report.fairness
+    if recomputed != reported:
+        out.append(
+            Violation(
+                "fairness_report",
+                f"reported fairness {reported!r} does not match Definition "
+                f"3 recomputed over the selection ({recomputed!r})",
+            )
+        )
+
+    # Proposition 1 (greedy only): z >= |G| forces fairness 1.0,
+    # provided the proposition's premises hold — every member owns a
+    # non-empty top-k candidate set and the pool did not run dry below
+    # |G| items.
+    if (
+        selector == "greedy"
+        and z >= len(members)
+        and len(selected) >= len(members)
+        and all(candidates.user_top_items(m) for m in members)
+        and recomputed != 1.0
+    ):
+        out.append(
+            Violation(
+                "prop1",
+                f"Proposition 1 violated: z={z} >= |G|={len(members)} under "
+                f"the greedy selector but fairness is {recomputed!r}, "
+                f"not 1.0",
+            )
+        )
+    return out
+
+
+__all__ = ["validate_group_response", "validate_user_response"]

@@ -1,0 +1,369 @@
+"""Dataset shapes: declarative checks over datasets and group files.
+
+Two granularities, because problems surface at two moments:
+
+* *payload-level* (:func:`validate_dataset_payload`,
+  :func:`validate_groups_payload`) — run over the raw JSON before any
+  object is built, so a malformed file yields a full list of actionable
+  diagnostics instead of whatever exception the first bad record
+  happens to trigger inside a constructor;
+* *object-level* (:func:`validate_dataset`, :func:`validate_groups`) —
+  run over built objects, re-deriving the same constraints
+  independently of the construction path (the check that catches an
+  ingest path quietly relaxing an invariant).
+
+Both return :class:`Violation` lists; callers decide whether to print
+them (the ``repro validate`` CLI) or raise
+:class:`~repro.exceptions.ValidationError` (strict serving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..data.datasets import HealthDataset
+from ..data.groups import Group
+
+#: Accepted values of the ``validation`` config knob.
+VALIDATION_MODES: tuple[str, ...] = ("strict", "log", "off")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One declared-shape violation.
+
+    Attributes
+    ----------
+    shape:
+        Machine-readable shape name — doubles as the ``shape=`` label
+        of the ``validation_failures`` metric counter.
+    message:
+        Actionable human-readable diagnostic: what is wrong, where, and
+        what a valid value looks like.
+    """
+
+    shape: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.shape}] {self.message}"
+
+
+def _is_number(value: Any) -> bool:
+    """Whether ``value`` is a real number (bools are not ratings)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_id(
+    value: Any, shape: str, where: str, out: list[Violation]
+) -> bool:
+    """Append a violation unless ``value`` is a non-empty string id."""
+    if not isinstance(value, str) or not value:
+        out.append(
+            Violation(
+                shape,
+                f"{where} must be a non-empty string id, got {value!r}",
+            )
+        )
+        return False
+    return True
+
+
+# -- payload-level ----------------------------------------------------------
+
+
+def _payload_scale(
+    ratings: Mapping[str, Any], out: list[Violation]
+) -> tuple[float, float] | None:
+    scale = ratings.get("scale", (1.0, 5.0))
+    if (
+        not isinstance(scale, (list, tuple))
+        or len(scale) != 2
+        or not all(_is_number(bound) for bound in scale)
+        or float(scale[0]) >= float(scale[1])
+    ):
+        out.append(
+            Violation(
+                "rating_scale",
+                f"ratings.scale must be a [low, high] pair with low < high, "
+                f"got {scale!r}",
+            )
+        )
+        return None
+    return float(scale[0]), float(scale[1])
+
+
+def _payload_registry_ids(
+    payload: Mapping[str, Any],
+    section: str,
+    entry_key: str,
+    id_key: str,
+    out: list[Violation],
+) -> set[str]:
+    """Collect the ids of a users/items section, flagging shape problems."""
+    ids: set[str] = set()
+    block = payload.get(section)
+    if not isinstance(block, Mapping) or not isinstance(
+        block.get(entry_key), list
+    ):
+        out.append(
+            Violation(
+                f"{section}_section",
+                f"dataset key {section!r} must be an object holding an "
+                f"{entry_key!r} list (see HealthDataset.to_dict)",
+            )
+        )
+        return ids
+    for position, entry in enumerate(block[entry_key]):
+        where = f"{section}[{position}].{id_key}"
+        if not isinstance(entry, Mapping):
+            out.append(
+                Violation(
+                    f"{section}_section",
+                    f"{section}[{position}] must be an object, "
+                    f"got {type(entry).__name__}",
+                )
+            )
+            continue
+        value = entry.get(id_key)
+        if _check_id(value, f"{id_key}_type", where, out):
+            if value in ids:
+                out.append(
+                    Violation(
+                        f"duplicate_{id_key}",
+                        f"{where} {value!r} appears more than once; "
+                        f"ids must be unique",
+                    )
+                )
+            ids.add(value)
+    return ids
+
+
+def validate_dataset_payload(payload: Any) -> list[Violation]:
+    """Check a raw dataset JSON payload against the declared schema.
+
+    Covers id types and uniqueness, the rating scale, rating-triple
+    shape and range, and referential integrity from the rating matrix
+    into the user registry and item catalog.  Returns every violation
+    found (an empty list means the payload is a valid
+    ``HealthDataset.to_dict`` document).
+    """
+    out: list[Violation] = []
+    if not isinstance(payload, Mapping):
+        return [
+            Violation(
+                "dataset_document",
+                f"dataset document must be a JSON object, "
+                f"got {type(payload).__name__}",
+            )
+        ]
+    for key in ("users", "items", "ratings", "ontology"):
+        if key not in payload:
+            out.append(
+                Violation(
+                    "dataset_document",
+                    f"dataset document is missing the {key!r} section "
+                    f"(expected the HealthDataset.to_dict layout)",
+                )
+            )
+    user_ids = _payload_registry_ids(payload, "users", "users", "user_id", out)
+    item_ids = _payload_registry_ids(payload, "items", "items", "item_id", out)
+    ratings = payload.get("ratings")
+    if not isinstance(ratings, Mapping):
+        if "ratings" in payload:
+            out.append(
+                Violation(
+                    "ratings_section",
+                    "dataset key 'ratings' must be an object with 'scale' "
+                    "and 'ratings' entries",
+                )
+            )
+        return out
+    scale = _payload_scale(ratings, out)
+    triples = ratings.get("ratings", [])
+    if not isinstance(triples, list):
+        out.append(
+            Violation(
+                "ratings_section",
+                f"ratings.ratings must be a list of [user_id, item_id, "
+                f"value] triples, got {type(triples).__name__}",
+            )
+        )
+        return out
+    for position, triple in enumerate(triples):
+        where = f"ratings[{position}]"
+        if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+            out.append(
+                Violation(
+                    "rating_triple",
+                    f"{where} must be a [user_id, item_id, value] triple, "
+                    f"got {triple!r}",
+                )
+            )
+            continue
+        user_id, item_id, value = triple
+        user_ok = _check_id(user_id, "user_id_type", f"{where} user id", out)
+        item_ok = _check_id(item_id, "item_id_type", f"{where} item id", out)
+        if not _is_number(value):
+            out.append(
+                Violation(
+                    "rating_value",
+                    f"{where} value must be a number, got {value!r}",
+                )
+            )
+        elif scale is not None and not scale[0] <= float(value) <= scale[1]:
+            out.append(
+                Violation(
+                    "rating_range",
+                    f"{where} value {value!r} is outside the declared "
+                    f"scale [{scale[0]}, {scale[1]}]",
+                )
+            )
+        if user_ok and user_ids and user_id not in user_ids:
+            out.append(
+                Violation(
+                    "rating_unknown_user",
+                    f"{where} references user {user_id!r} which is not in "
+                    f"the user registry",
+                )
+            )
+        if item_ok and item_ids and item_id not in item_ids:
+            out.append(
+                Violation(
+                    "rating_unknown_item",
+                    f"{where} references item {item_id!r} which is not in "
+                    f"the item catalog",
+                )
+            )
+    return out
+
+
+def validate_groups_payload(
+    payload: Any, known_user_ids: Iterable[str] = ()
+) -> list[Violation]:
+    """Check a raw group-file JSON payload against the declared schema.
+
+    Accepts either a bare list of group objects or ``{"groups": [...]}``.
+    ``known_user_ids`` (when non-empty) enables the group-membership
+    referential-integrity check against the dataset's user registry.
+    """
+    out: list[Violation] = []
+    if isinstance(payload, Mapping):
+        payload = payload.get("groups")
+    if not isinstance(payload, list):
+        return [
+            Violation(
+                "groups_document",
+                "group file must be a JSON list of group objects "
+                '(or {"groups": [...]}), each with a "member_ids" list',
+            )
+        ]
+    known = set(known_user_ids)
+    for position, entry in enumerate(payload):
+        where = f"groups[{position}]"
+        if not isinstance(entry, Mapping):
+            out.append(
+                Violation(
+                    "group_entry",
+                    f"{where} must be an object, got {type(entry).__name__}",
+                )
+            )
+            continue
+        members = entry.get("member_ids")
+        if not isinstance(members, list) or not members:
+            out.append(
+                Violation(
+                    "group_members",
+                    f"{where}.member_ids must be a non-empty list of user "
+                    f"ids, got {members!r}",
+                )
+            )
+            continue
+        for member in members:
+            if not _check_id(
+                member, "user_id_type", f"{where} member id", out
+            ):
+                continue
+            if known and member not in known:
+                out.append(
+                    Violation(
+                        "group_unknown_member",
+                        f"{where} member {member!r} is not in the dataset's "
+                        f"user registry",
+                    )
+                )
+    return out
+
+
+# -- object-level -----------------------------------------------------------
+
+
+def validate_dataset(dataset: HealthDataset) -> list[Violation]:
+    """Check a built dataset's cross-references and rating ranges.
+
+    Independent of the construction path: every rating triple is
+    re-checked against the declared scale, and the matrix's users and
+    items are checked against the registry/catalog (a rating for a user
+    the registry does not know is an ingest-path bug, not a load-time
+    formatting problem).
+    """
+    out: list[Violation] = []
+    low, high = dataset.ratings.scale
+    known_users = set(dataset.users.ids())
+    known_items = set(dataset.items.ids())
+    for user_id, item_id, value in dataset.ratings.triples():
+        if not low <= value <= high:
+            out.append(
+                Violation(
+                    "rating_range",
+                    f"rating ({user_id!r}, {item_id!r}) = {value!r} is "
+                    f"outside the declared scale [{low}, {high}]",
+                )
+            )
+        if user_id not in known_users:
+            out.append(
+                Violation(
+                    "rating_unknown_user",
+                    f"rating matrix references user {user_id!r} which is "
+                    f"not in the user registry",
+                )
+            )
+        if item_id not in known_items:
+            out.append(
+                Violation(
+                    "rating_unknown_item",
+                    f"rating matrix references item {item_id!r} which is "
+                    f"not in the item catalog",
+                )
+            )
+    return out
+
+
+def validate_groups(
+    groups: Sequence[Group], dataset: HealthDataset
+) -> list[Violation]:
+    """Check built groups' membership referential integrity."""
+    out: list[Violation] = []
+    known = set(dataset.users.ids())
+    for position, group in enumerate(groups):
+        for member in group.member_ids:
+            if member not in known:
+                out.append(
+                    Violation(
+                        "group_unknown_member",
+                        f"groups[{position}] member {member!r} is not in "
+                        f"the dataset's user registry",
+                    )
+                )
+    return out
+
+
+__all__ = [
+    "VALIDATION_MODES",
+    "Violation",
+    "validate_dataset",
+    "validate_dataset_payload",
+    "validate_groups",
+    "validate_groups_payload",
+]

@@ -65,6 +65,13 @@ CONFIGURATIONS = (
     ("pool", 1, "delta", False, "packed", {"spill": True}),
     ("pool", 3, "full", False, "packed", {"spill": True}),
     ("pool", 3, "delta", False, "dict", {}),
+    # Strict response validation must be a pure observer: on clean
+    # traffic it re-checks every served answer against the paper
+    # invariants and changes nothing (PR 8) — serial/pool × flat/sharded.
+    ("serial", 1, "delta", False, "packed", {"validation": "strict"}),
+    ("serial", 3, "delta", False, "packed", {"validation": "strict"}),
+    ("pool", 1, "delta", False, "packed", {"validation": "strict"}),
+    ("pool", 3, "delta", False, "packed", {"validation": "strict"}),
 )
 
 

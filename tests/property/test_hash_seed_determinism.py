@@ -1,0 +1,87 @@
+"""PYTHONHASHSEED matrix: the holdout evaluation is hash-independent.
+
+``holdout_split`` feeds per-user rating lists to a seeded RNG.  If any
+set/dict iteration order ever reached that RNG (or the metric loops),
+the "deterministic" split would silently differ between interpreter
+launches — the worst kind of non-reproducibility, invisible within any
+single test process because the hash seed is fixed per process.
+
+So the pin runs *outside* the current process: the same tiny evaluation
+is executed in fresh interpreters under ``PYTHONHASHSEED=0/1/2`` and the
+full observable output — a digest over every train/test triple plus the
+exact metric floats — must be byte-identical across the matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+HASH_SEEDS = ("0", "1", "2")
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: The probe script: split, predict, rank — print one digest line.
+_PROBE = """
+import hashlib, json
+from repro.data.datasets import generate_dataset
+from repro.eval.validation import (
+    evaluate_predictions,
+    evaluate_ranking,
+    holdout_split,
+)
+from repro.similarity.ratings_sim import PearsonRatingSimilarity
+
+dataset = generate_dataset(num_users=16, num_items=24, ratings_per_user=8, seed=21)
+split = holdout_split(dataset.ratings, test_fraction=0.25, seed=13)
+measure = PearsonRatingSimilarity(split.train)
+prediction = evaluate_predictions(split, measure)
+ranking = evaluate_ranking(split, measure, k=5)
+observable = {
+    "train": sorted(split.train.triples()),
+    "test": sorted(split.test.triples()),
+    "prediction": [
+        prediction.mae,
+        prediction.rmse,
+        prediction.coverage,
+        prediction.num_evaluated,
+        prediction.num_skipped,
+    ],
+    "ranking": [
+        ranking.precision,
+        ranking.recall,
+        ranking.hit_rate,
+        ranking.num_users,
+    ],
+}
+blob = json.dumps(observable, sort_keys=True).encode()
+print(hashlib.sha256(blob).hexdigest())
+"""
+
+
+def _digest_under(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), _SRC) if p
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+def test_holdout_evaluation_is_hash_seed_independent():
+    digests = {seed: _digest_under(seed) for seed in HASH_SEEDS}
+    assert len(set(digests.values())) == 1, (
+        f"holdout evaluation output varies with PYTHONHASHSEED: {digests} — "
+        f"some set/dict iteration order is feeding the split RNG or the "
+        f"metric accumulation"
+    )

@@ -41,9 +41,32 @@ class TestScoreCache:
         assert cache.get("a") is None
         assert cache.stats.misses == 1
 
-    def test_negative_capacity_rejected(self):
-        with pytest.raises(ValueError):
-            ScoreCache(capacity=-1)
+    @pytest.mark.parametrize("capacity", [0, -1, -100])
+    def test_nonpositive_capacity_bypasses_not_thrashes(self, capacity):
+        # Regression: negative capacities used to be rejected (and before
+        # that, fed an eviction loop whose ``len > capacity`` condition
+        # could never drain).  Zero and negative now mean the same thing:
+        # the cache is disabled — nothing stored, nothing evicted, every
+        # lookup a counted miss.
+        cache = ScoreCache(capacity=capacity)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.evictions == 0
+        assert cache.stats.misses == 1
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_nonpositive_capacity_get_or_compute_always_computes(self, capacity):
+        cache = ScoreCache(capacity=capacity)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 3  # no storage, so every call recomputes
+        assert len(cache) == 0
+        assert cache.stats.misses == 3
+        assert cache.stats.hits == 0
+        assert cache.stats.evictions == 0
 
     def test_hit_miss_statistics(self):
         cache = ScoreCache(capacity=4)
@@ -133,6 +156,24 @@ class TestCachedSimilarity:
         assert scores == {"b": 0.8, "c": 0.3, "d": 0.0}
         assert sim.similarities("a", ["b", "c", "d"]) == scores
         assert cache.stats.hits >= 3
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_nonpositive_capacity_bypasses_cache(self, capacity):
+        # Regression companion of the ScoreCache bypass: the decorated
+        # measure must go straight to the inner measure — same scores,
+        # nothing stored, single-pair path included.
+        cache = ScoreCache(capacity=capacity)
+        sim = CachedSimilarity(self._inner(), cache)
+        assert sim.similarity("a", "b") == 0.8
+        assert sim.similarity("a", "a") == 1.0
+        assert sim.similarities("a", ["b", "c", "d"]) == {
+            "b": 0.8,
+            "c": 0.3,
+            "d": 0.0,
+        }
+        assert len(cache) == 0
+        assert cache.stats.hits == 0
+        assert cache.stats.evictions == 0
 
     def test_invalidate_user_drops_only_their_pairs(self):
         cache = ScoreCache(capacity=16)

@@ -1,0 +1,287 @@
+"""Response-shape tests: paper invariants checked on served answers.
+
+Strategy mirrors the dataset-shape tests: genuine pipeline output must
+pass every shape, then each shape is broken by tampering with one field
+of a real recommendation — the checks must catch exactly that defect.
+The service-level tests wire the same checks through the
+``validation="strict"|"log"|"off"`` knob, including the
+``validation_failures{shape=...}`` counters and the poisoned-cache path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import RecommenderConfig
+from repro.core.pipeline import CaregiverPipeline
+from repro.data.groups import random_group
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.serving import RecommendationService
+from repro.validation import validate_group_response, validate_user_response
+
+CONFIG = RecommenderConfig(peer_threshold=0.1, top_k=5, top_z=4, max_peers=10)
+Z = CONFIG.top_z
+
+
+def shapes(violations) -> set[str]:
+    return {violation.shape for violation in violations}
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset):
+    """One genuine pipeline answer to tamper with, plus its inputs."""
+    group = random_group(small_dataset.users.ids(), 3, seed=4)
+    recommendation = CaregiverPipeline(small_dataset, CONFIG).recommend(group)
+    assert recommendation.items  # a non-trivial answer to corrupt
+    return small_dataset, group, recommendation
+
+
+def tampered_selection(recommendation, items):
+    selection = dataclasses.replace(recommendation.selection, items=tuple(items))
+    return dataclasses.replace(recommendation, selection=selection)
+
+
+class TestGroupShapes:
+    def test_clean_answer_passes(self, world):
+        dataset, _, recommendation = world
+        assert (
+            validate_group_response(
+                recommendation, z=Z, matrix=dataset.ratings, selector="greedy"
+            )
+            == []
+        )
+
+    def test_oversized_selection(self, world):
+        dataset, _, recommendation = world
+        extra = [i for i in dataset.items.ids() if i not in recommendation.items]
+        bad = tampered_selection(
+            recommendation, list(recommendation.items) + extra[: Z + 1]
+        )
+        assert "item_count" in shapes(validate_group_response(bad, z=Z))
+
+    def test_early_stopped_selection(self, world):
+        _, _, recommendation = world
+        bad = tampered_selection(recommendation, recommendation.items[:1])
+        violations = validate_group_response(bad, z=Z)
+        assert "item_count" in shapes(violations)
+        assert "stopped early" in [
+            v.message for v in violations if v.shape == "item_count"
+        ][0]
+
+    def test_short_selection_is_fine_when_pool_exhausted(self, world):
+        # A one-member group whose top-k holds fewer than z items: the
+        # greedy selector legitimately returns the whole (short) pool.
+        dataset, _, _ = world
+        config = dataclasses.replace(CONFIG, top_k=2, top_z=6)
+        member = dataset.users.ids()[0]
+        group = random_group([member], 1, seed=0)
+        recommendation = CaregiverPipeline(dataset, config).recommend(group)
+        assert len(recommendation.items) < 6
+        assert (
+            validate_group_response(
+                recommendation, z=6, matrix=dataset.ratings, selector="greedy"
+            )
+            == []
+        )
+
+    def test_duplicate_decoded_ids(self, world):
+        _, _, recommendation = world
+        first = recommendation.items[0]
+        bad = tampered_selection(
+            recommendation, (first,) + recommendation.items[:-1]
+        )
+        assert "duplicate_item" in shapes(validate_group_response(bad, z=Z))
+
+    def test_score_order_inversion(self, world):
+        _, _, recommendation = world
+        bad = dataclasses.replace(
+            recommendation, plain_top_z=tuple(reversed(recommendation.plain_top_z))
+        )
+        violations = validate_group_response(bad, z=Z)
+        assert "score_order" in shapes(violations)
+
+    def test_already_rated_item(self, world):
+        dataset, group, recommendation = world
+        member = group.member_ids[0]
+        rated = next(iter(dataset.ratings.items_of(member)))
+        bad = tampered_selection(
+            recommendation, (rated,) + recommendation.items[1:]
+        )
+        violations = validate_group_response(bad, z=Z, matrix=dataset.ratings)
+        assert "already_rated" in shapes(violations)
+        # Without the matrix (concurrent-mutation escape hatch) the
+        # check is skipped rather than guessed.
+        assert "already_rated" not in shapes(validate_group_response(bad, z=Z))
+
+    def test_fairness_report_mismatch(self, world):
+        _, _, recommendation = world
+        report = dataclasses.replace(
+            recommendation.selection.report, fairness=0.123
+        )
+        bad = dataclasses.replace(
+            recommendation,
+            selection=dataclasses.replace(recommendation.selection, report=report),
+        )
+        assert "fairness_report" in shapes(validate_group_response(bad, z=Z))
+
+    def test_prop1_violation_detected(self, world):
+        dataset, group, recommendation = world
+        usable = set()
+        for member in group.member_ids:
+            usable.update(recommendation.candidates.user_top_items(member))
+        outside = [i for i in dataset.items.ids() if i not in usable]
+        assert len(outside) >= Z
+        bad = tampered_selection(recommendation, outside[:Z])
+        violations = validate_group_response(bad, z=Z, selector="greedy")
+        assert "prop1" in shapes(violations)
+        # The Prop-1 bound is only declared for the greedy selector.
+        assert "prop1" not in shapes(
+            validate_group_response(bad, z=Z, selector="brute-force")
+        )
+
+
+class TestUserShapes:
+    def test_clean_answer_passes(self, world):
+        dataset, _, _ = world
+        user_id = dataset.users.ids()[0]
+        items = CaregiverPipeline(dataset, CONFIG).recommend_for_user(user_id)
+        assert (
+            validate_user_response(
+                items, user_id=user_id, k=CONFIG.top_k, matrix=dataset.ratings
+            )
+            == []
+        )
+
+    def test_every_user_shape_fires(self, world):
+        dataset, _, _ = world
+        user_id = dataset.users.ids()[0]
+        items = CaregiverPipeline(dataset, CONFIG).recommend_for_user(user_id)
+        assert len(items) >= 2
+        too_many = validate_user_response(
+            items, user_id=user_id, k=len(items) - 1, matrix=None
+        )
+        assert "item_count" in shapes(too_many)
+        duplicated = validate_user_response(
+            [items[0], items[0]], user_id=user_id, k=5, matrix=None
+        )
+        assert "duplicate_item" in shapes(duplicated)
+        inverted = validate_user_response(
+            list(reversed(items)), user_id=user_id, k=5, matrix=None
+        )
+        assert "score_order" in shapes(inverted)
+        rated_id = next(iter(dataset.ratings.items_of(user_id)))
+        rated = dataclasses.replace(items[0], item_id=rated_id)
+        already = validate_user_response(
+            [rated], user_id=user_id, k=5, matrix=dataset.ratings
+        )
+        assert "already_rated" in shapes(already)
+
+
+class TestServiceWiring:
+    def _service(self, dataset, mode, registry=None):
+        config = dataclasses.replace(CONFIG, validation=mode)
+        return RecommendationService(dataset, config, metrics=registry)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecommenderConfig(validation="paranoid")
+
+    def test_strict_clean_traffic_is_bit_identical_to_off(self, small_dataset):
+        strict = self._service(small_dataset, "strict")
+        plain = self._service(small_dataset, "off")
+        try:
+            for seed in range(3):
+                group = random_group(small_dataset.users.ids(), 3, seed=seed)
+                assert repr(strict.recommend_group(group)) == repr(
+                    plain.recommend_group(group)
+                )
+            user_id = small_dataset.users.ids()[0]
+            assert repr(strict.recommend_user(user_id)) == repr(
+                plain.recommend_user(user_id)
+            )
+        finally:
+            strict.close()
+            plain.close()
+
+    def _poison(self, service, group, z):
+        """Warm the group cache, then corrupt the cached entry."""
+        clean = service.recommend_group(group, z=z)
+        bad = dataclasses.replace(
+            clean, plain_top_z=tuple(reversed(clean.plain_top_z))
+        )
+        service.group_cache.put((tuple(group.member_ids), z), bad)
+        return bad
+
+    def test_strict_raises_on_poisoned_cache_and_counts(self, small_dataset):
+        registry = MetricsRegistry()
+        service = self._service(small_dataset, "strict", registry)
+        try:
+            group = random_group(small_dataset.users.ids(), 3, seed=1)
+            self._poison(service, group, Z)
+            with pytest.raises(ValidationError) as excinfo:
+                service.recommend_group(group, z=Z)
+            assert "score_order" in str(excinfo.value)
+            assert excinfo.value.violations
+            rendered = render_prometheus(registry)
+            assert 'repro_validation_failures_total{shape="score_order"} 1' in (
+                rendered
+            )
+        finally:
+            service.close()
+
+    def test_log_mode_counts_but_serves(self, small_dataset):
+        registry = MetricsRegistry()
+        service = self._service(small_dataset, "log", registry)
+        try:
+            group = random_group(small_dataset.users.ids(), 3, seed=1)
+            bad = self._poison(service, group, Z)
+            served = service.recommend_group(group, z=Z)
+            assert repr(served) == repr(bad)  # still served...
+            counter = registry.counter("validation_failures", shape="score_order")
+            assert counter.value == 1  # ...but never silently
+        finally:
+            service.close()
+
+    def test_off_mode_neither_raises_nor_counts(self, small_dataset):
+        registry = MetricsRegistry()
+        service = self._service(small_dataset, "off", registry)
+        try:
+            group = random_group(small_dataset.users.ids(), 3, seed=1)
+            bad = self._poison(service, group, Z)
+            served = service.recommend_group(group, z=Z)
+            assert repr(served) == repr(bad)
+            assert "validation_failures" not in render_prometheus(registry)
+        finally:
+            service.close()
+
+    def test_strict_batch_path_validates(self, small_dataset):
+        service = self._service(small_dataset, "strict")
+        try:
+            groups = [
+                random_group(small_dataset.users.ids(), 3, seed=s)
+                for s in range(3)
+            ]
+            clean = service.recommend_many(groups, z=Z)
+            assert len(clean) == 3
+            self._poison(service, groups[1], Z)
+            with pytest.raises(ValidationError):
+                service.recommend_many(groups, z=Z)
+        finally:
+            service.close()
+
+    def test_strict_survives_online_mutations(self, mutable_dataset):
+        # The epoch guard: a mutation between compute and validate must
+        # degrade to matrix-independent checks, never a false positive.
+        service = self._service(mutable_dataset, "strict")
+        try:
+            group = random_group(mutable_dataset.users.ids(), 3, seed=2)
+            before = service.recommend_group(group, z=Z)
+            member = group.member_ids[0]
+            service.ingest_rating(member, before.items[0], 5.0)
+            after = service.recommend_group(group, z=Z)
+            assert before.items[0] not in after.items
+        finally:
+            service.close()

@@ -1,0 +1,171 @@
+"""Dataset-shape tests: the declarative checks behind ``repro validate``.
+
+Strategy: a freshly generated dataset (and its ``to_dict`` payload) must
+pass every shape; then each shape is broken one way at a time and the
+resulting violation list must name exactly that shape, with a message an
+operator can act on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import generate_dataset
+from repro.data.groups import Group
+from repro.validation import (
+    Violation,
+    validate_dataset,
+    validate_dataset_payload,
+    validate_groups,
+    validate_groups_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(num_users=12, num_items=20, ratings_per_user=6, seed=9)
+
+
+@pytest.fixture
+def payload(dataset):
+    # to_dict returns fresh structures, so per-test mutation is safe.
+    return dataset.to_dict()
+
+
+def shapes(violations: list[Violation]) -> set[str]:
+    return {violation.shape for violation in violations}
+
+
+class TestDatasetPayload:
+    def test_clean_payload_passes(self, payload):
+        assert validate_dataset_payload(payload) == []
+
+    def test_non_mapping_document(self):
+        assert shapes(validate_dataset_payload([1, 2])) == {"dataset_document"}
+        assert shapes(validate_dataset_payload(None)) == {"dataset_document"}
+
+    def test_missing_sections_are_each_named(self, payload):
+        del payload["ontology"]
+        del payload["items"]
+        violations = validate_dataset_payload(payload)
+        messages = [v.message for v in violations if v.shape == "dataset_document"]
+        assert any("'ontology'" in m for m in messages)
+        assert any("'items'" in m for m in messages)
+
+    def test_non_string_user_id(self, payload):
+        payload["users"]["users"][0]["user_id"] = 7
+        violations = validate_dataset_payload(payload)
+        # The bad registry id is flagged, and (with the id gone from the
+        # registry) that user's ratings become dangling references.
+        assert "user_id_type" in shapes(violations)
+        assert "rating_unknown_user" in shapes(violations)
+
+    def test_empty_item_id(self, payload):
+        payload["items"]["items"][0]["item_id"] = ""
+        assert "item_id_type" in shapes(validate_dataset_payload(payload))
+
+    def test_duplicate_ids(self, payload):
+        users = payload["users"]["users"]
+        users[1]["user_id"] = users[0]["user_id"]
+        items = payload["items"]["items"]
+        items[1]["item_id"] = items[0]["item_id"]
+        found = shapes(validate_dataset_payload(payload))
+        assert "duplicate_user_id" in found
+        assert "duplicate_item_id" in found
+
+    def test_malformed_section(self, payload):
+        payload["users"] = {"users": "not a list"}
+        assert "users_section" in shapes(validate_dataset_payload(payload))
+
+    def test_bad_scale(self, payload):
+        for bad in ([5.0, 1.0], [1.0], "1-5", [1.0, "five"]):
+            payload["ratings"]["scale"] = bad
+            assert "rating_scale" in shapes(validate_dataset_payload(payload))
+
+    def test_bad_triple_arity(self, payload):
+        payload["ratings"]["ratings"][0] = ["u0001", "d0001"]
+        assert "rating_triple" in shapes(validate_dataset_payload(payload))
+
+    def test_non_numeric_value(self, payload):
+        payload["ratings"]["ratings"][0][2] = "five"
+        assert "rating_value" in shapes(validate_dataset_payload(payload))
+        # Booleans are not ratings even though bool subclasses int.
+        payload["ratings"]["ratings"][0][2] = True
+        assert "rating_value" in shapes(validate_dataset_payload(payload))
+
+    def test_out_of_range_value(self, payload):
+        low, high = payload["ratings"]["scale"]
+        payload["ratings"]["ratings"][0][2] = high + 1
+        violations = validate_dataset_payload(payload)
+        assert shapes(violations) == {"rating_range"}
+        assert str(low) in violations[0].message
+
+    def test_unknown_rating_references(self, payload):
+        payload["ratings"]["ratings"][0][0] = "ghost-user"
+        payload["ratings"]["ratings"][1][1] = "ghost-item"
+        found = shapes(validate_dataset_payload(payload))
+        assert "rating_unknown_user" in found
+        assert "rating_unknown_item" in found
+
+    def test_violation_str_carries_shape_tag(self, payload):
+        payload["ratings"]["ratings"][0][2] = "five"
+        violation = validate_dataset_payload(payload)[0]
+        assert str(violation).startswith("[rating_value] ")
+
+
+class TestGroupsPayload:
+    def test_clean_groups_pass(self, dataset):
+        groups = [{"member_ids": dataset.users.ids()[:3]}]
+        assert validate_groups_payload(groups, dataset.users.ids()) == []
+        assert validate_groups_payload({"groups": groups}, dataset.users.ids()) == []
+
+    def test_non_list_document(self):
+        assert shapes(validate_groups_payload("nope")) == {"groups_document"}
+        assert shapes(validate_groups_payload({"wrong": []})) == {"groups_document"}
+
+    def test_non_object_entry(self):
+        assert shapes(validate_groups_payload(["u1"])) == {"group_entry"}
+
+    def test_empty_member_list(self):
+        assert shapes(validate_groups_payload([{"member_ids": []}])) == {
+            "group_members"
+        }
+
+    def test_non_string_member(self):
+        violations = validate_groups_payload([{"member_ids": [3]}], ["u1"])
+        assert shapes(violations) == {"user_id_type"}
+
+    def test_unknown_member(self, dataset):
+        violations = validate_groups_payload(
+            [{"member_ids": ["ghost"]}], dataset.users.ids()
+        )
+        assert shapes(violations) == {"group_unknown_member"}
+
+    def test_membership_check_skipped_without_registry(self):
+        # No known ids given — referential integrity cannot be judged.
+        assert validate_groups_payload([{"member_ids": ["anyone"]}]) == []
+
+
+class TestObjectLevel:
+    def test_clean_dataset_and_groups_pass(self, dataset):
+        assert validate_dataset(dataset) == []
+        group = Group(member_ids=dataset.users.ids()[:3])
+        assert validate_groups([group], dataset) == []
+
+    def test_out_of_scale_rating_object(self, dataset):
+        # Mutate a rebuilt copy, not the module-scoped fixture.
+        from repro.data.datasets import HealthDataset
+
+        clone = HealthDataset.from_dict(dataset.to_dict())
+        user = clone.ratings.user_ids()[0]
+        item = next(iter(clone.ratings.items_of(user)))
+        # Bypass RatingMatrix.add's own range guard — the object-level
+        # check exists precisely for invariants broken behind the API.
+        clone.ratings._by_user[user][item] = 99.0
+        assert "rating_range" in shapes(validate_dataset(clone))
+
+    def test_unknown_group_member_object(self, dataset):
+        group = Group(member_ids=[dataset.users.ids()[0], "ghost"])
+        violations = validate_groups([group], dataset)
+        assert shapes(violations) == {"group_unknown_member"}
+        assert "'ghost'" in violations[0].message
