@@ -1,0 +1,317 @@
+"""Warm-serve batches: the TCP remote fleet vs the resident pool.
+
+``RemoteBackend`` is the pool's inbox protocol carried over loopback
+TCP: the same sync-before-task epochs, but every TASK/RESULT/SYNC pays
+frame encoding and a socket round trip, and every worker is a separate
+OS process reached only through its connection.  This benchmark prices
+that transport on the workload the pool was built for — consecutive
+batches of distinct group requests with one ``ingest_rating`` mid-run —
+and checks three claims:
+
+1. **bit-identity** — serial, pool and remote agree on every
+   recommendation of every batch, mutation included;
+2. **bounded transport tax** — remote-over-loopback stays within
+   :data:`RATIO_CEILING` × the pool's steady-state time (advisory in
+   CI: ``tools/check_remote_regression.py`` warns, never fails, on
+   timing);
+3. the control-plane economics land in ``BENCH_remote.json``: sync
+   frames/bytes, total wire traffic both ways, and the fault-path
+   counters (requeues, dead workers, torn frames), which must all be
+   **zero** on this clean run.
+
+Run directly (``python benchmarks/bench_remote_backend.py [--quick]``)
+or via ``pytest benchmarks/bench_remote_backend.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import RecommenderConfig  # noqa: E402
+from repro.data.datasets import HealthDataset, generate_dataset  # noqa: E402
+from repro.data.groups import Group  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+from repro.eval.timing import stopwatch  # noqa: E402
+from repro.serving import RecommendationService  # noqa: E402
+
+#: Where the measured numbers are written for regression diffing.
+RESULT_PATH = _ROOT / "BENCH_remote.json"
+
+#: Advisory bar: remote-over-loopback steady state vs the pool.  The
+#: remote transport *costs* (frames, pickling twice, TCP) — the claim
+#: is that the tax is bounded, not that it wins on one host.
+RATIO_CEILING = 4.0
+
+BACKENDS = ("serial", "pool", "remote")
+
+
+@dataclass
+class RemoteBenchTimings:
+    """Wall-clock of one backend over the batch sequence."""
+
+    backend: str
+    workers: int
+    prime_ms: float
+    steady_ms: float
+    per_batch_ms: float
+
+
+@dataclass
+class RemoteBenchResult:
+    """All backends on one steady-state workload, plus the verdict."""
+
+    num_users: int
+    num_items: int
+    batches: int
+    groups_per_batch: int
+    group_size: int
+    timings: list[RemoteBenchTimings] = field(default_factory=list)
+    identical_results: bool = True
+    remote_stats: dict = field(default_factory=dict)
+    pool_stats: dict = field(default_factory=dict)
+
+    def timing(self, backend: str) -> RemoteBenchTimings:
+        for row in self.timings:
+            if row.backend == backend:
+                return row
+        raise KeyError(backend)
+
+    @property
+    def remote_vs_pool_ratio(self) -> float:
+        """Steady-state remote time as a multiple of the pool's."""
+        pool = self.timing("pool").steady_ms
+        remote = self.timing("remote").steady_ms
+        return remote / pool if pool > 0 else float("inf")
+
+
+def _batched_groups(
+    user_ids: list[str],
+    batches: int,
+    groups_per_batch: int,
+    group_size: int,
+    seed: int,
+) -> list[list[Group]]:
+    """Distinct, heavily overlapping groups, split into batches."""
+    rng = random.Random(seed)
+    pool = rng.sample(user_ids, min(len(user_ids), group_size * 3))
+    seen: set[tuple[str, ...]] = set()
+    out: list[list[Group]] = []
+    for batch_index in range(batches):
+        batch: list[Group] = []
+        while len(batch) < groups_per_batch:
+            members = tuple(sorted(rng.sample(pool, group_size)))
+            if members in seen:
+                continue
+            seen.add(members)
+            batch.append(
+                Group(member_ids=list(members), caregiver_id=f"cg{batch_index}")
+            )
+        out.append(batch)
+    return out
+
+
+def run_remote_comparison(
+    num_users: int = 150,
+    num_items: int = 150,
+    ratings_per_user: int = 15,
+    batches: int = 6,
+    groups_per_batch: int = 6,
+    group_size: int = 4,
+    workers: int = 2,
+    seed: int = 42,
+) -> RemoteBenchResult:
+    """Time the batch sequence on serial / pool / remote backends.
+
+    Identical protocol to ``bench_pool_backend``: one untimed priming
+    batch (pool boot, fleet spawn + TCP handshakes, lazy index builds),
+    then the timed steady-state batches with an ``ingest_rating``
+    between the second and third so the window includes one sync cycle
+    on each resident backend.  The remote backend's operational
+    counters are captured before the service closes.
+    """
+    dataset = generate_dataset(
+        num_users=num_users,
+        num_items=num_items,
+        ratings_per_user=ratings_per_user,
+        seed=seed,
+    )
+    payload = dataset.to_dict()
+    config = RecommenderConfig(
+        peer_threshold=0.1, top_z=10, exec_workers=workers
+    )
+    all_batches = _batched_groups(
+        dataset.users.ids(), batches + 1, groups_per_batch, group_size, seed
+    )
+    prime_batch, steady_batches = all_batches[0], all_batches[1:]
+    mutation_user = prime_batch[0].member_ids[0]
+    mutation_item = dataset.ratings.item_ids()[0]
+
+    result = RemoteBenchResult(
+        num_users=num_users,
+        num_items=num_items,
+        batches=batches,
+        groups_per_batch=groups_per_batch,
+        group_size=group_size,
+    )
+    reference: list[list[tuple[str, ...]]] | None = None
+    for name in BACKENDS:
+        service = RecommendationService(
+            HealthDataset.from_dict(payload),
+            config.with_overrides(exec_backend=name),
+        )
+        with stopwatch() as elapsed:
+            service.recommend_many(prime_batch)
+            prime_ms = elapsed()
+        items: list[list[tuple[str, ...]]] = []
+        with stopwatch() as elapsed:
+            for index, batch in enumerate(steady_batches):
+                if index == 2:
+                    service.ingest_rating(mutation_user, mutation_item, 5.0)
+                items.append(
+                    [rec.items for rec in service.recommend_many(batch)]
+                )
+            steady_ms = elapsed()
+        if name == "remote":
+            result.remote_stats = service.backend.remote_stats()
+        elif name == "pool":
+            result.pool_stats = service.backend.pool_stats()
+        service.close()
+        if reference is None:
+            reference = items
+        elif items != reference:
+            result.identical_results = False
+        result.timings.append(
+            RemoteBenchTimings(
+                backend=name,
+                workers=service.backend.workers,
+                prime_ms=prime_ms,
+                steady_ms=steady_ms,
+                per_batch_ms=steady_ms / len(steady_batches),
+            )
+        )
+    return result
+
+
+def write_result(result: RemoteBenchResult, path: Path = RESULT_PATH) -> Path:
+    """Persist the measurements as JSON for regression diffing."""
+    remote = result.remote_stats
+    payload = {
+        "benchmark": "remote_backend",
+        "workload": {
+            "num_users": result.num_users,
+            "num_items": result.num_items,
+            "batches": result.batches,
+            "groups_per_batch": result.groups_per_batch,
+            "group_size": result.group_size,
+            "mutation_between_batches": True,
+        },
+        "identical_results": result.identical_results,
+        "remote_vs_pool_ratio": result.remote_vs_pool_ratio,
+        "ratio_ceiling": RATIO_CEILING,
+        "timings": [asdict(row) for row in result.timings],
+        "remote_wire": {
+            "sync_messages": remote.get("sync_messages", 0),
+            "sync_bytes": remote.get("sync_bytes", 0),
+            "frames_sent": remote.get("frames_sent", 0),
+            "frames_received": remote.get("frames_received", 0),
+            "bytes_sent": remote.get("bytes_sent", 0),
+            "bytes_received": remote.get("bytes_received", 0),
+            "heartbeats": remote.get("heartbeats", 0),
+        },
+        "remote_faults": {
+            "requeues": remote.get("requeues", 0),
+            "dead_workers": remote.get("dead_workers", 0),
+            "torn_frames": remote.get("torn_frames", 0),
+            "handshake_rejects": remote.get("handshake_rejects", 0),
+        },
+        "pool_sync_bytes": result.pool_stats.get("sync_bytes", 0),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def test_remote_backend_bit_identical():
+    """Serial, resident pool and TCP remote must agree everywhere."""
+    result = run_remote_comparison(
+        num_users=60,
+        num_items=80,
+        ratings_per_user=10,
+        batches=3,
+        groups_per_batch=3,
+    )
+    assert result.identical_results
+    assert result.remote_stats["dead_workers"] == 0
+    assert result.remote_stats["requeues"] == 0
+
+
+def test_remote_backend_sync_economics():
+    """One mid-run mutation must cost exactly one delta broadcast —
+    O(workers) SYNC frames, not O(tasks) — and a clean run must record
+    zero fault-path activity.  Timing is advisory; the wire economics
+    are exact."""
+    result = run_remote_comparison()
+    write_result(result)
+    assert result.identical_results
+    remote = result.remote_stats
+    assert remote["delta_syncs"] == 1
+    assert remote["sync_messages"] == remote["live_workers"]
+    assert remote["sync_bytes"] > 0
+    assert remote["requeues"] == 0
+    assert remote["dead_workers"] == 0
+    assert remote["torn_frames"] == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    if quick:
+        result = run_remote_comparison(
+            num_users=60,
+            num_items=80,
+            ratings_per_user=10,
+            batches=3,
+            groups_per_batch=3,
+        )
+    else:
+        result = run_remote_comparison()
+    rows = [
+        [row.backend, row.workers, row.prime_ms, row.steady_ms, row.per_batch_ms]
+        for row in result.timings
+    ]
+    print(
+        format_table(
+            ["backend", "workers", "prime (ms)", "steady total (ms)", "per batch (ms)"],
+            rows,
+            float_format="{:.1f}",
+        )
+    )
+    remote = result.remote_stats
+    print(
+        f"\nbit-identical across backends: {result.identical_results}\n"
+        f"remote vs pool steady-state ratio: "
+        f"{result.remote_vs_pool_ratio:.2f}x (ceiling {RATIO_CEILING}x, advisory)\n"
+        f"remote wire: {remote.get('frames_sent', 0)} frames out / "
+        f"{remote.get('frames_received', 0)} in, "
+        f"{remote.get('sync_bytes', 0)} sync bytes, "
+        f"{remote.get('requeues', 0)} requeues, "
+        f"{remote.get('dead_workers', 0)} dead workers"
+    )
+    if not quick:
+        path = write_result(result)
+        print(f"wrote {path}")
+    if not result.identical_results:
+        print("ERROR: backends disagree on results", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

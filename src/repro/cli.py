@@ -14,7 +14,11 @@ without writing any Python:
 * ``serve`` — load a dataset into a warm
   :class:`~repro.serving.RecommendationService` and answer a stream of
   JSONL requests, printing latency and cache statistics (``--strict``
-  validates every response against the declared shapes);
+  validates every response against the declared shapes; ``--listen
+  HOST:PORT`` serves concurrent JSONL streams over TCP instead, with
+  bounded in-flight admission control);
+* ``worker`` — join a ``--backend remote`` fleet as a separate worker
+  process, connecting to the parent's listener over TCP;
 * ``stats`` — replay a request stream quietly and print the metrics
   registry (text, JSON, or Prometheus exposition format);
 * ``validate`` — check a dataset JSON (and optional group file) against
@@ -30,7 +34,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .config import KNOWN_EXEC_BACKENDS, KNOWN_KERNELS, RecommenderConfig
-from .exec import DEFAULT_IDLE_TTL
+from .exec import DEFAULT_HEARTBEAT_INTERVAL, DEFAULT_IDLE_TTL
 from .core.pipeline import CaregiverPipeline
 from .data.datasets import generate_dataset
 from .data.groups import Group, random_group
@@ -296,6 +300,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="shorthand for --validation strict",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "instead of replaying the request file, serve concurrent "
+            "JSONL request streams over TCP from the warm service "
+            "(port 0 picks a free port; the bound address is printed)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help=(
+            "with --listen: cross-connection ceiling on concurrently "
+            "executing requests; excess requests are rejected "
+            'immediately with a typed {"error": "overloaded"} response'
+        ),
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --listen: stop after N successfully answered requests "
+            "(default: serve until interrupted)"
+        ),
+    )
+    serve.add_argument(
+        "--remote-workers",
+        type=int,
+        default=0,
+        help=(
+            "with --backend remote: loopback worker processes the "
+            "backend spawns (0 = the --workers width); externally "
+            "started 'repro worker' processes join on top"
+        ),
+    )
+    serve.add_argument(
+        "--remote-heartbeat-interval",
+        type=float,
+        default=2.0,
+        help=(
+            "with --backend remote: seconds between a worker's "
+            "heartbeat beacons"
+        ),
+    )
+    serve.add_argument(
+        "--remote-heartbeat-timeout",
+        type=float,
+        default=10.0,
+        help=(
+            "with --backend remote: seconds of mid-batch silence after "
+            "which a worker is declared dead and its in-flight tasks "
+            "are requeued onto the survivors"
+        ),
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="join a remote execution fleet as a worker process",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help=(
+            "address of the parent RemoteBackend listener (printed by "
+            "'repro serve --backend remote --listen ...')"
+        ),
+    )
+    worker.add_argument(
+        "--fingerprint",
+        default=None,
+        help=(
+            "config fingerprint this worker expects to serve; the "
+            "handshake fails loudly when the parent serves different "
+            "recommendation semantics (default: accept the parent's)"
+        ),
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=DEFAULT_HEARTBEAT_INTERVAL,
+        help="seconds between heartbeat beacons to the parent",
     )
 
     validate = subparsers.add_parser(
@@ -595,6 +687,94 @@ def _replay_requests(service, requests, args, emit) -> int:
     return number
 
 
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` CLI argument, validating the port."""
+    host, separator, port_text = spec.rpartition(":")
+    if not separator or not host:
+        raise SystemExit(f"error: expected HOST:PORT, got {spec!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(
+            f"error: invalid port {port_text!r} in {spec!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise SystemExit(f"error: port {port} out of range in {spec!r}")
+    return host, port
+
+
+def _serve_listen(service, registry, args: argparse.Namespace) -> int:
+    """The ``serve --listen`` front end: JSONL request streams over TCP."""
+    import time
+
+    from .eval.reporting import format_latency_histogram, format_serving_stats
+    from .serving import RequestServer
+
+    host, port = _parse_endpoint(args.listen)
+    # A remote backend shares the story: print the worker rendezvous
+    # address so external `repro worker` processes can join the fleet.
+    backend_listen = getattr(service.backend, "listen", None)
+    if backend_listen is not None:
+        worker_host, worker_port = backend_listen()
+        print(
+            f"remote workers join with: repro worker "
+            f"--connect {worker_host}:{worker_port}"
+        )
+    server = RequestServer(
+        service, host, port, max_inflight=args.max_inflight, metrics=registry
+    )
+    bound_host, bound_port = server.start()
+    print(
+        f"listening on {bound_host}:{bound_port} "
+        f"(max in-flight {args.max_inflight}"
+        + (
+            f", stopping after {args.max_requests} requests)"
+            if args.max_requests is not None
+            else ")"
+        ),
+        flush=True,
+    )
+    answered = registry.counter("server_requests")
+    try:
+        while (
+            args.max_requests is None
+            or answered.value < args.max_requests
+        ):
+            time.sleep(0.05)
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        server.stop()
+    print()
+    print(format_latency_histogram(
+        registry.merged_histogram("request_ms", exclude_labels=("worker",))
+    ))
+    print(format_serving_stats(service.stats()))
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .exec import run_worker
+    from .exec.wire import WireError
+
+    host, port = _parse_endpoint(args.connect)
+    try:
+        served = run_worker(
+            host,
+            port,
+            fingerprint=args.fingerprint,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+    except WireError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except ConnectionError as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 3
+    print(f"worker served {served} task item(s)")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from .eval.reporting import format_latency_histogram, format_serving_stats
     from .eval.timing import stopwatch
@@ -617,6 +797,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         pool_max_workers=args.pool_max_workers,
         pool_idle_ttl=args.pool_idle_ttl,
         pool_target_p99_ms=args.pool_target_p99_ms,
+        remote_workers=args.remote_workers,
+        remote_heartbeat_interval=args.remote_heartbeat_interval,
+        remote_heartbeat_timeout=args.remote_heartbeat_timeout,
         index_shards=args.shards,
         packed_spill=args.packed_spill or "",
         validation="strict" if args.strict else args.validation,
@@ -659,6 +842,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         if snapshot_path is not None and not args.no_warm:
             service.save_snapshot(snapshot_path)
             print(f"saved neighbor-index snapshot to {snapshot_path}")
+
+    if args.listen is not None:
+        return _serve_listen(service, registry, args)
 
     def _emit(number: int, request, result) -> None:
         if args.quiet:
@@ -740,6 +926,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "stats": _command_stats,
     "validate": _command_validate,
+    "worker": _command_worker,
 }
 
 

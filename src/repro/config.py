@@ -41,7 +41,13 @@ KNOWN_SIMILARITIES: tuple[str, ...] = (
 #: Execution backend names accepted by :class:`RecommenderConfig`
 #: (mirrors :data:`repro.exec.BACKEND_NAMES` without importing it —
 #: config must stay import-light).
-KNOWN_EXEC_BACKENDS: tuple[str, ...] = ("serial", "thread", "process", "pool")
+KNOWN_EXEC_BACKENDS: tuple[str, ...] = (
+    "serial",
+    "thread",
+    "process",
+    "pool",
+    "remote",
+)
 
 #: Pool state-sync strategies accepted by :class:`RecommenderConfig`
 #: (mirrors :data:`repro.exec.POOL_SYNC_MODES`).
@@ -126,10 +132,10 @@ class RecommenderConfig:
         ``1`` serves batches sequentially.
     exec_backend:
         Default execution backend (``"serial"``, ``"thread"``,
-        ``"process"`` or ``"pool"``) used by the compute layers
-        (MapReduce engine, index builds, batch serving, eval grids).
-        All backends produce bit-identical results; this is purely a
-        performance knob.
+        ``"process"``, ``"pool"`` or ``"remote"``) used by the compute
+        layers (MapReduce engine, index builds, batch serving, eval
+        grids).  All backends produce bit-identical results; this is
+        purely a performance knob.
     exec_workers:
         Worker count for the execution backend; ``0`` selects the
         number of available CPUs.
@@ -162,6 +168,21 @@ class RecommenderConfig:
         ``pool_max_workers``, shrinking again once p99 recovers below
         half the target.  ``0.0`` (default) disables the policy
         (queue-depth growth and idle-TTL shrinking still apply).
+    remote_workers:
+        Fleet width of the ``"remote"`` backend: how many loopback
+        worker processes it spawns (externally started ``repro worker``
+        processes join on top).  ``0`` (default) uses the resolved
+        ``exec_workers`` width.  Ignored by the other backends; purely
+        operational (excluded from :meth:`fingerprint`).
+    remote_heartbeat_interval:
+        Seconds between a remote worker's heartbeat beacons.  Must be
+        smaller than ``remote_heartbeat_timeout``.  Purely operational
+        (excluded from :meth:`fingerprint`).
+    remote_heartbeat_timeout:
+        Seconds of mid-batch silence after which the ``"remote"``
+        parent declares a worker dead and requeues its in-flight tasks
+        onto the surviving workers.  Purely operational (excluded from
+        :meth:`fingerprint`).
     index_shards:
         Number of shards the serving layer's neighbour index is hash-
         partitioned into.  ``1`` keeps the single flat index; more
@@ -223,6 +244,9 @@ class RecommenderConfig:
     pool_max_workers: int = 0
     pool_idle_ttl: float = 30.0
     pool_target_p99_ms: float = 0.0
+    remote_workers: int = 0
+    remote_heartbeat_interval: float = 2.0
+    remote_heartbeat_timeout: float = 10.0
     index_shards: int = 1
     kernel: str = "packed"
     packed_scan: bool = True
@@ -307,6 +331,21 @@ class RecommenderConfig:
             raise ConfigurationError(
                 "pool_target_p99_ms must be >= 0 (0 = disabled)"
             )
+        if self.remote_workers < 0:
+            raise ConfigurationError(
+                "remote_workers must be >= 0 (0 = exec_workers width)"
+            )
+        if self.remote_heartbeat_interval <= 0:
+            raise ConfigurationError(
+                "remote_heartbeat_interval must be positive"
+            )
+        if self.remote_heartbeat_timeout <= self.remote_heartbeat_interval:
+            raise ConfigurationError(
+                f"remote_heartbeat_timeout "
+                f"({self.remote_heartbeat_timeout}) must exceed "
+                f"remote_heartbeat_interval "
+                f"({self.remote_heartbeat_interval})"
+            )
         if self.index_shards <= 0:
             raise ConfigurationError("index_shards must be positive")
         if self.kernel not in KNOWN_KERNELS:
@@ -364,6 +403,9 @@ class RecommenderConfig:
             "pool_max_workers": self.pool_max_workers,
             "pool_idle_ttl": self.pool_idle_ttl,
             "pool_target_p99_ms": self.pool_target_p99_ms,
+            "remote_workers": self.remote_workers,
+            "remote_heartbeat_interval": self.remote_heartbeat_interval,
+            "remote_heartbeat_timeout": self.remote_heartbeat_timeout,
             "index_shards": self.index_shards,
             "kernel": self.kernel,
             "packed_scan": self.packed_scan,

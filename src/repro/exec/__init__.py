@@ -1,12 +1,14 @@
 """repro.exec — the execution substrate shared by every compute layer.
 
 One abstraction (:class:`~repro.exec.backends.ExecutionBackend`) with
-four implementations — serial, thread, process, pool — used by the
-MapReduce engine, the similarity batch builds, the neighbour index, the
-serving batch API and the evaluation grids.  All backends produce
+five implementations — serial, thread, process, pool, remote — used by
+the MapReduce engine, the similarity batch builds, the neighbour index,
+the serving batch API and the evaluation grids.  All backends produce
 bit-identical results; they differ only in wall-clock and in how state
 reaches the workers (:mod:`repro.exec.pool` documents the long-lived
 pool's broadcast epoch-sync protocol and autoscaling policy;
+:mod:`repro.exec.remote` takes the same protocol over TCP with
+heartbeats and dead-peer requeue, framed by :mod:`repro.exec.wire`;
 ``docs/ARCHITECTURE.md`` has the cross-layer picture).
 """
 
@@ -29,21 +31,36 @@ from .pool import (
     POOL_SYNC_MODES,
     PoolBackend,
 )
+from .remote import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    HashRing,
+    RemoteBackend,
+    run_worker,
+)
+from .wire import TruncatedFrameError, WireError
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
     "DEFAULT_IDLE_TTL",
     "DEFAULT_MAX_DELTA_LOG",
     "ExecutionBackend",
+    "HashRing",
     "POOL_SYNC_MODES",
     "PoolBackend",
     "ProcessBackend",
+    "RemoteBackend",
     "SerialBackend",
     "ThreadBackend",
+    "TruncatedFrameError",
+    "WireError",
     "backend_scope",
     "chunk_evenly",
     "default_workers",
     "ensure_picklable",
     "get_backend",
     "resolve_backend",
+    "run_worker",
 ]

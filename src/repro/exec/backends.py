@@ -46,7 +46,13 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Backend names accepted by :func:`get_backend` (and the CLI/config).
-BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process", "pool")
+BACKEND_NAMES: tuple[str, ...] = (
+    "serial",
+    "thread",
+    "process",
+    "pool",
+    "remote",
+)
 
 
 def ensure_picklable(fn: Callable[..., Any]) -> None:
@@ -326,15 +332,22 @@ def get_backend(
     pool_max_workers: int | None = None,
     pool_idle_ttl: float | None = None,
     pool_target_p99_ms: float | None = None,
+    remote_workers: int | None = None,
+    remote_heartbeat_interval: float | None = None,
+    remote_heartbeat_timeout: float | None = None,
+    remote_fingerprint: str | None = None,
     metrics: Any = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by name (``None`` means serial).
 
     The ``pool_*`` keywords configure the
     :class:`~repro.exec.pool.PoolBackend` (state-sync strategy,
-    autoscaling bounds and the p99 latency target) and ``metrics`` is
-    the :class:`~repro.obs.MetricsRegistry` the pool reports into; all
-    are ignored by the other backends.
+    autoscaling bounds and the p99 latency target), the ``remote_*``
+    keywords the :class:`~repro.exec.remote.RemoteBackend` (fleet
+    width, heartbeat cadence/timeout and the config fingerprint its
+    handshake enforces), and ``metrics`` is the
+    :class:`~repro.obs.MetricsRegistry` the stateful backends report
+    into; all are ignored by the other backends.
 
     >>> get_backend("serial").name
     'serial'
@@ -364,6 +377,29 @@ def get_backend(
             target_p99_ms=pool_target_p99_ms,
             metrics=metrics,
         )
+    if name == "remote":
+        from .remote import (
+            DEFAULT_HEARTBEAT_INTERVAL,
+            DEFAULT_HEARTBEAT_TIMEOUT,
+            RemoteBackend,
+        )
+
+        return RemoteBackend(
+            remote_workers or workers,
+            sync=pool_sync,
+            heartbeat_interval=(
+                remote_heartbeat_interval
+                if remote_heartbeat_interval is not None
+                else DEFAULT_HEARTBEAT_INTERVAL
+            ),
+            heartbeat_timeout=(
+                remote_heartbeat_timeout
+                if remote_heartbeat_timeout is not None
+                else DEFAULT_HEARTBEAT_TIMEOUT
+            ),
+            fingerprint=remote_fingerprint,
+            metrics=metrics,
+        )
     raise ConfigurationError(
         f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
     )
@@ -378,6 +414,10 @@ def resolve_backend(
     pool_max_workers: int | None = None,
     pool_idle_ttl: float | None = None,
     pool_target_p99_ms: float | None = None,
+    remote_workers: int | None = None,
+    remote_heartbeat_interval: float | None = None,
+    remote_heartbeat_timeout: float | None = None,
+    remote_fingerprint: str | None = None,
     metrics: Any = None,
 ) -> ExecutionBackend:
     """Coerce a backend spec (instance, name or ``None``) to an instance.
@@ -403,6 +443,10 @@ def resolve_backend(
         pool_max_workers=pool_max_workers,
         pool_idle_ttl=pool_idle_ttl,
         pool_target_p99_ms=pool_target_p99_ms,
+        remote_workers=remote_workers,
+        remote_heartbeat_interval=remote_heartbeat_interval,
+        remote_heartbeat_timeout=remote_heartbeat_timeout,
+        remote_fingerprint=remote_fingerprint,
         metrics=metrics,
     )
 

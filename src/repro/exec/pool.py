@@ -295,19 +295,33 @@ class _Worker:
         self.process = process
         self.inbox = inbox
 
-    def stop(self) -> None:
-        """Send the targeted stop message, join, release the inbox."""
+    def stop(self) -> bool:
+        """Send the targeted stop message, join, release the inbox.
+
+        Every join is time-bounded: a worker that ignores its stop
+        message is escalated to ``terminate()`` (SIGTERM) and then to
+        ``kill()`` (SIGKILL) rather than stalling pool shutdown behind
+        an unbounded join.  Returns ``True`` when escalation was needed
+        so the pool can count forced stops (``pool_forced_stops``).
+        """
         if self.process.is_alive():
             try:
                 self.inbox.put(_STOP_BLOB)
             except (ValueError, OSError):  # pragma: no cover - closed
                 pass
         self.process.join(timeout=_JOIN_TIMEOUT_SECONDS)
-        if self.process.is_alive():  # pragma: no cover - defensive
+        forced = False
+        if self.process.is_alive():
+            forced = True
             self.process.terminate()
-            self.process.join()
+            self.process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        if self.process.is_alive():
+            kill = getattr(self.process, "kill", self.process.terminate)
+            kill()
+            self.process.join(timeout=_JOIN_TIMEOUT_SECONDS)
         self.inbox.close()
         self.inbox.cancel_join_thread()
+        return forced
 
 
 class PoolBackend(ExecutionBackend):
@@ -465,6 +479,7 @@ class PoolBackend(ExecutionBackend):
         self._scale_ups = self.metrics.counter("pool_scale_ups")
         self._scale_downs = self.metrics.counter("pool_scale_downs")
         self._bootstrap_bytes = self.metrics.counter("pool_bootstrap_bytes")
+        self._forced_stops = self.metrics.counter("pool_forced_stops")
         # Pickled size of the current initargs binding, cached per
         # binding identity (the tuple is rebound wholesale on restart).
         self._initargs_size_cache: tuple[tuple[Any, ...], int] | None = None
@@ -581,6 +596,7 @@ class PoolBackend(ExecutionBackend):
                 "idle_ttl": self.idle_ttl,
                 "scale_ups": int(self._scale_ups.value),
                 "scale_downs": int(self._scale_downs.value),
+                "forced_stops": int(self._forced_stops.value),
                 "target_p99_ms": self.target_p99_ms,
                 "batch_p99_ms": self._batch_latency.windowed_quantile(0.99),
             }
@@ -651,7 +667,8 @@ class PoolBackend(ExecutionBackend):
         if stopped:
             self._scale_downs.inc(len(stopped))
         for worker in stopped:
-            worker.stop()
+            if worker.stop():
+                self._forced_stops.inc()
 
     def _spawn_worker(self) -> None:
         """Fork one worker bootstrapped at the parent's current epoch.
@@ -934,7 +951,8 @@ class PoolBackend(ExecutionBackend):
         """Stop every worker and drop the queues (under _lock)."""
         workers, self._workers = self._workers, []
         for worker in workers:
-            worker.stop()
+            if worker.stop():
+                self._forced_stops.inc()
         if self._results is not None:
             self._results.close()
             self._results.cancel_join_thread()

@@ -13,7 +13,10 @@ adds the thin, stateful service layer a deployment needs:
   single-user, group and batch request paths with targeted cache
   invalidation on :meth:`ingest_rating` / :meth:`update_profile`;
 * :mod:`repro.serving.requests` — the JSONL request model replayed by
-  the CLI ``serve`` command and the throughput benchmark.
+  the CLI ``serve`` command and the throughput benchmark;
+* :class:`~repro.serving.server.RequestServer` — the async TCP front
+  end (``serve --listen``): concurrent JSONL request streams with
+  bounded in-flight admission control and typed overload rejection.
 
 Warm results are bit-identical to the cold pipeline — the serving layer
 changes *when* work happens, never *what* is computed.
@@ -29,6 +32,7 @@ from .requests import (
     save_requests,
     synthetic_workload,
 )
+from .server import OverloadedError, RequestServer
 from .service import RecommendationService
 from .sharding import ShardedNeighborIndex, shard_of
 from .snapshot import (
@@ -44,7 +48,9 @@ __all__ = [
     "CacheStats",
     "CachedSimilarity",
     "NeighborIndex",
+    "OverloadedError",
     "RecommendationService",
+    "RequestServer",
     "ServeRequest",
     "ShardedNeighborIndex",
     "is_sharded_snapshot_path",

@@ -365,6 +365,10 @@ class RecommendationService:
                 pool_max_workers=config.pool_max_workers or None,
                 pool_idle_ttl=config.pool_idle_ttl,
                 pool_target_p99_ms=config.pool_target_p99_ms or None,
+                remote_workers=config.remote_workers or None,
+                remote_heartbeat_interval=config.remote_heartbeat_interval,
+                remote_heartbeat_timeout=config.remote_heartbeat_timeout,
+                remote_fingerprint=config.fingerprint(),
                 metrics=self.metrics,
             )
         # A pool backend keeps a resident worker service between
@@ -1253,4 +1257,7 @@ class RecommendationService:
         pool_stats = getattr(self.backend, "pool_stats", None)
         if pool_stats is not None:
             stats["pool"] = pool_stats()
+        remote_stats = getattr(self.backend, "remote_stats", None)
+        if remote_stats is not None:
+            stats["remote"] = remote_stats()
         return stats

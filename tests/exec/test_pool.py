@@ -322,3 +322,51 @@ class TestDeltaSync:
                 _read_state, [None] * 30, initializer=_set_state, initargs=(0,)
             )
             assert backend.pool_stats()["sync_messages"] == 3  # unchanged
+
+
+# -- forced-stop escalation -------------------------------------------------
+
+
+def _wedge_worker(x: int) -> int:
+    """Leave the worker process unable to exit cleanly.
+
+    Ignoring SIGTERM defeats ``terminate()``, and the non-daemon
+    sleeper thread blocks interpreter shutdown after the worker loop
+    reads its stop message — the exact shape of a wedged worker that
+    used to hang ``close()`` forever on an unbounded ``join()``.
+    """
+    import signal
+    import threading
+    import time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    threading.Thread(target=time.sleep, args=(300,), daemon=False).start()
+    return x
+
+
+class TestForcedStop:
+    def test_wedged_worker_is_killed_not_joined_forever(self, monkeypatch):
+        """Regression: ``close()`` must time-bound its joins and
+        escalate terminate → kill on a worker that will not exit,
+        counting the escalation in ``pool_forced_stops``."""
+        import time
+
+        from repro.exec import pool as pool_module
+
+        monkeypatch.setattr(pool_module, "_JOIN_TIMEOUT_SECONDS", 0.2)
+        backend = PoolBackend(workers=1)
+        try:
+            assert backend.map_items(_wedge_worker, [7]) == [7]
+            started = time.monotonic()
+            backend.close()
+            elapsed = time.monotonic() - started
+        finally:
+            backend.close()
+        assert elapsed < 5.0, f"close() took {elapsed:.1f}s on a wedged worker"
+        assert backend.metrics.counter("pool_forced_stops").value >= 1
+        assert backend.pool_stats()["forced_stops"] >= 1
+
+    def test_clean_workers_stop_without_escalation(self):
+        with PoolBackend(workers=2) as backend:
+            backend.map_items(_square, [1, 2, 3])
+        assert backend.metrics.counter("pool_forced_stops").value == 0

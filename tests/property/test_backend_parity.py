@@ -1,9 +1,10 @@
 """Randomized cross-backend parity: every backend, bit-identical, always.
 
 The execution layer's load-bearing promise is that the backend is a
-pure performance knob — serial, thread, process and the long-lived pool
-must produce **bit-identical** recommendations on any workload, and the
-sharded index must agree with the flat one.  Long-lived workers make
+pure performance knob — serial, thread, process, the long-lived pool
+and the TCP-transported remote fleet must produce **bit-identical**
+recommendations on any workload, and the sharded index must agree with
+the flat one.  Long-lived workers make
 that promise fragile in exactly one place: state mutated *between*
 batches.  So the workloads here are seeded random interleavings of
 
@@ -72,6 +73,15 @@ CONFIGURATIONS = (
     ("serial", 3, "delta", False, "packed", {"validation": "strict"}),
     ("pool", 1, "delta", False, "packed", {"validation": "strict"}),
     ("pool", 3, "delta", False, "packed", {"validation": "strict"}),
+    # The remote backend: the pool's inbox protocol over loopback TCP
+    # (PR 9) — real sockets, real frame codec, spawned worker
+    # processes.  Flat/sharded × delta/full sync × strict validation,
+    # including the same pinned batch → ingest → batch staleness
+    # scenario every other backend replays.
+    ("remote", 1, "delta", False, "packed", {}),
+    ("remote", 3, "delta", False, "packed", {}),
+    ("remote", 1, "full", False, "packed", {}),
+    ("remote", 1, "delta", False, "packed", {"validation": "strict"}),
 )
 
 

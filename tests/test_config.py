@@ -225,3 +225,65 @@ class TestResolvePositive:
 
         with pytest.raises(ConfigurationError, match="z must be positive"):
             resolve_positive(value, 7, "z")
+
+
+class TestRemoteConfig:
+    """The remote-backend knobs added with repro.exec.remote."""
+
+    def test_defaults(self):
+        config = RecommenderConfig()
+        assert config.remote_workers == 0  # 0 = exec_workers width
+        assert config.remote_heartbeat_interval == 2.0
+        assert config.remote_heartbeat_timeout == 10.0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"remote_workers": -1},
+            {"remote_heartbeat_interval": 0.0},
+            {"remote_heartbeat_interval": -2.0},
+            {"remote_heartbeat_timeout": 0.0},
+            # timeout must strictly exceed the interval
+            {"remote_heartbeat_interval": 5.0, "remote_heartbeat_timeout": 5.0},
+            {"remote_heartbeat_interval": 5.0, "remote_heartbeat_timeout": 1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            RecommenderConfig(**overrides)
+
+    def test_remote_backend_is_known(self):
+        config = RecommenderConfig(exec_backend="remote")
+        assert config.exec_backend == "remote"
+
+    def test_round_trip_includes_remote_fields(self):
+        config = RecommenderConfig(
+            exec_backend="remote",
+            remote_workers=4,
+            remote_heartbeat_interval=0.5,
+            remote_heartbeat_timeout=3.0,
+        )
+        rebuilt = RecommenderConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_from_dict_tolerates_old_payloads(self):
+        payload = RecommenderConfig().to_dict()
+        for key in (
+            "remote_workers",
+            "remote_heartbeat_interval",
+            "remote_heartbeat_timeout",
+        ):
+            payload.pop(key)
+        config = RecommenderConfig.from_dict(payload)
+        assert config.remote_workers == 0
+        assert config.remote_heartbeat_timeout == 10.0
+
+    def test_fingerprint_ignores_remote_knobs(self):
+        base = RecommenderConfig()
+        tuned = base.with_overrides(
+            exec_backend="remote",
+            remote_workers=8,
+            remote_heartbeat_interval=0.5,
+            remote_heartbeat_timeout=4.0,
+        )
+        assert base.fingerprint() == tuned.fingerprint()

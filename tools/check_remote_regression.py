@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Advisory gate over the remote-backend transport measurement.
+
+Reads a ``BENCH_remote.json`` payload (freshly produced by
+``benchmarks/bench_remote_backend.py``) and **warns** (never fails)
+when the remote-over-loopback steady state exceeds its ceiling as a
+multiple of the pool's.  Timing on shared CI runners is noisy, so the
+perf half of this gate is advisory by design: it prints GitHub
+``::warning::`` annotations and always exits 0 on slow-but-correct
+runs.
+
+*Structural* problems exit 1, because they mean the transport changed
+results rather than merely costing time:
+
+* missing/corrupt payload or a non-numeric ratio;
+* ``identical_results`` false — the remote fleet diverged from the
+  serial reference, a correctness failure;
+* nonzero fault-path counters (requeues, dead workers, torn frames) on
+  what must be a clean, fault-free benchmark run.
+
+Usage::
+
+    python tools/check_remote_regression.py BENCH_remote.json [--ceiling 4.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_result(path: Path) -> dict:
+    """Read one ``BENCH_remote.json`` payload, validating its shape."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if not isinstance(payload.get("remote_vs_pool_ratio"), (int, float)):
+        raise SystemExit(
+            f"error: {path} has no numeric 'remote_vs_pool_ratio' field"
+        )
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", type=Path, help="measured BENCH_remote.json")
+    parser.add_argument(
+        "--ceiling",
+        type=float,
+        default=None,
+        help=(
+            "tolerated remote/pool steady-state ratio before warning "
+            "(default: the payload's own ratio_ceiling, falling back to 4.0)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    payload = load_result(args.result)
+    if payload.get("identical_results") is not True:
+        print(
+            "error: remote serving is not bit-identical with the serial "
+            "reference — that is a correctness failure, not a perf one",
+            file=sys.stderr,
+        )
+        return 1
+    faults = payload.get("remote_faults", {})
+    dirty = {
+        name: faults.get(name, 0)
+        for name in ("requeues", "dead_workers", "torn_frames")
+        if faults.get(name, 0)
+    }
+    if dirty:
+        print(
+            f"error: fault-path counters fired on a clean benchmark run "
+            f"({dirty}) — workers are dying or tearing frames without "
+            f"injected faults",
+            file=sys.stderr,
+        )
+        return 1
+    ceiling = args.ceiling
+    if ceiling is None:
+        ceiling = float(payload.get("ratio_ceiling", 4.0))
+    ratio = float(payload["remote_vs_pool_ratio"])
+    wire = payload.get("remote_wire", {})
+    traffic = (
+        f"{wire.get('sync_bytes', 0)} sync bytes, "
+        f"{wire.get('frames_sent', 0)} frames out / "
+        f"{wire.get('frames_received', 0)} in"
+    )
+    if ratio > ceiling:
+        print(
+            f"::warning::remote-over-loopback steady state is {ratio:.2f}x "
+            f"the pool's, above the {ceiling:.1f}x ceiling ({traffic})"
+        )
+    else:
+        print(
+            f"remote transport OK: {ratio:.2f}x the pool steady state "
+            f"(ceiling {ceiling:.1f}x, bit-identical, zero faults; {traffic})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
