@@ -1,0 +1,224 @@
+"""Resilience-seam overhead: guarded serving vs bare serving.
+
+The ``repro.resilience`` deadline seam rides every request path
+(:meth:`RecommendationService.recommend_group` checks its budget on
+entry, the backends check between dispatch rounds), so an *unexpired*
+deadline must be close to free — the acceptance bar is **< 5%
+wall-clock overhead** on a repeated-group serving workload, with
+bit-identical recommendations either way (a budget that never expires
+may never change results).
+
+The comparison replays the same workload twice per repeat:
+
+* **bare** — no deadline threaded: every check site reduces to one
+  ``is None`` test;
+* **guarded** — a one-hour :class:`~repro.resilience.Deadline` rides
+  every request: each check reads the clock and compares.
+
+Timing takes the best of ``--repeats`` interleaved runs per mode so a
+one-off scheduler hiccup cannot brand the seam slow.  Run directly
+(``python benchmarks/bench_resilience_overhead.py [--quick]
+[--output PATH]``) to (re)write ``BENCH_resilience.json``; ``--quick``
+shrinks the workload to a correctness-only smoke for CI.  The
+committed ``BENCH_resilience.json`` is the baseline
+``tools/check_resilience_overhead.py`` reads in the advisory CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import RecommenderConfig  # noqa: E402
+from repro.data.datasets import generate_dataset  # noqa: E402
+from repro.eval.timing import stopwatch  # noqa: E402
+from repro.obs import reset_registry  # noqa: E402
+from repro.resilience import Deadline  # noqa: E402
+from repro.serving import RecommendationService, synthetic_workload  # noqa: E402
+
+#: Accepted deadline-seam cost on the serving workload.
+OVERHEAD_CEILING_PCT = 5.0
+
+#: Guarded-mode budget: generous enough to never expire mid-benchmark.
+GUARD_BUDGET_SECONDS = 3600.0
+
+
+@dataclass
+class OverheadResult:
+    """Wall-clock comparison of one guarded-vs-bare replay."""
+
+    requests: int
+    distinct_groups: int
+    repeats: int
+    bare_runs_ms: list[float]
+    guarded_runs_ms: list[float]
+    identical_results: bool
+
+    @property
+    def bare_ms(self) -> float:
+        """Best bare replay (minimum over repeats)."""
+        return min(self.bare_runs_ms)
+
+    @property
+    def guarded_ms(self) -> float:
+        """Best guarded replay (minimum over repeats)."""
+        return min(self.guarded_runs_ms)
+
+    @property
+    def overhead_pct(self) -> float:
+        """Guarded-over-bare cost as a percentage of bare."""
+        if self.bare_ms == 0.0:
+            return 0.0
+        return (self.guarded_ms - self.bare_ms) / self.bare_ms * 100.0
+
+    def as_dict(self) -> dict:
+        """The ``BENCH_resilience.json`` payload."""
+        return {
+            "benchmark": "resilience_overhead",
+            "workload": {
+                "requests": self.requests,
+                "distinct_groups": self.distinct_groups,
+                "repeats": self.repeats,
+            },
+            "identical_results": self.identical_results,
+            "bare_ms": self.bare_ms,
+            "guarded_ms": self.guarded_ms,
+            "overhead_pct": self.overhead_pct,
+            "overhead_ceiling_pct": OVERHEAD_CEILING_PCT,
+            "timings": [
+                {"mode": "bare", "runs_ms": self.bare_runs_ms},
+                {"mode": "guarded", "runs_ms": self.guarded_runs_ms},
+            ],
+        }
+
+
+def _replay(dataset, config, groups, guarded: bool) -> tuple[float, list]:
+    """One fresh-service replay; returns (elapsed_ms, recommended items)."""
+    reset_registry()
+    service = RecommendationService(dataset, config)
+    service.warm()
+    deadline = Deadline.after(GUARD_BUDGET_SECONDS) if guarded else None
+    with stopwatch() as elapsed:
+        results = [
+            service.recommend_group(group, deadline=deadline)
+            for group in groups
+        ]
+        run_ms = elapsed()
+    return run_ms, [tuple(result.items) for result in results]
+
+
+def run_overhead_comparison(
+    num_users: int = 120,
+    num_items: int = 200,
+    ratings_per_user: int = 25,
+    num_requests: int = 600,
+    distinct_groups: int = 12,
+    group_size: int = 5,
+    repeats: int = 5,
+    seed: int = 42,
+) -> OverheadResult:
+    """Replay the same workload bare and guarded, interleaved.
+
+    The service (caches, index, registry) is rebuilt per run so each
+    replay does identical work; only the deadline argument differs.
+    """
+    dataset = generate_dataset(
+        num_users=num_users,
+        num_items=num_items,
+        ratings_per_user=ratings_per_user,
+        seed=seed,
+    )
+    config = RecommenderConfig(peer_threshold=0.1, top_z=10)
+    workload = synthetic_workload(
+        dataset.users.ids(),
+        num_requests=num_requests,
+        group_size=group_size,
+        distinct_groups=distinct_groups,
+        seed=seed,
+    )
+    groups = [request.group() for request in workload if request.kind == "group"]
+
+    bare_runs: list[float] = []
+    guarded_runs: list[float] = []
+    bare_items: list | None = None
+    guarded_items: list | None = None
+    try:
+        for _ in range(repeats):
+            run_ms, items = _replay(dataset, config, groups, guarded=False)
+            bare_runs.append(run_ms)
+            bare_items = items if bare_items is None else bare_items
+            run_ms, items = _replay(dataset, config, groups, guarded=True)
+            guarded_runs.append(run_ms)
+            guarded_items = items if guarded_items is None else guarded_items
+    finally:
+        reset_registry()
+    return OverheadResult(
+        requests=len(groups),
+        distinct_groups=distinct_groups,
+        repeats=repeats,
+        bare_runs_ms=bare_runs,
+        guarded_runs_ms=guarded_runs,
+        identical_results=bare_items == guarded_items,
+    )
+
+
+def test_resilience_bit_identity():
+    """A live deadline may never change results — quick workload, hard gate."""
+    result = run_overhead_comparison(
+        num_users=60, num_items=80, num_requests=30, repeats=1
+    )
+    assert result.identical_results, (
+        "recommendations diverged between guarded and bare serving"
+    )
+
+
+def test_resilience_overhead_under_ceiling():
+    """Guarded serving stays within the overhead ceiling (advisory job)."""
+    result = run_overhead_comparison()
+    assert result.identical_results
+    assert result.overhead_pct < OVERHEAD_CEILING_PCT, (
+        f"deadline seam costs {result.overhead_pct:.1f}% "
+        f"(bare {result.bare_ms:.0f} ms vs guarded "
+        f"{result.guarded_ms:.0f} ms, ceiling {OVERHEAD_CEILING_PCT}%)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write the overhead payload; exit 1 only on a bit-identity break."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    output = Path("BENCH_resilience.json")
+    if "--output" in args:
+        output = Path(args[args.index("--output") + 1])
+    if quick:
+        result = run_overhead_comparison(
+            num_users=60, num_items=80, num_requests=30, repeats=1
+        )
+    else:
+        result = run_overhead_comparison()
+    payload = result.as_dict()
+    output.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    print(
+        f"resilience overhead: {result.overhead_pct:+.2f}% "
+        f"(bare {result.bare_ms:.1f} ms, guarded "
+        f"{result.guarded_ms:.1f} ms, ceiling "
+        f"{OVERHEAD_CEILING_PCT:.0f}%, quick={quick}) -> {output}"
+    )
+    if not result.identical_results:
+        print(
+            "error: guarded and bare replays disagree on the "
+            "recommended items",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

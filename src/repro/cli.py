@@ -360,6 +360,37 @@ def build_parser() -> argparse.ArgumentParser:
             "are requeued onto the survivors"
         ),
     )
+    serve.add_argument(
+        "--remote-connect-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "with --backend remote: seconds to wait for workers to "
+            "connect before a dispatch fails loudly"
+        ),
+    )
+    serve.add_argument(
+        "--degraded-mode",
+        choices=["off", "serial"],
+        default="off",
+        help=(
+            "with --backend remote: total-fleet-loss policy — 'off' "
+            "fails the batch loudly, 'serial' falls back to "
+            "bit-identical in-process serial execution (responses are "
+            'marked "degraded": true)'
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "with --listen: per-request time budget; an overrunning "
+            'request is answered with {"error": "deadline"} '
+            "(0 = no budget)"
+        ),
+    )
 
     worker = subparsers.add_parser(
         "worker",
@@ -388,6 +419,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=DEFAULT_HEARTBEAT_INTERVAL,
         help="seconds between heartbeat beacons to the parent",
+    )
+    worker.add_argument(
+        "--rejoin-attempts",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "reconnect with exponential backoff after a dropped "
+            "connection, for up to N consecutive dead sessions; the "
+            "worker is re-admitted at the parent's current epoch via a "
+            "full BOOT (0 = exit on the first drop)"
+        ),
     )
 
     validate = subparsers.add_parser(
@@ -708,6 +751,7 @@ def _serve_listen(service, registry, args: argparse.Namespace) -> int:
     import time
 
     from .eval.reporting import format_latency_histogram, format_serving_stats
+    from .obs import render_json
     from .serving import RequestServer
 
     host, port = _parse_endpoint(args.listen)
@@ -721,7 +765,12 @@ def _serve_listen(service, registry, args: argparse.Namespace) -> int:
             f"--connect {worker_host}:{worker_port}"
         )
     server = RequestServer(
-        service, host, port, max_inflight=args.max_inflight, metrics=registry
+        service,
+        host,
+        port,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout or None,
+        metrics=registry,
     )
     bound_host, bound_port = server.start()
     print(
@@ -744,26 +793,42 @@ def _serve_listen(service, registry, args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("interrupted; shutting down")
     finally:
+        # Drain in order: stop admitting new requests, then stop the
+        # service's worker pool/fleet through the escalation path — a
+        # SIGINT mid-stream must leave no orphan worker processes.
         server.stop()
+        service.close()
     print()
     print(format_latency_histogram(
         registry.merged_histogram("request_ms", exclude_labels=("worker",))
     ))
     print(format_serving_stats(service.stats()))
+    if args.metrics:
+        print()
+        print("== metrics (json) ==")
+        print(render_json(registry, indent=2))
     return 0
 
 
 def _command_worker(args: argparse.Namespace) -> int:
     from .exec import run_worker
     from .exec.wire import WireError
+    from .resilience import RetryPolicy
 
     host, port = _parse_endpoint(args.connect)
+    # N rejoin attempts = N+1 total sessions under the policy.
+    rejoin = (
+        RetryPolicy(max_attempts=args.rejoin_attempts + 1)
+        if args.rejoin_attempts > 0
+        else None
+    )
     try:
         served = run_worker(
             host,
             port,
             fingerprint=args.fingerprint,
             heartbeat_interval=args.heartbeat_interval,
+            rejoin=rejoin,
         )
     except WireError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -800,6 +865,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         remote_workers=args.remote_workers,
         remote_heartbeat_interval=args.remote_heartbeat_interval,
         remote_heartbeat_timeout=args.remote_heartbeat_timeout,
+        remote_connect_timeout=args.remote_connect_timeout,
+        degraded_mode=args.degraded_mode,
         index_shards=args.shards,
         packed_spill=args.packed_spill or "",
         validation="strict" if args.strict else args.validation,

@@ -63,6 +63,10 @@ KNOWN_KERNELS: tuple[str, ...] = ("packed", "dict")
 #: it — config must stay import-light).
 KNOWN_VALIDATION_MODES: tuple[str, ...] = ("strict", "log", "off")
 
+#: Total-fleet-loss policies of the remote backend (see
+#: :class:`~repro.exec.remote.RemoteBackend`).
+KNOWN_DEGRADED_MODES: tuple[str, ...] = ("off", "serial")
+
 
 def resolve_positive(value: int | None, default: int, name: str) -> int:
     """Resolve an optional per-call override of a positive config value.
@@ -183,6 +187,18 @@ class RecommenderConfig:
         parent declares a worker dead and requeues its in-flight tasks
         onto the surviving workers.  Purely operational (excluded from
         :meth:`fingerprint`).
+    remote_connect_timeout:
+        Seconds the ``"remote"`` parent waits for workers to connect
+        before a dispatch fails with
+        :class:`~repro.exec.remote.FleetLossError`.  Purely operational
+        (excluded from :meth:`fingerprint`).
+    degraded_mode:
+        Total-fleet-loss policy of the ``"remote"`` backend: ``"off"``
+        (default) raises :class:`~repro.exec.remote.FleetLossError`,
+        ``"serial"`` falls back to bit-identical in-process serial
+        execution (counted as ``remote_degraded_dispatches``; served
+        responses carry ``"degraded": true``).  Results never differ —
+        purely operational (excluded from :meth:`fingerprint`).
     index_shards:
         Number of shards the serving layer's neighbour index is hash-
         partitioned into.  ``1`` keeps the single flat index; more
@@ -247,6 +263,8 @@ class RecommenderConfig:
     remote_workers: int = 0
     remote_heartbeat_interval: float = 2.0
     remote_heartbeat_timeout: float = 10.0
+    remote_connect_timeout: float = 30.0
+    degraded_mode: str = "off"
     index_shards: int = 1
     kernel: str = "packed"
     packed_scan: bool = True
@@ -346,6 +364,13 @@ class RecommenderConfig:
                 f"remote_heartbeat_interval "
                 f"({self.remote_heartbeat_interval})"
             )
+        if self.remote_connect_timeout <= 0:
+            raise ConfigurationError("remote_connect_timeout must be positive")
+        if self.degraded_mode not in KNOWN_DEGRADED_MODES:
+            raise ConfigurationError(
+                f"unknown degraded_mode {self.degraded_mode!r}; "
+                f"expected one of {KNOWN_DEGRADED_MODES}"
+            )
         if self.index_shards <= 0:
             raise ConfigurationError("index_shards must be positive")
         if self.kernel not in KNOWN_KERNELS:
@@ -406,6 +431,8 @@ class RecommenderConfig:
             "remote_workers": self.remote_workers,
             "remote_heartbeat_interval": self.remote_heartbeat_interval,
             "remote_heartbeat_timeout": self.remote_heartbeat_timeout,
+            "remote_connect_timeout": self.remote_connect_timeout,
+            "degraded_mode": self.degraded_mode,
             "index_shards": self.index_shards,
             "kernel": self.kernel,
             "packed_scan": self.packed_scan,

@@ -94,6 +94,26 @@ class ExecutionError(ReproError, RuntimeError):
     """
 
 
+class DeadlineExceeded(ReproError, TimeoutError):
+    """Raised when a request's time budget runs out before its work does.
+
+    Carries the deadline's human-readable ``context`` (what was being
+    attempted) and how far past the budget the check ran.  The JSONL
+    front end maps it to a ``{"error": "deadline"}`` response; backend
+    dispatch paths raise it between tasks, never mid-task, so a timed-
+    out batch leaves no partially recorded results behind.
+    """
+
+    def __init__(self, context: str, budget: float, overrun: float) -> None:
+        super().__init__(
+            f"deadline exceeded in {context}: budget {budget:.3f}s "
+            f"overrun by {overrun:.3f}s"
+        )
+        self.context = context
+        self.budget = budget
+        self.overrun = overrun
+
+
 class ValidationError(ReproError, ValueError):
     """Raised when data or a served response violates a declared shape.
 

@@ -32,22 +32,29 @@ from .pool import (
     PoolBackend,
 )
 from .remote import (
+    DEFAULT_CONNECT_TIMEOUT,
     DEFAULT_HEARTBEAT_INTERVAL,
     DEFAULT_HEARTBEAT_TIMEOUT,
+    DEGRADED_MODES,
+    FleetLossError,
     HashRing,
     RemoteBackend,
     run_worker,
 )
-from .wire import TruncatedFrameError, WireError
+from .wire import PeerDisconnected, TruncatedFrameError, WireError
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_CONNECT_TIMEOUT",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_HEARTBEAT_TIMEOUT",
     "DEFAULT_IDLE_TTL",
     "DEFAULT_MAX_DELTA_LOG",
+    "DEGRADED_MODES",
     "ExecutionBackend",
+    "FleetLossError",
     "HashRing",
+    "PeerDisconnected",
     "POOL_SYNC_MODES",
     "PoolBackend",
     "ProcessBackend",

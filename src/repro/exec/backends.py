@@ -41,6 +41,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..exceptions import ConfigurationError, ExecutionError
+from ..resilience import Deadline
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -146,6 +147,7 @@ class ExecutionBackend(ABC):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
         """``[fn(item) for item in items]`` — possibly in parallel.
 
@@ -153,7 +155,11 @@ class ExecutionBackend(ABC):
         order.  ``initializer``/``initargs`` set up per-worker state
         (the process backend runs it once in every worker; the in-process
         backends run it once before mapping, so the same task function
-        works everywhere).
+        works everywhere).  ``deadline`` is an optional
+        :class:`~repro.resilience.Deadline`; when the budget runs out a
+        backend raises :class:`~repro.exceptions.DeadlineExceeded`
+        between tasks — never mid-task — so no partial result is ever
+        recorded.
         """
 
     def map_partitions(
@@ -163,8 +169,17 @@ class ExecutionBackend(ABC):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
         """Apply ``fn`` to whole partitions, one task per partition."""
+        if deadline is not None:
+            return self.map_items(
+                fn,
+                partitions,
+                initializer=initializer,
+                initargs=initargs,
+                deadline=deadline,
+            )
         return self.map_items(
             fn, partitions, initializer=initializer, initargs=initargs
         )
@@ -211,15 +226,25 @@ class SerialBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
         """A literal ``[fn(item) for item in items]`` — the reference.
+
+        With a ``deadline`` the budget is checked between items, so a
+        timed-out serial batch stops at a task boundary.
 
         >>> SerialBackend().map_items(abs, [-2, 3])
         [2, 3]
         """
         if initializer is not None:
             initializer(*initargs)
-        return [fn(item) for item in items]
+        if deadline is None:
+            return [fn(item) for item in items]
+        results: list[R] = []
+        for position, item in enumerate(items):
+            deadline.check(f"serial task {position}")
+            results.append(fn(item))
+        return results
 
 
 class ThreadBackend(ExecutionBackend):
@@ -251,8 +276,17 @@ class ThreadBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
-        """Map on the (lazily created, reused) thread pool, in order."""
+        """Map on the (lazily created, reused) thread pool, in order.
+
+        A ``deadline`` is checked before dispatch — once tasks are on
+        the pool the batch drains (threads share the parent's state, so
+        tasks are typically fast and abandoning futures would leak
+        running work).
+        """
+        if deadline is not None:
+            deadline.check("thread dispatch")
         if initializer is not None:
             initializer(*initargs)
         items = list(items)
@@ -304,12 +338,20 @@ class ProcessBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
-        """Map on a fresh process pool; workers see state as of this call."""
+        """Map on a fresh process pool; workers see state as of this call.
+
+        A ``deadline`` is checked before the pool is built — forking
+        workers for a batch whose budget already ran out wastes a full
+        state ship.
+        """
         items = list(items)
         if not items:
             return []
         self._check_picklable(fn)
+        if deadline is not None:
+            deadline.check(f"process dispatch of {len(items)} task item(s)")
         workers = min(self.workers, len(items))
         chunksize = max(1, len(items) // (workers * 4))
         with ProcessPoolExecutor(
@@ -335,7 +377,9 @@ def get_backend(
     remote_workers: int | None = None,
     remote_heartbeat_interval: float | None = None,
     remote_heartbeat_timeout: float | None = None,
+    remote_connect_timeout: float | None = None,
     remote_fingerprint: str | None = None,
+    degraded_mode: str = "off",
     metrics: Any = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by name (``None`` means serial).
@@ -343,11 +387,13 @@ def get_backend(
     The ``pool_*`` keywords configure the
     :class:`~repro.exec.pool.PoolBackend` (state-sync strategy,
     autoscaling bounds and the p99 latency target), the ``remote_*``
-    keywords the :class:`~repro.exec.remote.RemoteBackend` (fleet
-    width, heartbeat cadence/timeout and the config fingerprint its
-    handshake enforces), and ``metrics`` is the
-    :class:`~repro.obs.MetricsRegistry` the stateful backends report
-    into; all are ignored by the other backends.
+    keywords plus ``degraded_mode`` the
+    :class:`~repro.exec.remote.RemoteBackend` (fleet width, heartbeat
+    cadence/timeout, the worker-connect deadline, the config
+    fingerprint its handshake enforces, and whether total fleet loss
+    degrades to serial execution instead of raising), and ``metrics``
+    is the :class:`~repro.obs.MetricsRegistry` the stateful backends
+    report into; all are ignored by the other backends.
 
     >>> get_backend("serial").name
     'serial'
@@ -379,6 +425,7 @@ def get_backend(
         )
     if name == "remote":
         from .remote import (
+            DEFAULT_CONNECT_TIMEOUT,
             DEFAULT_HEARTBEAT_INTERVAL,
             DEFAULT_HEARTBEAT_TIMEOUT,
             RemoteBackend,
@@ -397,7 +444,13 @@ def get_backend(
                 if remote_heartbeat_timeout is not None
                 else DEFAULT_HEARTBEAT_TIMEOUT
             ),
+            connect_timeout=(
+                remote_connect_timeout
+                if remote_connect_timeout is not None
+                else DEFAULT_CONNECT_TIMEOUT
+            ),
             fingerprint=remote_fingerprint,
+            degraded_mode=degraded_mode,
             metrics=metrics,
         )
     raise ConfigurationError(
@@ -417,7 +470,9 @@ def resolve_backend(
     remote_workers: int | None = None,
     remote_heartbeat_interval: float | None = None,
     remote_heartbeat_timeout: float | None = None,
+    remote_connect_timeout: float | None = None,
     remote_fingerprint: str | None = None,
+    degraded_mode: str = "off",
     metrics: Any = None,
 ) -> ExecutionBackend:
     """Coerce a backend spec (instance, name or ``None``) to an instance.
@@ -446,7 +501,9 @@ def resolve_backend(
         remote_workers=remote_workers,
         remote_heartbeat_interval=remote_heartbeat_interval,
         remote_heartbeat_timeout=remote_heartbeat_timeout,
+        remote_connect_timeout=remote_connect_timeout,
         remote_fingerprint=remote_fingerprint,
+        degraded_mode=degraded_mode,
         metrics=metrics,
     )
 

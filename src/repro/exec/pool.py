@@ -73,6 +73,7 @@ from typing import Any, Callable, Iterable, TypeVar
 
 from ..exceptions import ConfigurationError, ExecutionError
 from ..obs import MetricsRegistry, get_registry
+from ..resilience import Deadline, RetryPolicy
 from .backends import ExecutionBackend, chunk_evenly, ensure_picklable
 
 T = TypeVar("T")
@@ -115,6 +116,41 @@ _CHUNKS_PER_WORKER = 4
 #: feeder thread and hanging the collect loop).  The stop message never
 #: varies, so it is serialised once here.
 _STOP_BLOB: bytes = pickle.dumps(("stop",))
+
+
+#: The escalation ladder a stopping worker process is driven through:
+#: one bounded join per attempt (after the STOP message, after
+#: ``terminate()``, after ``kill()``).  The policy contributes the
+#: attempt count and the flat backoff shape; each join's timeout is
+#: ``delay(attempt) * _JOIN_TIMEOUT_SECONDS``, so the module constant
+#: (which tests shrink) still scales the whole ladder.
+_STOP_ESCALATION = RetryPolicy(
+    max_attempts=3, base_delay=1.0, multiplier=1.0, max_delay=1.0
+)
+
+
+def join_with_escalation(
+    process: Any, policy: RetryPolicy = _STOP_ESCALATION
+) -> bool:
+    """Join ``process``, escalating terminate → kill between bounded joins.
+
+    Returns ``True`` when escalation was needed — the process ignored
+    its orderly stop and had to be signalled.  Shared by the pool's
+    worker shutdown and the remote backend's loopback-process reaping,
+    so both count forced stops through the same policy.
+    """
+    escalation = (
+        process.terminate,
+        getattr(process, "kill", process.terminate),
+    )
+    forced = False
+    for attempt in policy.attempts():
+        process.join(timeout=policy.delay(attempt) * _JOIN_TIMEOUT_SECONDS)
+        if not process.is_alive() or attempt > len(escalation):
+            break
+        forced = True
+        escalation[attempt - 1]()
+    return forced
 
 
 def _same_elements(a: tuple[Any, ...], b: tuple[Any, ...]) -> bool:
@@ -299,26 +335,18 @@ class _Worker:
         """Send the targeted stop message, join, release the inbox.
 
         Every join is time-bounded: a worker that ignores its stop
-        message is escalated to ``terminate()`` (SIGTERM) and then to
-        ``kill()`` (SIGKILL) rather than stalling pool shutdown behind
-        an unbounded join.  Returns ``True`` when escalation was needed
-        so the pool can count forced stops (``pool_forced_stops``).
+        message is driven through :func:`join_with_escalation`'s
+        ``terminate()`` (SIGTERM) → ``kill()`` (SIGKILL) ladder rather
+        than stalling pool shutdown behind an unbounded join.  Returns
+        ``True`` when escalation was needed so the pool can count
+        forced stops (``pool_forced_stops``).
         """
         if self.process.is_alive():
             try:
                 self.inbox.put(_STOP_BLOB)
             except (ValueError, OSError):  # pragma: no cover - closed
                 pass
-        self.process.join(timeout=_JOIN_TIMEOUT_SECONDS)
-        forced = False
-        if self.process.is_alive():
-            forced = True
-            self.process.terminate()
-            self.process.join(timeout=_JOIN_TIMEOUT_SECONDS)
-        if self.process.is_alive():
-            kill = getattr(self.process, "kill", self.process.terminate)
-            kill()
-            self.process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        forced = join_with_escalation(self.process)
         self.inbox.close()
         self.inbox.cancel_join_thread()
         return forced
@@ -819,6 +847,7 @@ class PoolBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
         """``[fn(item) for item in items]`` on the resident workers.
 
@@ -829,11 +858,18 @@ class PoolBackend(ExecutionBackend):
         bit-identical to the serial backend.  A task exception is
         re-raised in the parent for the earliest failing item, after
         the batch drains.
+
+        ``deadline`` is checked *before* dispatch only: once chunks sit
+        in worker inboxes, aborting the collect loop would leave queued
+        results to corrupt the next batch, so an already-dispatched
+        batch always drains.
         """
         items = list(items)
         if not items:
             return []
         ensure_picklable(fn)
+        if deadline is not None:
+            deadline.check(f"pool dispatch of {len(items)} task item(s)")
         batch_started = self._clock()
         with self._dispatch_lock:
             with self._lock:

@@ -49,8 +49,9 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from ..exceptions import ConfigurationError, ExecutionError
 from ..obs import MetricsRegistry, get_registry
+from ..resilience import CircuitBreaker, Deadline, FaultInjector, RetryPolicy
 from .backends import ExecutionBackend, chunk_evenly, ensure_picklable
-from .pool import DEFAULT_MAX_DELTA_LOG, POOL_SYNC_MODES
+from .pool import DEFAULT_MAX_DELTA_LOG, POOL_SYNC_MODES, join_with_escalation
 from .wire import (
     DEFAULT_MAX_FRAME_BYTES,
     Boot,
@@ -58,6 +59,7 @@ from .wire import (
     FrameConnection,
     Heartbeat,
     Hello,
+    PeerDisconnected,
     Stop,
     Sync,
     Task,
@@ -77,10 +79,23 @@ DEFAULT_HEARTBEAT_INTERVAL = 2.0
 #: dead mid-batch and requeues its in-flight tasks.
 DEFAULT_HEARTBEAT_TIMEOUT = 10.0
 
-#: Seconds the parent waits for spawned workers to connect back (and a
-#: spawn-less backend waits for any external worker) before failing the
-#: dispatch loudly.
-_CONNECT_TIMEOUT_SECONDS = 30.0
+#: Default seconds the parent waits for spawned workers to connect back
+#: (and a spawn-less backend waits for any external worker) before
+#: failing the dispatch loudly.  Overridable per backend via the
+#: ``connect_timeout`` parameter / ``remote_connect_timeout`` config knob.
+DEFAULT_CONNECT_TIMEOUT = 30.0
+
+#: Degraded-mode policies for total fleet loss: ``"off"`` raises
+#: :class:`FleetLossError`, ``"serial"`` falls back to bit-identical
+#: in-process serial execution.
+DEGRADED_MODES: tuple[str, ...] = ("off", "serial")
+
+#: Rejoin policy the spawned loopback workers use: a worker whose
+#: connection dies reconnects through the normal handshake with
+#: exponential backoff instead of exiting.
+LOOPBACK_REJOIN = RetryPolicy(
+    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=1.0
+)
 
 #: Seconds each side of the handshake waits for the other's frame.
 _HANDSHAKE_TIMEOUT_SECONDS = 30.0
@@ -94,6 +109,18 @@ _JOIN_TIMEOUT_SECONDS = 5.0
 
 #: Task chunks dispatched per worker per ``map_items`` batch.
 _CHUNKS_PER_WORKER = 4
+
+
+class FleetLossError(ExecutionError):
+    """The entire remote fleet is gone and the batch cannot complete.
+
+    Raised when no worker connects within the connect timeout, when the
+    last worker dies mid-batch with task items still unanswered, or when
+    fleet preparation ends with zero live workers.  The degraded-mode
+    fallback (``degraded_mode="serial"``) catches exactly this type —
+    single-worker failures with survivors requeue instead and are never
+    degraded.
+    """
 
 
 class HashRing:
@@ -280,6 +307,10 @@ def _execute_task(conn: FrameConnection, worker_id: int, task: Task) -> int:
                     TaskResult(task.chunk_id, index, True, value, delta=delta)
                 )
                 continue
+            except PeerDisconnected:
+                # The connection itself died (or a scripted tear fired):
+                # not a payload problem — propagate to the session loop.
+                raise
             except WireError as exc:
                 # Encoding failed before any bytes hit the wire: report
                 # the unpicklable result as a typed task error instead.
@@ -310,31 +341,33 @@ def _execute_task(conn: FrameConnection, worker_id: int, task: Task) -> int:
     return len(task.pairs)
 
 
-def run_worker(
+class _ScriptedDeath(Exception):
+    """Control-flow signal: a plan's ``die_after_tasks`` trigger fired."""
+
+
+def _serve_session(
     host: str,
     port: int,
     *,
-    fingerprint: str | None = None,
-    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
-    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-    handshake_timeout: float = _HANDSHAKE_TIMEOUT_SECONDS,
-) -> int:
-    """Connect to a :class:`RemoteBackend` parent and serve until stopped.
+    fingerprint: str | None,
+    heartbeat_interval: float,
+    max_frame_bytes: int,
+    handshake_timeout: float,
+    injector: FaultInjector | None,
+    progress: list[int],
+) -> bool:
+    """One connect/handshake/serve cycle; ``True`` on a clean STOP.
 
-    The ``repro worker --connect HOST:PORT`` entry point.  Performs the
-    fingerprint handshake, then serves BOOT/SYNC/TASK frames in stream
-    order until a STOP frame or the parent closes the connection.  A
-    background thread sends a HEARTBEAT every ``heartbeat_interval``
-    seconds.  Returns the number of task items served; raises
-    :class:`~repro.exec.wire.WireError` when the parent rejects the
-    handshake (e.g. a config-fingerprint mismatch).
+    ``progress[0]`` accumulates served task items as they complete, so
+    the caller still knows the count when the session dies mid-stream.
+    Returns ``False`` when the parent closes the stream without a STOP
+    frame — the rejoin-eligible outcome; connection faults raise.
     """
-    if heartbeat_interval <= 0:
-        raise ConfigurationError("heartbeat_interval must be positive")
+    if injector is not None:
+        injector.session_started()
     sock = socket.create_connection((host, port), timeout=handshake_timeout)
     sock.settimeout(None)
-    conn = FrameConnection(sock, max_frame_bytes)
-    served = 0
+    conn = FrameConnection(sock, max_frame_bytes, injector=injector)
     stop_beacon = threading.Event()
     try:
         conn.send(Hello(fingerprint=fingerprint))
@@ -362,7 +395,10 @@ def run_worker(
         worker_id = reply.worker_id
 
         def _beat() -> None:
-            while not stop_beacon.wait(heartbeat_interval):
+            period = heartbeat_interval
+            if injector is not None:
+                period += injector.heartbeat_delay()
+            while not stop_beacon.wait(period):
                 try:
                     conn.send(Heartbeat(epoch=_EPOCH))
                 except (WireError, OSError):  # parent gone; main loop exits
@@ -374,14 +410,21 @@ def run_worker(
         beacon.start()
         while True:
             message = conn.recv()
-            if message is None or isinstance(message, Stop):
-                return served
+            if message is None:
+                return False
+            if isinstance(message, Stop):
+                return True
             if isinstance(message, Boot):
                 _apply_boot(message)
             elif isinstance(message, Sync):
                 _apply_remote_sync(message)
             elif isinstance(message, Task):
-                served += _execute_task(conn, worker_id, message)
+                served = _execute_task(conn, worker_id, message)
+                progress[0] += served
+                if injector is not None:
+                    injector.note_served(served)
+                    if injector.should_die():
+                        raise _ScriptedDeath()
             elif isinstance(message, Fault):
                 raise WireError(
                     f"parent faulted this worker: {message.message}"
@@ -396,6 +439,82 @@ def run_worker(
         conn.close()
 
 
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    fingerprint: str | None = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    handshake_timeout: float = _HANDSHAKE_TIMEOUT_SECONDS,
+    rejoin: RetryPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
+) -> int:
+    """Connect to a :class:`RemoteBackend` parent and serve until stopped.
+
+    The ``repro worker --connect HOST:PORT`` entry point.  Performs the
+    fingerprint handshake, then serves BOOT/SYNC/TASK frames in stream
+    order until a STOP frame or the parent closes the connection.  A
+    background thread sends a HEARTBEAT every ``heartbeat_interval``
+    seconds.  Returns the number of task items served; raises
+    :class:`~repro.exec.wire.WireError` when the parent rejects the
+    handshake (e.g. a config-fingerprint mismatch).
+
+    With a ``rejoin`` policy, a dropped connection (parent closed the
+    stream without STOP, socket error, torn frame) is transient: the
+    worker backs off per the policy and reconnects through the normal
+    handshake, getting a fresh worker id and a full BOOT at the
+    parent's current epoch.  A session that served at least one task
+    item resets the attempt budget — only *consecutive* dead sessions
+    exhaust it.  Fingerprint rejection stays permanent.
+
+    ``fault_injector`` wires a scripted :class:`~repro.resilience.FaultPlan`
+    into the send path and the serve loop (chaos tests only): dropped or
+    torn RESULT frames, delayed heartbeats, and a one-shot scripted
+    death after N served items — rejoined afterwards only when the plan
+    sets ``rejoin_after_death``.
+    """
+    if heartbeat_interval <= 0:
+        raise ConfigurationError("heartbeat_interval must be positive")
+    total = 0
+    attempt = 0
+    while True:
+        attempt += 1
+        progress = [0]
+        rejoinable = rejoin is not None and attempt < rejoin.max_attempts
+        try:
+            stopped = _serve_session(
+                host,
+                port,
+                fingerprint=fingerprint,
+                heartbeat_interval=heartbeat_interval,
+                max_frame_bytes=max_frame_bytes,
+                handshake_timeout=handshake_timeout,
+                injector=fault_injector,
+                progress=progress,
+            )
+        except _ScriptedDeath:
+            total += progress[0]
+            if not (
+                rejoinable
+                and fault_injector is not None
+                and fault_injector.plan.rejoin_after_death
+            ):
+                return total
+        except (PeerDisconnected, TruncatedFrameError, OSError):
+            total += progress[0]
+            if not rejoinable:
+                raise
+        else:
+            total += progress[0]
+            if stopped or not rejoinable:
+                return total
+        if progress[0] > 0:
+            attempt = 1  # a productive session refreshes the rejoin budget
+        assert rejoin is not None
+        time.sleep(rejoin.delay(attempt))
+
+
 def _loopback_worker_main(
     host: str,
     port: int,
@@ -403,13 +522,19 @@ def _loopback_worker_main(
     max_frame_bytes: int,
 ) -> None:
     """Process target of the backend's self-spawned loopback workers."""
-    run_worker(
-        host,
-        port,
-        fingerprint=None,
-        heartbeat_interval=heartbeat_interval,
-        max_frame_bytes=max_frame_bytes,
-    )
+    try:
+        run_worker(
+            host,
+            port,
+            fingerprint=None,
+            heartbeat_interval=heartbeat_interval,
+            max_frame_bytes=max_frame_bytes,
+            rejoin=LOOPBACK_REJOIN,
+        )
+    except (OSError, PeerDisconnected, TruncatedFrameError):
+        # Rejoin budget exhausted and the parent is gone for good:
+        # exit quietly instead of spraying a traceback into CI logs.
+        pass
 
 
 # -- parent side -------------------------------------------------------------
@@ -431,11 +556,18 @@ class _Chunk:
 class _RemoteWorker:
     """Parent-side handle of one connected worker."""
 
-    __slots__ = ("worker_id", "conn", "last_seen", "chunks", "counted_rx")
+    __slots__ = (
+        "worker_id", "conn", "host", "last_seen", "chunks", "counted_rx"
+    )
 
-    def __init__(self, worker_id: int, conn: FrameConnection) -> None:
+    def __init__(
+        self, worker_id: int, conn: FrameConnection, host: str = "?"
+    ) -> None:
         self.worker_id = worker_id
         self.conn = conn
+        #: Peer address string — the circuit breaker's accounting key, so
+        #: fault history survives the fresh worker_id a rejoin gets.
+        self.host = host
         self.last_seen = 0.0
         #: chunk_id -> :class:`_Chunk` with result-pending pairs.
         self.chunks: dict[int, _Chunk] = {}
@@ -472,6 +604,22 @@ class RemoteBackend(ExecutionBackend):
         Beacon period passed to spawned workers, and the silence
         window after which the parent declares any worker dead
         mid-batch.  The timeout must exceed the interval.
+    connect_timeout:
+        Seconds the parent waits for workers to connect before a
+        dispatch fails with :class:`FleetLossError`.
+    degraded_mode:
+        Total-fleet-loss policy: ``"off"`` (default) raises
+        :class:`FleetLossError`; ``"serial"`` re-runs the lost batch
+        in-process on the parent's own state — bit-identical results,
+        no parallelism, counted as ``remote_degraded_dispatches``.
+    breaker_threshold / breaker_cooldown:
+        Per-host circuit breaker: after ``breaker_threshold``
+        consecutive faults from one peer host, its reconnecting
+        workers are deferred for ``breaker_cooldown`` seconds (default
+        the heartbeat interval), then one probe is re-admitted.
+        ``breaker_threshold=0`` disables the breaker.  The breaker
+        never empties the fleet — with no admissible worker left,
+        open-circuit hosts are probed anyway.
     fingerprint:
         This parent's config fingerprint, offered in WELCOME frames and
         checked against each HELLO: a worker expecting a different
@@ -496,6 +644,10 @@ class RemoteBackend(ExecutionBackend):
         spawn_workers: bool = True,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        degraded_mode: str = "off",
+        breaker_threshold: int = 3,
+        breaker_cooldown: float | None = None,
         fingerprint: str | None = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         metrics: MetricsRegistry | None = None,
@@ -517,6 +669,13 @@ class RemoteBackend(ExecutionBackend):
                 f"heartbeat_interval ({heartbeat_interval}); a timeout "
                 f"inside one beacon period declares healthy workers dead"
             )
+        if connect_timeout <= 0:
+            raise ConfigurationError("connect_timeout must be positive")
+        if degraded_mode not in DEGRADED_MODES:
+            raise ConfigurationError(
+                f"unknown degraded_mode {degraded_mode!r}; "
+                f"expected one of {DEGRADED_MODES}"
+            )
         self.sync = sync
         self.max_delta_log = max_delta_log
         self.host = host
@@ -524,9 +683,30 @@ class RemoteBackend(ExecutionBackend):
         self.spawn_workers = spawn_workers
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.connect_timeout = connect_timeout
+        self.degraded_mode = degraded_mode
         self.fingerprint = fingerprint
         self.max_frame_bytes = max_frame_bytes
         self._clock = clock or time.monotonic
+        self._breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown=(
+                breaker_cooldown
+                if breaker_cooldown is not None
+                else heartbeat_interval
+            ),
+            clock=self._clock,
+        )
+        #: Peer hosts that have ever faulted — a reconnect from one of
+        #: these is a rejoin, not a first join.
+        self._faulted_hosts: set[str] = set()
+        # Degraded-mode cache: which (initializer, initargs, epoch) the
+        # parent process last ran in-line, so serial fallbacks only
+        # rebuild parent-resident state when it is actually stale.
+        self._degraded_init: Callable[..., None] | None = None
+        self._degraded_initargs: tuple[Any, ...] = ()
+        self._degraded_epoch = -1
+        self._chunk_seq = 0
         methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
@@ -572,6 +752,15 @@ class RemoteBackend(ExecutionBackend):
             "remote_handshake_rejects"
         )
         self._spawns = self.metrics.counter("remote_spawns")
+        self._degraded_dispatches = self.metrics.counter(
+            "remote_degraded_dispatches"
+        )
+        self._rejoins = self.metrics.counter("remote_rejoins")
+        self._breaker_deferrals = self.metrics.counter(
+            "remote_breaker_deferrals"
+        )
+        self._deadline_aborts = self.metrics.counter("remote_deadline_aborts")
+        self._stale_results = self.metrics.counter("remote_stale_results")
 
     # -- listener / handshake ------------------------------------------------
 
@@ -675,9 +864,14 @@ class RemoteBackend(ExecutionBackend):
             return
         self._frames_sent.inc()
         self._bytes_sent.inc(sent)
-        worker = _RemoteWorker(worker_id, conn)
+        # The breaker keys on the bare peer host (ephemeral source
+        # ports change every reconnect, worker ids are never reused).
+        peer_host = conn.peer.rsplit(":", 1)[0]
+        worker = _RemoteWorker(worker_id, conn, host=peer_host)
         worker.last_seen = self._clock()
         with self._cond:
+            if peer_host in self._faulted_hosts:
+                self._rejoins.inc()
             self._pending.append(worker)
             self._cond.notify_all()
 
@@ -765,8 +959,15 @@ class RemoteBackend(ExecutionBackend):
                 "dead_workers": int(self._dead_workers.value),
                 "torn_frames": int(self._torn_frames.value),
                 "handshake_rejects": int(self._handshake_rejects.value),
+                "degraded_dispatches": int(self._degraded_dispatches.value),
+                "rejoins": int(self._rejoins.value),
+                "breaker_deferrals": int(self._breaker_deferrals.value),
+                "deadline_aborts": int(self._deadline_aborts.value),
+                "stale_results": int(self._stale_results.value),
                 "heartbeat_interval": self.heartbeat_interval,
                 "heartbeat_timeout": self.heartbeat_timeout,
+                "connect_timeout": self.connect_timeout,
+                "degraded_mode": self.degraded_mode,
             }
 
     # -- fleet management ----------------------------------------------------
@@ -800,7 +1001,7 @@ class RemoteBackend(ExecutionBackend):
         external worker.  Raises :class:`ExecutionError` when the
         deadline passes with an empty fleet.
         """
-        deadline = self._clock() + _CONNECT_TIMEOUT_SECONDS
+        deadline = self._clock() + self.connect_timeout
         if self.spawn_workers:
             self._spawned = [p for p in self._spawned if p.is_alive()]
             connected = len(self._workers) + len(self._pending)
@@ -818,9 +1019,9 @@ class RemoteBackend(ExecutionBackend):
         while not self._workers and not self._pending:
             remaining = deadline - self._clock()
             if remaining <= 0:
-                raise ExecutionError(
+                raise FleetLossError(
                     f"no remote workers connected within "
-                    f"{_CONNECT_TIMEOUT_SECONDS:.0f}s (listener "
+                    f"{self.connect_timeout:.0f}s (listener "
                     f"{self.address}); start workers with "
                     f"'repro worker --connect HOST:PORT' or enable "
                     f"spawn_workers"
@@ -842,19 +1043,37 @@ class RemoteBackend(ExecutionBackend):
             sync=self.sync,
         )
 
+    def _boot_pending(self, worker: _RemoteWorker) -> None:
+        """Boot one parked worker into the live fleet (under _lock)."""
+        try:
+            self._send_tracked(worker, self._boot_message())
+        except (WireError, OSError):
+            worker.conn.close()
+            return
+        self._boots.inc()
+        worker.last_seen = self._clock()
+        self._workers.append(worker)
+        self._ring.add(worker.node)
+
     def _admit_pending(self) -> None:
-        """Boot every parked pending worker into the live fleet (under _lock)."""
+        """Boot parked pending workers into the live fleet (under _lock).
+
+        A worker from a host whose circuit is open stays parked
+        (counted as a ``remote_breaker_deferrals``) — unless admitting
+        open-circuit hosts is the only way to have a fleet at all: the
+        breaker sheds suspect peers, it never refuses the last hope.
+        """
+        deferred: list[_RemoteWorker] = []
         while self._pending:
             worker = self._pending.pop(0)
-            try:
-                self._send_tracked(worker, self._boot_message())
-            except (WireError, OSError):
-                worker.conn.close()
+            if not self._breaker.allow(worker.host):
+                self._breaker_deferrals.inc()
+                deferred.append(worker)
                 continue
-            self._boots.inc()
-            worker.last_seen = self._clock()
-            self._workers.append(worker)
-            self._ring.add(worker.node)
+            self._boot_pending(worker)
+        while deferred and not self._workers:
+            self._boot_pending(deferred.pop(0))
+        self._pending.extend(deferred)
 
     def _reboot_fleet(self) -> None:
         """Re-send BOOT to every live worker — the remote 'restart'."""
@@ -943,7 +1162,7 @@ class RemoteBackend(ExecutionBackend):
         self._ensure_fleet()
         self._admit_pending()
         if not self._workers:
-            raise ExecutionError(
+            raise FleetLossError(
                 "remote backend has no live workers after fleet preparation"
             )
         for worker in self._workers:
@@ -959,6 +1178,7 @@ class RemoteBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
         """``[fn(item) for item in items]`` on the remote fleet.
 
@@ -966,24 +1186,37 @@ class RemoteBackend(ExecutionBackend):
         consistent-hash ring, and streamed back as tagged RESULT
         frames; output order and content are bit-identical to the
         serial backend.  A worker lost mid-batch has its unanswered
-        items requeued onto the ring's surviving owners.
+        items requeued onto the ring's surviving owners; with
+        ``degraded_mode="serial"`` a *total* fleet loss falls back to
+        in-process serial execution instead of raising.
         """
         items = list(items)
         if not items:
             return []
         ensure_picklable(fn)
+        if deadline is not None:
+            deadline.check(f"remote dispatch of {len(items)} task item(s)")
         with self._dispatch_lock:
-            with self._lock:
-                workers, epoch = self._prepare_dispatch(initializer, initargs)
-            chunks = chunk_evenly(
-                list(enumerate(items)),
-                min(len(items), len(workers) * _CHUNKS_PER_WORKER),
-            )
-            keyed = [
-                (f"chunk-{position}", chunk)
-                for position, chunk in enumerate(chunks)
-            ]
-            return self._run_batch(fn, keyed, epoch, len(items))
+            try:
+                with self._lock:
+                    workers, epoch = self._prepare_dispatch(
+                        initializer, initargs
+                    )
+                chunks = chunk_evenly(
+                    list(enumerate(items)),
+                    min(len(items), len(workers) * _CHUNKS_PER_WORKER),
+                )
+                keyed = [
+                    (f"chunk-{position}", chunk)
+                    for position, chunk in enumerate(chunks)
+                ]
+                return self._run_batch(fn, keyed, epoch, len(items), deadline)
+            except FleetLossError:
+                if self.degraded_mode != "serial":
+                    raise
+                return self._degraded_batch(
+                    fn, items, initializer, initargs, deadline
+                )
 
     def map_partitions(
         self,
@@ -992,6 +1225,7 @@ class RemoteBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        deadline: Deadline | None = None,
     ) -> list[R]:
         """One task per partition, placed by ``shard-N`` ring keys.
 
@@ -1004,14 +1238,72 @@ class RemoteBackend(ExecutionBackend):
         if not partitions:
             return []
         ensure_picklable(fn)
+        if deadline is not None:
+            deadline.check(
+                f"remote dispatch of {len(partitions)} partition(s)"
+            )
         with self._dispatch_lock:
-            with self._lock:
-                _workers, epoch = self._prepare_dispatch(initializer, initargs)
-            keyed = [
-                (f"shard-{position}", [(position, partition)])
-                for position, partition in enumerate(partitions)
-            ]
-            return self._run_batch(fn, keyed, epoch, len(partitions))
+            try:
+                with self._lock:
+                    _workers, epoch = self._prepare_dispatch(
+                        initializer, initargs
+                    )
+                keyed = [
+                    (f"shard-{position}", [(position, partition)])
+                    for position, partition in enumerate(partitions)
+                ]
+                return self._run_batch(
+                    fn, keyed, epoch, len(partitions), deadline
+                )
+            except FleetLossError:
+                if self.degraded_mode != "serial":
+                    raise
+                return self._degraded_batch(
+                    fn, partitions, initializer, initargs, deadline
+                )
+
+    def _degraded_batch(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        initializer: Callable[..., None] | None,
+        initargs: tuple[Any, ...],
+        deadline: Deadline | None = None,
+    ) -> list[Any]:
+        """Serve one batch in-process after total fleet loss.
+
+        The serial fallback runs ``fn`` on the parent's own resident
+        state, so results are bit-identical to the serial backend (and
+        to what the fleet would have produced) — the price is losing
+        parallelism, not correctness.  The worker initializer (already
+        required to be idempotent by the pool/remote restart contract)
+        reruns in the parent process only when the bound state or
+        epoch changed since the last degraded run; the whole batch is
+        recomputed even if the fleet answered part of it before dying,
+        which is safe because task functions are pure.
+        """
+        from .pool import _same_elements
+
+        self._degraded_dispatches.inc()
+        with self._lock:
+            epoch = self._epoch
+            stale = (
+                initializer is not self._degraded_init
+                or not _same_elements(initargs, self._degraded_initargs)
+                or epoch != self._degraded_epoch
+            )
+        if stale and initializer is not None:
+            initializer(*initargs)
+        with self._lock:
+            self._degraded_init = initializer
+            self._degraded_initargs = initargs
+            self._degraded_epoch = epoch
+        results: list[Any] = []
+        for position, item in enumerate(items):
+            if deadline is not None:
+                deadline.check(f"degraded serial task {position}")
+            results.append(fn(item))
+        return results
 
     def _worker_for(self, key: str) -> _RemoteWorker:
         """The live worker owning ``key`` on the ring (under _lock)."""
@@ -1029,23 +1321,28 @@ class RemoteBackend(ExecutionBackend):
         keyed_chunks: list[tuple[str, list[tuple[int, Any]]]],
         epoch: int,
         expected: int,
+        deadline: Deadline | None = None,
     ) -> list[Any]:
         """Place, dispatch and collect one batch (under _dispatch_lock)."""
-        next_chunk_id = 0
         with self._lock:
             sends: list[tuple[_RemoteWorker, Task, _Chunk]] = []
+            # Chunk ids are globally monotonic, never per-batch: a
+            # result frame that straggles in after its batch was
+            # abandoned (deadline abort) can then never alias a chunk
+            # of the next batch — it is counted stale and dropped.
             for key, pairs in keyed_chunks:
                 worker = self._worker_for(key)
+                chunk_id = self._chunk_seq
+                self._chunk_seq += 1
                 task = Task(
-                    chunk_id=next_chunk_id,
+                    chunk_id=chunk_id,
                     fn=fn,
                     pairs=tuple(pairs),
                     epoch=epoch,
                 )
                 chunk = _Chunk(key, pairs, epoch)
-                worker.chunks[next_chunk_id] = chunk
+                worker.chunks[chunk_id] = chunk
                 sends.append((worker, task, chunk))
-                next_chunk_id += 1
         failed: list[_RemoteWorker] = []
         for worker, task, _chunk in sends:
             if worker in failed:
@@ -1059,12 +1356,15 @@ class RemoteBackend(ExecutionBackend):
         try:
             self._collect(
                 fn, expected, epoch, values, failures,
-                initially_failed=failed, next_chunk_id=next_chunk_id,
+                initially_failed=failed, deadline=deadline,
             )
         finally:
             with self._lock:
                 for worker in self._workers:
                     worker.chunks.clear()
+        with self._lock:
+            for worker in self._workers:
+                self._breaker.record_success(worker.host)
         if failures:
             index = min(failures)
             exc_bytes, summary, tb = failures[index]
@@ -1096,21 +1396,33 @@ class RemoteBackend(ExecutionBackend):
         failures: dict[int, tuple[bytes | None, str, str]],
         *,
         initially_failed: list[_RemoteWorker],
-        next_chunk_id: int,
+        deadline: Deadline | None = None,
     ) -> None:
-        """Drain results, policing liveness and requeuing onto survivors."""
+        """Drain results, policing liveness and requeuing onto survivors.
+
+        A ``deadline`` is checked between selector rounds, never inside
+        one: an aborted batch leaves no half-recorded results, and any
+        straggler frames from its abandoned chunks are dropped as stale
+        by :meth:`_handle_message` in later batches.
+        """
         selector = selectors.DefaultSelector()
         with self._lock:
             for worker in self._workers:
                 selector.register(worker.conn, selectors.EVENT_READ, worker)
-        chunk_counter = [next_chunk_id]
         try:
             for worker in initially_failed:
                 self._fail_worker(
                     worker, "send failed at dispatch", fn, epoch,
-                    selector, chunk_counter, values, failures,
+                    selector, values, failures,
                 )
             while len(values) + len(failures) < expected:
+                if deadline is not None and deadline.expired():
+                    self._deadline_aborts.inc()
+                    deadline.check(
+                        f"remote batch for {fn!r} "
+                        f"({expected - len(values) - len(failures)} of "
+                        f"{expected} task item(s) unanswered)"
+                    )
                 events = selector.select(timeout=_RESULT_POLL_SECONDS)
                 now = self._clock()
                 for key, _mask in events:
@@ -1121,13 +1433,13 @@ class RemoteBackend(ExecutionBackend):
                         self._torn_frames.inc()
                         self._fail_worker(
                             worker, f"torn frame: {exc}", fn, epoch,
-                            selector, chunk_counter, values, failures,
+                            selector, values, failures,
                         )
                         continue
                     except WireError as exc:
                         self._fail_worker(
                             worker, f"wire fault: {exc}", fn, epoch,
-                            selector, chunk_counter, values, failures,
+                            selector, values, failures,
                         )
                         continue
                     worker.last_seen = now
@@ -1140,23 +1452,23 @@ class RemoteBackend(ExecutionBackend):
                     if eof:
                         self._fail_worker(
                             worker, "connection closed", fn, epoch,
-                            selector, chunk_counter, values, failures,
+                            selector, values, failures,
                         )
                 if len(values) + len(failures) >= expected:
                     return
-                deadline = self._clock() - self.heartbeat_timeout
+                silence_cutoff = self._clock() - self.heartbeat_timeout
                 with self._lock:
                     silent = [
                         worker
                         for worker in self._workers
-                        if worker.last_seen < deadline
+                        if worker.last_seen < silence_cutoff
                     ]
                 for worker in silent:
                     self._fail_worker(
                         worker,
                         f"no heartbeat for {self.heartbeat_timeout:.1f}s "
                         f"(partitioned or hung)",
-                        fn, epoch, selector, chunk_counter, values, failures,
+                        fn, epoch, selector, values, failures,
                     )
         finally:
             selector.close()
@@ -1175,13 +1487,23 @@ class RemoteBackend(ExecutionBackend):
                 chunk.pairs.pop(message.index, None)
                 if not chunk.pairs:
                     del worker.chunks[message.chunk_id]
-            if message.index not in values and message.index not in failures:
-                if message.ok:
-                    values[message.index] = message.value
-                else:
-                    failures[message.index] = (
-                        message.exc_bytes, message.summary, message.traceback
-                    )
+                if (
+                    message.index not in values
+                    and message.index not in failures
+                ):
+                    if message.ok:
+                        values[message.index] = message.value
+                    else:
+                        failures[message.index] = (
+                            message.exc_bytes,
+                            message.summary,
+                            message.traceback,
+                        )
+            else:
+                # A straggler from an abandoned batch (deadline abort):
+                # chunk ids are globally monotonic, so it can't alias a
+                # live chunk — count it, keep only its metrics delta.
+                self._stale_results.inc()
             if message.delta is not None:
                 worker_id, payload = message.delta
                 self.metrics.merge_delta(
@@ -1200,7 +1522,6 @@ class RemoteBackend(ExecutionBackend):
         fn: Callable[..., Any],
         epoch: int,
         selector: selectors.BaseSelector,
-        chunk_counter: list[int],
         values: dict[int, Any],
         failures: dict[int, tuple[bytes | None, str, str]],
     ) -> None:
@@ -1211,13 +1532,16 @@ class RemoteBackend(ExecutionBackend):
         chunk's new consistent-hash owner), and the unanswered pairs
         are re-sent at the same epoch — survivors share the broadcast
         state, so requeued results are bit-identical.  With no
-        survivors left the batch fails loudly.
+        survivors left the batch fails loudly with
+        :class:`FleetLossError` (which degraded mode may absorb).
         """
         with self._lock:
             if worker not in self._workers:
                 return
             self._workers.remove(worker)
             self._ring.remove(worker.node)
+            self._breaker.record_failure(worker.host)
+            self._faulted_hosts.add(worker.host)
         try:
             selector.unregister(worker.conn)
         except (KeyError, ValueError):
@@ -1246,14 +1570,14 @@ class RemoteBackend(ExecutionBackend):
                 continue
             with self._lock:
                 if not self._workers:
-                    raise ExecutionError(
+                    raise FleetLossError(
                         f"remote worker {worker.worker_id} died mid-batch "
                         f"({reason}) and no workers survive to requeue "
                         f"{pending} task item(s) for {fn!r}"
                     )
                 target = self._worker_for(chunk.key)
-                chunk_id = chunk_counter[0]
-                chunk_counter[0] += 1
+                chunk_id = self._chunk_seq
+                self._chunk_seq += 1
                 requeued = _Chunk(chunk.key, remaining, epoch)
                 target.chunks[chunk_id] = requeued
             try:
@@ -1271,7 +1595,7 @@ class RemoteBackend(ExecutionBackend):
                 # through the same failure path (its own chunks included).
                 self._fail_worker(
                     target, "send failed during requeue", fn, epoch,
-                    selector, chunk_counter, values, failures,
+                    selector, values, failures,
                 )
                 queue.append(requeued)
                 continue
@@ -1280,16 +1604,14 @@ class RemoteBackend(ExecutionBackend):
     # -- lifecycle -----------------------------------------------------------
 
     def _stop_spawned(self) -> None:
-        """Join loopback processes, escalating terminate -> kill."""
+        """Join loopback processes, escalating terminate -> kill.
+
+        Same shared escalation policy as the pool's worker stop; the
+        remote listener is already closed at this point, so a stopping
+        worker cannot rejoin mid-escalation.
+        """
         for process in self._spawned:
-            process.join(timeout=_JOIN_TIMEOUT_SECONDS)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=_JOIN_TIMEOUT_SECONDS)
-            if process.is_alive():  # pragma: no cover - defensive
-                kill = getattr(process, "kill", process.terminate)
-                kill()
-                process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+            join_with_escalation(process)
         self._spawned = []
 
     def close(self) -> None:

@@ -99,6 +99,17 @@ class WireError(ExecutionError):
     """
 
 
+class PeerDisconnected(WireError):
+    """The peer's socket died mid-send (broken pipe / connection reset).
+
+    Raised by :meth:`FrameConnection.send` instead of letting the raw
+    ``OSError`` escape — a worker's heartbeat thread and the parent's
+    dispatch path both catch :class:`WireError`, so a peer that
+    vanishes mid-write surfaces as a typed, peer-naming wire fault on
+    every existing handling path.
+    """
+
+
 class TruncatedFrameError(WireError):
     """A frame that ends before its declared length.
 
@@ -386,12 +397,17 @@ class FrameConnection:
     """
 
     def __init__(
-        self, sock: Any, max_bytes: int = DEFAULT_MAX_FRAME_BYTES
+        self,
+        sock: Any,
+        max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        injector: Any = None,
     ) -> None:
         self._sock = sock
         self._max_bytes = max_bytes
+        self._injector = injector
         self._buffer = bytearray()
         self._offset = 0  # stream offset of _buffer[0]
+        self._peer_cache: str | None = None
         self._send_lock = threading.Lock()
         self._eof = False
         self._pending: list[Any] = []
@@ -416,27 +432,73 @@ class FrameConnection:
 
     @property
     def peer(self) -> str:
-        """``host:port`` of the remote end (best effort)."""
+        """``host:port`` of the remote end (best effort).
+
+        The last successfully resolved name is cached, so a connection
+        whose peer already vanished still *names* that peer in error
+        messages instead of reporting ``<closed>``.
+        """
         try:
             name = self._sock.getpeername()
         except OSError:
-            return "<closed>"
+            return self._peer_cache or "<closed>"
         if isinstance(name, tuple) and len(name) >= 2:
-            return f"{name[0]}:{name[1]}"
-        # AF_UNIX (socketpair test rigs) reports a bare, often empty,
-        # path string rather than a (host, port) tuple.
-        return str(name) or "<unnamed>"
+            self._peer_cache = f"{name[0]}:{name[1]}"
+        else:
+            # AF_UNIX (socketpair test rigs) reports a bare, often
+            # empty, path string rather than a (host, port) tuple.
+            self._peer_cache = str(name) or "<unnamed>"
+        return self._peer_cache
 
     def send(self, message: Any) -> int:
         """Frame and write one message; returns the bytes written.
 
         Thread-safe: the worker's heartbeat thread and its result path
         (and the parent's dispatch and requeue paths) interleave whole
-        frames, never partial ones.
+        frames, never partial ones.  A peer that dies mid-write
+        (broken pipe / connection reset) raises the typed
+        :class:`PeerDisconnected` naming the peer, never a raw
+        ``OSError``.  A configured fault injector
+        (:class:`~repro.resilience.faults.FaultInjector`) is consulted
+        per frame and may swallow or tear the write.
         """
         frame = encode_message(message, self._max_bytes)
+        frame_name = FRAME_NAMES[FRAME_TYPES[type(message)]]
+        peer = self.peer  # resolve (and cache) while the socket lives
         with self._send_lock:
-            self._sock.sendall(frame)
+            if self._injector is not None:
+                verdict = self._injector.on_send(frame_name)
+                if verdict == "drop":
+                    # Scripted loss: count the frame as sent so the
+                    # caller's accounting matches a real lost packet.
+                    self.frames_sent += 1
+                    return len(frame)
+                if verdict == "tear":
+                    # FIN right after the torn bytes, then drain inbound
+                    # until the peer closes: hard-closing with unread
+                    # frames still queued would turn the close into an
+                    # RST, flushing the very torn bytes the peer must
+                    # observe to classify this as a truncated frame.
+                    try:
+                        self._sock.sendall(frame[: max(1, len(frame) - 7)])
+                        self._sock.shutdown(socket_module.SHUT_WR)
+                        self._sock.settimeout(2.0)
+                        while self._sock.recv(65536):
+                            pass
+                    except OSError:
+                        pass
+                    self.close()
+                    raise PeerDisconnected(
+                        f"fault injection tore a {frame_name} frame to "
+                        f"{peer} mid-write"
+                    )
+            try:
+                self._sock.sendall(frame)
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                raise PeerDisconnected(
+                    f"connection to {peer} died while sending a "
+                    f"{frame_name} frame: {exc}"
+                ) from exc
             self.bytes_sent += len(frame)
             self.frames_sent += 1
         return len(frame)

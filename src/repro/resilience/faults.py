@@ -1,0 +1,186 @@
+"""Scripted, deterministic fault injection for the remote stack.
+
+The first chaos suite for the remote backend raced real SIGKILLs
+against in-flight batches — honest, but timing-dependent.  This module
+is the deterministic alternative: a :class:`FaultPlan` *scripts* the
+failure ("tear the 2nd RESULT frame", "die after 5 task items", "go
+mute after 12 frames") and a :class:`FaultInjector` executes it at two
+seams — :class:`~repro.exec.wire.FrameConnection` consults
+:meth:`FaultInjector.on_send` before every outbound frame, and the
+worker loop in :func:`~repro.exec.remote.run_worker` consults
+:meth:`FaultInjector.should_die` / :meth:`FaultInjector.heartbeat_delay`.
+
+The injector is addressed by *frame name* strings (``"RESULT"``,
+``"HEARTBEAT"``, ...) rather than wire constants, so this module stays
+import-independent of :mod:`repro.exec.wire` — the wire layer depends
+on the seam, never the other way around.
+
+Every scripted fault is counted on the injector
+(``results_dropped`` / ``frames_torn`` / ``frames_muted`` /
+``deaths``), so a test can assert the fault actually fired — a chaos
+scenario whose injector never triggered is vacuous.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+#: ``on_send`` verdicts: write the frame, swallow it, or tear it.
+SEND = "send"
+DROP = "drop"
+TEAR = "tear"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scripted failure scenario for a single worker.
+
+    All ordinals are 1-based and deterministic: the plan names *which*
+    frame or task triggers the fault, not a probability.
+
+    Parameters
+    ----------
+    drop_results:
+        Ordinals of outbound RESULT frames to silently swallow (the
+        parent sees a worker that computed an answer but never
+        delivered it — heartbeats keep flowing).
+    tear_result:
+        Ordinal of the one RESULT frame to tear mid-write: a partial
+        frame hits the wire and the connection dies, exactly what a
+        worker crashing inside ``sendall`` produces.
+    mute_after_frames:
+        After this many outbound frames of any type, swallow *every*
+        further write — heartbeats included.  Simulates an asymmetric
+        network partition: the worker still hears the parent, the
+        parent hears nothing.
+    heartbeat_delay:
+        Extra seconds added to every beacon period in the worker loop
+        (``0.0`` = beacons on schedule).
+    die_after_tasks:
+        Crash the worker (abrupt connection close, no STOP, no further
+        frames) once it has served this many task items.
+    rejoin_after_death:
+        Whether the scripted death is *transient*: ``True`` lets
+        ``run_worker``'s rejoin policy reconnect afterwards (a crash-
+        then-recover scenario in one process), ``False`` (default)
+        ends the worker for good, like a real crash.
+    """
+
+    drop_results: tuple[int, ...] = ()
+    tear_result: int | None = None
+    mute_after_frames: int | None = None
+    heartbeat_delay: float = 0.0
+    die_after_tasks: int | None = None
+    rejoin_after_death: bool = False
+
+    def __post_init__(self) -> None:
+        if any(ordinal < 1 for ordinal in self.drop_results):
+            raise ConfigurationError("drop_results ordinals are 1-based")
+        if self.tear_result is not None and self.tear_result < 1:
+            raise ConfigurationError("tear_result ordinal is 1-based")
+        if self.tear_result is not None and self.tear_result in self.drop_results:
+            raise ConfigurationError(
+                f"RESULT frame #{self.tear_result} cannot be both dropped "
+                f"and torn"
+            )
+        if self.mute_after_frames is not None and self.mute_after_frames < 0:
+            raise ConfigurationError("mute_after_frames must be >= 0")
+        if self.heartbeat_delay < 0:
+            raise ConfigurationError("heartbeat_delay must be >= 0")
+        if self.die_after_tasks is not None and self.die_after_tasks < 1:
+            raise ConfigurationError("die_after_tasks must be >= 1")
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against a worker's send path.
+
+    Stateful: it counts outbound frames (per connection — a rejoining
+    worker calls :meth:`session_started`, which resets the frame
+    ordinals but *not* the one-shot death trigger) and reports a
+    verdict per frame.  Thread-safe, because a worker's heartbeat
+    thread and task loop share one connection.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._frames = 0
+        self._results = 0
+        self._tasks_served = 0
+        self._died = False
+        #: RESULT frames swallowed so far.
+        self.results_dropped = 0
+        #: Frames torn mid-write so far (0 or 1 per plan).
+        self.frames_torn = 0
+        #: Frames swallowed by the mute partition so far.
+        self.frames_muted = 0
+        #: Scripted deaths fired so far (0 or 1 — the trigger is one-shot).
+        self.deaths = 0
+
+    def session_started(self) -> None:
+        """Reset per-connection ordinals (a rejoined worker starts fresh).
+
+        The death trigger deliberately survives: a plan that already
+        killed the worker once must not kill its rejoined incarnation,
+        or a crash-then-rejoin scenario would never converge.
+        """
+        with self._lock:
+            self._frames = 0
+            self._results = 0
+
+    def on_send(self, frame_name: str) -> str:
+        """Verdict for the next outbound frame: ``send``/``drop``/``tear``."""
+        plan = self.plan
+        with self._lock:
+            self._frames += 1
+            if (
+                plan.mute_after_frames is not None
+                and self._frames > plan.mute_after_frames
+            ):
+                self.frames_muted += 1
+                return DROP
+            if frame_name != "RESULT":
+                return SEND
+            self._results += 1
+            if self._results == plan.tear_result:
+                self.frames_torn += 1
+                return TEAR
+            if self._results in plan.drop_results:
+                self.results_dropped += 1
+                return DROP
+            return SEND
+
+    def heartbeat_delay(self) -> float:
+        """Extra seconds the worker adds to each beacon period."""
+        return self.plan.heartbeat_delay
+
+    def note_served(self, count: int) -> None:
+        """Record ``count`` more task items served (feeds the death trigger)."""
+        with self._lock:
+            self._tasks_served += count
+
+    def should_die(self) -> bool:
+        """Whether the scripted death fires now (one-shot).
+
+        ``True`` at most once per injector: the first call at or past
+        ``die_after_tasks`` served items arms and consumes the trigger.
+        """
+        plan = self.plan
+        if plan.die_after_tasks is None:
+            return False
+        with self._lock:
+            if self._died or self._tasks_served < plan.die_after_tasks:
+                return False
+            self._died = True
+            self.deaths += 1
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(frames={self._frames}, "
+            f"results={self._results}, served={self._tasks_served}, "
+            f"died={self._died})"
+        )

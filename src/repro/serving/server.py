@@ -27,13 +27,22 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from ..exceptions import ReproError
+from ..exceptions import DeadlineExceeded, ReproError
 from ..obs import MetricsRegistry
+from ..resilience import Deadline
 from .requests import ServeRequest, parse_request
 from .service import RecommendationService
+
+#: Fallback ``retry_after_ms`` hint when no request has completed yet
+#: (an empty latency window gives the client nothing to extrapolate).
+_DEFAULT_RETRY_AFTER_MS = 50
+
+#: Sliding window (seconds) behind the overload hint's p50.
+_LATENCY_WINDOW_S = 30.0
 
 
 class OverloadedError(ReproError):
@@ -62,11 +71,22 @@ class RequestServer:
     max_inflight:
         Cross-connection ceiling on concurrently executing requests.
         Request number ``max_inflight + 1`` is rejected immediately
-        with a typed ``overloaded`` response.
+        with a typed ``overloaded`` response carrying a
+        ``retry_after_ms`` hint (the windowed p50 of recent request
+        latency — roughly when one in-flight slot should free up).
+    request_timeout:
+        Optional per-request time budget, in seconds.  A
+        :class:`~repro.resilience.Deadline` built at admission is
+        threaded through the service into backend dispatch; a request
+        that overruns is answered with ``{"error": "deadline"}``
+        (``server_deadline_timeouts`` counts them).  ``None`` (default)
+        serves without a budget.
     metrics:
         Registry for the server's counters (``server_requests``,
         ``server_overloads``, ``server_connections``,
-        ``server_errors``); defaults to the service's registry.
+        ``server_errors``, ``server_deadline_timeouts``,
+        ``server_degraded_responses``) and the ``server_request_ms``
+        latency histogram; defaults to the service's registry.
     """
 
     def __init__(
@@ -76,19 +96,34 @@ class RequestServer:
         port: int = 0,
         *,
         max_inflight: int = 16,
+        request_timeout: float | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
         self.service = service
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
         self.metrics = metrics if metrics is not None else service.metrics
         self._requests = self.metrics.counter("server_requests")
         self._overloads = self.metrics.counter("server_overloads")
         self._connections = self.metrics.counter("server_connections")
         self._errors = self.metrics.counter("server_errors")
+        self._deadline_timeouts = self.metrics.counter(
+            "server_deadline_timeouts"
+        )
+        self._degraded_responses = self.metrics.counter(
+            "server_degraded_responses"
+        )
+        # Named server_request_ms (not request_ms) so the CLI's merged
+        # per-kind service table never double-counts these samples.
+        self._latency = self.metrics.histogram(
+            "server_request_ms", window_s=_LATENCY_WINDOW_S
+        )
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._executor: ThreadPoolExecutor | None = None
@@ -236,6 +271,7 @@ class RequestServer:
                     "detail": str(rejection),
                     "inflight": rejection.inflight,
                     "max_inflight": rejection.max_inflight,
+                    "retry_after_ms": self._retry_after_ms(),
                 }
             self._inflight += 1
         loop = asyncio.get_running_loop()
@@ -243,6 +279,10 @@ class RequestServer:
             result = await loop.run_in_executor(
                 self._executor, self._execute, request
             )
+        except DeadlineExceeded as exc:
+            self._errors.inc()
+            self._deadline_timeouts.inc()
+            return {"id": number, "error": "deadline", "detail": str(exc)}
         except ReproError as exc:
             self._errors.inc()
             return {
@@ -260,31 +300,81 @@ class RequestServer:
         result["id"] = number
         return result
 
+    def _retry_after_ms(self) -> int:
+        """Overload hint: windowed p50 request latency, in whole ms.
+
+        Roughly when one of the in-flight slots should free up; before
+        any request has completed the window is empty and a small fixed
+        hint is returned instead.
+        """
+        p50 = self._latency.windowed_quantile(0.5)
+        if p50 is None or p50 <= 0:
+            return _DEFAULT_RETRY_AFTER_MS
+        return max(1, round(p50))
+
     def _execute(self, request: ServeRequest) -> dict[str, Any]:
-        """Run one admitted request on the service (worker thread)."""
-        if request.kind == "group":
-            recommendation = self.service.recommend_group(
-                request.group(), z=request.z
-            )
-            return {
-                "kind": "group",
-                "members": list(request.members),
-                "items": list(recommendation.items),
-                "fairness": recommendation.report.fairness,
-            }
-        if request.kind == "user":
-            items = self.service.recommend_user(request.user_id, k=request.k)
-            return {
-                "kind": "user",
-                "user": request.user_id,
-                "items": [item.item_id for item in items],
-            }
-        self.service.ingest_rating(
-            request.user_id, request.item_id, request.value
+        """Run one admitted request on the service (worker thread).
+
+        With a ``request_timeout`` configured, a fresh
+        :class:`~repro.resilience.Deadline` rides the request into the
+        service (and from there into backend dispatch).  If the remote
+        backend served this request degraded (its
+        ``remote_degraded_dispatches`` counter moved while the request
+        ran), the response is marked ``"degraded": true`` — clients see
+        that the answer is correct but was computed without the fleet.
+        """
+        deadline = (
+            Deadline.after(self.request_timeout)
+            if self.request_timeout is not None
+            else None
         )
-        return {
-            "kind": "rate",
-            "user": request.user_id,
-            "item": request.item_id,
-            "ok": True,
-        }
+        deadline_kwargs: dict[str, Any] = (
+            {"deadline": deadline} if deadline is not None else {}
+        )
+        service_metrics = getattr(self.service, "metrics", None)
+        degraded_before = (
+            service_metrics.value("remote_degraded_dispatches")
+            if service_metrics is not None
+            else 0.0
+        )
+        started = time.perf_counter()
+        try:
+            if request.kind == "group":
+                recommendation = self.service.recommend_group(
+                    request.group(), z=request.z, **deadline_kwargs
+                )
+                result = {
+                    "kind": "group",
+                    "members": list(request.members),
+                    "items": list(recommendation.items),
+                    "fairness": recommendation.report.fairness,
+                }
+            elif request.kind == "user":
+                items = self.service.recommend_user(
+                    request.user_id, k=request.k, **deadline_kwargs
+                )
+                result = {
+                    "kind": "user",
+                    "user": request.user_id,
+                    "items": [item.item_id for item in items],
+                }
+            else:
+                self.service.ingest_rating(
+                    request.user_id, request.item_id, request.value
+                )
+                result = {
+                    "kind": "rate",
+                    "user": request.user_id,
+                    "item": request.item_id,
+                    "ok": True,
+                }
+        finally:
+            self._latency.observe((time.perf_counter() - started) * 1000.0)
+        if service_metrics is not None:
+            degraded_after = service_metrics.value(
+                "remote_degraded_dispatches"
+            )
+            if degraded_after > degraded_before:
+                self._degraded_responses.inc()
+                result["degraded"] = True
+        return result

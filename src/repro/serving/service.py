@@ -67,6 +67,7 @@ from ..kernels import (
     predict_topk_packed,
 )
 from ..obs import MetricsRegistry, get_registry, span
+from ..resilience import Deadline
 from ..similarity.base import UserSimilarity
 from ..validation import validate_group_response, validate_user_response
 from ..similarity.peers import peers_as_mapping
@@ -368,7 +369,9 @@ class RecommendationService:
                 remote_workers=config.remote_workers or None,
                 remote_heartbeat_interval=config.remote_heartbeat_interval,
                 remote_heartbeat_timeout=config.remote_heartbeat_timeout,
+                remote_connect_timeout=config.remote_connect_timeout,
                 remote_fingerprint=config.fingerprint(),
+                degraded_mode=config.degraded_mode,
                 metrics=self.metrics,
             )
         # A pool backend keeps a resident worker service between
@@ -796,13 +799,24 @@ class RecommendationService:
 
     # -- single-user requests ------------------------------------------------
 
-    def recommend_user(self, user_id: str, k: int | None = None) -> list[ScoredItem]:
+    def recommend_user(
+        self,
+        user_id: str,
+        k: int | None = None,
+        *,
+        deadline: Deadline | None = None,
+    ) -> list[ScoredItem]:
         """Top-``k`` single-user recommendation (Section III.A), warm.
 
         ``k`` defaults to ``config.top_k``; an explicit non-positive
         ``k`` raises :class:`~repro.exceptions.ConfigurationError`.
+        A ``deadline`` is checked on entry (single-user requests are
+        parent-side and short; the budget gates admission, it never
+        interrupts a row computation mid-way).
         """
         k = resolve_positive(k, self.config.top_k, "k")
+        if deadline is not None:
+            deadline.check(f"recommend_user({user_id!r})")
         started = time.perf_counter()
         if (
             self._packed is not None
@@ -854,7 +868,11 @@ class RecommendationService:
     # -- group requests ------------------------------------------------------
 
     def recommend_group(
-        self, group: Group, z: int | None = None
+        self,
+        group: Group,
+        z: int | None = None,
+        *,
+        deadline: Deadline | None = None,
     ) -> CaregiverRecommendation:
         """Fairness-aware group recommendation, warm.
 
@@ -865,8 +883,14 @@ class RecommendationService:
         and invalidated as soon as an update touches any member.
         ``z`` defaults to ``config.top_z``; an explicit non-positive
         ``z`` raises :class:`~repro.exceptions.ConfigurationError`.
+        A ``deadline`` is checked on entry — between group requests in
+        a serial batch, never inside one group's computation.
         """
         z = resolve_positive(z, self.config.top_z, "z")
+        if deadline is not None:
+            deadline.check(
+                f"recommend_group of {len(group.member_ids)} member(s)"
+            )
         started = time.perf_counter()
         cache_key = (tuple(group.member_ids), z)
         group_epoch = self.group_cache.epoch
@@ -925,6 +949,7 @@ class RecommendationService:
         z: int | None = None,
         workers: int | None = None,
         backend: ExecutionBackend | str | None = None,
+        deadline: Deadline | None = None,
     ) -> list[CaregiverRecommendation]:
         """Answer a batch of group requests, in input order.
 
@@ -943,8 +968,16 @@ class RecommendationService:
           config once and computes groups CPU-parallel; results are
           bit-identical (the warm/cold invariant) and are folded back
           into this service's group cache.
+
+        A ``deadline`` (see :class:`~repro.resilience.Deadline`) caps
+        the whole batch end-to-end: it is checked on entry, between
+        groups on the serial path, and between dispatch rounds on the
+        backend paths — :class:`~repro.exceptions.DeadlineExceeded`
+        propagates before any partial results are recorded.
         """
         z_value = resolve_positive(z, self.config.top_z, "z")
+        if deadline is not None:
+            deadline.check(f"recommend_many of {len(groups)} group(s)")
         self._request_counters["batch_requests"].inc()
         distinct: dict[tuple[str, ...], Group] = {}
         for group in groups:
@@ -960,19 +993,23 @@ class RecommendationService:
             ):
                 if len(distinct) <= 1 or resolved.name == "serial":
                     results = {
-                        key: self.recommend_group(group, z_value)
+                        key: self.recommend_group(
+                            group, z_value, deadline=deadline
+                        )
                         for key, group in distinct.items()
                     }
                 elif resolved.requires_pickling:
                     results = self._recommend_many_process(
-                        distinct, z_value, resolved
+                        distinct, z_value, resolved, deadline
                     )
                 else:
                     with span(
                         "exec_dispatch", self.metrics, backend=resolved.name
                     ):
                         recommendations = resolved.map_items(
-                            lambda group: self.recommend_group(group, z_value),
+                            lambda group: self.recommend_group(
+                                group, z_value, deadline=deadline
+                            ),
                             list(distinct.values()),
                         )
                     results = dict(zip(distinct.keys(), recommendations))
@@ -1053,6 +1090,7 @@ class RecommendationService:
         distinct: dict[tuple[str, ...], Group],
         z: int,
         backend: ExecutionBackend,
+        deadline: Deadline | None = None,
     ) -> dict[tuple[str, ...], CaregiverRecommendation]:
         """Fan distinct groups out to worker processes.
 
@@ -1081,11 +1119,18 @@ class RecommendationService:
                 "exec_dispatch", self.metrics,
                 backend=backend.name, tasks=len(missing),
             ):
+                # The deadline kwarg is only forwarded when one is set:
+                # a caller-supplied ExecutionBackend subclass predating
+                # the deadline seam keeps working for budget-less calls.
+                deadline_kwargs = (
+                    {"deadline": deadline} if deadline is not None else {}
+                )
                 recommendations = backend.map_items(
                     _serve_group_task,
                     [(group, z) for group in missing.values()],
                     initializer=_init_serve_worker,
                     initargs=self._worker_initargs(),
+                    **deadline_kwargs,
                 )
             # Worker-computed answers cross the service boundary here:
             # validate them before they are folded into the cache and

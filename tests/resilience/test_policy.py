@@ -1,0 +1,277 @@
+"""Unit tests for the repro.resilience policy objects.
+
+Everything here runs on fake clocks and injected RNGs — no sleeping,
+no sockets: the policies promise *deterministic* failure behaviour and
+these tests pin that promise (schedules, state transitions, typed
+errors) before the integration suites exercise them over real wires.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+
+
+class _FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_clamped(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.5
+        )
+        delays = [policy.delay(n) for n in policy.attempts()]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_attempts_are_one_based_and_bounded(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert list(policy.attempts()) == [1, 2, 3]
+        with pytest.raises(ConfigurationError, match="1-based"):
+            policy.delay(0)
+
+    def test_jitter_is_deterministic_under_an_injected_rng(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        first = [policy.delay(1, random.Random(7)) for _ in range(3)]
+        second = [policy.delay(1, random.Random(7)) for _ in range(3)]
+        assert first == second  # same seed, same schedule
+        spread = {policy.delay(1, random.Random(seed)) for seed in range(20)}
+        assert len(spread) > 1  # jitter actually moves the delay
+        assert all(0.5 <= delay <= 1.5 for delay in spread)
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        assert policy.delay(1) == 1.0
+
+    def test_call_retries_then_reraises_the_last_failure(self):
+        sleeps: list[float] = []
+        calls = [0]
+
+        def flaky() -> str:
+            calls[0] += 1
+            if calls[0] < 3:
+                raise OSError(f"boom {calls[0]}")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=2.0)
+        assert (
+            policy.call(flaky, retry_on=(OSError,), sleep=sleeps.append)
+            == "ok"
+        )
+        assert sleeps == [0.1, 0.2]
+
+        calls[0] = -10  # never recovers within the budget
+        sleeps.clear()
+        with pytest.raises(OSError, match="boom -7"):
+            policy.call(flaky, retry_on=(OSError,), sleep=sleeps.append)
+        assert len(sleeps) == 2  # no sleep after the final attempt
+
+    def test_call_does_not_retry_unlisted_exceptions(self):
+        policy = RetryPolicy(max_attempts=3)
+        calls = [0]
+
+        def wrong_kind() -> None:
+            calls[0] += 1
+            raise ValueError("not retriable")
+
+        with pytest.raises(ValueError):
+            policy.call(
+                wrong_kind, retry_on=(OSError,), sleep=lambda _s: None
+            )
+        assert calls[0] == 1
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError, match="max_delay"):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+    def test_policy_is_picklable(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.25)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestDeadline:
+    def test_budget_counts_down_on_the_injected_clock(self):
+        clock = _FakeClock()
+        deadline = Deadline.after(5.0, clock)
+        assert deadline.budget == 5.0
+        assert deadline.remaining() == 5.0
+        clock.advance(4.0)
+        assert not deadline.expired()
+        deadline.check("still fine")  # no raise
+        clock.advance(1.5)
+        assert deadline.expired()
+
+    def test_check_raises_the_typed_error_with_context(self):
+        clock = _FakeClock()
+        deadline = Deadline.after(2.0, clock)
+        clock.advance(2.5)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("batch of 7 groups")
+        error = excinfo.value
+        assert isinstance(error, ReproError)
+        assert isinstance(error, TimeoutError)
+        assert error.context == "batch of 7 groups"
+        assert error.budget == 2.0
+        assert error.overrun == pytest.approx(0.5)
+        assert "batch of 7 groups" in str(error)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            Deadline.after(0.0, _FakeClock())
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure("w")
+        assert breaker.state("w") == BREAKER_CLOSED
+        assert breaker.allow("w")
+        breaker.record_failure("w")
+        assert breaker.state("w") == BREAKER_OPEN
+        assert not breaker.allow("w")
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0)
+        breaker.record_failure("w")
+        breaker.record_success("w")
+        breaker.record_failure("w")
+        assert breaker.state("w") == BREAKER_CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure("w")
+        assert not breaker.allow("w")
+        clock.advance(5.0)
+        assert breaker.state("w") == BREAKER_HALF_OPEN
+        assert breaker.allow("w")  # the single probe
+        assert not breaker.allow("w")  # further callers wait on its outcome
+
+    def test_probe_success_closes_and_probe_failure_reopens(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure("w")
+        clock.advance(5.0)
+        assert breaker.allow("w")
+        breaker.record_success("w")
+        assert breaker.state("w") == BREAKER_CLOSED
+        assert breaker.allow("w")
+
+        breaker.record_failure("w")  # open again
+        clock.advance(5.0)
+        assert breaker.allow("w")
+        breaker.record_failure("w")  # the probe failed
+        assert breaker.state("w") == BREAKER_OPEN
+        assert not breaker.allow("w")
+        clock.advance(5.0)
+        assert breaker.allow("w")  # a fresh cooldown, a fresh probe
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        breaker.record_failure("bad-host")
+        assert not breaker.allow("bad-host")
+        assert breaker.allow("good-host")
+        assert breaker.state("good-host") == BREAKER_CLOSED
+
+    def test_threshold_zero_disables_the_breaker(self):
+        breaker = CircuitBreaker(threshold=0, cooldown=5.0)
+        for _ in range(100):
+            breaker.record_failure("w")
+        assert breaker.allow("w")
+        assert breaker.state("w") == BREAKER_CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="threshold"):
+            CircuitBreaker(threshold=-1)
+        with pytest.raises(ConfigurationError, match="cooldown"):
+            CircuitBreaker(cooldown=0.0)
+
+
+class TestFaultPlan:
+    def test_ordinals_are_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            FaultPlan(drop_results=(0,))
+        with pytest.raises(ConfigurationError, match="1-based"):
+            FaultPlan(tear_result=0)
+        with pytest.raises(ConfigurationError, match="die_after_tasks"):
+            FaultPlan(die_after_tasks=0)
+
+    def test_a_frame_cannot_be_both_dropped_and_torn(self):
+        with pytest.raises(ConfigurationError, match="both"):
+            FaultPlan(drop_results=(2,), tear_result=2)
+
+
+class TestFaultInjector:
+    def test_drop_and_tear_count_result_frames_only(self):
+        injector = FaultInjector(FaultPlan(drop_results=(2,), tear_result=4))
+        verdicts = []
+        for name in [
+            "HELLO", "RESULT", "HEARTBEAT", "RESULT",  # RESULT #1, #2
+            "RESULT", "HEARTBEAT", "RESULT",           # RESULT #3, #4
+        ]:
+            verdicts.append(injector.on_send(name))
+        assert verdicts == [
+            "send", "send", "send", "drop", "send", "send", "tear"
+        ]
+        assert injector.results_dropped == 1
+        assert injector.frames_torn == 1
+
+    def test_mute_swallows_everything_after_the_cutoff(self):
+        injector = FaultInjector(FaultPlan(mute_after_frames=2))
+        assert injector.on_send("RESULT") == "send"
+        assert injector.on_send("HEARTBEAT") == "send"
+        assert injector.on_send("HEARTBEAT") == "drop"
+        assert injector.on_send("RESULT") == "drop"
+        assert injector.frames_muted == 2
+
+    def test_session_restart_resets_ordinals_but_not_the_death(self):
+        injector = FaultInjector(
+            FaultPlan(drop_results=(1,), die_after_tasks=2)
+        )
+        injector.session_started()
+        assert injector.on_send("RESULT") == "drop"
+        injector.note_served(2)
+        assert injector.should_die()
+        assert not injector.should_die()  # one-shot
+        injector.session_started()  # the rejoined incarnation
+        assert injector.on_send("RESULT") == "drop"  # ordinals reset
+        injector.note_served(5)
+        assert not injector.should_die()  # the trigger stays consumed
+        assert injector.deaths == 1
+
+    def test_heartbeat_delay_passthrough(self):
+        assert FaultInjector(FaultPlan()).heartbeat_delay() == 0.0
+        assert (
+            FaultInjector(FaultPlan(heartbeat_delay=1.5)).heartbeat_delay()
+            == 1.5
+        )

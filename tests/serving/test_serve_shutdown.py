@@ -1,0 +1,106 @@
+"""Clean shutdown of ``repro serve --listen`` under SIGINT.
+
+A real subprocess, a real socket, a real signal: the server must
+answer a request mid-stream, catch the interrupt, drain, stop the
+worker pool through the join-escalation path (never the forced-kill
+path), print its reports and metrics, and exit 0 — leaving no orphan
+worker processes behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+_SERVE_ARGS = [
+    "serve",
+    "-",
+    "-",
+    "--listen",
+    "127.0.0.1:0",
+    "--backend",
+    "pool",
+    "--workers",
+    "2",
+    "--quiet",
+    "--no-warm",
+    "--metrics",
+]
+
+
+def _metrics_json(output: str) -> dict:
+    """The JSON block following the ``== metrics (json) ==`` marker."""
+    marker = "== metrics (json) =="
+    assert marker in output, f"no metrics block in output:\n{output}"
+    return json.loads(output.split(marker, 1)[1])
+
+
+def test_sigint_mid_stream_drains_and_exits_zero():
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-c",
+            "import sys; from repro.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            *_SERVE_ARGS,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        address = None
+        preamble: list[str] = []
+        cutoff = time.monotonic() + 60.0
+        while time.monotonic() < cutoff:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            preamble.append(line)
+            if line.startswith("listening on "):
+                host, _, port = line.split()[2].partition(":")
+                address = (host, int(port))
+                break
+        assert address is not None, f"server never bound:\n{''.join(preamble)}"
+
+        # One request answered mid-stream proves the server is live
+        # when the signal lands (the synthetic dataset's first user).
+        with socket.create_connection(address, timeout=10.0) as sock:
+            sock.settimeout(10.0)
+            sock.sendall(b'{"type": "user", "user_id": "u0000"}\n')
+            buffer = bytearray()
+            while not buffer.endswith(b"\n"):
+                chunk = sock.recv(4096)
+                assert chunk, "server closed before answering"
+                buffer.extend(chunk)
+            response = json.loads(buffer.decode())
+            assert response["id"] == 1
+            assert response["kind"] == "user"
+
+            # Interrupt while the connection is still open: the server
+            # must unwind the handler, not hang waiting for the stream.
+            proc.send_signal(signal.SIGINT)
+            remainder, _ = proc.communicate(timeout=60.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    output = "".join(preamble) + remainder
+    assert proc.returncode == 0, f"exit {proc.returncode}:\n{output}"
+    assert "interrupted; shutting down" in output
+    metrics = _metrics_json(output)
+    # The pool wound down through join escalation, never SIGKILL.
+    assert metrics["pool_forced_stops"][0]["value"] == 0.0
+    assert metrics["server_requests"][0]["value"] == 1.0

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -234,6 +235,98 @@ class TestAdmissionControl:
     def test_max_inflight_must_be_positive(self, service):
         with pytest.raises(ValueError, match="max_inflight"):
             RequestServer(service, max_inflight=0)
+
+
+class _SlowService:
+    """A service double that overruns any small request budget."""
+
+    def recommend_user(
+        self, user_id: str, k: int | None = None, *, deadline=None
+    ) -> list:
+        time.sleep(0.15)
+        if deadline is not None:
+            deadline.check(f"recommend_user({user_id!r})")
+        return []
+
+
+class _DegradingService:
+    """A service double whose backend 'degrades' on every request."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def recommend_user(self, user_id: str, k: int | None = None) -> list:
+        self.metrics.counter("remote_degraded_dispatches").inc()
+        return []
+
+
+class TestResilienceSurface:
+    def test_overload_rejection_carries_a_retry_hint(self):
+        stalling = _StallingService()
+        server = RequestServer(stalling, max_inflight=1, metrics=MetricsRegistry())
+        with server:
+            blocked = _connect(server.address)
+            rejected = _connect(server.address)
+            try:
+                _send(blocked, {"type": "user", "user_id": "a"})
+                assert stalling.entered.acquire(timeout=10.0)
+                response = _ask(rejected, {"type": "user", "user_id": "b"})
+                assert response["error"] == "overloaded"
+                # No request has completed yet: the latency window is
+                # empty and the fixed fallback hint is served.
+                assert response["retry_after_ms"] == 50
+                stalling.release.set()
+                _readline(blocked)
+                stalling.release.clear()
+                # With one stalled completion in the window, the hint
+                # tracks the windowed p50 instead of the fallback.
+                _send(blocked, {"type": "user", "user_id": "a"})
+                assert stalling.entered.acquire(timeout=10.0)
+                hinted = _ask(rejected, {"type": "user", "user_id": "b"})
+                assert hinted["error"] == "overloaded"
+                assert isinstance(hinted["retry_after_ms"], int)
+                assert hinted["retry_after_ms"] >= 1
+            finally:
+                stalling.release.set()
+                blocked.close()
+                rejected.close()
+
+    def test_request_timeout_maps_to_a_deadline_error(self):
+        registry = MetricsRegistry()
+        server = RequestServer(
+            _SlowService(), request_timeout=0.05, metrics=registry
+        )
+        with server:
+            with _connect(server.address) as sock:
+                response = _ask(sock, {"type": "user", "user_id": "slow"})
+        assert response["error"] == "deadline"
+        assert "recommend_user('slow')" in response["detail"]
+        assert registry.counter("server_deadline_timeouts").value == 1
+        assert registry.counter("server_errors").value == 1
+
+    def test_generous_timeout_rides_through_the_real_service(self, service):
+        with RequestServer(service, request_timeout=30.0) as server:
+            with _connect(server.address) as sock:
+                response = _ask(
+                    sock,
+                    {"type": "user", "user_id": service.dataset.users.ids()[0]},
+                )
+        assert "error" not in response
+        assert response["kind"] == "user"
+
+    def test_degraded_dispatch_marks_the_response(self):
+        degrading = _DegradingService()
+        registry = MetricsRegistry()
+        server = RequestServer(degrading, metrics=registry)
+        with server:
+            with _connect(server.address) as sock:
+                response = _ask(sock, {"type": "user", "user_id": "a"})
+        assert response["degraded"] is True
+        assert registry.counter("server_degraded_responses").value == 1
+
+    def test_request_timeout_must_be_positive(self, service):
+        with pytest.raises(ValueError, match="request_timeout"):
+            RequestServer(service, request_timeout=0.0)
 
 
 class TestLifecycle:

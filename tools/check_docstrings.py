@@ -33,6 +33,7 @@ DEFAULT_TARGETS = (
     "src/repro/kernels",
     "src/repro/obs",
     "src/repro/mapreduce",
+    "src/repro/resilience",
     "src/repro/validation",
     "src/repro/data/scale.py",
 )

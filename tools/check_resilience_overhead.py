@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Advisory gate over the resilience-seam overhead measurement.
+
+Reads a ``BENCH_resilience.json`` payload (freshly produced by
+``benchmarks/bench_resilience_overhead.py``) and **warns** (never
+fails) when the measured deadline-seam overhead exceeds the ceiling
+recorded in the payload (5% by default).  Timing on shared CI runners
+is noisy, so the perf half of this gate is advisory by design: it
+prints GitHub ``::warning::`` annotations and always exits 0, except
+for *structural* problems (missing/corrupt file, a guarded replay that
+is no longer bit-identical with the bare one), which exit 1 because
+they mean the resilience seam changed results, not that it is slow.
+
+Usage::
+
+    python tools/check_resilience_overhead.py BENCH_resilience.json [--ceiling 5.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_result(path: Path) -> dict:
+    """Read one ``BENCH_resilience.json`` payload, validating its shape."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if not isinstance(payload.get("overhead_pct"), (int, float)):
+        raise SystemExit(f"error: {path} has no numeric 'overhead_pct' field")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "result", type=Path, help="measured BENCH_resilience.json"
+    )
+    parser.add_argument(
+        "--ceiling",
+        type=float,
+        default=None,
+        help=(
+            "tolerated overhead percentage before warning (default: the "
+            "payload's own overhead_ceiling_pct, falling back to 5.0)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    payload = load_result(args.result)
+    if payload.get("identical_results") is not True:
+        print(
+            "error: guarded serving is not bit-identical with bare "
+            "serving — that is a correctness failure, not a perf one",
+            file=sys.stderr,
+        )
+        return 1
+    ceiling = args.ceiling
+    if ceiling is None:
+        ceiling = float(payload.get("overhead_ceiling_pct", 5.0))
+    overhead = float(payload["overhead_pct"])
+    if overhead > ceiling:
+        print(
+            f"::warning::resilience-seam overhead {overhead:.2f}% exceeds "
+            f"the {ceiling:.1f}% ceiling (bare "
+            f"{payload.get('bare_ms', 0.0):.1f} ms vs guarded "
+            f"{payload.get('guarded_ms', 0.0):.1f} ms)"
+        )
+    else:
+        print(
+            f"resilience overhead OK: {overhead:+.2f}% "
+            f"(ceiling {ceiling:.1f}%, bit-identical)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
